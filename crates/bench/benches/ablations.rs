@@ -1,0 +1,113 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! SKIP guard-band size, power-aware vs. naive assignment, zero-padding
+//! factor, self-aware power adaptation, and bandwidth aggregation vs.
+//! per-band decoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netscatter::allocator::CyclicShiftAllocator;
+use netscatter_dsp::chirp::ChirpParams;
+use netscatter_dsp::spectrum::sidelobe_profile_db;
+use netscatter_phy::aggregation::AggregatedReceiver;
+use netscatter_phy::distributed::{ConcurrentDemodulator, OnOffModulator};
+use netscatter_phy::params::PhyProfile;
+use netscatter_sim::ber::{near_far_ber, NearFarConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn ablation_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_skip");
+    group.sample_size(10);
+    for skip in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(skip), &skip, |b, &skip| {
+            b.iter(|| {
+                let profile = sidelobe_profile_db(512, 8).unwrap();
+                black_box(profile.tolerable_power_difference_db(skip))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_power_aware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_power_aware");
+    group.sample_size(10);
+    let strengths: Vec<f64> = (0..254).map(|i| -85.0 - (i % 40) as f64).collect();
+    group.bench_function("power_aware_reassign", |b| {
+        b.iter(|| {
+            let mut alloc = CyclicShiftAllocator::new(&PhyProfile::default());
+            black_box(alloc.reassign_all(&strengths).unwrap())
+        })
+    });
+    group.bench_function("incremental_assign", |b| {
+        b.iter(|| {
+            let mut alloc = CyclicShiftAllocator::new(&PhyProfile::default());
+            for s in &strengths {
+                black_box(alloc.assign(*s).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn ablation_zero_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_zero_padding");
+    group.sample_size(10);
+    let params = ChirpParams::new(500e3, 9).unwrap();
+    let symbol = OnOffModulator::new(params, 100).symbol(true, 1.2e-6, 80.0, 1.0);
+    for padding in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(padding), &padding, |b, &p| {
+            let demod = ConcurrentDemodulator::new(params, p).unwrap();
+            b.iter(|| black_box(demod.padded_spectrum(&symbol).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_power_adapt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_power_adapt");
+    group.sample_size(10);
+    // BER with the interferer at full power vs. backed off by 10 dB (the
+    // self-aware power adjustment's strongest correction).
+    for (name, delta) in [("no_adaptation_45dB", 45.0), ("adapted_35dB", 35.0)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let cfg = NearFarConfig::paper(delta);
+                black_box(near_far_ber(&mut rng, &cfg, -10.0, 50))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_band_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_band_agg");
+    group.sample_size(10);
+    let params = ChirpParams::new(500e3, 8).unwrap();
+    // One aggregate 2xBW FFT vs. two separate per-band FFTs.
+    let agg = AggregatedReceiver::new(params, 2).unwrap();
+    let sym = agg.band().device_symbol(1, 37, true, 1.0);
+    group.bench_function("single_aggregate_fft", |b| {
+        b.iter(|| black_box(agg.bin_powers(&sym).unwrap()))
+    });
+    let per_band = ConcurrentDemodulator::new(params, 1).unwrap();
+    let narrow = OnOffModulator::new(params, 37).symbol(true, 0.0, 0.0, 1.0);
+    group.bench_function("two_per_band_ffts", |b| {
+        b.iter(|| {
+            black_box(per_band.padded_spectrum(&narrow).unwrap());
+            black_box(per_band.padded_spectrum(&narrow).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_skip,
+    ablation_power_aware,
+    ablation_zero_padding,
+    ablation_power_adapt,
+    ablation_band_aggregation
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the receiver primitives, including the
+//! receiver-complexity claim of §3.1: the per-symbol decode cost is dominated
+//! by one dechirp + FFT and grows only marginally with the number of
+//! concurrent devices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netscatter::receiver::ConcurrentReceiver;
+use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
+use netscatter_dsp::fft::Fft;
+use netscatter_dsp::Complex64;
+use netscatter_phy::distributed::OnOffModulator;
+use netscatter_phy::params::PhyProfile;
+use netscatter_phy::preamble::DetectedDevice;
+use std::hint::black_box;
+
+fn fft_and_dechirp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    let params = ChirpParams::new(500e3, 9).unwrap();
+    let synth = ChirpSynthesizer::new(params);
+    let symbol = synth.shifted_upchirp(123);
+    group.bench_function("dechirp_512", |b| b.iter(|| black_box(synth.dechirp(&symbol))));
+    let fft = Fft::new(4096).unwrap();
+    let dechirped = synth.dechirp(&symbol);
+    group.bench_function("zero_padded_fft_4096", |b| {
+        b.iter(|| black_box(fft.forward_zero_padded(&dechirped).unwrap()))
+    });
+    group.bench_function("chirp_synthesis", |b| {
+        b.iter(|| black_box(synth.impaired_upchirp(200, 1.5e-6, 100.0, 0.7)))
+    });
+    group.finish();
+}
+
+fn receiver_complexity_vs_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receiver_complexity");
+    group.sample_size(10);
+    let profile = PhyProfile::default();
+    let params = profile.modulation.chirp();
+    let rx = ConcurrentReceiver::new(&profile).unwrap();
+    for &n_devices in &[1usize, 16, 64, 256] {
+        // Superpose n devices into one payload symbol.
+        let mut symbol = vec![Complex64::ZERO; params.num_bins()];
+        let mut detected = Vec::new();
+        for i in 0..n_devices {
+            let bin = (i * 2) % params.num_bins();
+            let s = OnOffModulator::new(params, bin).symbol(true, 0.0, 0.0, 1.0);
+            for (acc, x) in symbol.iter_mut().zip(s.iter()) {
+                *acc += *x;
+            }
+            detected.push(DetectedDevice {
+                chirp_bin: bin,
+                average_power: (params.num_bins() as f64).powi(2),
+                observed_bin: bin as f64,
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("decode_payload_symbol", n_devices),
+            &n_devices,
+            |b, _| b.iter(|| black_box(rx.decode_payload_symbol(&symbol, &detected).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fft_and_dechirp, receiver_complexity_vs_devices);
+criterion_main!(benches);

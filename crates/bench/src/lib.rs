@@ -1,0 +1,13 @@
+//! Benchmark support crate. The interesting content is in `benches/`: one
+//! Criterion group per table/figure of the paper plus ablation and
+//! micro-benchmarks. This library only re-exports the workspace crates so
+//! the bench targets have a single import point.
+
+#![forbid(unsafe_code)]
+
+pub use netscatter;
+pub use netscatter_baselines as baselines;
+pub use netscatter_channel as channel;
+pub use netscatter_dsp as dsp;
+pub use netscatter_phy as phy;
+pub use netscatter_sim as sim;

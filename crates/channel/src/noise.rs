@@ -1,0 +1,206 @@
+//! Additive white Gaussian noise (AWGN) generation and SNR-controlled
+//! injection.
+//!
+//! CSS systems, and NetScatter in particular, are designed to decode signals
+//! *below* the thermal noise floor: Table 1 lists sensitivities down to
+//! −123 dBm on a 500 kHz channel whose noise floor is ≈ −111 dBm. Every BER
+//! and network experiment therefore revolves around adding complex Gaussian
+//! noise with a precisely controlled power.
+
+use netscatter_dsp::complex::mean_power;
+use netscatter_dsp::units::{db_to_linear, dbm_to_watts, thermal_noise_watts, DEFAULT_NOISE_FIGURE_DB};
+use netscatter_dsp::Complex64;
+use rand::Rng;
+
+/// Draws one standard normal sample using the Box–Muller transform.
+///
+/// `rand` alone (without `rand_distr`) only provides uniform deviates; this
+/// keeps the dependency surface minimal.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a zero-mean complex Gaussian sample with total variance
+/// (power) `power`: each quadrature has variance `power / 2`.
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, power: f64) -> Complex64 {
+    let sigma = (power / 2.0).max(0.0).sqrt();
+    Complex64::new(sigma * standard_normal(rng), sigma * standard_normal(rng))
+}
+
+/// A complex AWGN source with a fixed noise power per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct AwgnChannel {
+    noise_power: f64,
+}
+
+impl AwgnChannel {
+    /// Creates an AWGN source with the given linear noise power per complex
+    /// sample (variance split evenly across I and Q).
+    pub fn with_noise_power(noise_power: f64) -> Self {
+        Self { noise_power: noise_power.max(0.0) }
+    }
+
+    /// Creates an AWGN source at the thermal noise floor of a receiver with
+    /// the given bandwidth and noise figure (`kTBF`).
+    pub fn thermal(bandwidth_hz: f64, noise_figure_db: f64) -> Self {
+        Self::with_noise_power(thermal_noise_watts(bandwidth_hz, noise_figure_db))
+    }
+
+    /// Creates an AWGN source at the default thermal floor used across the
+    /// workspace (6 dB noise figure).
+    pub fn thermal_default(bandwidth_hz: f64) -> Self {
+        Self::thermal(bandwidth_hz, DEFAULT_NOISE_FIGURE_DB)
+    }
+
+    /// The configured noise power (linear, per complex sample).
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// The configured noise power in dBm.
+    pub fn noise_power_dbm(&self) -> f64 {
+        netscatter_dsp::watts_to_dbm(self.noise_power)
+    }
+
+    /// Generates `n` noise samples.
+    pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Complex64> {
+        (0..n).map(|_| complex_gaussian(rng, self.noise_power)).collect()
+    }
+
+    /// Adds noise to a signal in place.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, signal: &mut [Complex64]) {
+        for s in signal.iter_mut() {
+            *s += complex_gaussian(rng, self.noise_power);
+        }
+    }
+
+    /// Returns a noisy copy of `signal`.
+    pub fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R, signal: &[Complex64]) -> Vec<Complex64> {
+        let mut out = signal.to_vec();
+        self.apply(rng, &mut out);
+        out
+    }
+
+    /// The SNR (dB) that a signal received at `signal_power_dbm` would have
+    /// against this noise source.
+    pub fn snr_db_for_signal_dbm(&self, signal_power_dbm: f64) -> f64 {
+        netscatter_dsp::linear_to_db(dbm_to_watts(signal_power_dbm) / self.noise_power)
+    }
+}
+
+/// Returns a copy of `signal` with AWGN added such that the resulting
+/// per-sample SNR equals `snr_db`, measured against the *actual* mean power
+/// of `signal`.
+///
+/// This is the controlled-SNR path used by BER experiments such as Fig. 12,
+/// where the x-axis is the SNR of the device under test.
+pub fn add_awgn_snr<R: Rng + ?Sized>(rng: &mut R, signal: &[Complex64], snr_db: f64) -> Vec<Complex64> {
+    let sig_power = mean_power(signal);
+    if sig_power == 0.0 {
+        return signal.to_vec();
+    }
+    let noise_power = sig_power / db_to_linear(snr_db);
+    AwgnChannel::with_noise_power(noise_power).corrupt(rng, signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netscatter_dsp::stats::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&samples).abs() < 0.03);
+        assert!((variance(&samples) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn complex_gaussian_power_matches_request() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for target in [1e-12, 1.0, 5.0] {
+            let samples: Vec<Complex64> =
+                (0..20_000).map(|_| complex_gaussian(&mut rng, target)).collect();
+            let measured = mean_power(&samples);
+            assert!(
+                (measured - target).abs() / target < 0.05,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn thermal_channel_noise_power_matches_ktbf() {
+        let ch = AwgnChannel::thermal(500e3, 6.0);
+        let expected = thermal_noise_watts(500e3, 6.0);
+        assert!((ch.noise_power() - expected).abs() < 1e-30);
+        // dBm value around -111 dBm for 500 kHz / NF 6 dB.
+        assert!((ch.noise_power_dbm() + 111.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn corrupt_changes_signal_but_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let signal = vec![Complex64::ONE; 256];
+        let ch = AwgnChannel::with_noise_power(0.1);
+        let noisy = ch.corrupt(&mut rng, &signal);
+        assert_eq!(noisy.len(), 256);
+        assert!(noisy.iter().zip(&signal).any(|(a, b)| (*a - *b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn zero_noise_power_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let signal = vec![Complex64::new(0.3, -0.7); 64];
+        let ch = AwgnChannel::with_noise_power(0.0);
+        let noisy = ch.corrupt(&mut rng, &signal);
+        for (a, b) in noisy.iter().zip(&signal) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn add_awgn_snr_achieves_requested_snr() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let signal: Vec<Complex64> = (0..50_000).map(|i| Complex64::cis(i as f64 * 0.01)).collect();
+        for snr_db in [-10.0, 0.0, 10.0] {
+            let noisy = add_awgn_snr(&mut rng, &signal, snr_db);
+            let noise: Vec<Complex64> =
+                noisy.iter().zip(&signal).map(|(a, b)| *a - *b).collect();
+            let measured_snr =
+                netscatter_dsp::linear_to_db(mean_power(&signal) / mean_power(&noise));
+            assert!(
+                (measured_snr - snr_db).abs() < 0.3,
+                "requested {snr_db} dB, measured {measured_snr} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn add_awgn_snr_on_silent_signal_is_noop() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let signal = vec![Complex64::ZERO; 16];
+        let noisy = add_awgn_snr(&mut rng, &signal, 10.0);
+        assert_eq!(noisy, signal);
+    }
+
+    #[test]
+    fn snr_for_signal_dbm_is_consistent() {
+        let ch = AwgnChannel::thermal_default(500e3);
+        let floor = ch.noise_power_dbm();
+        let snr = ch.snr_db_for_signal_dbm(floor + 7.0);
+        assert!((snr - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_noise_power_is_clamped() {
+        let ch = AwgnChannel::with_noise_power(-1.0);
+        assert_eq!(ch.noise_power(), 0.0);
+    }
+}

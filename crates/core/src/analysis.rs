@@ -1,0 +1,130 @@
+//! Closed-form analysis results quoted in §3.1.
+//!
+//! Two arguments motivate the design:
+//!
+//! * **Throughput gain** — distributed CSS coding carries `2^SF` concurrent
+//!   single-bit streams per symbol versus `SF` bits from one device, an
+//!   aggregate gain of `2^SF / SF` that grows exponentially with `SF`.
+//! * **Multi-user Shannon capacity** — for devices operating below the noise
+//!   floor, `C = BW·log2(1 + N·Pₛ/P_N) ≈ BW/ln 2 · N·Pₛ/P_N`, i.e. network
+//!   capacity scales *linearly* with the number of concurrent devices
+//!   because N devices put N times more energy on the air.
+
+use netscatter_dsp::units::db_to_linear;
+
+/// Aggregate throughput gain of distributed CSS coding over single-user CSS,
+/// `2^SF / SF`.
+pub fn distributed_throughput_gain(spreading_factor: u32) -> f64 {
+    (1u64 << spreading_factor) as f64 / spreading_factor as f64
+}
+
+/// Multi-user Shannon capacity `BW·log2(1 + N·SNR)` in bits per second for
+/// `num_devices` concurrent devices each received at `per_device_snr_db`.
+pub fn multiuser_capacity_bps(bandwidth_hz: f64, num_devices: usize, per_device_snr_db: f64) -> f64 {
+    let snr = db_to_linear(per_device_snr_db);
+    bandwidth_hz * (1.0 + num_devices as f64 * snr).log2()
+}
+
+/// The low-SNR approximation `BW/ln2 · N·SNR` of the multi-user capacity.
+pub fn multiuser_capacity_low_snr_bps(
+    bandwidth_hz: f64,
+    num_devices: usize,
+    per_device_snr_db: f64,
+) -> f64 {
+    bandwidth_hz / std::f64::consts::LN_2 * num_devices as f64 * db_to_linear(per_device_snr_db)
+}
+
+/// Probability that at least two of `num_devices` LoRa transmitters pick the
+/// same cyclic shift in a symbol, `≈ N(N−1)/2^(SF+1)` (§2.2) — the collision
+/// analysis that rules out Choir-style concurrent LoRa for large N.
+pub fn lora_collision_probability(num_devices: usize, spreading_factor: u32) -> f64 {
+    let n = num_devices as f64;
+    let exact: f64 = 1.0
+        - (1..=num_devices)
+            .map(|i| 1.0 - (i as f64 - 1.0) / (1u64 << spreading_factor) as f64)
+            .product::<f64>();
+    // Return the exact birthday-style product; the paper's approximation
+    // n(n-1)/2^(SF+1) is recovered by callers if needed.
+    let _ = n;
+    exact.clamp(0.0, 1.0)
+}
+
+/// The paper's closed-form approximation `N(N−1)/2^(SF+1)` of
+/// [`lora_collision_probability`].
+pub fn lora_collision_probability_approx(num_devices: usize, spreading_factor: u32) -> f64 {
+    let n = num_devices as f64;
+    (n * (n - 1.0) / (1u64 << (spreading_factor + 1)) as f64).clamp(0.0, 1.0)
+}
+
+/// Probability that all of `num_devices` Choir transmitters land on distinct
+/// tenth-of-a-bin FFT fractions, `10! / ((10−N)!·10^N)` (§2.2). Zero for more
+/// than ten devices.
+pub fn choir_distinct_fraction_probability(num_devices: usize) -> f64 {
+    if num_devices > 10 {
+        return 0.0;
+    }
+    let mut p = 1.0;
+    for i in 0..num_devices {
+        p *= (10 - i) as f64 / 10.0;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_gain_matches_paper_examples() {
+        // SF 9: 512 / 9 ≈ 56.9.
+        assert!((distributed_throughput_gain(9) - 56.888).abs() < 0.01);
+        assert!((distributed_throughput_gain(7) - 128.0 / 7.0).abs() < 1e-9);
+        // The gain grows with SF.
+        assert!(distributed_throughput_gain(10) > distributed_throughput_gain(9));
+    }
+
+    #[test]
+    fn capacity_scales_linearly_below_the_noise_floor() {
+        // §3.1: when the aggregate N·SNR is still well below 0 dB, doubling N
+        // doubles capacity (ln(1+x) ≈ x).
+        let c1 = multiuser_capacity_bps(500e3, 128, -40.0);
+        let c2 = multiuser_capacity_bps(500e3, 256, -40.0);
+        let ratio = c2 / c1;
+        assert!((ratio - 2.0).abs() < 0.05, "capacity ratio {ratio}");
+        // The low-SNR approximation is close to the exact value there.
+        let approx = multiuser_capacity_low_snr_bps(500e3, 128, -40.0);
+        assert!((approx - c1).abs() / c1 < 0.05);
+    }
+
+    #[test]
+    fn capacity_saturates_logarithmically_at_high_snr() {
+        let c1 = multiuser_capacity_bps(500e3, 128, 20.0);
+        let c2 = multiuser_capacity_bps(500e3, 256, 20.0);
+        assert!(c2 / c1 < 1.2, "high-SNR capacity should not scale linearly");
+    }
+
+    #[test]
+    fn lora_collision_probability_matches_paper_numbers() {
+        // §2.2: SF 9, N = 10 -> ≈9 %; N = 20 -> ≈32 %.
+        let p10 = lora_collision_probability(10, 9);
+        let p20 = lora_collision_probability(20, 9);
+        assert!((0.07..=0.11).contains(&p10), "p10 = {p10}");
+        assert!((0.28..=0.36).contains(&p20), "p20 = {p20}");
+        // Approximation is close to the exact value for these sizes.
+        assert!((lora_collision_probability_approx(10, 9) - p10).abs() < 0.02);
+        // Degenerate cases.
+        assert_eq!(lora_collision_probability(0, 9), 0.0);
+        assert_eq!(lora_collision_probability(1, 9), 0.0);
+    }
+
+    #[test]
+    fn choir_distinct_fraction_probability_matches_paper() {
+        // §2.2: five devices all landing on distinct tenths happens only ~30 %.
+        let p5 = choir_distinct_fraction_probability(5);
+        assert!((p5 - 0.3024).abs() < 1e-4);
+        assert_eq!(choir_distinct_fraction_probability(0), 1.0);
+        assert_eq!(choir_distinct_fraction_probability(1), 1.0);
+        assert_eq!(choir_distinct_fraction_probability(11), 0.0);
+        assert!(choir_distinct_fraction_probability(10) > 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The AP-side concurrent receiver.
+//!
+//! The receiver decodes every concurrent device with one dechirp-and-FFT per
+//! symbol (§3.3.1):
+//!
+//! 1. locate the packet start from the preamble,
+//! 2. detect which assigned cyclic shifts are active and measure each one's
+//!    average preamble power,
+//! 3. set each device's payload threshold to half of that average,
+//! 4. for every payload symbol, compare the power in each device's search
+//!    window against its threshold to produce the bit.
+//!
+//! The heavy operations (dechirp, zero-padded FFT) run once per symbol
+//! regardless of how many devices transmit, which is the receiver-complexity
+//! property §3.1 highlights.
+
+use netscatter_dsp::fft::FftError;
+use netscatter_dsp::Complex64;
+use netscatter_phy::distributed::ConcurrentDemodulator;
+use netscatter_phy::params::PhyProfile;
+use netscatter_phy::preamble::{DetectedDevice, PreambleDetector, PREAMBLE_UPCHIRPS};
+use serde::{Deserialize, Serialize};
+
+/// Per-device outcome of a decoded round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedDevice {
+    /// The chirp bin the device was assigned.
+    pub chirp_bin: usize,
+    /// Average preamble power measured for this device (linear).
+    pub preamble_power: f64,
+    /// The decoded payload bits.
+    pub bits: Vec<bool>,
+}
+
+/// The result of decoding one concurrent round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DecodedRound {
+    /// Devices detected in the preamble, with their decoded payloads.
+    pub devices: Vec<DecodedDevice>,
+}
+
+impl DecodedRound {
+    /// Looks up the decoded bits of the device on `chirp_bin`, if it was
+    /// detected.
+    pub fn bits_for(&self, chirp_bin: usize) -> Option<&[bool]> {
+        self.devices.iter().find(|d| d.chirp_bin == chirp_bin).map(|d| d.bits.as_slice())
+    }
+}
+
+/// The NetScatter AP receiver.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReceiver {
+    demodulator: ConcurrentDemodulator,
+    detector: PreambleDetector,
+    profile: PhyProfile,
+    /// Minimum preamble power (linear) for a device to be declared present.
+    /// Expressed as a fraction of the ideal full-scale peak power `(2^SF)²`;
+    /// devices below the noise floor still clear this because the dechirp
+    /// concentrates their energy into one bin.
+    pub detection_floor_fraction: f64,
+}
+
+impl ConcurrentReceiver {
+    /// Creates a receiver for the given PHY profile.
+    pub fn new(profile: &PhyProfile) -> Result<Self, FftError> {
+        let chirp = profile.modulation.chirp();
+        Ok(Self {
+            demodulator: ConcurrentDemodulator::new(chirp, profile.zero_padding)?,
+            detector: PreambleDetector::new(chirp, profile.zero_padding)?,
+            profile: *profile,
+            detection_floor_fraction: 1e-4,
+        })
+    }
+
+    /// The PHY profile this receiver was built for.
+    pub fn profile(&self) -> &PhyProfile {
+        &self.profile
+    }
+
+    /// The peak-search half-width in chirp bins, derived from the SKIP guard
+    /// band: the receiver tolerates peak excursions of up to `SKIP − 1` bins
+    /// (the empty guard bins) without reaching into the next device's
+    /// territory. A minimum of half a bin is kept so fractional offsets are
+    /// still captured when `SKIP = 1`.
+    pub fn search_halfwidth_bins(&self) -> f64 {
+        ((self.profile.skip.saturating_sub(1)) as f64).max(0.5)
+    }
+
+    /// Estimates where the packet starts within `stream` (§3.3.1 step i),
+    /// searching offsets up to `max_offset` samples.
+    pub fn find_packet_start(&self, stream: &[Complex64], max_offset: usize) -> Option<usize> {
+        self.detector.estimate_packet_start(stream, max_offset)
+    }
+
+    /// Detects the active devices from the aligned preamble samples and
+    /// calibrates their payload thresholds (§3.3.1 step ii).
+    pub fn detect_devices(
+        &self,
+        preamble: &[Complex64],
+        assigned_bins: &[usize],
+    ) -> Result<Vec<DetectedDevice>, FftError> {
+        let n2 = (self.profile.modulation.num_bins() as f64).powi(2);
+        self.detector.detect_devices(preamble, assigned_bins, n2 * self.detection_floor_fraction)
+    }
+
+    /// Decodes one payload symbol for the detected devices, returning one bit
+    /// per device (in the same order).
+    pub fn decode_payload_symbol(
+        &self,
+        symbol: &[Complex64],
+        detected: &[DetectedDevice],
+    ) -> Result<Vec<bool>, FftError> {
+        let padded = self.demodulator.padded_spectrum(symbol)?;
+        Ok(detected
+            .iter()
+            .map(|d| {
+                // Track the device at the peak position learned from its
+                // preamble; a narrow window there rejects neighbouring
+                // devices even when hardware delays push peaks off their
+                // nominal bins.
+                let (power, _) =
+                    self.demodulator.device_power_at(&padded, d.observed_bin, 0.5);
+                power > PreambleDetector::payload_threshold(d.average_power)
+            })
+            .collect())
+    }
+
+    /// Decodes a complete round from contiguous samples: preamble followed by
+    /// `payload_symbols` payload symbols, all starting at `packet_start`.
+    pub fn decode_round(
+        &self,
+        stream: &[Complex64],
+        packet_start: usize,
+        assigned_bins: &[usize],
+        payload_symbols: usize,
+    ) -> Result<DecodedRound, FftError> {
+        let n = self.profile.modulation.num_bins();
+        let preamble_len = PREAMBLE_UPCHIRPS * n;
+        let needed = packet_start + (PREAMBLE_UPCHIRPS + 2 + payload_symbols) * n;
+        if stream.len() < packet_start + preamble_len {
+            return Err(FftError::LengthMismatch { expected: needed, actual: stream.len() });
+        }
+        let preamble = &stream[packet_start..packet_start + preamble_len];
+        let detected = self.detect_devices(preamble, assigned_bins)?;
+        let mut devices: Vec<DecodedDevice> = detected
+            .iter()
+            .map(|d| DecodedDevice {
+                chirp_bin: d.chirp_bin,
+                preamble_power: d.average_power,
+                bits: Vec::with_capacity(payload_symbols),
+            })
+            .collect();
+        // Payload starts after the full 8-symbol preamble.
+        let payload_start = packet_start + (PREAMBLE_UPCHIRPS + 2) * n;
+        for s in 0..payload_symbols {
+            let lo = payload_start + s * n;
+            let hi = lo + n;
+            if hi > stream.len() {
+                break;
+            }
+            let bits = self.decode_payload_symbol(&stream[lo..hi], &detected)?;
+            for (dev, bit) in devices.iter_mut().zip(bits) {
+                dev.bits.push(bit);
+            }
+        }
+        Ok(DecodedRound { devices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{BackscatterDevice, DeviceConfig};
+    use netscatter_channel::impairments::{ImpairmentModel, PacketImpairments};
+    use netscatter_channel::noise::AwgnChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> PhyProfile {
+        PhyProfile::default()
+    }
+
+    /// Builds the superposed round waveform (preamble + payload) for a set of
+    /// devices with given bins, amplitudes and payload bits.
+    fn build_round(
+        profile: &PhyProfile,
+        specs: &[(usize, f64, Vec<bool>)],
+        impairments: &[PacketImpairments],
+    ) -> Vec<Complex64> {
+        let n = profile.modulation.num_bins();
+        let payload_symbols = specs.iter().map(|s| s.2.len()).max().unwrap_or(0);
+        let total = (8 + payload_symbols) * n;
+        let mut out = vec![Complex64::ZERO; total];
+        let mut rng = StdRng::seed_from_u64(99);
+        let model = ImpairmentModel::cots_backscatter();
+        for ((bin, amp, bits), imp) in specs.iter().zip(impairments) {
+            let mut dev = BackscatterDevice::new(
+                DeviceConfig::default(),
+                *profile,
+                &model,
+                &mut rng,
+            );
+            dev.accept_assignment(*bin, -45.0); // full power
+            let pre = dev.preamble_waveform(imp, *amp).unwrap();
+            let pay = dev.payload_waveform(bits, imp, *amp).unwrap();
+            for (i, s) in pre.iter().chain(pay.iter()).enumerate() {
+                out[i] += *s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_device_round_trip() {
+        let p = profile();
+        let rx = ConcurrentReceiver::new(&p).unwrap();
+        let bits = vec![true, false, true, true, false, false, true, false];
+        let stream = build_round(&p, &[(100, 1.0, bits.clone())], &[PacketImpairments::default()]);
+        let round = rx.decode_round(&stream, 0, &[100, 200], bits.len()).unwrap();
+        assert_eq!(round.devices.len(), 1);
+        assert_eq!(round.bits_for(100).unwrap(), &bits[..]);
+        assert!(round.bits_for(200).is_none());
+    }
+
+    #[test]
+    fn concurrent_devices_with_impairments_and_noise_decode() {
+        let p = profile();
+        let rx = ConcurrentReceiver::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let specs: Vec<(usize, f64, Vec<bool>)> = (0..8)
+            .map(|i| {
+                let bin = i * 64; // SKIP-aligned, far apart
+                let bits: Vec<bool> = (0..10).map(|b| (b + i) % 3 != 0).collect();
+                (bin, 1.0, bits)
+            })
+            .collect();
+        let model = ImpairmentModel::cots_backscatter();
+        let device_imp: Vec<PacketImpairments> = (0..8)
+            .map(|_| {
+                let dev = model.sample_device(&mut rng);
+                model.sample_packet(&mut rng, &dev)
+            })
+            .collect();
+        let mut stream = build_round(&p, &specs, &device_imp);
+        // Per-device SNR of 0 dB.
+        AwgnChannel::with_noise_power(1.0).apply(&mut rng, &mut stream);
+        let bins: Vec<usize> = specs.iter().map(|s| s.0).collect();
+        let round = rx.decode_round(&stream, 0, &bins, 10).unwrap();
+        assert_eq!(round.devices.len(), 8);
+        for (bin, _, bits) in &specs {
+            let decoded = round.bits_for(*bin).expect("device must be detected");
+            let errors = decoded.iter().zip(bits).filter(|(a, b)| a != b).count();
+            assert!(errors <= 1, "device at bin {bin} had {errors} bit errors");
+        }
+    }
+
+    #[test]
+    fn packet_start_is_recovered_and_round_decodes_from_it() {
+        let p = profile();
+        let rx = ConcurrentReceiver::new(&p).unwrap();
+        let bits = vec![true, true, false, true];
+        let body = build_round(&p, &[(50, 1.0, bits.clone())], &[PacketImpairments::default()]);
+        let offset = 23usize;
+        let mut stream = vec![Complex64::ZERO; offset];
+        stream.extend(body);
+        let found = rx.find_packet_start(&stream, 64).unwrap();
+        assert_eq!(found, offset);
+        let round = rx.decode_round(&stream, found, &[50], bits.len()).unwrap();
+        assert_eq!(round.bits_for(50).unwrap(), &bits[..]);
+    }
+
+    #[test]
+    fn short_stream_is_rejected() {
+        let p = profile();
+        let rx = ConcurrentReceiver::new(&p).unwrap();
+        assert!(rx.decode_round(&[Complex64::ZERO; 100], 0, &[0], 4).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_decodes_available_symbols_only() {
+        let p = profile();
+        let rx = ConcurrentReceiver::new(&p).unwrap();
+        let bits = vec![true, false, true, false];
+        let mut stream =
+            build_round(&p, &[(64, 1.0, bits.clone())], &[PacketImpairments::default()]);
+        // Chop off the last payload symbol.
+        let n = p.modulation.num_bins();
+        stream.truncate(stream.len() - n);
+        let round = rx.decode_round(&stream, 0, &[64], bits.len()).unwrap();
+        assert_eq!(round.bits_for(64).unwrap(), &bits[..3]);
+    }
+
+    #[test]
+    fn search_halfwidth_tracks_skip() {
+        let mut p = profile();
+        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 1.0);
+        p.skip = 3;
+        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 2.0);
+        p.skip = 1;
+        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 0.5);
+    }
+}

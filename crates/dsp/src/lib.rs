@@ -1,0 +1,45 @@
+//! # netscatter-dsp
+//!
+//! Signal-processing substrate for the [NetScatter](https://www.usenix.org/conference/nsdi19/presentation/hessar)
+//! reproduction. The crate is self-contained (no external DSP dependencies)
+//! and provides exactly the primitives the chirp-spread-spectrum (CSS)
+//! physical layer and the receiver need:
+//!
+//! * [`Complex64`](complex::Complex64) — complex baseband samples.
+//! * [`fft`] — an iterative radix-2 FFT/IFFT with reusable plans and
+//!   zero-padded transforms (the paper's receiver zero-pads to achieve
+//!   sub-FFT-bin peak resolution, §3.2.3).
+//! * [`chirp`] — linear upchirp/downchirp synthesis, cyclic shifting, and
+//!   dechirping (downchirp multiplication), the core CSS operations of §2.1.
+//! * [`spectrum`] — power spectra, dB conversion, peak search, fractional
+//!   peak interpolation and side-lobe measurement (Fig. 8).
+//! * [`spectrogram`] — short-time Fourier transform used to reproduce the
+//!   Fig. 16 spectrograms of the backscattered signal at different power
+//!   gains.
+//! * [`window`] — analysis windows for the spectrogram.
+//! * [`units`] — dB/linear and dBm/watt conversions and thermal-noise
+//!   helpers used throughout the workspace.
+//! * [`stats`] — small statistics toolbox (mean, variance, empirical CDF)
+//!   used by the experiment drivers.
+//!
+//! The style follows event-driven, allocation-conscious Rust networking
+//! libraries: plans and buffers are reusable, nothing panics on untrusted
+//! input sizes (errors are returned), and every public item is documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod complex;
+pub mod fft;
+pub mod spectrogram;
+pub mod spectrum;
+pub mod stats;
+pub mod units;
+pub mod window;
+
+pub use chirp::{ChirpParams, ChirpSynthesizer};
+pub use complex::Complex64;
+pub use fft::{Fft, FftError};
+pub use spectrum::{power_spectrum_db, PeakSearch, SpectralPeak};
+pub use units::{db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm};

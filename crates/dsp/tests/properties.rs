@@ -1,0 +1,121 @@
+//! Property-based tests for the DSP substrate.
+//!
+//! These exercise the algebraic invariants the rest of the workspace relies
+//! on: FFT round-trips and energy conservation, chirp orthogonality of cyclic
+//! shifts, and the exact correspondence between cyclic shift and FFT peak.
+
+use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
+use netscatter_dsp::complex::total_power;
+use netscatter_dsp::fft::{fft, ifft, Fft};
+use netscatter_dsp::spectrum::PeakSearch;
+use netscatter_dsp::Complex64;
+use proptest::prelude::*;
+
+fn arb_complex() -> impl Strategy<Value = Complex64> {
+    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn arb_signal(log2_len: u32) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(arb_complex(), 1usize << log2_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ifft(fft(x)) == x for arbitrary signals.
+    #[test]
+    fn fft_round_trip(signal in arb_signal(7)) {
+        let spec = fft(&signal).unwrap();
+        let back = ifft(&spec).unwrap();
+        for (a, b) in signal.iter().zip(back.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn fft_preserves_energy(signal in arb_signal(8)) {
+        let spec = fft(&signal).unwrap();
+        let t = total_power(&signal);
+        let f = total_power(&spec) / signal.len() as f64;
+        prop_assert!((t - f).abs() <= 1e-9 * t.max(1.0));
+    }
+
+    /// The FFT is linear: F(a·x + y) == a·F(x) + F(y).
+    #[test]
+    fn fft_is_linear(x in arb_signal(6), y in arb_signal(6), a in -3.0f64..3.0) {
+        let combo: Vec<Complex64> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+        let fx = fft(&x).unwrap();
+        let fy = fft(&y).unwrap();
+        let fc = fft(&combo).unwrap();
+        for k in 0..combo.len() {
+            prop_assert!((fc[k] - (fx[k].scale(a) + fy[k])).abs() < 1e-8);
+        }
+    }
+
+    /// Dechirping a cyclically shifted chirp always produces a peak exactly at
+    /// the assigned shift, for every spreading factor used in the paper.
+    #[test]
+    fn cyclic_shift_maps_to_fft_bin(sf in 6u32..=10, shift in 0usize..1024) {
+        let params = ChirpParams::new(500e3, sf).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let shift = shift % params.num_bins();
+        let symbol = synth.shifted_upchirp(shift);
+        let spec = fft(&synth.dechirp(&symbol)).unwrap();
+        let peak = PeakSearch::strongest_complex(&spec).unwrap();
+        prop_assert_eq!(peak.bin, shift);
+    }
+
+    /// Two devices on different cyclic shifts never mask each other when
+    /// received at equal power with no impairments (ideal orthogonality of
+    /// the distributed code).
+    #[test]
+    fn distinct_shifts_are_orthogonal(a in 0usize..256, b in 0usize..256) {
+        prop_assume!(a != b);
+        let params = ChirpParams::new(500e3, 8).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let sum: Vec<Complex64> = synth
+            .shifted_upchirp(a)
+            .iter()
+            .zip(synth.shifted_upchirp(b).iter())
+            .map(|(x, y)| *x + *y)
+            .collect();
+        let spec = fft(&synth.dechirp(&sum)).unwrap();
+        let n = params.num_bins() as f64;
+        prop_assert!(spec[a].abs() > 0.9 * n);
+        prop_assert!(spec[b].abs() > 0.9 * n);
+    }
+
+    /// Timing offsets translate to the predicted FFT-bin movement
+    /// (ΔFFTbin = Δt · BW, §3.2.1). A misaligned window straddles two
+    /// consecutive identical symbols, which smears the peak slightly, so the
+    /// measured location is required to stay within one bin of the formula —
+    /// the same granularity at which the paper applies it (SKIP sizing).
+    #[test]
+    fn timing_offset_shifts_peak_fractionally(offset_us in -1.5f64..1.5) {
+        let params = ChirpParams::new(500e3, 9).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let assigned = 100usize;
+        let dt = offset_us * 1e-6;
+        let symbol = synth.impaired_upchirp(assigned, dt, 0.0, 1.0);
+        let plan = Fft::new(params.num_bins() * 8).unwrap();
+        let spec = plan.forward_zero_padded(&synth.dechirp(&symbol)).unwrap();
+        let peak = PeakSearch::strongest_complex(&spec).unwrap();
+        let measured_bin = peak.fractional_bin / 8.0;
+        let expected = assigned as f64 + params.timing_offset_to_bins(dt);
+        prop_assert!((measured_bin - expected).abs() < 0.75,
+            "measured {measured_bin}, expected {expected}");
+        // And the integer-bin decision never moves further than the formula predicts.
+        prop_assert!((measured_bin - assigned as f64).abs() <= params.timing_offset_to_bins(dt).abs() + 0.5);
+    }
+
+    /// Quantile estimates from the empirical CDF always lie within the sample range.
+    #[test]
+    fn cdf_quantiles_within_range(samples in prop::collection::vec(-100.0f64..100.0, 1..200), q in 0.0f64..1.0) {
+        let cdf = netscatter_dsp::stats::EmpiricalCdf::from_samples(samples.clone());
+        let v = cdf.quantile(q);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo && v <= hi);
+    }
+}

@@ -1,0 +1,231 @@
+//! Bandwidth aggregation: decoding several chirp sub-bands with one FFT.
+//!
+//! §3.1 ("Bandwidth Aggregation", Fig. 5) describes how to double the number
+//! of devices without lowering per-device bit rate: keep the chirp bandwidth
+//! and SF, let a second group of devices transmit in an adjacent sub-band,
+//! sample the aggregate band, and run a single FFT of `factor · 2^SF` points.
+//! Each device then appears at the global bin `band · 2^SF + cyclic shift`.
+//!
+//! The paper argues this is cheaper than per-band filtering plus separate
+//! FFTs; the [`aggregation ablation`](../..//index.html) benchmark compares
+//! the two options.
+
+use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
+use netscatter_dsp::fft::{Fft, FftError};
+use netscatter_dsp::spectrum::power_spectrum;
+use netscatter_dsp::Complex64;
+
+/// Synthesizes device waveforms inside an aggregated band.
+#[derive(Debug, Clone)]
+pub struct AggregatedBand {
+    params: ChirpParams,
+    factor: usize,
+    synth: ChirpSynthesizer,
+}
+
+impl AggregatedBand {
+    /// Creates an aggregated band of `factor` chirp bandwidths
+    /// (`factor ≥ 1`; the paper's example uses 2).
+    pub fn new(params: ChirpParams, factor: usize) -> Self {
+        Self { params, factor: factor.max(1), synth: ChirpSynthesizer::new(params) }
+    }
+
+    /// The chirp parameters of each sub-band.
+    pub fn params(&self) -> &ChirpParams {
+        &self.params
+    }
+
+    /// Number of aggregated sub-bands.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Total aggregate bandwidth in hertz.
+    pub fn total_bandwidth_hz(&self) -> f64 {
+        self.params.bandwidth_hz() * self.factor as f64
+    }
+
+    /// Samples per symbol at the aggregate sampling rate.
+    pub fn samples_per_symbol(&self) -> usize {
+        self.params.num_bins() * self.factor
+    }
+
+    /// Total number of addressable device bins, `factor · 2^SF`.
+    pub fn total_bins(&self) -> usize {
+        self.samples_per_symbol()
+    }
+
+    /// Maps a (sub-band, cyclic shift) pair to its global FFT bin.
+    pub fn global_bin(&self, band: usize, shift: usize) -> usize {
+        (band % self.factor) * self.params.num_bins() + (shift % self.params.num_bins())
+    }
+
+    /// Synthesizes one symbol of a device in `band` using cyclic `shift`,
+    /// sampled at the aggregate rate (`factor · BW`).
+    ///
+    /// The device still sweeps an ordinary chirp of bandwidth `BW` and
+    /// spreading factor `SF`; its cyclic shift and sub-band placement appear
+    /// as a frequency offset of `shift · BW/2^SF + band · BW` relative to the
+    /// baseline chirp, wrapping within the aggregate band exactly as in
+    /// Fig. 5 of the paper (frequencies above the aggregate Nyquist alias
+    /// down to the bottom of the band).
+    pub fn device_symbol(&self, band: usize, shift: usize, bit: bool, amplitude: f64) -> Vec<Complex64> {
+        let total = self.samples_per_symbol();
+        if !bit {
+            return vec![Complex64::ZERO; total];
+        }
+        let band = band % self.factor;
+        let shift = shift % self.params.num_bins();
+        let base = self.synth.oversampled_upchirp(0, self.factor, amplitude);
+        let offset_hz =
+            shift as f64 * self.params.bin_spacing_hz() + band as f64 * self.params.bandwidth_hz();
+        let fs = self.total_bandwidth_hz();
+        base.iter()
+            .enumerate()
+            .map(|(n, s)| {
+                *s * Complex64::cis(2.0 * std::f64::consts::PI * offset_hz * n as f64 / fs)
+            })
+            .collect()
+    }
+}
+
+/// Decodes an aggregated band with a single `factor · 2^SF` FFT.
+#[derive(Debug, Clone)]
+pub struct AggregatedReceiver {
+    band: AggregatedBand,
+    fft: Fft,
+    downchirp: Vec<Complex64>,
+}
+
+impl AggregatedReceiver {
+    /// Creates a receiver for the given aggregated band. Fails if the total
+    /// FFT size is not a power of two.
+    pub fn new(params: ChirpParams, factor: usize) -> Result<Self, FftError> {
+        let band = AggregatedBand::new(params, factor);
+        let fft = Fft::new(band.samples_per_symbol())?;
+        let synth = ChirpSynthesizer::new(params);
+        let downchirp: Vec<Complex64> = synth
+            .oversampled_upchirp(0, band.factor(), 1.0)
+            .iter()
+            .map(|c| c.conj())
+            .collect();
+        Ok(Self { band, fft, downchirp })
+    }
+
+    /// The aggregated band this receiver decodes.
+    pub fn band(&self) -> &AggregatedBand {
+        &self.band
+    }
+
+    /// Demodulates one aggregate symbol into per-global-bin powers using one
+    /// dechirp and one FFT.
+    pub fn bin_powers(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
+        let expected = self.band.samples_per_symbol();
+        if symbol.len() != expected {
+            return Err(FftError::LengthMismatch { expected, actual: symbol.len() });
+        }
+        let mut dechirped: Vec<Complex64> =
+            symbol.iter().zip(self.downchirp.iter()).map(|(s, d)| *s * *d).collect();
+        self.fft.forward_in_place(&mut dechirped)?;
+        Ok(power_spectrum(&dechirped))
+    }
+
+    /// Decides the bit of the device at `(band, shift)` against a linear
+    /// power threshold.
+    pub fn decide(&self, bin_powers: &[f64], band: usize, shift: usize, threshold: f64) -> bool {
+        bin_powers[self.band.global_bin(band, shift)] > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ChirpParams {
+        ChirpParams::new(500e3, 8).unwrap()
+    }
+
+    #[test]
+    fn geometry_of_aggregated_band() {
+        let band = AggregatedBand::new(params(), 2);
+        assert_eq!(band.factor(), 2);
+        assert_eq!(band.total_bandwidth_hz(), 1e6);
+        assert_eq!(band.samples_per_symbol(), 512);
+        assert_eq!(band.total_bins(), 512);
+        assert_eq!(band.global_bin(0, 10), 10);
+        assert_eq!(band.global_bin(1, 10), 266);
+        assert_eq!(band.global_bin(2, 10), 10); // band wraps
+        // Factor 0 clamps to 1.
+        assert_eq!(AggregatedBand::new(params(), 0).factor(), 1);
+    }
+
+    #[test]
+    fn single_device_lands_in_expected_global_bin() {
+        let p = params();
+        let rx = AggregatedReceiver::new(p, 2).unwrap();
+        for (band, shift) in [(0usize, 5usize), (0, 200), (1, 5), (1, 130)] {
+            let sym = rx.band().device_symbol(band, shift, true, 1.0);
+            let powers = rx.bin_powers(&sym).unwrap();
+            let peak = (0..powers.len())
+                .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
+                .unwrap();
+            assert_eq!(peak, rx.band().global_bin(band, shift), "band {band} shift {shift}");
+        }
+    }
+
+    #[test]
+    fn devices_in_both_subbands_decode_concurrently_with_one_fft() {
+        let p = params();
+        let rx = AggregatedReceiver::new(p, 2).unwrap();
+        let users = [(0usize, 10usize, true), (0, 100, false), (1, 10, true), (1, 200, true)];
+        let total = rx.band().samples_per_symbol();
+        let mut agg = vec![Complex64::ZERO; total];
+        for &(band, shift, bit) in &users {
+            let sym = rx.band().device_symbol(band, shift, bit, 1.0);
+            for (a, s) in agg.iter_mut().zip(sym.iter()) {
+                *a += *s;
+            }
+        }
+        let powers = rx.bin_powers(&agg).unwrap();
+        let n = total as f64;
+        let threshold = 0.25 * n * n;
+        for &(band, shift, bit) in &users {
+            assert_eq!(rx.decide(&powers, band, shift, threshold), bit, "band {band} shift {shift}");
+        }
+    }
+
+    #[test]
+    fn off_bit_is_silent() {
+        let band = AggregatedBand::new(params(), 2);
+        let sym = band.device_symbol(1, 7, false, 1.0);
+        assert!(sym.iter().all(|c| *c == Complex64::ZERO));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let rx = AggregatedReceiver::new(params(), 2).unwrap();
+        assert!(rx.bin_powers(&[Complex64::ONE; 10]).is_err());
+    }
+
+    #[test]
+    fn factor_one_matches_plain_distributed_css() {
+        let p = params();
+        let rx = AggregatedReceiver::new(p, 1).unwrap();
+        let sym = rx.band().device_symbol(0, 42, true, 1.0);
+        let powers = rx.bin_powers(&sym).unwrap();
+        let peak = (0..powers.len())
+            .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
+            .unwrap();
+        assert_eq!(peak, 42);
+    }
+
+    #[test]
+    fn aggregate_throughput_scales_with_factor() {
+        let p = params();
+        for factor in [1usize, 2, 4] {
+            let band = AggregatedBand::new(p, factor);
+            assert_eq!(band.total_bins(), factor * 256);
+            assert!((band.total_bandwidth_hz() - factor as f64 * 500e3).abs() < 1e-9);
+        }
+    }
+}

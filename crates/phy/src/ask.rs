@@ -1,0 +1,160 @@
+//! The AP's ASK-modulated downlink and the tag's envelope-detector receiver.
+//!
+//! The AP coordinates every round with an amplitude-shift-keyed query message
+//! transmitted at 160 kbps (§3.3.3, Fig. 11). Tags receive it with a simple
+//! envelope detector whose sensitivity is −49 dBm (§4.1); the measured query
+//! strength also drives the tag's self-aware power adjustment (§3.2.3) via
+//! channel reciprocity.
+
+use netscatter_dsp::units::{dbm_to_watts, watts_to_dbm};
+use netscatter_dsp::Complex64;
+
+/// ASK (on-off keying of the carrier amplitude) modulator for the downlink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AskModulator {
+    /// Samples per bit (carrier-rate samples; the envelope is what matters).
+    pub samples_per_bit: usize,
+    /// Amplitude used for a '1' bit; '0' bits use `low_ratio` times this.
+    pub amplitude: f64,
+    /// Ratio of the '0'-bit amplitude to the '1'-bit amplitude (modulation
+    /// depth control; 0.0 is full OOK).
+    pub low_ratio: f64,
+}
+
+impl Default for AskModulator {
+    fn default() -> Self {
+        Self { samples_per_bit: 8, amplitude: 1.0, low_ratio: 0.1 }
+    }
+}
+
+impl AskModulator {
+    /// Modulates bits into baseband envelope samples.
+    pub fn modulate(&self, bits: &[bool]) -> Vec<Complex64> {
+        let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit);
+        for &bit in bits {
+            let a = if bit { self.amplitude } else { self.amplitude * self.low_ratio };
+            out.extend(std::iter::repeat(Complex64::new(a, 0.0)).take(self.samples_per_bit));
+        }
+        out
+    }
+}
+
+/// The tag-side envelope detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeDetector {
+    /// Minimum average received power (dBm) at which the detector produces a
+    /// usable envelope (paper: −49 dBm).
+    pub sensitivity_dbm: f64,
+}
+
+impl Default for EnvelopeDetector {
+    fn default() -> Self {
+        Self { sensitivity_dbm: -49.0 }
+    }
+}
+
+impl EnvelopeDetector {
+    /// Whether a query received at `rssi_dbm` can be decoded at all.
+    pub fn can_decode(&self, rssi_dbm: f64) -> bool {
+        rssi_dbm >= self.sensitivity_dbm
+    }
+
+    /// Measures the average envelope power of a received waveform in dBm,
+    /// assuming samples are scaled such that |s|² is watts. This is the
+    /// signal-strength estimate the tag feeds into power adaptation.
+    pub fn measure_rssi_dbm(&self, samples: &[Complex64]) -> f64 {
+        watts_to_dbm(netscatter_dsp::complex::mean_power(samples))
+    }
+
+    /// Demodulates ASK bits from envelope samples using a threshold halfway
+    /// between the observed minimum and maximum envelope power. Returns
+    /// `None` when the waveform is below sensitivity or too short.
+    pub fn demodulate(&self, samples: &[Complex64], samples_per_bit: usize) -> Option<Vec<bool>> {
+        if samples_per_bit == 0 || samples.len() < samples_per_bit {
+            return None;
+        }
+        if !self.can_decode(self.measure_rssi_dbm(samples)) {
+            return None;
+        }
+        let envelope: Vec<f64> = samples.iter().map(|s| s.abs()).collect();
+        let max = envelope.iter().cloned().fold(f64::MIN, f64::max);
+        let min = envelope.iter().cloned().fold(f64::MAX, f64::min);
+        let threshold = (max + min) / 2.0;
+        Some(
+            envelope
+                .chunks(samples_per_bit)
+                .filter(|c| c.len() == samples_per_bit)
+                .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64 > threshold)
+                .collect(),
+        )
+    }
+
+    /// Convenience: scales a unit-amplitude waveform so that its mean power
+    /// corresponds to `rssi_dbm`, modelling reception at that signal
+    /// strength.
+    pub fn scale_to_rssi(samples: &[Complex64], rssi_dbm: f64) -> Vec<Complex64> {
+        let current = netscatter_dsp::complex::mean_power(samples);
+        if current == 0.0 {
+            return samples.to_vec();
+        }
+        let target = dbm_to_watts(rssi_dbm);
+        let scale = (target / current).sqrt();
+        samples.iter().map(|s| s.scale(scale)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulate_produces_expected_length_and_levels() {
+        let m = AskModulator { samples_per_bit: 4, amplitude: 2.0, low_ratio: 0.0 };
+        let s = m.modulate(&[true, false, true]);
+        assert_eq!(s.len(), 12);
+        assert!((s[0].abs() - 2.0).abs() < 1e-12);
+        assert_eq!(s[4], Complex64::ZERO);
+    }
+
+    #[test]
+    fn demodulate_round_trip_at_good_rssi() {
+        let m = AskModulator::default();
+        let det = EnvelopeDetector::default();
+        let bits: Vec<bool> = (0..64).map(|i| (i * 11) % 3 == 0).collect();
+        let tx = m.modulate(&bits);
+        // Received at -40 dBm: above the -49 dBm sensitivity.
+        let rx = EnvelopeDetector::scale_to_rssi(&tx, -40.0);
+        let decoded = det.demodulate(&rx, m.samples_per_bit).unwrap();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn demodulate_fails_below_sensitivity() {
+        let m = AskModulator::default();
+        let det = EnvelopeDetector::default();
+        let tx = m.modulate(&[true, false, true, true]);
+        let rx = EnvelopeDetector::scale_to_rssi(&tx, -60.0);
+        assert!(det.demodulate(&rx, m.samples_per_bit).is_none());
+        assert!(!det.can_decode(-49.1));
+        assert!(det.can_decode(-49.0));
+    }
+
+    #[test]
+    fn measured_rssi_matches_scaling_target() {
+        let m = AskModulator { low_ratio: 1.0, ..Default::default() }; // constant envelope
+        let det = EnvelopeDetector::default();
+        let tx = m.modulate(&[true; 32]);
+        for target in [-30.0, -45.0, -48.9] {
+            let rx = EnvelopeDetector::scale_to_rssi(&tx, target);
+            assert!((det.measure_rssi_dbm(&rx) - target).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let det = EnvelopeDetector::default();
+        assert!(det.demodulate(&[], 8).is_none());
+        assert!(det.demodulate(&[Complex64::ONE; 4], 0).is_none());
+        assert_eq!(EnvelopeDetector::scale_to_rssi(&[Complex64::ZERO; 4], -30.0), vec![Complex64::ZERO; 4]);
+    }
+}

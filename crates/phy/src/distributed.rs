@@ -1,0 +1,399 @@
+//! Distributed CSS coding — the paper's core physical-layer primitive.
+//!
+//! Each device in the network is assigned one cyclic shift of the chirp and
+//! ON-OFF keys it: transmitting the assigned shifted upchirp conveys a '1',
+//! staying silent conveys a '0' (§3.1, Fig. 2b). Because cyclic shifts map to
+//! distinct FFT bins after dechirping, the receiver demodulates *all*
+//! concurrent devices with one dechirp-and-FFT per symbol and then reads the
+//! power at each assigned bin.
+//!
+//! The receiver zero-pads the dechirped symbol before the FFT to obtain
+//! sub-bin peak resolution (§3.2.3); residual timing offsets of up to about
+//! one bin (§3.2.1) are absorbed by searching for the device's peak within a
+//! window around its assigned bin whose width is set by the SKIP guard band.
+
+use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
+use netscatter_dsp::fft::{Fft, FftError};
+use netscatter_dsp::spectrum::power_spectrum;
+use netscatter_dsp::Complex64;
+
+/// The ON-OFF-keying modulator run by each backscatter device.
+#[derive(Debug, Clone)]
+pub struct OnOffModulator {
+    synth: ChirpSynthesizer,
+    assigned_shift: usize,
+}
+
+impl OnOffModulator {
+    /// Creates a modulator for a device assigned the given cyclic shift.
+    pub fn new(params: ChirpParams, assigned_shift: usize) -> Self {
+        let assigned_shift = assigned_shift % params.num_bins();
+        Self { synth: ChirpSynthesizer::new(params), assigned_shift }
+    }
+
+    /// The cyclic shift this device is assigned.
+    pub fn assigned_shift(&self) -> usize {
+        self.assigned_shift
+    }
+
+    /// The chirp parameters in use.
+    pub fn params(&self) -> &ChirpParams {
+        self.synth.params()
+    }
+
+    /// Produces one symbol of baseband samples for `bit`, applying the
+    /// device's current impairments and amplitude. A '0' bit is silence.
+    pub fn symbol(
+        &self,
+        bit: bool,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
+        if bit {
+            self.synth.impaired_upchirp(self.assigned_shift, timing_offset_s, freq_offset_hz, amplitude)
+        } else {
+            vec![Complex64::ZERO; self.params().num_bins()]
+        }
+    }
+
+    /// Produces one *downchirp* preamble symbol on the assigned shift with
+    /// the device's impairments (the preamble transmits the same cyclic shift
+    /// on upchirps and downchirps, §3.3.1).
+    pub fn preamble_downchirp(
+        &self,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
+        self.synth.impaired_downchirp(self.assigned_shift, timing_offset_s, freq_offset_hz, amplitude)
+    }
+
+    /// Modulates a full payload bit sequence into consecutive symbols.
+    pub fn modulate_payload(
+        &self,
+        bits: &[bool],
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
+        let mut out = Vec::with_capacity(bits.len() * self.params().num_bins());
+        for &bit in bits {
+            out.extend(self.symbol(bit, timing_offset_s, freq_offset_hz, amplitude));
+        }
+        out
+    }
+}
+
+/// Per-device decision for one symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolDecision {
+    /// The assigned chirp bin of the device.
+    pub assigned_bin: usize,
+    /// Measured peak power in the device's search window (linear).
+    pub power: f64,
+    /// The decided bit.
+    pub bit: bool,
+}
+
+/// The single-FFT concurrent demodulator at the AP.
+#[derive(Debug, Clone)]
+pub struct ConcurrentDemodulator {
+    synth: ChirpSynthesizer,
+    fft: Fft,
+    zero_padding: usize,
+}
+
+impl ConcurrentDemodulator {
+    /// Creates a demodulator with the given zero-padding factor (must make
+    /// `2^SF · zero_padding` a power of two, i.e. the factor itself must be a
+    /// power of two).
+    pub fn new(params: ChirpParams, zero_padding: usize) -> Result<Self, FftError> {
+        let zero_padding = zero_padding.max(1);
+        let fft = Fft::new(params.num_bins() * zero_padding)?;
+        Ok(Self { synth: ChirpSynthesizer::new(params), fft, zero_padding })
+    }
+
+    /// The chirp parameters in use.
+    pub fn params(&self) -> &ChirpParams {
+        self.synth.params()
+    }
+
+    /// The configured zero-padding factor.
+    pub fn zero_padding(&self) -> usize {
+        self.zero_padding
+    }
+
+    /// Dechirps one received symbol and returns the zero-padded power
+    /// spectrum (length `2^SF · zero_padding`). This is the single FFT whose
+    /// cost is independent of the number of concurrent devices.
+    pub fn padded_spectrum(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
+        if symbol.len() != self.params().num_bins() {
+            return Err(FftError::LengthMismatch {
+                expected: self.params().num_bins(),
+                actual: symbol.len(),
+            });
+        }
+        let dechirped = self.synth.dechirp(symbol);
+        let spec = self.fft.forward_zero_padded(&dechirped)?;
+        Ok(power_spectrum(&spec))
+    }
+
+    /// As [`Self::padded_spectrum`] but dechirping with the *upchirp*, for
+    /// received downchirp preamble symbols.
+    pub fn padded_spectrum_downchirp(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
+        if symbol.len() != self.params().num_bins() {
+            return Err(FftError::LengthMismatch {
+                expected: self.params().num_bins(),
+                actual: symbol.len(),
+            });
+        }
+        let dechirped = self.synth.dechirp_down(symbol);
+        let spec = self.fft.forward_zero_padded(&dechirped)?;
+        Ok(power_spectrum(&spec))
+    }
+
+    /// Measured power of the device assigned `chirp_bin`, searching the
+    /// padded spectrum within ±`search_halfwidth_bins` chirp bins of the
+    /// assignment (to absorb residual timing/frequency offsets).
+    pub fn device_power(
+        &self,
+        padded_power: &[f64],
+        chirp_bin: usize,
+        search_halfwidth_bins: f64,
+    ) -> f64 {
+        self.device_power_at(
+            padded_power,
+            (chirp_bin % self.params().num_bins()) as f64,
+            search_halfwidth_bins,
+        )
+        .0
+    }
+
+    /// As [`Self::device_power`] but centred on a *fractional* bin position,
+    /// returning `(power, fractional bin of the maximum)`. The receiver uses
+    /// this to track each device at the peak position learned from its
+    /// preamble, which absorbs the device's (per-packet-constant) timing
+    /// offset.
+    pub fn device_power_at(
+        &self,
+        padded_power: &[f64],
+        center_bins: f64,
+        search_halfwidth_bins: f64,
+    ) -> (f64, f64) {
+        let pad = self.zero_padding as f64;
+        let total = padded_power.len();
+        let centre = (center_bins * pad).round() as isize;
+        let half = (search_halfwidth_bins.max(0.0) * pad).round() as isize;
+        let mut best = 0.0f64;
+        let mut best_idx = centre;
+        for off in -half..=half {
+            let raw = centre + off;
+            let idx = (raw.rem_euclid(total as isize)) as usize;
+            if padded_power[idx] > best {
+                best = padded_power[idx];
+                best_idx = raw;
+            }
+        }
+        (best, best_idx as f64 / pad)
+    }
+
+    /// Demodulates one payload symbol for a set of devices.
+    ///
+    /// `assignments` maps each device to its chirp bin; `thresholds` gives
+    /// the per-device linear power threshold (half the preamble average in
+    /// the paper's receiver, §3.3.1); `search_halfwidth_bins` bounds the peak
+    /// search window around each assignment.
+    pub fn demodulate_symbol(
+        &self,
+        symbol: &[Complex64],
+        assignments: &[usize],
+        thresholds: &[f64],
+        search_halfwidth_bins: f64,
+    ) -> Result<Vec<SymbolDecision>, FftError> {
+        assert_eq!(
+            assignments.len(),
+            thresholds.len(),
+            "assignments and thresholds must be parallel slices"
+        );
+        let padded = self.padded_spectrum(symbol)?;
+        Ok(assignments
+            .iter()
+            .zip(thresholds.iter())
+            .map(|(&bin, &thr)| {
+                let power = self.device_power(&padded, bin, search_halfwidth_bins);
+                SymbolDecision { assigned_bin: bin, power, bit: power > thr }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netscatter_channel::noise::AwgnChannel;
+    use netscatter_dsp::complex::mean_power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> ChirpParams {
+        ChirpParams::new(500e3, 9).unwrap()
+    }
+
+    fn superpose(symbols: &[Vec<Complex64>]) -> Vec<Complex64> {
+        let n = symbols[0].len();
+        (0..n).map(|i| symbols.iter().map(|s| s[i]).sum()).collect()
+    }
+
+    #[test]
+    fn zero_bit_is_silence_one_bit_is_chirp() {
+        let m = OnOffModulator::new(params(), 10);
+        let off = m.symbol(false, 0.0, 0.0, 1.0);
+        let on = m.symbol(true, 0.0, 0.0, 1.0);
+        assert!(mean_power(&off) == 0.0);
+        assert!((mean_power(&on) - 1.0).abs() < 1e-9);
+        assert_eq!(off.len(), 512);
+        assert_eq!(on.len(), 512);
+    }
+
+    #[test]
+    fn assigned_shift_wraps() {
+        let m = OnOffModulator::new(params(), 512 + 5);
+        assert_eq!(m.assigned_shift(), 5);
+    }
+
+    #[test]
+    fn single_device_symbol_decodes_at_its_bin() {
+        let p = params();
+        let m = OnOffModulator::new(p, 100);
+        let d = ConcurrentDemodulator::new(p, 8).unwrap();
+        let sym = m.symbol(true, 0.0, 0.0, 1.0);
+        let spec = d.padded_spectrum(&sym).unwrap();
+        let peak = (0..spec.len()).max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap()).unwrap();
+        assert_eq!(peak, 100 * 8);
+        assert!(d.device_power(&spec, 100, 1.0) >= spec[peak] * 0.999);
+    }
+
+    #[test]
+    fn sixteen_concurrent_devices_all_decode() {
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        // Devices on every 32nd bin, alternating bit pattern.
+        let assignments: Vec<usize> = (0..16).map(|i| i * 32).collect();
+        let bits: Vec<bool> = (0..16).map(|i| i % 3 != 0).collect();
+        let symbols: Vec<Vec<Complex64>> = assignments
+            .iter()
+            .zip(&bits)
+            .map(|(&bin, &bit)| OnOffModulator::new(p, bin).symbol(bit, 0.0, 0.0, 1.0))
+            .collect();
+        let rx = superpose(&symbols);
+        let n2 = (p.num_bins() as f64).powi(2);
+        let thresholds = vec![n2 * 0.25; assignments.len()];
+        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
+        for (dec, &expected) in decisions.iter().zip(&bits) {
+            assert_eq!(dec.bit, expected, "device at bin {}", dec.assigned_bin);
+        }
+    }
+
+    #[test]
+    fn decoding_works_below_the_noise_floor() {
+        // 64 concurrent devices, each at -5 dB SNR per sample: the dechirp+FFT
+        // processing gain (≈27 dB at SF9) must still separate them.
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let assignments: Vec<usize> = (0..64).map(|i| i * 8).collect();
+        let bits: Vec<bool> = (0..64).map(|i| (i * 5) % 4 != 0).collect();
+        let amplitude = 1.0;
+        let symbols: Vec<Vec<Complex64>> = assignments
+            .iter()
+            .zip(&bits)
+            .map(|(&bin, &bit)| OnOffModulator::new(p, bin).symbol(bit, 0.0, 0.0, amplitude))
+            .collect();
+        let mut rx = superpose(&symbols);
+        // Per-device SNR of -5 dB: noise power = amplitude^2 * 10^0.5.
+        let noise_power = amplitude * amplitude * 10f64.powf(0.5);
+        AwgnChannel::with_noise_power(noise_power).apply(&mut rng, &mut rx);
+        let n = p.num_bins() as f64;
+        // Expected on-peak power ~ (amplitude*n)^2; threshold at a quarter.
+        let thresholds = vec![amplitude * amplitude * n * n * 0.25; assignments.len()];
+        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
+        let errors = decisions.iter().zip(&bits).filter(|(d, b)| d.bit != **b).count();
+        assert!(errors <= 1, "too many errors below the noise floor: {errors}");
+    }
+
+    #[test]
+    fn timing_offset_within_skip_window_still_decodes() {
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        let m = OnOffModulator::new(p, 200);
+        // 1.8 µs offset ≈ 0.9 bins: within the ±1 bin search window of SKIP=2.
+        let sym = m.symbol(true, 1.8e-6, 0.0, 1.0);
+        let spec = demod.padded_spectrum(&sym).unwrap();
+        let n2 = (p.num_bins() as f64).powi(2);
+        let within = demod.device_power(&spec, 200, 1.0);
+        let without = demod.device_power(&spec, 200, 0.0);
+        assert!(within > 0.5 * n2, "search window should capture the shifted peak");
+        assert!(without < within, "zero-width search misses the shifted peak");
+    }
+
+    #[test]
+    fn wrong_symbol_length_is_rejected() {
+        let demod = ConcurrentDemodulator::new(params(), 8).unwrap();
+        assert!(demod.padded_spectrum(&[Complex64::ONE; 100]).is_err());
+        assert!(demod.padded_spectrum_downchirp(&[Complex64::ONE; 100]).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_padding_is_rejected() {
+        assert!(ConcurrentDemodulator::new(params(), 3).is_err());
+        assert!(ConcurrentDemodulator::new(params(), 0).is_ok()); // clamped to 1
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel slices")]
+    fn mismatched_assignment_threshold_lengths_panic() {
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 2).unwrap();
+        let sym = vec![Complex64::ZERO; p.num_bins()];
+        let _ = demod.demodulate_symbol(&sym, &[1, 2], &[0.5], 1.0);
+    }
+
+    #[test]
+    fn silence_produces_zero_bits_even_with_low_threshold() {
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rx = vec![Complex64::ZERO; p.num_bins()];
+        AwgnChannel::with_noise_power(1e-3).apply(&mut rng, &mut rx);
+        let assignments = vec![0, 128, 256, 384];
+        // Threshold calibrated for a unit-amplitude device.
+        let n = p.num_bins() as f64;
+        let thresholds = vec![n * n * 0.25; 4];
+        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
+        assert!(decisions.iter().all(|d| !d.bit));
+    }
+
+    #[test]
+    fn downchirp_preamble_symbol_decodes_via_downchirp_spectrum() {
+        let p = params();
+        let m = OnOffModulator::new(p, 40);
+        let demod = ConcurrentDemodulator::new(p, 4).unwrap();
+        let sym = m.preamble_downchirp(0.0, 0.0, 1.0);
+        let spec = demod.padded_spectrum_downchirp(&sym).unwrap();
+        let peak = (0..spec.len()).max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap()).unwrap();
+        // Downchirps dechirped with the upchirp mirror the bin: N - shift.
+        assert_eq!(peak / 4, p.num_bins() - 40);
+    }
+
+    #[test]
+    fn modulate_payload_concatenates_symbols() {
+        let p = params();
+        let m = OnOffModulator::new(p, 10);
+        let bits = [true, false, true];
+        let burst = m.modulate_payload(&bits, 0.0, 0.0, 1.0);
+        assert_eq!(burst.len(), 3 * p.num_bins());
+        // Middle symbol is silence.
+        assert!(mean_power(&burst[p.num_bins()..2 * p.num_bins()]) == 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Symbol-level Monte-Carlo experiments: near-far BER (Fig. 12) and the
+//! power-dynamic-range sweep (Fig. 15b).
+
+use netscatter_channel::noise::{standard_normal, AwgnChannel};
+use netscatter_dsp::chirp::ChirpParams;
+use netscatter_dsp::units::db_to_linear;
+use netscatter_dsp::Complex64;
+use netscatter_phy::distributed::{ConcurrentDemodulator, OnOffModulator};
+use rand::Rng;
+
+/// Parameters of the Fig. 12 near-far BER experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearFarConfig {
+    /// Chirp parameters (paper: 500 kHz, SF 9).
+    pub params: ChirpParams,
+    /// Cyclic shift of the (weak) device under test (paper: bin 2).
+    pub victim_bin: usize,
+    /// Cyclic shift of the strong interferer (paper: bin 258).
+    pub interferer_bin: usize,
+    /// Power of the interferer relative to the victim, in dB.
+    pub interferer_power_delta_db: f64,
+    /// Standard deviation of the per-symbol Gaussian frequency mismatch, in
+    /// hertz (paper: 300 Hz).
+    pub freq_mismatch_sigma_hz: f64,
+    /// Zero-padding factor of the receiver.
+    pub zero_padding: usize,
+}
+
+impl NearFarConfig {
+    /// The configuration used in §3.2.3 / Fig. 12.
+    pub fn paper(interferer_power_delta_db: f64) -> Self {
+        Self {
+            params: ChirpParams::new(500e3, 9).expect("valid paper parameters"),
+            victim_bin: 2,
+            interferer_bin: 258,
+            interferer_power_delta_db,
+            freq_mismatch_sigma_hz: 300.0,
+            zero_padding: 8,
+        }
+    }
+}
+
+/// Measures the victim device's BER at the given per-symbol SNR with a
+/// concurrent interferer, over `symbols` random ON-OFF symbols.
+pub fn near_far_ber<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &NearFarConfig,
+    victim_snr_db: f64,
+    symbols: usize,
+) -> f64 {
+    let params = config.params;
+    let victim = OnOffModulator::new(params, config.victim_bin);
+    let interferer = OnOffModulator::new(params, config.interferer_bin);
+    let demod = ConcurrentDemodulator::new(params, config.zero_padding)
+        .expect("paper zero-padding is a power of two");
+    let n = params.num_bins() as f64;
+    // Victim amplitude 1; noise power set from the requested per-sample SNR.
+    let noise_power = 1.0 / db_to_linear(victim_snr_db);
+    let channel = AwgnChannel::with_noise_power(noise_power);
+    let interferer_amplitude = db_to_linear(config.interferer_power_delta_db).sqrt();
+    // Decision threshold: half the victim's ideal peak power, as calibrated
+    // from the preamble in the full receiver.
+    let threshold = 0.5 * n * n;
+    let mut errors = 0usize;
+    for i in 0..symbols {
+        let victim_bit = rng.gen_bool(0.5);
+        let interferer_bit = rng.gen_bool(0.5);
+        let victim_cfo = config.freq_mismatch_sigma_hz * standard_normal(rng);
+        let interferer_cfo = config.freq_mismatch_sigma_hz * standard_normal(rng);
+        let v = victim.symbol(victim_bit, 0.0, victim_cfo, 1.0);
+        let ifer = interferer.symbol(interferer_bit, 0.0, interferer_cfo, interferer_amplitude);
+        let mut rx: Vec<Complex64> = v.iter().zip(&ifer).map(|(a, b)| *a + *b).collect();
+        channel.apply(rng, &mut rx);
+        let spectrum = demod.padded_spectrum(&rx).expect("correct symbol length");
+        let power = demod.device_power(&spectrum, config.victim_bin, 0.5);
+        let decided = power > threshold;
+        if decided != victim_bit {
+            errors += 1;
+        }
+        let _ = i;
+    }
+    errors as f64 / symbols.max(1) as f64
+}
+
+/// For a given separation (in chirp bins) between a strong and a weak device,
+/// finds the largest power difference (dB) at which the weak device's BER
+/// stays at or below `target_ber`. This is the Fig. 15(b) sweep.
+pub fn max_tolerable_power_difference_db<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: ChirpParams,
+    bin_separation: usize,
+    target_ber: f64,
+    symbols_per_point: usize,
+    max_delta_db: f64,
+) -> f64 {
+    let mut tolerated = 0.0f64;
+    let mut delta = 0.0f64;
+    while delta <= max_delta_db {
+        let config = NearFarConfig {
+            params,
+            victim_bin: 2,
+            interferer_bin: (2 + bin_separation) % params.num_bins(),
+            interferer_power_delta_db: delta,
+            freq_mismatch_sigma_hz: 300.0,
+            zero_padding: 8,
+        };
+        // High victim SNR so the limit is interference, not noise.
+        let ber = near_far_ber(rng, &config, 5.0, symbols_per_point);
+        if ber <= target_ber {
+            tolerated = delta;
+        } else {
+            break;
+        }
+        delta += 5.0;
+    }
+    tolerated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ber_is_low_without_interferer_power_advantage() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = NearFarConfig::paper(0.0);
+        let ber = near_far_ber(&mut rng, &cfg, -10.0, 300);
+        assert!(ber < 0.02, "BER {ber} too high at -10 dB SNR with an equal-power interferer");
+    }
+
+    #[test]
+    fn ber_degrades_at_very_low_snr() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = NearFarConfig::paper(0.0);
+        let ber = near_far_ber(&mut rng, &cfg, -25.0, 300);
+        assert!(ber > 0.05, "BER {ber} should degrade at -25 dB SNR");
+    }
+
+    #[test]
+    fn distant_bins_tolerate_35db_imbalance() {
+        // Fig. 12 / §4.3: with power-aware assignment (victim at bin 2,
+        // interferer at bin 258) the victim survives a 35 dB stronger
+        // interferer.
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = NearFarConfig::paper(35.0);
+        let ber = near_far_ber(&mut rng, &cfg, -10.0, 300);
+        assert!(ber < 0.05, "BER {ber} too high with a 35 dB stronger interferer");
+    }
+
+    #[test]
+    fn adjacent_bins_do_not_tolerate_large_imbalance() {
+        // With the interferer only 2 bins away, a 30 dB power difference
+        // buries the victim under the interferer's side lobes.
+        let mut rng = StdRng::seed_from_u64(24);
+        let cfg = NearFarConfig {
+            interferer_bin: 4,
+            interferer_power_delta_db: 30.0,
+            ..NearFarConfig::paper(30.0)
+        };
+        let ber = near_far_ber(&mut rng, &cfg, -10.0, 200);
+        assert!(ber > 0.05, "BER {ber} unexpectedly low for an adjacent strong interferer");
+    }
+
+    #[test]
+    fn tolerable_power_difference_grows_with_bin_separation() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let params = ChirpParams::new(500e3, 9).unwrap();
+        let near = max_tolerable_power_difference_db(&mut rng, params, 2, 0.01, 60, 40.0);
+        let far = max_tolerable_power_difference_db(&mut rng, params, 256, 0.01, 60, 40.0);
+        assert!(far >= near, "far separation ({far} dB) should tolerate at least as much as near ({near} dB)");
+        assert!(far >= 30.0, "mid-spectrum separation should tolerate ≥30 dB, got {far}");
+    }
+}

@@ -1,0 +1,4 @@
+//! §3.1 analysis: throughput gain and multi-user Shannon capacity scaling.
+fn main() {
+    println!("{}", netscatter_sim::experiments::analysis_capacity());
+}

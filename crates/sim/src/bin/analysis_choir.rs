@@ -1,0 +1,4 @@
+//! §2.2 analysis: why Choir-style concurrent LoRa does not scale for backscatter.
+fn main() {
+    println!("{}", netscatter_sim::experiments::analysis_choir());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (side-lobe envelope of the dechirped spectrum).
+fn main() {
+    println!("{}", netscatter_sim::experiments::fig08());
+}

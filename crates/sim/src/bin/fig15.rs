@@ -1,0 +1,7 @@
+//! Regenerates fig15 of the paper's evaluation (see EXPERIMENTS.md).
+use netscatter_sim::experiments::{fig15, Scale};
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    println!("{}", fig15(scale, 42));
+}

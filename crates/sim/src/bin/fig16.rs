@@ -1,0 +1,4 @@
+//! Regenerates Fig. 16 (backscatter power levels via the switch network).
+fn main() {
+    println!("{}", netscatter_sim::experiments::fig16());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper.
+fn main() {
+    println!("{}", netscatter_sim::experiments::table1());
+}

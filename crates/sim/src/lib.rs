@@ -1,0 +1,28 @@
+//! # netscatter-sim
+//!
+//! Network-scale simulation and the experiment drivers that regenerate every
+//! table and figure of the NetScatter evaluation (see `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! * [`deployment`] — places N backscatter devices and one AP on an office
+//!   floorplan and derives every device's link budget (downlink RSSI at the
+//!   envelope detector, backscatter uplink RSSI and SNR at the AP).
+//! * [`network`] — end-to-end accounting of a NetScatter round versus the
+//!   TDMA LoRa-backscatter baselines: network PHY rate, link-layer rate and
+//!   latency as functions of the number of devices (Figs. 17–19).
+//! * [`ber`] — symbol-level Monte-Carlo helpers: near-far BER sweeps
+//!   (Fig. 12) and the power-dynamic-range sweep (Fig. 15b).
+//! * [`experiments`] — one self-contained driver per table/figure, each
+//!   returning both structured rows and a printable report. The binaries in
+//!   `src/bin/` are thin wrappers around these drivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod deployment;
+pub mod experiments;
+pub mod network;
+
+pub use deployment::{Deployment, DeploymentConfig, DeviceLink};
+pub use network::{netscatter_metrics, NetScatterVariant};

@@ -1,0 +1,218 @@
+//! Network-level accounting: NetScatter versus the TDMA LoRa-backscatter
+//! baselines (Figs. 17–19).
+//!
+//! The metrics follow §4.4 exactly:
+//!
+//! * **Network PHY rate** — correctly delivered payload bits divided by the
+//!   payload airtime only.
+//! * **Link-layer data rate** — delivered payload bits divided by the full
+//!   schedule including the AP query and preambles.
+//! * **Network latency** — the time to collect one payload from every
+//!   scheduled device.
+//!
+//! For NetScatter all scheduled devices share one query, one preamble
+//! window, and one payload window; for the baselines every device pays its
+//! own query + preamble + payload. Delivery is gated by each scheme's
+//! sensitivity and, for NetScatter, by the power-aware allocation's dynamic
+//! range (35 dB measured in §4.3): a device whose uplink sits further than
+//! the dynamic range below the strongest concurrent device cannot be
+//! decoded and is excluded from that round's deliveries.
+
+use crate::deployment::Deployment;
+use netscatter::protocol::{NetworkProtocol, RoundOutcome, RoundTiming};
+use netscatter::query::QueryMessage;
+use netscatter_baselines::tdma::{LoraBackscatterNetwork, LoraScheme};
+use netscatter_phy::params::PhyProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which NetScatter configuration to account for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetScatterVariant {
+    /// Config 1: cyclic shifts assigned at association; the per-round query
+    /// is the minimal 32-bit message.
+    Config1,
+    /// Config 2: every query carries a full reassignment (1760+ bits).
+    Config2,
+    /// Ideal: config 1 with no losses (the "NetScatter (Ideal)" curve of
+    /// Fig. 17).
+    Ideal,
+}
+
+/// Network-level metrics for one scheme at one network size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeMetrics {
+    /// Number of devices scheduled.
+    pub num_devices: usize,
+    /// Network PHY rate in bits per second.
+    pub phy_rate_bps: f64,
+    /// Link-layer data rate in bits per second.
+    pub link_layer_rate_bps: f64,
+    /// Latency to collect one payload from every device, in seconds.
+    pub latency_s: f64,
+    /// Number of devices actually delivered.
+    pub delivered: usize,
+}
+
+/// The receiver's practical near-far dynamic range with power-aware
+/// assignment (§4.3: 35 dB).
+pub const NETSCATTER_DYNAMIC_RANGE_DB: f64 = 35.0;
+
+/// Computes NetScatter metrics for the first `num_devices` devices of a
+/// deployment, each delivering `payload_bits` bits in one concurrent round.
+pub fn netscatter_metrics(
+    deployment: &Deployment,
+    num_devices: usize,
+    payload_bits: usize,
+    variant: NetScatterVariant,
+) -> SchemeMetrics {
+    let profile = deployment.config.profile;
+    let num_devices = num_devices.min(deployment.devices.len());
+    let devices = &deployment.devices[..num_devices];
+    // Query choice by variant.
+    let query = match variant {
+        NetScatterVariant::Config1 | NetScatterVariant::Ideal => QueryMessage::config1(0),
+        NetScatterVariant::Config2 => {
+            QueryMessage::config2(0, (0..num_devices).map(|i| (i % 256) as u8).collect())
+        }
+    };
+    let timing = RoundTiming::netscatter(&profile, &query, payload_bits);
+    // Delivery model: a device is delivered when (a) it hears the query,
+    // (b) its uplink clears the distributed-CSS sensitivity, and (c) with
+    // power adaptation it fits inside the receiver dynamic range relative to
+    // the strongest scheduled device. The Ideal variant skips the losses.
+    let sensitivity = profile.modulation.sensitivity_dbm();
+    let strongest = devices.iter().map(|d| d.uplink_rssi_dbm).fold(f64::NEG_INFINITY, f64::max);
+    let delivered = devices
+        .iter()
+        .filter(|d| {
+            if variant == NetScatterVariant::Ideal {
+                return true;
+            }
+            let hears = d.downlink_rssi_dbm >= profile.envelope_sensitivity_dbm;
+            let decodable = d.uplink_rssi_dbm >= sensitivity;
+            // Power adaptation lets strong devices back off by up to 10 dB,
+            // shrinking the spread the receiver must absorb.
+            let effective_gap = (strongest - 10.0).max(d.uplink_rssi_dbm) - d.uplink_rssi_dbm;
+            hears && decodable && effective_gap <= NETSCATTER_DYNAMIC_RANGE_DB
+        })
+        .count();
+    let correct_bits = delivered * payload_bits;
+    let mut protocol = NetworkProtocol::new(profile);
+    protocol.record_round(
+        timing,
+        RoundOutcome {
+            scheduled: num_devices,
+            detected: delivered,
+            decoded_clean: delivered,
+            correct_bits,
+            transmitted_bits: num_devices * payload_bits,
+        },
+    );
+    let metrics = protocol.metrics().expect("one round recorded");
+    SchemeMetrics {
+        num_devices,
+        phy_rate_bps: metrics.phy_rate_bps,
+        link_layer_rate_bps: metrics.link_layer_rate_bps,
+        latency_s: metrics.latency_s,
+        delivered,
+    }
+}
+
+/// Computes the TDMA LoRa-backscatter baseline metrics for the first
+/// `num_devices` devices of a deployment.
+pub fn lora_backscatter_metrics(
+    deployment: &Deployment,
+    num_devices: usize,
+    payload_bits: usize,
+    scheme: LoraScheme,
+) -> SchemeMetrics {
+    let profile: PhyProfile = deployment.config.profile;
+    let num_devices = num_devices.min(deployment.devices.len());
+    let rssi: Vec<f64> =
+        deployment.devices[..num_devices].iter().map(|d| d.uplink_rssi_dbm).collect();
+    let net = LoraBackscatterNetwork::new(profile, scheme);
+    let (phy, link, latency) = net.network_metrics(&rssi, payload_bits);
+    let delivered = rssi
+        .iter()
+        .filter(|r| net.serve_device(**r, payload_bits).reachable)
+        .count();
+    SchemeMetrics {
+        num_devices,
+        phy_rate_bps: phy,
+        link_layer_rate_bps: link,
+        latency_s: latency,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn deployment(n: usize) -> Deployment {
+        Deployment::generate(DeploymentConfig::office(n), &mut StdRng::seed_from_u64(17))
+    }
+
+    #[test]
+    fn netscatter_phy_rate_scales_with_devices() {
+        let dep = deployment(256);
+        let m16 = netscatter_metrics(&dep, 16, 40, NetScatterVariant::Config1);
+        let m256 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+        assert!(m256.phy_rate_bps > 8.0 * m16.phy_rate_bps);
+        // At 256 devices the PHY rate approaches the 250 kbps aggregate
+        // (976 bps per device), minus the devices that cannot be delivered.
+        assert!(m256.phy_rate_bps > 150_000.0, "got {}", m256.phy_rate_bps);
+        assert!(m256.phy_rate_bps <= 250_000.0 + 1.0);
+        assert!(m256.delivered > 200);
+    }
+
+    #[test]
+    fn ideal_variant_is_an_upper_bound() {
+        let dep = deployment(256);
+        let real = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+        let ideal = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Ideal);
+        assert!(ideal.phy_rate_bps >= real.phy_rate_bps);
+        assert_eq!(ideal.delivered, 256);
+        assert!((ideal.phy_rate_bps - 250_000.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn config2_query_lowers_link_rate_but_not_phy_rate() {
+        let dep = deployment(256);
+        let c1 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+        let c2 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config2);
+        assert!((c1.phy_rate_bps - c2.phy_rate_bps).abs() < 1e-6);
+        assert!(c2.link_layer_rate_bps < c1.link_layer_rate_bps);
+        assert!(c2.latency_s > c1.latency_s);
+    }
+
+    #[test]
+    fn netscatter_latency_is_flat_while_lora_latency_grows() {
+        let dep = deployment(256);
+        let ns64 = netscatter_metrics(&dep, 64, 40, NetScatterVariant::Config1);
+        let ns256 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+        assert!((ns256.latency_s / ns64.latency_s) < 1.05);
+        let lora64 = lora_backscatter_metrics(&dep, 64, 40, LoraScheme::fixed());
+        let lora256 = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::fixed());
+        assert!(lora256.latency_s / lora64.latency_s > 3.5);
+    }
+
+    #[test]
+    fn netscatter_beats_lora_baselines_at_256_devices() {
+        // Fig. 18 / Fig. 19 headline: an order of magnitude or more at the
+        // link layer against both baselines.
+        let dep = deployment(256);
+        let ns = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+        let fixed = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::fixed());
+        let adapted = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::rate_adapted());
+        let gain_fixed = ns.link_layer_rate_bps / fixed.link_layer_rate_bps;
+        let gain_adapted = ns.link_layer_rate_bps / adapted.link_layer_rate_bps;
+        assert!(gain_fixed > 20.0, "gain over fixed-rate LoRa backscatter is only {gain_fixed:.1}x");
+        assert!(gain_adapted > 5.0, "gain over rate-adapted LoRa backscatter is only {gain_adapted:.1}x");
+        let lat_gain = fixed.latency_s / ns.latency_s;
+        assert!(lat_gain > 20.0, "latency gain only {lat_gain:.1}x");
+    }
+}

@@ -1,0 +1,15 @@
+//! Rate and latency accounting: reproduce the Fig. 17–19 sweep in one run
+//! and print the full table for all four schemes.
+//!
+//! Run with `cargo run --example rate_and_latency --release` (add `--quick`
+//! for a shorter sweep).
+
+use netscatter_sim::experiments::{fig17, fig18, fig19, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    println!("{}", fig17(scale, 42));
+    println!("{}", fig18(scale, 42));
+    println!("{}", fig19(scale, 42));
+}

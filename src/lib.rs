@@ -1,0 +1,8 @@
+//! Workspace umbrella crate (examples + integration tests). See crates/* for the library.
+pub use netscatter;
+pub use netscatter_baselines as baselines;
+pub use netscatter_channel as channel;
+pub use netscatter_dsp as dsp;
+pub use netscatter_phy as phy;
+pub use netscatter_sim as sim;
+
