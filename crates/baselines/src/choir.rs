@@ -50,7 +50,9 @@ pub fn distinct_cell_probability(num_devices: usize, cells: usize) -> f64 {
     if num_devices > cells {
         return 0.0;
     }
-    (0..num_devices).map(|i| (cells - i) as f64 / cells as f64).product()
+    (0..num_devices)
+        .map(|i| (cells - i) as f64 / cells as f64)
+        .product()
 }
 
 #[cfg(test)]
@@ -65,10 +67,25 @@ mod tests {
         // several bins at BW=500 kHz, SF=9.
         let params = ChirpParams::new(500e3, 9).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let tags = fft_bin_variation_cdf(&mut rng, &ImpairmentModel::cots_backscatter(), params, 64, 20);
-        let radios = fft_bin_variation_cdf(&mut rng, &ImpairmentModel::active_radio(), params, 64, 20);
-        assert!(tags.quantile(0.99) < 0.34, "backscatter spread {}", tags.quantile(0.99));
-        assert!(radios.quantile(0.9) > 1.0, "radio spread {}", radios.quantile(0.9));
+        let tags = fft_bin_variation_cdf(
+            &mut rng,
+            &ImpairmentModel::cots_backscatter(),
+            params,
+            64,
+            20,
+        );
+        let radios =
+            fft_bin_variation_cdf(&mut rng, &ImpairmentModel::active_radio(), params, 64, 20);
+        assert!(
+            tags.quantile(0.99) < 0.34,
+            "backscatter spread {}",
+            tags.quantile(0.99)
+        );
+        assert!(
+            radios.quantile(0.9) > 1.0,
+            "radio spread {}",
+            radios.quantile(0.9)
+        );
         assert!(radios.quantile(0.5) > tags.quantile(0.5) * 5.0);
     }
 

@@ -32,7 +32,9 @@ pub const MAX_LORA_BACKSCATTER_BPS: f64 = 32_000.0;
 /// Candidate configurations for rate adaptation on a 500 kHz channel:
 /// SF 5–12 at 500 kHz.
 fn candidates() -> Vec<ModulationConfig> {
-    (5..=12u32).filter_map(|sf| ModulationConfig::new(500e3, sf).ok()).collect()
+    (5..=12u32)
+        .filter_map(|sf| ModulationConfig::new(500e3, sf).ok())
+        .collect()
 }
 
 /// The best achievable single-user LoRa bitrate (bps) for a device received
@@ -69,7 +71,10 @@ mod tests {
     #[test]
     fn strong_devices_hit_the_32kbps_cap() {
         assert_eq!(best_bitrate_bps(-60.0), Some(MAX_LORA_BACKSCATTER_BPS));
-        assert_eq!(RateAdaptation::Ideal.bitrate_bps(-60.0), Some(MAX_LORA_BACKSCATTER_BPS));
+        assert_eq!(
+            RateAdaptation::Ideal.bitrate_bps(-60.0),
+            Some(MAX_LORA_BACKSCATTER_BPS)
+        );
     }
 
     #[test]
@@ -96,7 +101,13 @@ mod tests {
 
     #[test]
     fn fixed_policy_is_flat_when_decodable() {
-        assert_eq!(RateAdaptation::Fixed.bitrate_bps(-60.0), Some(FIXED_LORA_BACKSCATTER_BPS));
-        assert_eq!(RateAdaptation::Fixed.bitrate_bps(-115.0), Some(FIXED_LORA_BACKSCATTER_BPS));
+        assert_eq!(
+            RateAdaptation::Fixed.bitrate_bps(-60.0),
+            Some(FIXED_LORA_BACKSCATTER_BPS)
+        );
+        assert_eq!(
+            RateAdaptation::Fixed.bitrate_bps(-115.0),
+            Some(FIXED_LORA_BACKSCATTER_BPS)
+        );
     }
 }

@@ -25,12 +25,18 @@ pub struct LoraScheme {
 impl LoraScheme {
     /// The fixed-rate baseline.
     pub fn fixed() -> Self {
-        Self { adaptation: RateAdaptation::Fixed, query_bits: 28 }
+        Self {
+            adaptation: RateAdaptation::Fixed,
+            query_bits: 28,
+        }
     }
 
     /// The ideal-rate-adaptation baseline.
     pub fn rate_adapted() -> Self {
-        Self { adaptation: RateAdaptation::Ideal, query_bits: 28 }
+        Self {
+            adaptation: RateAdaptation::Ideal,
+            query_bits: 28,
+        }
     }
 }
 
@@ -84,8 +90,7 @@ impl LoraBackscatterNetwork {
                 // symbol duration shrinks when rate adaptation picks a faster
                 // configuration: one CSS symbol carries SF bits, so
                 // symbol duration ≈ SF / bitrate.
-                let symbol_s =
-                    self.profile.modulation.spreading_factor as f64 / bitrate_bps;
+                let symbol_s = self.profile.modulation.spreading_factor as f64 / bitrate_bps;
                 DeviceService {
                     bitrate_bps,
                     query_s,
@@ -112,8 +117,10 @@ impl LoraBackscatterNetwork {
     ///   (queries + preambles + payloads),
     /// * latency — the total time to collect one payload from every device.
     pub fn network_metrics(&self, rssi_dbm: &[f64], payload_bits: usize) -> (f64, f64, f64) {
-        let services: Vec<DeviceService> =
-            rssi_dbm.iter().map(|&r| self.serve_device(r, payload_bits)).collect();
+        let services: Vec<DeviceService> = rssi_dbm
+            .iter()
+            .map(|&r| self.serve_device(r, payload_bits))
+            .collect();
         let delivered_bits: f64 = services
             .iter()
             .filter(|s| s.reachable)
@@ -121,8 +128,16 @@ impl LoraBackscatterNetwork {
             .sum();
         let payload_time: f64 = services.iter().map(|s| s.payload_s).sum();
         let total_time: f64 = services.iter().map(|s| s.total_s()).sum();
-        let phy = if payload_time > 0.0 { delivered_bits / payload_time } else { 0.0 };
-        let link = if total_time > 0.0 { delivered_bits / total_time } else { 0.0 };
+        let phy = if payload_time > 0.0 {
+            delivered_bits / payload_time
+        } else {
+            0.0
+        };
+        let link = if total_time > 0.0 {
+            delivered_bits / total_time
+        } else {
+            0.0
+        };
         (phy, link, total_time)
     }
 }

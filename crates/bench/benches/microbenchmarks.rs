@@ -19,7 +19,9 @@ fn fft_and_dechirp(c: &mut Criterion) {
     let params = ChirpParams::new(500e3, 9).unwrap();
     let synth = ChirpSynthesizer::new(params);
     let symbol = synth.shifted_upchirp(123);
-    group.bench_function("dechirp_512", |b| b.iter(|| black_box(synth.dechirp(&symbol))));
+    group.bench_function("dechirp_512", |b| {
+        b.iter(|| black_box(synth.dechirp(&symbol)))
+    });
     let fft = Fft::new(4096).unwrap();
     let dechirped = synth.dechirp(&symbol);
     group.bench_function("zero_padded_fft_4096", |b| {

@@ -12,11 +12,15 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables_and_figures");
     group.sample_size(10);
 
-    group.bench_function("table1_configs", |b| b.iter(|| black_box(experiments::table1())));
+    group.bench_function("table1_configs", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
     group.bench_function("fig04_choir_cdf", |b| {
         b.iter(|| black_box(experiments::fig04(Scale::Quick, 1)))
     });
-    group.bench_function("fig08_sidelobes", |b| b.iter(|| black_box(experiments::fig08())));
+    group.bench_function("fig08_sidelobes", |b| {
+        b.iter(|| black_box(experiments::fig08()))
+    });
     group.bench_function("fig09_snr_variance", |b| {
         b.iter(|| black_box(experiments::fig09(Scale::Quick, 1)))
     });
@@ -29,7 +33,9 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     group.bench_function("fig15_dynamic_range", |b| {
         b.iter(|| black_box(experiments::fig15(Scale::Quick, 1)))
     });
-    group.bench_function("fig16_power_levels", |b| b.iter(|| black_box(experiments::fig16())));
+    group.bench_function("fig16_power_levels", |b| {
+        b.iter(|| black_box(experiments::fig16()))
+    });
     group.bench_function("fig17_phy_rate", |b| {
         b.iter(|| black_box(experiments::fig17(Scale::Quick, 1)))
     });
@@ -39,7 +45,9 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     group.bench_function("fig19_latency", |b| {
         b.iter(|| black_box(experiments::fig19(Scale::Quick, 1)))
     });
-    group.bench_function("analysis_choir", |b| b.iter(|| black_box(experiments::analysis_choir())));
+    group.bench_function("analysis_choir", |b| {
+        b.iter(|| black_box(experiments::analysis_choir()))
+    });
     group.bench_function("analysis_capacity", |b| {
         b.iter(|| black_box(experiments::analysis_capacity()))
     });

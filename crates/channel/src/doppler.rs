@@ -25,7 +25,11 @@ pub fn backscatter_doppler_shift_hz(speed_mps: f64, carrier_hz: f64) -> f64 {
 
 /// Applies a frequency shift of `shift_hz` to a baseband signal sampled at
 /// `sample_rate_hz`, returning the shifted copy.
-pub fn apply_frequency_shift(signal: &[Complex64], shift_hz: f64, sample_rate_hz: f64) -> Vec<Complex64> {
+pub fn apply_frequency_shift(
+    signal: &[Complex64],
+    shift_hz: f64,
+    sample_rate_hz: f64,
+) -> Vec<Complex64> {
     signal
         .iter()
         .enumerate()
@@ -48,7 +52,10 @@ mod tests {
 
     #[test]
     fn backscatter_doppler_is_twice_one_way() {
-        assert!((backscatter_doppler_shift_hz(3.0, 900e6) - 2.0 * doppler_shift_hz(3.0, 900e6)).abs() < 1e-12);
+        assert!(
+            (backscatter_doppler_shift_hz(3.0, 900e6) - 2.0 * doppler_shift_hz(3.0, 900e6)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

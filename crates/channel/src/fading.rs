@@ -74,7 +74,11 @@ impl TemporalFading {
     /// Creates a process with the given stationary deviation and step-to-step
     /// correlation, starting at 0 dB deviation.
     pub fn new(sigma_db: f64, correlation: f64) -> Self {
-        Self { sigma_db: sigma_db.max(0.0), correlation: correlation.clamp(0.0, 0.9999), state_db: 0.0 }
+        Self {
+            sigma_db: sigma_db.max(0.0),
+            correlation: correlation.clamp(0.0, 0.9999),
+            state_db: 0.0,
+        }
     }
 
     /// The office-environment parameters used for the Fig. 9 reproduction:
@@ -126,8 +130,9 @@ mod tests {
     #[test]
     fn rayleigh_power_gain_has_unit_mean() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<f64> =
-            (0..50_000).map(|_| BlockFading::Rayleigh.sample_power_gain(&mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| BlockFading::Rayleigh.sample_power_gain(&mut rng))
+            .collect();
         assert!((mean(&samples) - 1.0).abs() < 0.03);
         // Exponential(1) has unit variance too.
         assert!((netscatter_dsp::stats::variance(&samples) - 1.0).abs() < 0.1);
@@ -137,7 +142,9 @@ mod tests {
     fn rician_power_gain_has_unit_mean_and_less_variance_than_rayleigh() {
         let mut rng = StdRng::seed_from_u64(3);
         let fading = BlockFading::Rician { k_factor: 6.0 };
-        let samples: Vec<f64> = (0..50_000).map(|_| fading.sample_power_gain(&mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| fading.sample_power_gain(&mut rng))
+            .collect();
         assert!((mean(&samples) - 1.0).abs() < 0.03);
         assert!(netscatter_dsp::stats::variance(&samples) < 0.5);
     }
@@ -146,7 +153,9 @@ mod tests {
     fn rician_with_zero_k_behaves_like_rayleigh() {
         let mut rng = StdRng::seed_from_u64(4);
         let fading = BlockFading::Rician { k_factor: 0.0 };
-        let samples: Vec<f64> = (0..50_000).map(|_| fading.sample_power_gain(&mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| fading.sample_power_gain(&mut rng))
+            .collect();
         assert!((mean(&samples) - 1.0).abs() < 0.03);
         assert!((netscatter_dsp::stats::variance(&samples) - 1.0).abs() < 0.12);
     }

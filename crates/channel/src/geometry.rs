@@ -53,7 +53,10 @@ impl Room {
 
     /// Room centre.
     pub fn center(&self) -> Position {
-        Position::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Position::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// Room width (x extent) in metres.
@@ -195,7 +198,10 @@ mod tests {
         assert!(plan.walls_between(&a, &next_room) >= 1);
         assert!(plan.walls_between(&a, &far_room) >= 3);
         // Symmetric (same segment, opposite direction).
-        assert_eq!(plan.walls_between(&a, &far_room), plan.walls_between(&far_room, &a));
+        assert_eq!(
+            plan.walls_between(&a, &far_room),
+            plan.walls_between(&far_room, &a)
+        );
     }
 
     #[test]

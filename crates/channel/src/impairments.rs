@@ -23,8 +23,14 @@ use rand::Rng;
 pub struct HardwareDelayModel {
     /// Mean response delay in seconds.
     pub mean_s: f64,
-    /// Standard deviation of the per-packet delay in seconds.
+    /// Standard deviation of the *device-to-device* mean delay in seconds
+    /// (pipeline length varies with manufacturing, firmware path, etc.).
     pub sigma_s: f64,
+    /// Standard deviation of the *packet-to-packet* jitter around one
+    /// device's mean delay, in seconds. Much smaller than `sigma_s`: a given
+    /// tag's pipeline length is essentially fixed and only clock sampling
+    /// jitter varies per packet (§4.2).
+    pub jitter_sigma_s: f64,
     /// Hard bound on the delay (values are clamped to `0..=max_s`).
     pub max_s: f64,
 }
@@ -33,18 +39,35 @@ impl HardwareDelayModel {
     /// Parameters calibrated to the paper's measurement: per-packet delays of
     /// up to ≈3.5 µs with most mass within ±1 bin (2 µs at 500 kHz).
     pub fn cots_backscatter() -> Self {
-        Self { mean_s: 1.6e-6, sigma_s: 0.7e-6, max_s: 3.5e-6 }
+        Self {
+            mean_s: 1.6e-6,
+            sigma_s: 0.7e-6,
+            jitter_sigma_s: 0.25e-6,
+            max_s: 3.5e-6,
+        }
     }
 
     /// A much tighter delay model representing an active radio with a fast
     /// clock (used when modelling Choir's LoRa radios for Fig. 4).
     pub fn active_radio() -> Self {
-        Self { mean_s: 0.2e-6, sigma_s: 0.1e-6, max_s: 0.5e-6 }
+        Self {
+            mean_s: 0.2e-6,
+            sigma_s: 0.1e-6,
+            jitter_sigma_s: 0.05e-6,
+            max_s: 0.5e-6,
+        }
     }
 
-    /// Draws one per-packet hardware delay in seconds.
+    /// Draws one device's mean hardware delay in seconds (device-to-device
+    /// distribution).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         (self.mean_s + self.sigma_s * standard_normal(rng)).clamp(0.0, self.max_s)
+    }
+
+    /// Draws one packet's delay for a device whose mean delay is `mean_s`:
+    /// the device's static delay plus small per-packet jitter.
+    pub fn sample_around<R: Rng + ?Sized>(&self, rng: &mut R, mean_s: f64) -> f64 {
+        (mean_s + self.jitter_sigma_s * standard_normal(rng)).clamp(0.0, self.max_s)
     }
 }
 
@@ -68,14 +91,22 @@ impl CfoModel {
     /// ±75 Hz plus a small per-packet drift, matching the < 150 Hz spread of
     /// Fig. 14(a).
     pub fn backscatter_tag() -> Self {
-        Self { crystal_tolerance_ppm: 25.0, synthesized_frequency_hz: 3e6, per_packet_drift_hz: 15.0 }
+        Self {
+            crystal_tolerance_ppm: 25.0,
+            synthesized_frequency_hz: 3e6,
+            per_packet_drift_hz: 15.0,
+        }
     }
 
     /// An active LoRa radio synthesizing its 900 MHz carrier from a ±10 ppm
     /// crystal: static offsets of up to ±9 kHz — many FFT bins — which is the
     /// diversity Choir relies on (§2.2).
     pub fn active_radio_900mhz() -> Self {
-        Self { crystal_tolerance_ppm: 10.0, synthesized_frequency_hz: 900e6, per_packet_drift_hz: 200.0 }
+        Self {
+            crystal_tolerance_ppm: 10.0,
+            synthesized_frequency_hz: 900e6,
+            per_packet_drift_hz: 200.0,
+        }
     }
 
     /// Maximum static offset magnitude in hertz implied by the tolerance.
@@ -132,12 +163,18 @@ pub struct ImpairmentModel {
 impl ImpairmentModel {
     /// The backscatter-tag population used throughout the evaluation.
     pub fn cots_backscatter() -> Self {
-        Self { delay: HardwareDelayModel::cots_backscatter(), cfo: CfoModel::backscatter_tag() }
+        Self {
+            delay: HardwareDelayModel::cots_backscatter(),
+            cfo: CfoModel::backscatter_tag(),
+        }
     }
 
     /// The active-LoRa-radio population used for the Choir comparison (Fig. 4).
     pub fn active_radio() -> Self {
-        Self { delay: HardwareDelayModel::active_radio(), cfo: CfoModel::active_radio_900mhz() }
+        Self {
+            delay: HardwareDelayModel::active_radio(),
+            cfo: CfoModel::active_radio_900mhz(),
+        }
     }
 
     /// Draws the static imperfections of a newly manufactured device.
@@ -150,16 +187,17 @@ impl ImpairmentModel {
 
     /// Draws the impairments of one packet transmitted by `device`.
     ///
-    /// The per-packet hardware delay is resampled around the population model
-    /// (it varies packet to packet, §4.2), while the CFO is the device's
-    /// static offset plus a small drift.
+    /// Both impairments cluster around the device's statics: the hardware
+    /// delay is the device's mean pipeline delay plus small per-packet
+    /// sampling jitter (§4.2), and the CFO is the device's static offset
+    /// plus a small drift.
     pub fn sample_packet<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         device: &DeviceImpairments,
     ) -> PacketImpairments {
         PacketImpairments {
-            timing_offset_s: self.delay.sample(rng),
+            timing_offset_s: self.delay.sample_around(rng, device.mean_hardware_delay_s),
             freq_offset_hz: device.static_cfo_hz + self.cfo.sample_packet_drift(rng),
         }
     }
@@ -193,7 +231,10 @@ mod tests {
         let over_one_bin = (0..50_000)
             .filter(|_| params.timing_offset_to_bins(model.sample(&mut rng)) > 1.0)
             .count();
-        assert!(over_one_bin > 1000, "expected a meaningful fraction above one bin, got {over_one_bin}");
+        assert!(
+            over_one_bin > 1000,
+            "expected a meaningful fraction above one bin, got {over_one_bin}"
+        );
     }
 
     #[test]
@@ -231,13 +272,24 @@ mod tests {
         let model = ImpairmentModel::cots_backscatter();
         let mut rng = StdRng::seed_from_u64(24);
         let device = model.sample_device(&mut rng);
-        let cfo_samples: Vec<f64> = (0..5_000)
-            .map(|_| model.sample_packet(&mut rng, &device).freq_offset_hz)
+        let packets: Vec<PacketImpairments> = (0..5_000)
+            .map(|_| model.sample_packet(&mut rng, &device))
             .collect();
-        let cdf = EmpiricalCdf::from_samples(cfo_samples);
+        let cdf = EmpiricalCdf::from_samples(packets.iter().map(|p| p.freq_offset_hz).collect());
         // Median close to the static CFO, spread governed by the drift term.
         assert!((cdf.median() - device.static_cfo_hz).abs() < 5.0);
         assert!(cdf.quantile(0.99) - cdf.quantile(0.01) < 8.0 * model.cfo.per_packet_drift_hz);
+        // Timing clusters around the device's mean pipeline delay, with the
+        // small per-packet jitter — not a fresh population draw per packet.
+        let timing =
+            EmpiricalCdf::from_samples(packets.iter().map(|p| p.timing_offset_s).collect());
+        assert!(
+            (timing.median() - device.mean_hardware_delay_s).abs() < model.delay.jitter_sigma_s
+        );
+        assert!(
+            timing.quantile(0.99) - timing.quantile(0.01) < 8.0 * model.delay.jitter_sigma_s,
+            "per-packet timing spread should be jitter-sized"
+        );
     }
 
     #[test]
@@ -253,7 +305,11 @@ mod tests {
 
     #[test]
     fn zero_tolerance_crystal_has_zero_offset() {
-        let model = CfoModel { crystal_tolerance_ppm: 0.0, synthesized_frequency_hz: 3e6, per_packet_drift_hz: 0.0 };
+        let model = CfoModel {
+            crystal_tolerance_ppm: 0.0,
+            synthesized_frequency_hz: 3e6,
+            per_packet_drift_hz: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(26);
         assert_eq!(model.sample_device_offset(&mut rng), 0.0);
         assert_eq!(model.sample_packet_drift(&mut rng), 0.0);

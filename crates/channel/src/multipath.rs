@@ -31,7 +31,11 @@ impl PowerDelayProfile {
     /// the exponential tail is represented faithfully.
     pub fn indoor(rms_delay_spread_s: f64) -> Self {
         let rms = rms_delay_spread_s.max(1e-9);
-        Self { rms_delay_spread_s: rms, num_taps: 16, tap_spacing_s: rms / 4.0 }
+        Self {
+            rms_delay_spread_s: rms,
+            num_taps: 16,
+            tap_spacing_s: rms / 4.0,
+        }
     }
 
     /// Mean power of tap `k` under the exponential profile (unnormalized).
@@ -49,7 +53,8 @@ impl PowerDelayProfile {
             .enumerate()
             .map(|(k, p)| {
                 let sigma = (p / total / 2.0).sqrt();
-                let gain = Complex64::new(sigma * standard_normal(rng), sigma * standard_normal(rng));
+                let gain =
+                    Complex64::new(sigma * standard_normal(rng), sigma * standard_normal(rng));
                 (k as f64 * self.tap_spacing_s, gain)
             })
             .collect();
@@ -90,8 +95,12 @@ impl MultipathChannel {
             return 0.0;
         }
         let mean = self.mean_excess_delay_s();
-        let second: f64 =
-            self.taps.iter().map(|(d, g)| (d - mean) * (d - mean) * g.norm_sqr()).sum::<f64>() / total;
+        let second: f64 = self
+            .taps
+            .iter()
+            .map(|(d, g)| (d - mean) * (d - mean) * g.norm_sqr())
+            .sum::<f64>()
+            / total;
         second.sqrt()
     }
 
@@ -124,7 +133,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let profile = PowerDelayProfile::indoor(150e-9);
         let mean_gain: Vec<f64> = (0..20_000)
-            .map(|_| profile.realize(&mut rng).taps.iter().map(|(_, g)| g.norm_sqr()).sum::<f64>())
+            .map(|_| {
+                profile
+                    .realize(&mut rng)
+                    .taps
+                    .iter()
+                    .map(|(_, g)| g.norm_sqr())
+                    .sum::<f64>()
+            })
             .collect();
         assert!((mean(&mean_gain) - 1.0).abs() < 0.05);
     }
@@ -134,12 +150,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for target in [50e-9, 150e-9, 300e-9] {
             let profile = PowerDelayProfile::indoor(target);
-            let spreads: Vec<f64> =
-                (0..5_000).map(|_| profile.realize(&mut rng).rms_delay_spread_s()).collect();
+            let spreads: Vec<f64> = (0..5_000)
+                .map(|_| profile.realize(&mut rng).rms_delay_spread_s())
+                .collect();
             let avg = mean(&spreads);
             // The realized spread is of the same order as the target (the
             // 8-tap realization truncates the exponential tail).
-            assert!(avg > 0.2 * target && avg < 1.5 * target, "target {target}, got {avg}");
+            assert!(
+                avg > 0.2 * target && avg < 1.5 * target,
+                "target {target}, got {avg}"
+            );
         }
     }
 
@@ -159,14 +179,23 @@ mod tests {
             worst = worst.max(bins);
             sum += bins;
         }
-        assert!(sum / (trials as f64) < 0.2, "average excess delay too large");
-        assert!(worst < 0.6, "worst-case excess delay {worst} bins is implausibly large");
+        assert!(
+            sum / (trials as f64) < 0.2,
+            "average excess delay too large"
+        );
+        assert!(
+            worst < 0.6,
+            "worst-case excess delay {worst} bins is implausibly large"
+        );
     }
 
     #[test]
     fn flat_gain_is_sum_of_taps() {
         let ch = MultipathChannel {
-            taps: vec![(0.0, Complex64::new(0.5, 0.0)), (25e-9, Complex64::new(0.0, 0.5))],
+            taps: vec![
+                (0.0, Complex64::new(0.5, 0.0)),
+                (25e-9, Complex64::new(0.0, 0.5)),
+            ],
         };
         assert_eq!(ch.flat_gain(), Complex64::new(0.5, 0.5));
         assert!((ch.mean_excess_delay_s() - 12.5e-9).abs() < 1e-15);
@@ -206,6 +235,9 @@ mod tests {
         impulse[0] = Complex64::ONE;
         let out = ch.apply(&impulse, 40e6);
         let nonzero = out.iter().filter(|c| c.abs() > 1e-12).count();
-        assert!(nonzero >= 2, "expected echoes, got {nonzero} non-zero samples");
+        assert!(
+            nonzero >= 2,
+            "expected echoes, got {nonzero} non-zero samples"
+        );
     }
 }

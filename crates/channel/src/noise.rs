@@ -8,7 +8,9 @@
 //! noise with a precisely controlled power.
 
 use netscatter_dsp::complex::mean_power;
-use netscatter_dsp::units::{db_to_linear, dbm_to_watts, thermal_noise_watts, DEFAULT_NOISE_FIGURE_DB};
+use netscatter_dsp::units::{
+    db_to_linear, dbm_to_watts, thermal_noise_watts, DEFAULT_NOISE_FIGURE_DB,
+};
 use netscatter_dsp::Complex64;
 use rand::Rng;
 
@@ -40,7 +42,9 @@ impl AwgnChannel {
     /// Creates an AWGN source with the given linear noise power per complex
     /// sample (variance split evenly across I and Q).
     pub fn with_noise_power(noise_power: f64) -> Self {
-        Self { noise_power: noise_power.max(0.0) }
+        Self {
+            noise_power: noise_power.max(0.0),
+        }
     }
 
     /// Creates an AWGN source at the thermal noise floor of a receiver with
@@ -67,7 +71,9 @@ impl AwgnChannel {
 
     /// Generates `n` noise samples.
     pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Complex64> {
-        (0..n).map(|_| complex_gaussian(rng, self.noise_power)).collect()
+        (0..n)
+            .map(|_| complex_gaussian(rng, self.noise_power))
+            .collect()
     }
 
     /// Adds noise to a signal in place.
@@ -97,7 +103,11 @@ impl AwgnChannel {
 ///
 /// This is the controlled-SNR path used by BER experiments such as Fig. 12,
 /// where the x-axis is the SNR of the device under test.
-pub fn add_awgn_snr<R: Rng + ?Sized>(rng: &mut R, signal: &[Complex64], snr_db: f64) -> Vec<Complex64> {
+pub fn add_awgn_snr<R: Rng + ?Sized>(
+    rng: &mut R,
+    signal: &[Complex64],
+    snr_db: f64,
+) -> Vec<Complex64> {
     let sig_power = mean_power(signal);
     if sig_power == 0.0 {
         return signal.to_vec();
@@ -125,8 +135,9 @@ mod tests {
     fn complex_gaussian_power_matches_request() {
         let mut rng = StdRng::seed_from_u64(2);
         for target in [1e-12, 1.0, 5.0] {
-            let samples: Vec<Complex64> =
-                (0..20_000).map(|_| complex_gaussian(&mut rng, target)).collect();
+            let samples: Vec<Complex64> = (0..20_000)
+                .map(|_| complex_gaussian(&mut rng, target))
+                .collect();
             let measured = mean_power(&samples);
             assert!(
                 (measured - target).abs() / target < 0.05,
@@ -151,7 +162,10 @@ mod tests {
         let ch = AwgnChannel::with_noise_power(0.1);
         let noisy = ch.corrupt(&mut rng, &signal);
         assert_eq!(noisy.len(), 256);
-        assert!(noisy.iter().zip(&signal).any(|(a, b)| (*a - *b).abs() > 1e-6));
+        assert!(noisy
+            .iter()
+            .zip(&signal)
+            .any(|(a, b)| (*a - *b).abs() > 1e-6));
     }
 
     #[test]
@@ -168,11 +182,12 @@ mod tests {
     #[test]
     fn add_awgn_snr_achieves_requested_snr() {
         let mut rng = StdRng::seed_from_u64(5);
-        let signal: Vec<Complex64> = (0..50_000).map(|i| Complex64::cis(i as f64 * 0.01)).collect();
+        let signal: Vec<Complex64> = (0..50_000)
+            .map(|i| Complex64::cis(i as f64 * 0.01))
+            .collect();
         for snr_db in [-10.0, 0.0, 10.0] {
             let noisy = add_awgn_snr(&mut rng, &signal, snr_db);
-            let noise: Vec<Complex64> =
-                noisy.iter().zip(&signal).map(|(a, b)| *a - *b).collect();
+            let noise: Vec<Complex64> = noisy.iter().zip(&signal).map(|(a, b)| *a - *b).collect();
             let measured_snr =
                 netscatter_dsp::linear_to_db(mean_power(&signal) / mean_power(&noise));
             assert!(

@@ -70,7 +70,12 @@ impl IndoorPathLoss {
     }
 
     /// Median loss plus a freshly sampled shadowing term.
-    pub fn sample_loss_db<R: Rng + ?Sized>(&self, rng: &mut R, distance_m: f64, walls: usize) -> f64 {
+    pub fn sample_loss_db<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        distance_m: f64,
+        walls: usize,
+    ) -> f64 {
         self.median_loss_db(distance_m, walls) + self.sample_shadowing_db(rng)
     }
 }
@@ -118,8 +123,7 @@ impl LinkBudget {
     /// loss and the tag's configured backscatter power gain
     /// (0, −4 or −10 dB in the paper's hardware).
     pub fn uplink_rssi_dbm(&self, one_way_path_loss_db: f64, backscatter_gain_db: f64) -> f64 {
-        self.ap_tx_power_dbm
-            + 2.0 * (self.ap_antenna_gain_dbi + self.tag_antenna_gain_dbi)
+        self.ap_tx_power_dbm + 2.0 * (self.ap_antenna_gain_dbi + self.tag_antenna_gain_dbi)
             - 2.0 * one_way_path_loss_db
             - self.backscatter_conversion_loss_db
             + backscatter_gain_db
@@ -171,9 +175,14 @@ mod tests {
 
     #[test]
     fn shadowing_statistics_match_sigma() {
-        let model = IndoorPathLoss { shadowing_sigma_db: 4.0, ..Default::default() };
+        let model = IndoorPathLoss {
+            shadowing_sigma_db: 4.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<f64> = (0..20_000).map(|_| model.sample_shadowing_db(&mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_shadowing_db(&mut rng))
+            .collect();
         let mean = netscatter_dsp::stats::mean(&samples);
         let sd = netscatter_dsp::stats::std_dev(&samples);
         assert!(mean.abs() < 0.1);
@@ -202,7 +211,15 @@ mod tests {
         let up = budget.uplink_rssi_dbm(pl, 0.0);
         let down = budget.downlink_rssi_dbm(pl);
         // The uplink suffers the path loss twice plus conversion loss.
-        assert!((down - up - (pl + budget.backscatter_conversion_loss_db - budget.ap_antenna_gain_dbi - budget.tag_antenna_gain_dbi)).abs() < 1e-9);
+        assert!(
+            (down
+                - up
+                - (pl + budget.backscatter_conversion_loss_db
+                    - budget.ap_antenna_gain_dbi
+                    - budget.tag_antenna_gain_dbi))
+                .abs()
+                < 1e-9
+        );
         // Backscatter gain scales the uplink dB-for-dB.
         assert!((budget.uplink_rssi_dbm(pl, -10.0) - (up - 10.0)).abs() < 1e-12);
     }
@@ -217,7 +234,13 @@ mod tests {
         let pl = pl_model.median_loss_db(12.0, 2);
         let rssi = budget.uplink_rssi_dbm(pl, 0.0);
         let noise_floor = netscatter_dsp::units::thermal_noise_dbm(500e3, 6.0);
-        assert!(rssi < noise_floor, "uplink {rssi} dBm should be below the {noise_floor} dBm floor");
-        assert!(rssi > -135.0, "uplink {rssi} dBm should still be within CSS sensitivity reach");
+        assert!(
+            rssi < noise_floor,
+            "uplink {rssi} dBm should be below the {noise_floor} dBm floor"
+        );
+        assert!(
+            rssi > -135.0,
+            "uplink {rssi} dBm should still be within CSS sensitivity reach"
+        );
     }
 }

@@ -73,7 +73,12 @@ impl CyclicShiftAllocator {
         // Reserve the first slot of the strong (outer) region and the slot in
         // the middle of the weak region for association.
         let association_slots = vec![0, total_slots / 2];
-        Self { num_bins, skip, association_slots, occupancy: vec![None; total_slots] }
+        Self {
+            num_bins,
+            skip,
+            association_slots,
+            occupancy: vec![None; total_slots],
+        }
     }
 
     /// Total number of slots (including reserved association slots).
@@ -98,7 +103,10 @@ impl CyclicShiftAllocator {
     /// The chirp bins reserved for association requests, ordered
     /// `[high-SNR region, low-SNR region]`.
     pub fn association_bins(&self) -> Vec<usize> {
-        self.association_slots.iter().map(|s| self.slot_to_bin(*s)).collect()
+        self.association_slots
+            .iter()
+            .map(|s| self.slot_to_bin(*s))
+            .collect()
     }
 
     /// Maps a slot index to its chirp bin. Slots are interleaved from the
@@ -144,16 +152,28 @@ impl CyclicShiftAllocator {
             .max()
             .map(|s| s + 1)
             .unwrap_or(0);
-        let pick = |range: std::ops::Range<usize>, occupancy: &[Option<f64>], assoc: &[usize]| {
-            range
-                .filter(|slot| !assoc.contains(slot) && occupancy[*slot].is_none())
-                .next()
-        };
-        let slot = pick(lower_bound..self.total_slots(), &self.occupancy, &self.association_slots)
-            .or_else(|| pick(0..self.total_slots(), &self.occupancy, &self.association_slots))
-            .ok_or(AllocationError::NetworkFull)?;
+        let pick =
+            |mut range: std::ops::Range<usize>, occupancy: &[Option<f64>], assoc: &[usize]| {
+                range.find(|slot| !assoc.contains(slot) && occupancy[*slot].is_none())
+            };
+        let slot = pick(
+            lower_bound..self.total_slots(),
+            &self.occupancy,
+            &self.association_slots,
+        )
+        .or_else(|| {
+            pick(
+                0..self.total_slots(),
+                &self.occupancy,
+                &self.association_slots,
+            )
+        })
+        .ok_or(AllocationError::NetworkFull)?;
         self.occupancy[slot] = Some(signal_strength_dbm);
-        Ok(ShiftAssignment { slot, chirp_bin: self.slot_to_bin(slot) })
+        Ok(ShiftAssignment {
+            slot,
+            chirp_bin: self.slot_to_bin(slot),
+        })
     }
 
     /// Releases a previously assigned slot.
@@ -186,15 +206,20 @@ impl CyclicShiftAllocator {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut result = vec![
-            ShiftAssignment { slot: 0, chirp_bin: 0 };
+            ShiftAssignment {
+                slot: 0,
+                chirp_bin: 0
+            };
             signal_strengths_dbm.len()
         ];
-        let mut slot_iter =
-            (0..self.total_slots()).filter(|s| !self.association_slots.contains(s));
+        let mut slot_iter = (0..self.total_slots()).filter(|s| !self.association_slots.contains(s));
         for device in order {
             let slot = slot_iter.next().ok_or(AllocationError::NetworkFull)?;
             self.occupancy[slot] = Some(signal_strengths_dbm[device]);
-            result[device] = ShiftAssignment { slot, chirp_bin: self.slot_to_bin(slot) };
+            result[device] = ShiftAssignment {
+                slot,
+                chirp_bin: self.slot_to_bin(slot),
+            };
         }
         Ok(result)
     }
@@ -246,7 +271,10 @@ mod tests {
         assert!(alloc.slot_distance_bins(0, 1) <= 2 * alloc.skip);
         assert!(alloc.slot_distance_bins(2, 3) <= 3 * alloc.skip);
         let far = alloc.slot_distance_bins(0, alloc.total_slots() - 1);
-        assert!(far > 200, "strongest/weakest separation {far} bins is too small");
+        assert!(
+            far > 200,
+            "strongest/weakest separation {far} bins is too small"
+        );
     }
 
     #[test]
@@ -280,7 +308,11 @@ mod tests {
         let mut bins = std::collections::HashSet::new();
         for i in 0..alloc.capacity() {
             let a = alloc.assign(-90.0 - (i % 35) as f64).unwrap();
-            assert!(bins.insert(a.chirp_bin), "bin {} assigned twice", a.chirp_bin);
+            assert!(
+                bins.insert(a.chirp_bin),
+                "bin {} assigned twice",
+                a.chirp_bin
+            );
             assert!(!alloc.association_bins().contains(&a.chirp_bin));
         }
         assert_eq!(alloc.assign(-100.0), Err(AllocationError::NetworkFull));
@@ -315,7 +347,10 @@ mod tests {
     fn reassign_all_rejects_oversubscription() {
         let mut alloc = CyclicShiftAllocator::new(&profile());
         let too_many = vec![-100.0; alloc.capacity() + 1];
-        assert_eq!(alloc.reassign_all(&too_many), Err(AllocationError::NetworkFull));
+        assert_eq!(
+            alloc.reassign_all(&too_many),
+            Err(AllocationError::NetworkFull)
+        );
     }
 
     #[test]
@@ -323,7 +358,9 @@ mod tests {
         // With 254 devices whose strengths span 35 dB, the weakest quartile
         // must sit far (in bins) from the strongest quartile on average.
         let mut alloc = CyclicShiftAllocator::new(&profile());
-        let strengths: Vec<f64> = (0..254).map(|i| -90.0 - 35.0 * (i as f64 / 253.0)).collect();
+        let strengths: Vec<f64> = (0..254)
+            .map(|i| -90.0 - 35.0 * (i as f64 / 253.0))
+            .collect();
         let assignments = alloc.reassign_all(&strengths).unwrap();
         let strong_bins: Vec<usize> = (0..60).map(|i| assignments[i].chirp_bin).collect();
         let weak_bins: Vec<usize> = (194..254).map(|i| assignments[i].chirp_bin).collect();
@@ -337,6 +374,9 @@ mod tests {
             }
         }
         let avg = total as f64 / count as f64;
-        assert!(avg > 120.0, "average strong/weak separation {avg} bins is too small");
+        assert!(
+            avg > 120.0,
+            "average strong/weak separation {avg} bins is too small"
+        );
     }
 }

@@ -20,7 +20,11 @@ pub fn distributed_throughput_gain(spreading_factor: u32) -> f64 {
 
 /// Multi-user Shannon capacity `BW·log2(1 + N·SNR)` in bits per second for
 /// `num_devices` concurrent devices each received at `per_device_snr_db`.
-pub fn multiuser_capacity_bps(bandwidth_hz: f64, num_devices: usize, per_device_snr_db: f64) -> f64 {
+pub fn multiuser_capacity_bps(
+    bandwidth_hz: f64,
+    num_devices: usize,
+    per_device_snr_db: f64,
+) -> f64 {
     let snr = db_to_linear(per_device_snr_db);
     bandwidth_hz * (1.0 + num_devices as f64 * snr).log2()
 }

@@ -28,7 +28,12 @@ pub struct Member {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Pending {
     /// Assignment sent in a query, waiting for the device's ACK.
-    AwaitingAck { network_id: u8, slot: usize, chirp_bin: usize, retries: u8 },
+    AwaitingAck {
+        network_id: u8,
+        slot: usize,
+        chirp_bin: usize,
+        retries: u8,
+    },
 }
 
 /// The AP's association manager.
@@ -89,7 +94,10 @@ impl AssociationManager {
         &mut self,
         signal_strength_dbm: f64,
     ) -> Result<ShiftAssignment, AllocationError> {
-        if let Some(Pending::AwaitingAck { slot, chirp_bin, .. }) = self.pending {
+        if let Some(Pending::AwaitingAck {
+            slot, chirp_bin, ..
+        }) = self.pending
+        {
             // A handshake is already in flight; repeat the same assignment.
             return Ok(ShiftAssignment { slot, chirp_bin });
         }
@@ -109,7 +117,10 @@ impl AssociationManager {
     /// response if there is one.
     pub fn build_query(&mut self, group_id: u8) -> QueryMessage {
         let mut query = QueryMessage::config1(group_id);
-        if let Some(Pending::AwaitingAck { network_id, slot, .. }) = self.pending {
+        if let Some(Pending::AwaitingAck {
+            network_id, slot, ..
+        }) = self.pending
+        {
             query.association_response = Some(AssociationResponse {
                 network_id,
                 cyclic_shift_index: slot.min(u8::MAX as usize) as u8,
@@ -123,7 +134,12 @@ impl AssociationManager {
     /// and returns the new member on success.
     pub fn handle_ack(&mut self, ack_received: bool) -> Option<Member> {
         match self.pending {
-            Some(Pending::AwaitingAck { network_id, slot, chirp_bin, retries }) => {
+            Some(Pending::AwaitingAck {
+                network_id,
+                slot,
+                chirp_bin,
+                retries,
+            }) => {
                 if ack_received {
                     let member = Member {
                         network_id,

@@ -222,12 +222,26 @@ impl BackscatterDevice {
     }
 
     /// Draws this packet's impairments (hardware delay jitter + CFO drift).
+    ///
+    /// A tag's pipeline delay is consistent packet to packet, so the device
+    /// pre-compensates its own calibrated delay when timing its response
+    /// (§3.2.1). The compensation is deliberately *conservative* — it
+    /// subtracts `mean − 2·jitter_sigma`, not the full mean — so that even a
+    /// fast jitter draw almost never makes the tag respond before its
+    /// nominal slot. On-air timing offsets therefore stay one-sided (small
+    /// and positive, within a fraction of an FFT bin), which is the
+    /// invariant the receiver's forward-biased peak search relies on to keep
+    /// SKIP-spaced neighbours out of each other's windows.
     pub fn packet_impairments<R: Rng + ?Sized>(
         &self,
         model: &ImpairmentModel,
         rng: &mut R,
     ) -> PacketImpairments {
-        model.sample_packet(rng, &self.impairments)
+        let mut packet = model.sample_packet(rng, &self.impairments);
+        let margin = 2.0 * model.delay.jitter_sigma_s;
+        let compensation = (self.impairments.mean_hardware_delay_s - margin).max(0.0);
+        packet.timing_offset_s -= compensation;
+        packet
     }
 
     /// Generates this device's preamble waveform for the round (at unit
@@ -316,7 +330,10 @@ mod tests {
         let mut d = make_device(5);
         d.accept_assignment(10, -35.0);
         let before = d.gain();
-        assert_eq!(d.power_adjust_and_decide(-35.5), TransmitDecision::Transmit(before));
+        assert_eq!(
+            d.power_adjust_and_decide(-35.5),
+            TransmitDecision::Transmit(before)
+        );
         assert_eq!(d.gain(), before);
     }
 
@@ -324,14 +341,23 @@ mod tests {
     fn improving_channel_lowers_power_and_degrading_raises_it() {
         let mut d = make_device(6);
         d.accept_assignment(10, -35.0); // medium gain baseline
-        // Channel improves by 5 dB -> step down to low.
-        assert!(matches!(d.power_adjust_and_decide(-30.0), TransmitDecision::Transmit(_)));
+                                        // Channel improves by 5 dB -> step down to low.
+        assert!(matches!(
+            d.power_adjust_and_decide(-30.0),
+            TransmitDecision::Transmit(_)
+        ));
         assert_eq!(d.gain(), BackscatterGain::Low);
         // Channel returns to baseline -> back to medium.
-        assert!(matches!(d.power_adjust_and_decide(-35.0), TransmitDecision::Transmit(_)));
+        assert!(matches!(
+            d.power_adjust_and_decide(-35.0),
+            TransmitDecision::Transmit(_)
+        ));
         assert_eq!(d.gain(), BackscatterGain::Medium);
         // Channel degrades by 5 dB -> full power.
-        assert!(matches!(d.power_adjust_and_decide(-40.0), TransmitDecision::Transmit(_)));
+        assert!(matches!(
+            d.power_adjust_and_decide(-40.0),
+            TransmitDecision::Transmit(_)
+        ));
         assert_eq!(d.gain(), BackscatterGain::Full);
     }
 
@@ -339,10 +365,19 @@ mod tests {
     fn unrecoverable_degradation_skips_then_reassociates() {
         let mut d = make_device(7);
         d.accept_assignment(10, -30.0); // medium baseline
-        // A 20 dB drop exceeds the 4 dB of headroom plus the 12 dB margin.
-        assert_eq!(d.power_adjust_and_decide(-50.0 + 1.0), TransmitDecision::Skip);
-        assert_eq!(d.power_adjust_and_decide(-50.0 + 1.0), TransmitDecision::Skip);
-        assert_eq!(d.power_adjust_and_decide(-50.0 + 1.0), TransmitDecision::Reassociate);
+                                        // A 20 dB drop exceeds the 4 dB of headroom plus the 12 dB margin.
+        assert_eq!(
+            d.power_adjust_and_decide(-50.0 + 1.0),
+            TransmitDecision::Skip
+        );
+        assert_eq!(
+            d.power_adjust_and_decide(-50.0 + 1.0),
+            TransmitDecision::Skip
+        );
+        assert_eq!(
+            d.power_adjust_and_decide(-50.0 + 1.0),
+            TransmitDecision::Reassociate
+        );
         assert_eq!(d.state(), AssociationState::Unassociated);
     }
 
@@ -369,6 +404,41 @@ mod tests {
         d.accept_assignment(20, -30.0);
         let payload2 = d.payload_waveform(&[true], &imp, 1.0).unwrap();
         assert!((payload2[0].abs() - BackscatterGain::Medium.amplitude()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compensated_timing_offsets_are_one_sided_and_sub_bin() {
+        // The conservative pre-compensation must keep on-air offsets small
+        // and (essentially) non-negative: that one-sidedness is what lets
+        // the receiver's forward-biased peak search separate SKIP-spaced
+        // neighbours. Check across many devices and packets.
+        let model = ImpairmentModel::cots_backscatter();
+        let mut rng = StdRng::seed_from_u64(11);
+        let margin = 2.0 * model.delay.jitter_sigma_s;
+        for _ in 0..50 {
+            let d = BackscatterDevice::new(
+                DeviceConfig::default(),
+                PhyProfile::default(),
+                &model,
+                &mut rng,
+            );
+            for _ in 0..200 {
+                let p = d.packet_impairments(&model, &mut rng);
+                // Never early by more than the receiver's backward window
+                // slack (0.25 bins = 4 jitter sigmas at the cots model)…
+                assert!(
+                    p.timing_offset_s >= -4.0 * model.delay.jitter_sigma_s,
+                    "offset {} s too early",
+                    p.timing_offset_s
+                );
+                // …and never later than margin + jitter tail (≪ one bin).
+                assert!(
+                    p.timing_offset_s <= margin + 5.0 * model.delay.jitter_sigma_s,
+                    "offset {} s too late",
+                    p.timing_offset_s
+                );
+            }
+        }
     }
 
     #[test]

@@ -107,7 +107,10 @@ impl SwitchNetwork {
     pub fn paper_default() -> Self {
         // Switching between an open circuit (Γ = +1) and a load Z gives
         // gain |1 - Γ(Z)|² / 4; Z = 0 Ω -> 0 dB, larger Z -> weaker.
-        Self { antenna_ohms: 50.0, loads_ohms: vec![0.0, 27.0, 92.0] }
+        Self {
+            antenna_ohms: 50.0,
+            loads_ohms: vec![0.0, 27.0, 92.0],
+        }
     }
 
     /// The power gain (linear) of setting `index` (switching between the
@@ -207,9 +210,15 @@ mod tests {
 
     #[test]
     fn gain_navigation() {
-        assert_eq!(BackscatterGain::Full.weaker(), Some(BackscatterGain::Medium));
+        assert_eq!(
+            BackscatterGain::Full.weaker(),
+            Some(BackscatterGain::Medium)
+        );
         assert_eq!(BackscatterGain::Low.weaker(), None);
-        assert_eq!(BackscatterGain::Low.stronger(), Some(BackscatterGain::Medium));
+        assert_eq!(
+            BackscatterGain::Low.stronger(),
+            Some(BackscatterGain::Medium)
+        );
         assert_eq!(BackscatterGain::Full.stronger(), None);
         assert_eq!(BackscatterGain::ALL.len(), 3);
     }
@@ -221,9 +230,18 @@ mod tests {
         let g0 = network.gain_db(0).unwrap();
         let g1 = network.gain_db(1).unwrap();
         let g2 = network.gain_db(2).unwrap();
-        assert!(g0.abs() < 0.01, "strongest setting should be ≈0 dB, got {g0}");
-        assert!((g1 - (-4.0)).abs() < 1.0, "middle setting should be ≈-4 dB, got {g1}");
-        assert!((g2 - (-10.0)).abs() < 1.0, "weak setting should be ≈-10 dB, got {g2}");
+        assert!(
+            g0.abs() < 0.01,
+            "strongest setting should be ≈0 dB, got {g0}"
+        );
+        assert!(
+            (g1 - (-4.0)).abs() < 1.0,
+            "middle setting should be ≈-4 dB, got {g1}"
+        );
+        assert!(
+            (g2 - (-10.0)).abs() < 1.0,
+            "weak setting should be ≈-10 dB, got {g2}"
+        );
         assert!(network.gain_db(3).is_none());
     }
 

@@ -111,7 +111,10 @@ pub struct NetworkProtocol {
 impl NetworkProtocol {
     /// Creates a protocol engine for the given PHY profile.
     pub fn new(profile: PhyProfile) -> Self {
-        Self { profile, rounds: Vec::new() }
+        Self {
+            profile,
+            rounds: Vec::new(),
+        }
     }
 
     /// The PHY profile in use.
@@ -139,8 +142,16 @@ impl NetworkProtocol {
         let payload_time: f64 = self.rounds.iter().map(|(t, _)| t.payload_s).sum();
         let total_time: f64 = self.rounds.iter().map(|(t, _)| t.total_s()).sum();
         Some(NetworkMetrics {
-            phy_rate_bps: if payload_time > 0.0 { correct_bits as f64 / payload_time } else { 0.0 },
-            link_layer_rate_bps: if total_time > 0.0 { correct_bits as f64 / total_time } else { 0.0 },
+            phy_rate_bps: if payload_time > 0.0 {
+                correct_bits as f64 / payload_time
+            } else {
+                0.0
+            },
+            link_layer_rate_bps: if total_time > 0.0 {
+                correct_bits as f64 / total_time
+            } else {
+                0.0
+            },
             latency_s: total_time / self.rounds.len() as f64,
         })
     }

@@ -3,8 +3,8 @@
 //! Every round starts with a downlink query that (a) time-synchronizes all
 //! participating devices, (b) identifies which group of devices should
 //! transmit, and (c) optionally piggybacks association responses (network ID
-//! + cyclic shift for a newly admitted device) or a full reassignment of all
-//! cyclic shifts. The query is short relative to the backscatter uplink: at
+//! and cyclic shift for a newly admitted device) or a full reassignment of
+//! all cyclic shifts. The query is short relative to the backscatter uplink: at
 //! 160 kbps the 32-bit "config 1" query costs 200 µs and even the 1760-bit
 //! "config 2" reassignment query costs only 11 ms (§3.3.3, §4.4).
 
@@ -39,12 +39,20 @@ impl QueryMessage {
     /// only, padded with preamble/framing to the 32-bit length the paper
     /// uses.
     pub fn config1(group_id: u8) -> Self {
-        Self { group_id, association_response: None, full_reassignment: None }
+        Self {
+            group_id,
+            association_response: None,
+            full_reassignment: None,
+        }
     }
 
     /// A query carrying a full reassignment of `n` devices ("config 2").
     pub fn config2(group_id: u8, assignments: Vec<u8>) -> Self {
-        Self { group_id, association_response: None, full_reassignment: Some(assignments) }
+        Self {
+            group_id,
+            association_response: None,
+            full_reassignment: Some(assignments),
+        }
     }
 
     /// Serializes the query to downlink bits.
@@ -104,9 +112,16 @@ impl QueryMessage {
         } else {
             None
         };
-        let full_reassignment =
-            if flags & 0x02 != 0 { Some(body.get(cursor..)?.to_vec()) } else { None };
-        Some(Self { group_id, association_response, full_reassignment })
+        let full_reassignment = if flags & 0x02 != 0 {
+            Some(body.get(cursor..)?.to_vec())
+        } else {
+            None
+        };
+        Some(Self {
+            group_id,
+            association_response,
+            full_reassignment,
+        })
     }
 
     /// Downlink airtime of this query in seconds at `downlink_bitrate_bps`.
@@ -130,7 +145,10 @@ mod tests {
     #[test]
     fn association_response_adds_16_bits() {
         let mut q = QueryMessage::config1(3);
-        q.association_response = Some(AssociationResponse { network_id: 7, cyclic_shift_index: 42 });
+        q.association_response = Some(AssociationResponse {
+            network_id: 7,
+            cyclic_shift_index: 42,
+        });
         assert_eq!(q.bit_len(), 48);
     }
 
@@ -138,7 +156,7 @@ mod tests {
     fn config2_for_256_devices_is_about_1760_bits() {
         let q = QueryMessage::config2(0, (0..=255u8).collect());
         let bits = q.bit_len();
-        assert!((2048 + 32 >= bits) && (bits >= 1700), "config2 length {bits}");
+        assert!((1700..=2048 + 32).contains(&bits), "config2 length {bits}");
         // Paper: < 11 ms at 160 kbps downlink... our encoding is 2080 bits = 13 ms,
         // same order; the log2(256!) information-theoretic bound is ~1684 bits.
         assert!(q.duration_s(160e3) < 0.015);
@@ -150,7 +168,10 @@ mod tests {
             QueryMessage::config1(5),
             QueryMessage {
                 group_id: 1,
-                association_response: Some(AssociationResponse { network_id: 9, cyclic_shift_index: 100 }),
+                association_response: Some(AssociationResponse {
+                    network_id: 9,
+                    cyclic_shift_index: 100,
+                }),
                 full_reassignment: None,
             },
             QueryMessage::config2(2, vec![3, 1, 4, 1, 5, 9, 2, 6]),

@@ -43,7 +43,10 @@ impl DecodedRound {
     /// Looks up the decoded bits of the device on `chirp_bin`, if it was
     /// detected.
     pub fn bits_for(&self, chirp_bin: usize) -> Option<&[bool]> {
-        self.devices.iter().find(|d| d.chirp_bin == chirp_bin).map(|d| d.bits.as_slice())
+        self.devices
+            .iter()
+            .find(|d| d.chirp_bin == chirp_bin)
+            .map(|d| d.bits.as_slice())
     }
 }
 
@@ -100,7 +103,8 @@ impl ConcurrentReceiver {
         assigned_bins: &[usize],
     ) -> Result<Vec<DetectedDevice>, FftError> {
         let n2 = (self.profile.modulation.num_bins() as f64).powi(2);
-        self.detector.detect_devices(preamble, assigned_bins, n2 * self.detection_floor_fraction)
+        self.detector
+            .detect_devices(preamble, assigned_bins, n2 * self.detection_floor_fraction)
     }
 
     /// Decodes one payload symbol for the detected devices, returning one bit
@@ -118,8 +122,9 @@ impl ConcurrentReceiver {
                 // preamble; a narrow window there rejects neighbouring
                 // devices even when hardware delays push peaks off their
                 // nominal bins.
-                let (power, _) =
-                    self.demodulator.device_power_at(&padded, d.observed_bin, 0.5);
+                let (power, _) = self
+                    .demodulator
+                    .device_power_at(&padded, d.observed_bin, 0.5);
                 power > PreambleDetector::payload_threshold(d.average_power)
             })
             .collect())
@@ -138,7 +143,10 @@ impl ConcurrentReceiver {
         let preamble_len = PREAMBLE_UPCHIRPS * n;
         let needed = packet_start + (PREAMBLE_UPCHIRPS + 2 + payload_symbols) * n;
         if stream.len() < packet_start + preamble_len {
-            return Err(FftError::LengthMismatch { expected: needed, actual: stream.len() });
+            return Err(FftError::LengthMismatch {
+                expected: needed,
+                actual: stream.len(),
+            });
         }
         let preamble = &stream[packet_start..packet_start + preamble_len];
         let detected = self.detect_devices(preamble, assigned_bins)?;
@@ -194,12 +202,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let model = ImpairmentModel::cots_backscatter();
         for ((bin, amp, bits), imp) in specs.iter().zip(impairments) {
-            let mut dev = BackscatterDevice::new(
-                DeviceConfig::default(),
-                *profile,
-                &model,
-                &mut rng,
-            );
+            let mut dev =
+                BackscatterDevice::new(DeviceConfig::default(), *profile, &model, &mut rng);
             dev.accept_assignment(*bin, -45.0); // full power
             let pre = dev.preamble_waveform(imp, *amp).unwrap();
             let pay = dev.payload_waveform(bits, imp, *amp).unwrap();
@@ -215,8 +219,14 @@ mod tests {
         let p = profile();
         let rx = ConcurrentReceiver::new(&p).unwrap();
         let bits = vec![true, false, true, true, false, false, true, false];
-        let stream = build_round(&p, &[(100, 1.0, bits.clone())], &[PacketImpairments::default()]);
-        let round = rx.decode_round(&stream, 0, &[100, 200], bits.len()).unwrap();
+        let stream = build_round(
+            &p,
+            &[(100, 1.0, bits.clone())],
+            &[PacketImpairments::default()],
+        );
+        let round = rx
+            .decode_round(&stream, 0, &[100, 200], bits.len())
+            .unwrap();
         assert_eq!(round.devices.len(), 1);
         assert_eq!(round.bits_for(100).unwrap(), &bits[..]);
         assert!(round.bits_for(200).is_none());
@@ -259,7 +269,11 @@ mod tests {
         let p = profile();
         let rx = ConcurrentReceiver::new(&p).unwrap();
         let bits = vec![true, true, false, true];
-        let body = build_round(&p, &[(50, 1.0, bits.clone())], &[PacketImpairments::default()]);
+        let body = build_round(
+            &p,
+            &[(50, 1.0, bits.clone())],
+            &[PacketImpairments::default()],
+        );
         let offset = 23usize;
         let mut stream = vec![Complex64::ZERO; offset];
         stream.extend(body);
@@ -273,7 +287,9 @@ mod tests {
     fn short_stream_is_rejected() {
         let p = profile();
         let rx = ConcurrentReceiver::new(&p).unwrap();
-        assert!(rx.decode_round(&[Complex64::ZERO; 100], 0, &[0], 4).is_err());
+        assert!(rx
+            .decode_round(&[Complex64::ZERO; 100], 0, &[0], 4)
+            .is_err());
     }
 
     #[test]
@@ -281,8 +297,11 @@ mod tests {
         let p = profile();
         let rx = ConcurrentReceiver::new(&p).unwrap();
         let bits = vec![true, false, true, false];
-        let mut stream =
-            build_round(&p, &[(64, 1.0, bits.clone())], &[PacketImpairments::default()]);
+        let mut stream = build_round(
+            &p,
+            &[(64, 1.0, bits.clone())],
+            &[PacketImpairments::default()],
+        );
         // Chop off the last payload symbol.
         let n = p.modulation.num_bins();
         stream.truncate(stream.len() - n);
@@ -293,10 +312,19 @@ mod tests {
     #[test]
     fn search_halfwidth_tracks_skip() {
         let mut p = profile();
-        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 1.0);
+        assert_eq!(
+            ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(),
+            1.0
+        );
         p.skip = 3;
-        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 2.0);
+        assert_eq!(
+            ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(),
+            2.0
+        );
         p.skip = 1;
-        assert_eq!(ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(), 0.5);
+        assert_eq!(
+            ConcurrentReceiver::new(&p).unwrap().search_halfwidth_bins(),
+            0.5
+        );
     }
 }

@@ -78,13 +78,19 @@ impl ChirpParams {
         if !(5..=12).contains(&spreading_factor) {
             return Err(ChirpParamsError::InvalidSpreadingFactor(spreading_factor));
         }
-        Ok(Self { bandwidth_hz, spreading_factor })
+        Ok(Self {
+            bandwidth_hz,
+            spreading_factor,
+        })
     }
 
     /// The configuration used for the paper's main deployment:
     /// `BW = 500 kHz`, `SF = 9` (Table 1, first row).
     pub fn paper_default() -> Self {
-        Self { bandwidth_hz: 500e3, spreading_factor: 9 }
+        Self {
+            bandwidth_hz: 500e3,
+            spreading_factor: 9,
+        }
     }
 
     /// Chirp bandwidth in hertz (also the critical sampling rate).
@@ -210,10 +216,15 @@ impl ChirpSynthesizer {
     /// Creates a synthesizer and precomputes the baseline up/down chirps.
     pub fn new(params: ChirpParams) -> Self {
         let n = params.num_bins();
-        let baseline_up: Vec<Complex64> =
-            (0..n).map(|i| Complex64::cis(Self::phase_at(n, i as f64))).collect();
+        let baseline_up: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(Self::phase_at(n, i as f64)))
+            .collect();
         let baseline_down = baseline_up.iter().map(|c| c.conj()).collect();
-        Self { params, baseline_up, baseline_down }
+        Self {
+            params,
+            baseline_up,
+            baseline_down,
+        }
     }
 
     /// Instantaneous phase of the baseline upchirp at (possibly fractional)
@@ -343,7 +354,11 @@ impl ChirpSynthesizer {
             "dechirp expects exactly one symbol of {} samples",
             self.params.num_bins()
         );
-        symbol.iter().zip(self.baseline_down.iter()).map(|(s, d)| *s * *d).collect()
+        symbol
+            .iter()
+            .zip(self.baseline_down.iter())
+            .map(|(s, d)| *s * *d)
+            .collect()
     }
 
     /// Dechirps a received *downchirp* symbol by multiplying with the
@@ -356,14 +371,23 @@ impl ChirpSynthesizer {
             "dechirp_down expects exactly one symbol of {} samples",
             self.params.num_bins()
         );
-        symbol.iter().zip(self.baseline_up.iter()).map(|(s, u)| *s * *u).collect()
+        symbol
+            .iter()
+            .zip(self.baseline_up.iter())
+            .map(|(s, u)| *s * *u)
+            .collect()
     }
 
     /// Synthesizes an oversampled shifted upchirp for spectrogram-style
     /// visualization (Fig. 16). `oversample` is the integer ratio of the
     /// synthesis rate to the chirp bandwidth (e.g. 8 produces
     /// `8·2^SF` samples per symbol).
-    pub fn oversampled_upchirp(&self, shift: usize, oversample: usize, amplitude: f64) -> Vec<Complex64> {
+    pub fn oversampled_upchirp(
+        &self,
+        shift: usize,
+        oversample: usize,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
         let oversample = oversample.max(1);
         let n = self.params.num_bins();
         let total = n * oversample;
@@ -458,7 +482,11 @@ mod tests {
     #[test]
     fn downchirp_is_conjugate_of_upchirp() {
         let synth = ChirpSynthesizer::new(ChirpParams::new(250e3, 8).unwrap());
-        for (u, d) in synth.baseline_upchirp().iter().zip(synth.baseline_downchirp()) {
+        for (u, d) in synth
+            .baseline_upchirp()
+            .iter()
+            .zip(synth.baseline_downchirp())
+        {
             assert!((u.conj() - *d).abs() < 1e-12);
         }
     }

@@ -114,7 +114,13 @@ impl Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}j", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}j",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 
@@ -253,7 +259,11 @@ pub fn mean_power(samples: &[Complex64]) -> f64 {
 /// conjugate (down) chirp before the FFT. Panics if the lengths differ,
 /// because mismatched buffers are always a programming error at this layer.
 pub fn multiply_into(a: &[Complex64], b: &[Complex64], out: &mut Vec<Complex64>) {
-    assert_eq!(a.len(), b.len(), "multiply_into requires equal-length inputs");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiply_into requires equal-length inputs"
+    );
     out.clear();
     out.extend(a.iter().zip(b.iter()).map(|(x, y)| *x * *y));
 }

@@ -46,10 +46,16 @@ impl fmt::Display for FftError {
                 write!(f, "FFT size {size} is not a non-zero power of two")
             }
             FftError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match FFT plan size {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match FFT plan size {expected}"
+                )
             }
             FftError::InputLongerThanTransform { input, size } => {
-                write!(f, "input of {input} samples does not fit a {size}-point transform")
+                write!(
+                    f,
+                    "input of {input} samples does not fit a {size}-point transform"
+                )
             }
         }
     }
@@ -104,7 +110,11 @@ impl Fft {
                 }
             })
             .collect();
-        Ok(Self { size, twiddles, reversed })
+        Ok(Self {
+            size,
+            twiddles,
+            reversed,
+        })
     }
 
     /// The transform size this plan was built for.
@@ -166,7 +176,10 @@ impl Fft {
 
     fn check_len(&self, buf: &[Complex64]) -> Result<(), FftError> {
         if buf.len() != self.size {
-            Err(FftError::LengthMismatch { expected: self.size, actual: buf.len() })
+            Err(FftError::LengthMismatch {
+                expected: self.size,
+                actual: buf.len(),
+            })
         } else {
             Ok(())
         }
@@ -239,9 +252,18 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert_eq!(Fft::new(0).unwrap_err(), FftError::SizeNotPowerOfTwo { size: 0 });
-        assert_eq!(Fft::new(3).unwrap_err(), FftError::SizeNotPowerOfTwo { size: 3 });
-        assert_eq!(Fft::new(100).unwrap_err(), FftError::SizeNotPowerOfTwo { size: 100 });
+        assert_eq!(
+            Fft::new(0).unwrap_err(),
+            FftError::SizeNotPowerOfTwo { size: 0 }
+        );
+        assert_eq!(
+            Fft::new(3).unwrap_err(),
+            FftError::SizeNotPowerOfTwo { size: 3 }
+        );
+        assert_eq!(
+            Fft::new(100).unwrap_err(),
+            FftError::SizeNotPowerOfTwo { size: 100 }
+        );
         assert!(Fft::new(1).is_ok());
         assert!(Fft::new(1024).is_ok());
     }
@@ -252,7 +274,10 @@ mod tests {
         let mut buf = vec![Complex64::ZERO; 4];
         assert!(matches!(
             plan.forward_in_place(&mut buf),
-            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 
@@ -309,7 +334,12 @@ mod tests {
     fn parseval_theorem_holds() {
         let n = 512;
         let buf: Vec<Complex64> = (0..n)
-            .map(|t| Complex64::new(((t * 7) % 13) as f64 / 13.0 - 0.5, ((t * 5) % 11) as f64 / 11.0))
+            .map(|t| {
+                Complex64::new(
+                    ((t * 7) % 13) as f64 / 13.0 - 0.5,
+                    ((t * 5) % 11) as f64 / 11.0,
+                )
+            })
             .collect();
         let spec = fft(&buf).unwrap();
         let time_energy = total_power(&buf);
@@ -366,7 +396,9 @@ mod tests {
     fn linearity_of_transform() {
         let n = 64;
         let a: Vec<Complex64> = (0..n).map(|t| Complex64::cis(t as f64 * 0.2)).collect();
-        let b: Vec<Complex64> = (0..n).map(|t| Complex64::new((t as f64).sqrt(), 0.1)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::new((t as f64).sqrt(), 0.1))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a).unwrap();
         let fb = fft(&b).unwrap();

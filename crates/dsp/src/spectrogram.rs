@@ -27,7 +27,12 @@ pub struct SpectrogramConfig {
 
 impl Default for SpectrogramConfig {
     fn default() -> Self {
-        Self { fft_size: 256, hop: 64, window: WindowKind::Hann, centered: true }
+        Self {
+            fft_size: 256,
+            hop: 64,
+            window: WindowKind::Hann,
+            centered: true,
+        }
     }
 }
 
@@ -89,7 +94,10 @@ impl Spectrogram {
 ///
 /// Frames shorter than the FFT size at the tail of the signal are zero-padded.
 /// Returns an error if the FFT size is not a power of two or the hop is zero.
-pub fn spectrogram(signal: &[Complex64], config: SpectrogramConfig) -> Result<Spectrogram, FftError> {
+pub fn spectrogram(
+    signal: &[Complex64],
+    config: SpectrogramConfig,
+) -> Result<Spectrogram, FftError> {
     if config.hop == 0 {
         return Err(FftError::SizeNotPowerOfTwo { size: 0 });
     }
@@ -106,7 +114,11 @@ pub fn spectrogram(signal: &[Complex64], config: SpectrogramConfig) -> Result<Sp
             .collect();
         frame.resize(config.fft_size, Complex64::ZERO);
         plan.forward_in_place(&mut frame)?;
-        let row = if config.centered { fft_shift(&power_spectrum(&frame)) } else { power_spectrum(&frame) };
+        let row = if config.centered {
+            fft_shift(&power_spectrum(&frame))
+        } else {
+            power_spectrum(&frame)
+        };
         frames_power.push(row);
         start += config.hop;
     }
@@ -117,7 +129,11 @@ pub fn spectrogram(signal: &[Complex64], config: SpectrogramConfig) -> Result<Sp
         .fold(f64::MIN_POSITIVE, f64::max);
     let frames_db = frames_power
         .into_iter()
-        .map(|row| row.into_iter().map(|p| linear_to_db(p / global_max)).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|p| linear_to_db(p / global_max))
+                .collect()
+        })
         .collect();
     Ok(Spectrogram { config, frames_db })
 }
@@ -140,7 +156,10 @@ mod tests {
         let n = 4096;
         // 512 cycles over 4096 samples = frequency bin 32 of a 256-point FFT.
         let sig = tone(n, 512.0, 1.0);
-        let cfg = SpectrogramConfig { centered: false, ..Default::default() };
+        let cfg = SpectrogramConfig {
+            centered: false,
+            ..Default::default()
+        };
         let sg = spectrogram(&sig, cfg).unwrap();
         assert!(sg.num_frames() >= n / cfg.hop);
         let (_, bin) = sg.peak_location().unwrap();
@@ -164,7 +183,10 @@ mod tests {
         // simply check the relative in-spectrogram dynamic range behaves.
         let sig_strong = tone(4096, 512.0, 1.0);
         let sig_weak = tone(4096, 512.0, 10f64.powf(-10.0 / 20.0));
-        let cfg = SpectrogramConfig { centered: false, ..Default::default() };
+        let cfg = SpectrogramConfig {
+            centered: false,
+            ..Default::default()
+        };
         let strong = spectrogram(&sig_strong, cfg).unwrap().mean_profile_db();
         let weak = spectrogram(&sig_weak, cfg).unwrap().mean_profile_db();
         // Each is self-normalized to 0 dB at its own peak, so the profiles match.
@@ -174,21 +196,32 @@ mod tests {
     #[test]
     fn zero_hop_is_rejected() {
         let sig = vec![Complex64::ONE; 16];
-        let cfg = SpectrogramConfig { hop: 0, ..Default::default() };
+        let cfg = SpectrogramConfig {
+            hop: 0,
+            ..Default::default()
+        };
         assert!(spectrogram(&sig, cfg).is_err());
     }
 
     #[test]
     fn non_power_of_two_fft_is_rejected() {
         let sig = vec![Complex64::ONE; 16];
-        let cfg = SpectrogramConfig { fft_size: 100, ..Default::default() };
+        let cfg = SpectrogramConfig {
+            fft_size: 100,
+            ..Default::default()
+        };
         assert!(spectrogram(&sig, cfg).is_err());
     }
 
     #[test]
     fn short_signal_produces_single_padded_frame() {
         let sig = vec![Complex64::ONE; 10];
-        let cfg = SpectrogramConfig { fft_size: 64, hop: 64, window: WindowKind::Rectangular, centered: false };
+        let cfg = SpectrogramConfig {
+            fft_size: 64,
+            hop: 64,
+            window: WindowKind::Rectangular,
+            centered: false,
+        };
         let sg = spectrogram(&sig, cfg).unwrap();
         assert_eq!(sg.num_frames(), 1);
         assert_eq!(sg.frames_db[0].len(), 64);
@@ -196,7 +229,10 @@ mod tests {
 
     #[test]
     fn mean_profile_of_empty_spectrogram_is_empty() {
-        let sg = Spectrogram { config: SpectrogramConfig::default(), frames_db: Vec::new() };
+        let sg = Spectrogram {
+            config: SpectrogramConfig::default(),
+            frames_db: Vec::new(),
+        };
         assert!(sg.mean_profile_db().is_empty());
         assert!(sg.peak_location().is_none());
     }

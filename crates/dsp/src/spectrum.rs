@@ -62,7 +62,11 @@ impl PeakSearch {
             return None;
         }
         let fractional_bin = Self::parabolic_refine(power, bin);
-        Some(SpectralPeak { bin, fractional_bin, power: peak_power })
+        Some(SpectralPeak {
+            bin,
+            fractional_bin,
+            power: peak_power,
+        })
     }
 
     /// Finds the strongest peak in the complex spectrum directly.
@@ -81,7 +85,11 @@ impl PeakSearch {
         let left = power[(bin + n - 1) % n].max(f64::MIN_POSITIVE);
         let centre = power[bin].max(f64::MIN_POSITIVE);
         let right = power[(bin + 1) % n].max(f64::MIN_POSITIVE);
-        let (l, c, r) = (linear_to_db(left), linear_to_db(centre), linear_to_db(right));
+        let (l, c, r) = (
+            linear_to_db(left),
+            linear_to_db(centre),
+            linear_to_db(right),
+        );
         // When the tone sits exactly on a bin (no zero-padding) the
         // neighbouring bins carry only numerical noise; interpolating on
         // them would add a spurious fractional component.
@@ -117,7 +125,11 @@ impl PeakSearch {
                 power: power[i],
             })
             .collect();
-        peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap_or(std::cmp::Ordering::Equal));
+        peaks.sort_by(|a, b| {
+            b.power
+                .partial_cmp(&a.power)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         peaks
     }
 }
@@ -158,7 +170,10 @@ impl SidelobeProfile {
 /// is the Dirichlet (periodic sinc) kernel; the profile reports its level at
 /// integer chirp-bin offsets. Returns an [`FftError`] if the padded size is
 /// not a power of two.
-pub fn sidelobe_profile_db(num_bins: usize, padding_factor: usize) -> Result<SidelobeProfile, FftError> {
+pub fn sidelobe_profile_db(
+    num_bins: usize,
+    padding_factor: usize,
+) -> Result<SidelobeProfile, FftError> {
     let padded = num_bins
         .checked_mul(padding_factor)
         .ok_or(FftError::SizeNotPowerOfTwo { size: usize::MAX })?;
@@ -182,11 +197,16 @@ pub fn sidelobe_profile_db(num_bins: usize, padding_factor: usize) -> Result<Sid
             }
             let lo = (offset - 1) * padding_factor + 1;
             let hi = (offset * padding_factor).min(padded - 1);
-            let max_p = (lo..=hi).map(|i| power[i]).fold(f64::MIN_POSITIVE, f64::max);
+            let max_p = (lo..=hi)
+                .map(|i| power[i])
+                .fold(f64::MIN_POSITIVE, f64::max);
             linear_to_db(max_p / main)
         })
         .collect();
-    Ok(SidelobeProfile { padding_factor, level_db_at_bin_offset })
+    Ok(SidelobeProfile {
+        padding_factor,
+        level_db_at_bin_offset,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +231,9 @@ mod tests {
     #[test]
     fn power_spectrum_db_of_all_zero_is_neg_infinity() {
         let spec = vec![Complex64::ZERO; 4];
-        assert!(power_spectrum_db(&spec).iter().all(|d| *d == f64::NEG_INFINITY));
+        assert!(power_spectrum_db(&spec)
+            .iter()
+            .all(|d| *d == f64::NEG_INFINITY));
     }
 
     #[test]
@@ -244,7 +266,10 @@ mod tests {
         let spec = plan.forward_zero_padded(&tone).unwrap();
         let peak = PeakSearch::strongest_complex(&spec).unwrap();
         let est = peak.fractional_bin / 8.0;
-        assert!((est - true_bin).abs() < 0.05, "estimated {est}, expected {true_bin}");
+        assert!(
+            (est - true_bin).abs() < 0.05,
+            "estimated {est}, expected {true_bin}"
+        );
     }
 
     #[test]
@@ -273,9 +298,18 @@ mod tests {
         assert_eq!(profile.level_at_offset(0), 0.0);
         let skip2 = profile.level_at_offset(2);
         let skip3 = profile.level_at_offset(3);
-        assert!((-15.0..=-11.0).contains(&skip2), "SKIP=2 level {skip2} dB not near -13 dB");
-        assert!((-23.0..=-16.0).contains(&skip3), "SKIP=3 level {skip3} dB not in expected band");
-        assert!(skip3 < skip2 - 3.0, "side lobes must keep falling with distance");
+        assert!(
+            (-15.0..=-11.0).contains(&skip2),
+            "SKIP=2 level {skip2} dB not near -13 dB"
+        );
+        assert!(
+            (-23.0..=-16.0).contains(&skip3),
+            "SKIP=3 level {skip3} dB not in expected band"
+        );
+        assert!(
+            skip3 < skip2 - 3.0,
+            "side lobes must keep falling with distance"
+        );
         // Side lobes keep falling off further away.
         assert!(profile.level_at_offset(50) < profile.level_at_offset(3));
         // Tolerable power difference is the negation.

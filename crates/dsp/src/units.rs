@@ -95,7 +95,10 @@ mod tests {
     fn db_linear_round_trip() {
         for db in [-120.0, -35.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
             let lin = db_to_linear(db);
-            assert!((linear_to_db(lin) - db).abs() < 1e-9, "round trip failed at {db}");
+            assert!(
+                (linear_to_db(lin) - db).abs() < 1e-9,
+                "round trip failed at {db}"
+            );
         }
     }
 
@@ -138,7 +141,10 @@ mod tests {
         // kTB at 290 K is -174 dBm/Hz; over 500 kHz that is about -117 dBm,
         // plus a 6 dB noise figure -> about -111 dBm.
         let n = thermal_noise_dbm(500e3, DEFAULT_NOISE_FIGURE_DB);
-        assert!((n - (-111.0)).abs() < 1.0, "noise floor {n} dBm not near -111 dBm");
+        assert!(
+            (n - (-111.0)).abs() < 1.0,
+            "noise floor {n} dBm not near -111 dBm"
+        );
         // 1 Hz reference.
         let per_hz = thermal_noise_dbm(1.0, 0.0);
         assert!((per_hz - (-174.0)).abs() < 0.5, "per-Hz floor {per_hz}");

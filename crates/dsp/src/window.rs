@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn rectangular_window_is_all_ones() {
-        assert!(WindowKind::Rectangular.generate(16).iter().all(|v| *v == 1.0));
+        assert!(WindowKind::Rectangular
+            .generate(16)
+            .iter()
+            .all(|v| *v == 1.0));
         assert_eq!(WindowKind::Rectangular.coherent_gain(16), 1.0);
     }
 

@@ -27,7 +27,11 @@ impl AggregatedBand {
     /// Creates an aggregated band of `factor` chirp bandwidths
     /// (`factor ≥ 1`; the paper's example uses 2).
     pub fn new(params: ChirpParams, factor: usize) -> Self {
-        Self { params, factor: factor.max(1), synth: ChirpSynthesizer::new(params) }
+        Self {
+            params,
+            factor: factor.max(1),
+            synth: ChirpSynthesizer::new(params),
+        }
     }
 
     /// The chirp parameters of each sub-band.
@@ -69,7 +73,13 @@ impl AggregatedBand {
     /// baseline chirp, wrapping within the aggregate band exactly as in
     /// Fig. 5 of the paper (frequencies above the aggregate Nyquist alias
     /// down to the bottom of the band).
-    pub fn device_symbol(&self, band: usize, shift: usize, bit: bool, amplitude: f64) -> Vec<Complex64> {
+    pub fn device_symbol(
+        &self,
+        band: usize,
+        shift: usize,
+        bit: bool,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
         let total = self.samples_per_symbol();
         if !bit {
             return vec![Complex64::ZERO; total];
@@ -109,7 +119,11 @@ impl AggregatedReceiver {
             .iter()
             .map(|c| c.conj())
             .collect();
-        Ok(Self { band, fft, downchirp })
+        Ok(Self {
+            band,
+            fft,
+            downchirp,
+        })
     }
 
     /// The aggregated band this receiver decodes.
@@ -122,10 +136,16 @@ impl AggregatedReceiver {
     pub fn bin_powers(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
         let expected = self.band.samples_per_symbol();
         if symbol.len() != expected {
-            return Err(FftError::LengthMismatch { expected, actual: symbol.len() });
+            return Err(FftError::LengthMismatch {
+                expected,
+                actual: symbol.len(),
+            });
         }
-        let mut dechirped: Vec<Complex64> =
-            symbol.iter().zip(self.downchirp.iter()).map(|(s, d)| *s * *d).collect();
+        let mut dechirped: Vec<Complex64> = symbol
+            .iter()
+            .zip(self.downchirp.iter())
+            .map(|(s, d)| *s * *d)
+            .collect();
         self.fft.forward_in_place(&mut dechirped)?;
         Ok(power_spectrum(&dechirped))
     }
@@ -155,7 +175,7 @@ mod tests {
         assert_eq!(band.global_bin(0, 10), 10);
         assert_eq!(band.global_bin(1, 10), 266);
         assert_eq!(band.global_bin(2, 10), 10); // band wraps
-        // Factor 0 clamps to 1.
+                                                // Factor 0 clamps to 1.
         assert_eq!(AggregatedBand::new(params(), 0).factor(), 1);
     }
 
@@ -169,7 +189,11 @@ mod tests {
             let peak = (0..powers.len())
                 .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
                 .unwrap();
-            assert_eq!(peak, rx.band().global_bin(band, shift), "band {band} shift {shift}");
+            assert_eq!(
+                peak,
+                rx.band().global_bin(band, shift),
+                "band {band} shift {shift}"
+            );
         }
     }
 
@@ -177,7 +201,12 @@ mod tests {
     fn devices_in_both_subbands_decode_concurrently_with_one_fft() {
         let p = params();
         let rx = AggregatedReceiver::new(p, 2).unwrap();
-        let users = [(0usize, 10usize, true), (0, 100, false), (1, 10, true), (1, 200, true)];
+        let users = [
+            (0usize, 10usize, true),
+            (0, 100, false),
+            (1, 10, true),
+            (1, 200, true),
+        ];
         let total = rx.band().samples_per_symbol();
         let mut agg = vec![Complex64::ZERO; total];
         for &(band, shift, bit) in &users {
@@ -190,7 +219,11 @@ mod tests {
         let n = total as f64;
         let threshold = 0.25 * n * n;
         for &(band, shift, bit) in &users {
-            assert_eq!(rx.decide(&powers, band, shift, threshold), bit, "band {band} shift {shift}");
+            assert_eq!(
+                rx.decide(&powers, band, shift, threshold),
+                bit,
+                "band {band} shift {shift}"
+            );
         }
     }
 

@@ -23,7 +23,11 @@ pub struct AskModulator {
 
 impl Default for AskModulator {
     fn default() -> Self {
-        Self { samples_per_bit: 8, amplitude: 1.0, low_ratio: 0.1 }
+        Self {
+            samples_per_bit: 8,
+            amplitude: 1.0,
+            low_ratio: 0.1,
+        }
     }
 }
 
@@ -32,7 +36,11 @@ impl AskModulator {
     pub fn modulate(&self, bits: &[bool]) -> Vec<Complex64> {
         let mut out = Vec::with_capacity(bits.len() * self.samples_per_bit);
         for &bit in bits {
-            let a = if bit { self.amplitude } else { self.amplitude * self.low_ratio };
+            let a = if bit {
+                self.amplitude
+            } else {
+                self.amplitude * self.low_ratio
+            };
             out.extend(std::iter::repeat(Complex64::new(a, 0.0)).take(self.samples_per_bit));
         }
         out
@@ -49,7 +57,9 @@ pub struct EnvelopeDetector {
 
 impl Default for EnvelopeDetector {
     fn default() -> Self {
-        Self { sensitivity_dbm: -49.0 }
+        Self {
+            sensitivity_dbm: -49.0,
+        }
     }
 }
 
@@ -109,7 +119,11 @@ mod tests {
 
     #[test]
     fn modulate_produces_expected_length_and_levels() {
-        let m = AskModulator { samples_per_bit: 4, amplitude: 2.0, low_ratio: 0.0 };
+        let m = AskModulator {
+            samples_per_bit: 4,
+            amplitude: 2.0,
+            low_ratio: 0.0,
+        };
         let s = m.modulate(&[true, false, true]);
         assert_eq!(s.len(), 12);
         assert!((s[0].abs() - 2.0).abs() < 1e-12);
@@ -141,7 +155,10 @@ mod tests {
 
     #[test]
     fn measured_rssi_matches_scaling_target() {
-        let m = AskModulator { low_ratio: 1.0, ..Default::default() }; // constant envelope
+        let m = AskModulator {
+            low_ratio: 1.0,
+            ..Default::default()
+        }; // constant envelope
         let det = EnvelopeDetector::default();
         let tx = m.modulate(&[true; 32]);
         for target in [-30.0, -45.0, -48.9] {
@@ -155,6 +172,9 @@ mod tests {
         let det = EnvelopeDetector::default();
         assert!(det.demodulate(&[], 8).is_none());
         assert!(det.demodulate(&[Complex64::ONE; 4], 0).is_none());
-        assert_eq!(EnvelopeDetector::scale_to_rssi(&[Complex64::ZERO; 4], -30.0), vec![Complex64::ZERO; 4]);
+        assert_eq!(
+            EnvelopeDetector::scale_to_rssi(&[Complex64::ZERO; 4], -30.0),
+            vec![Complex64::ZERO; 4]
+        );
     }
 }

@@ -28,7 +28,10 @@ impl OnOffModulator {
     /// Creates a modulator for a device assigned the given cyclic shift.
     pub fn new(params: ChirpParams, assigned_shift: usize) -> Self {
         let assigned_shift = assigned_shift % params.num_bins();
-        Self { synth: ChirpSynthesizer::new(params), assigned_shift }
+        Self {
+            synth: ChirpSynthesizer::new(params),
+            assigned_shift,
+        }
     }
 
     /// The cyclic shift this device is assigned.
@@ -51,7 +54,12 @@ impl OnOffModulator {
         amplitude: f64,
     ) -> Vec<Complex64> {
         if bit {
-            self.synth.impaired_upchirp(self.assigned_shift, timing_offset_s, freq_offset_hz, amplitude)
+            self.synth.impaired_upchirp(
+                self.assigned_shift,
+                timing_offset_s,
+                freq_offset_hz,
+                amplitude,
+            )
         } else {
             vec![Complex64::ZERO; self.params().num_bins()]
         }
@@ -66,7 +74,12 @@ impl OnOffModulator {
         freq_offset_hz: f64,
         amplitude: f64,
     ) -> Vec<Complex64> {
-        self.synth.impaired_downchirp(self.assigned_shift, timing_offset_s, freq_offset_hz, amplitude)
+        self.synth.impaired_downchirp(
+            self.assigned_shift,
+            timing_offset_s,
+            freq_offset_hz,
+            amplitude,
+        )
     }
 
     /// Modulates a full payload bit sequence into consecutive symbols.
@@ -111,7 +124,11 @@ impl ConcurrentDemodulator {
     pub fn new(params: ChirpParams, zero_padding: usize) -> Result<Self, FftError> {
         let zero_padding = zero_padding.max(1);
         let fft = Fft::new(params.num_bins() * zero_padding)?;
-        Ok(Self { synth: ChirpSynthesizer::new(params), fft, zero_padding })
+        Ok(Self {
+            synth: ChirpSynthesizer::new(params),
+            fft,
+            zero_padding,
+        })
     }
 
     /// The chirp parameters in use.
@@ -222,7 +239,11 @@ impl ConcurrentDemodulator {
             .zip(thresholds.iter())
             .map(|(&bin, &thr)| {
                 let power = self.device_power(&padded, bin, search_halfwidth_bins);
-                SymbolDecision { assigned_bin: bin, power, bit: power > thr }
+                SymbolDecision {
+                    assigned_bin: bin,
+                    power,
+                    bit: power > thr,
+                }
             })
             .collect())
     }
@@ -269,7 +290,9 @@ mod tests {
         let d = ConcurrentDemodulator::new(p, 8).unwrap();
         let sym = m.symbol(true, 0.0, 0.0, 1.0);
         let spec = d.padded_spectrum(&sym).unwrap();
-        let peak = (0..spec.len()).max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap()).unwrap();
+        let peak = (0..spec.len())
+            .max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap())
+            .unwrap();
         assert_eq!(peak, 100 * 8);
         assert!(d.device_power(&spec, 100, 1.0) >= spec[peak] * 0.999);
     }
@@ -289,7 +312,9 @@ mod tests {
         let rx = superpose(&symbols);
         let n2 = (p.num_bins() as f64).powi(2);
         let thresholds = vec![n2 * 0.25; assignments.len()];
-        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
+        let decisions = demod
+            .demodulate_symbol(&rx, &assignments, &thresholds, 1.0)
+            .unwrap();
         for (dec, &expected) in decisions.iter().zip(&bits) {
             assert_eq!(dec.bit, expected, "device at bin {}", dec.assigned_bin);
         }
@@ -317,9 +342,18 @@ mod tests {
         let n = p.num_bins() as f64;
         // Expected on-peak power ~ (amplitude*n)^2; threshold at a quarter.
         let thresholds = vec![amplitude * amplitude * n * n * 0.25; assignments.len()];
-        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
-        let errors = decisions.iter().zip(&bits).filter(|(d, b)| d.bit != **b).count();
-        assert!(errors <= 1, "too many errors below the noise floor: {errors}");
+        let decisions = demod
+            .demodulate_symbol(&rx, &assignments, &thresholds, 1.0)
+            .unwrap();
+        let errors = decisions
+            .iter()
+            .zip(&bits)
+            .filter(|(d, b)| d.bit != **b)
+            .count();
+        assert!(
+            errors <= 1,
+            "too many errors below the noise floor: {errors}"
+        );
     }
 
     #[test]
@@ -333,15 +367,23 @@ mod tests {
         let n2 = (p.num_bins() as f64).powi(2);
         let within = demod.device_power(&spec, 200, 1.0);
         let without = demod.device_power(&spec, 200, 0.0);
-        assert!(within > 0.5 * n2, "search window should capture the shifted peak");
-        assert!(without < within, "zero-width search misses the shifted peak");
+        assert!(
+            within > 0.5 * n2,
+            "search window should capture the shifted peak"
+        );
+        assert!(
+            without < within,
+            "zero-width search misses the shifted peak"
+        );
     }
 
     #[test]
     fn wrong_symbol_length_is_rejected() {
         let demod = ConcurrentDemodulator::new(params(), 8).unwrap();
         assert!(demod.padded_spectrum(&[Complex64::ONE; 100]).is_err());
-        assert!(demod.padded_spectrum_downchirp(&[Complex64::ONE; 100]).is_err());
+        assert!(demod
+            .padded_spectrum_downchirp(&[Complex64::ONE; 100])
+            .is_err());
     }
 
     #[test]
@@ -370,7 +412,9 @@ mod tests {
         // Threshold calibrated for a unit-amplitude device.
         let n = p.num_bins() as f64;
         let thresholds = vec![n * n * 0.25; 4];
-        let decisions = demod.demodulate_symbol(&rx, &assignments, &thresholds, 1.0).unwrap();
+        let decisions = demod
+            .demodulate_symbol(&rx, &assignments, &thresholds, 1.0)
+            .unwrap();
         assert!(decisions.iter().all(|d| !d.bit));
     }
 
@@ -381,7 +425,9 @@ mod tests {
         let demod = ConcurrentDemodulator::new(p, 4).unwrap();
         let sym = m.preamble_downchirp(0.0, 0.0, 1.0);
         let spec = demod.padded_spectrum_downchirp(&sym).unwrap();
-        let peak = (0..spec.len()).max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap()).unwrap();
+        let peak = (0..spec.len())
+            .max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap())
+            .unwrap();
         // Downchirps dechirped with the upchirp mirror the bin: N - shift.
         assert_eq!(peak / 4, p.num_bins() - 40);
     }

@@ -21,7 +21,9 @@ pub struct LoraModulator {
 impl LoraModulator {
     /// Creates a modulator for the given chirp parameters.
     pub fn new(params: ChirpParams) -> Self {
-        Self { synth: ChirpSynthesizer::new(params) }
+        Self {
+            synth: ChirpSynthesizer::new(params),
+        }
     }
 
     /// The chirp parameters in use.
@@ -67,7 +69,12 @@ impl LoraModulator {
         let n = self.params().num_bins();
         let mut out = Vec::with_capacity(symbols.len() * n);
         for s in symbols {
-            out.extend(self.synth.shifted_upchirp(s).into_iter().map(|c| c.scale(amplitude)));
+            out.extend(
+                self.synth
+                    .shifted_upchirp(s)
+                    .into_iter()
+                    .map(|c| c.scale(amplitude)),
+            );
         }
         out
     }
@@ -84,7 +91,10 @@ impl LoraDemodulator {
     /// Creates a demodulator for the given chirp parameters.
     pub fn new(params: ChirpParams) -> Self {
         let fft = Fft::new(params.num_bins()).expect("2^SF is a power of two");
-        Self { synth: ChirpSynthesizer::new(params), fft }
+        Self {
+            synth: ChirpSynthesizer::new(params),
+            fft,
+        }
     }
 
     /// The chirp parameters in use.
@@ -109,7 +119,10 @@ impl LoraDemodulator {
     /// Trailing partial symbols are ignored.
     pub fn demodulate_symbols(&self, samples: &[Complex64]) -> Vec<usize> {
         let n = self.params().num_bins();
-        samples.chunks_exact(n).filter_map(|chunk| self.demodulate_symbol(chunk)).collect()
+        samples
+            .chunks_exact(n)
+            .filter_map(|chunk| self.demodulate_symbol(chunk))
+            .collect()
     }
 
     /// Demodulates a burst into bits (`SF` per symbol, MSB first).
@@ -174,7 +187,11 @@ mod tests {
         let clean = m.modulate(&bits);
         let noisy = add_awgn_snr(&mut rng, &clean, -10.0);
         let rx = d.demodulate_bits(&noisy);
-        let errors = rx[..bits.len()].iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let errors = rx[..bits.len()]
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count();
         assert!(errors == 0, "unexpected bit errors at -10 dB SNR: {errors}");
     }
 
@@ -188,8 +205,15 @@ mod tests {
         let clean = m.modulate(&bits);
         let noisy = add_awgn_snr(&mut rng, &clean, -35.0);
         let rx = d.demodulate_bits(&noisy);
-        let errors = rx[..bits.len()].iter().zip(&bits).filter(|(a, b)| a != b).count();
-        assert!(errors > 0, "decoding 35 dB below the noise floor should not be error free");
+        let errors = rx[..bits.len()]
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            errors > 0,
+            "decoding 35 dB below the noise floor should not be error free"
+        );
     }
 
     #[test]

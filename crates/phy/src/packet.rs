@@ -19,7 +19,11 @@ pub fn crc8(data: &[u8]) -> u8 {
     for &byte in data {
         crc ^= byte;
         for _ in 0..8 {
-            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
         }
     }
     crc
@@ -27,14 +31,20 @@ pub fn crc8(data: &[u8]) -> u8 {
 
 /// Expands bytes into bits, most significant bit first.
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
-    bytes.iter().flat_map(|b| (0..8).map(move |i| (b >> (7 - i)) & 1 == 1)).collect()
+    bytes
+        .iter()
+        .flat_map(|b| (0..8).map(move |i| (b >> (7 - i)) & 1 == 1))
+        .collect()
 }
 
 /// Packs bits (MSB first) into bytes; the last byte is zero-padded.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
     bits.chunks(8)
         .map(|chunk| {
-            chunk.iter().enumerate().fold(0u8, |acc, (i, b)| if *b { acc | (1 << (7 - i)) } else { acc })
+            chunk.iter().enumerate().fold(
+                0u8,
+                |acc, (i, b)| if *b { acc | (1 << (7 - i)) } else { acc },
+            )
         })
         .collect()
 }
@@ -156,7 +166,7 @@ mod tests {
         assert_eq!(bits.len(), 40);
         assert_eq!(bits_to_bytes(&bits), bytes);
         // MSB first: 0x80 -> true followed by seven falses.
-        assert_eq!(bytes_to_bits(&[0x80])[0], true);
+        assert!(bytes_to_bits(&[0x80])[0]);
         assert!(bytes_to_bits(&[0x80])[1..].iter().all(|b| !b));
     }
 

@@ -43,20 +43,39 @@ impl ModulationConfig {
     pub fn new(bandwidth_hz: f64, spreading_factor: u32) -> Result<Self, ChirpParamsError> {
         // Validate via ChirpParams.
         ChirpParams::new(bandwidth_hz, spreading_factor)?;
-        Ok(Self { bandwidth_hz, spreading_factor, noise_figure_db: DEFAULT_NOISE_FIGURE_DB })
+        Ok(Self {
+            bandwidth_hz,
+            spreading_factor,
+            noise_figure_db: DEFAULT_NOISE_FIGURE_DB,
+        })
     }
 
     /// The paper's deployment configuration: 500 kHz, SF 9.
     pub fn paper_default() -> Self {
-        Self { bandwidth_hz: 500e3, spreading_factor: 9, noise_figure_db: DEFAULT_NOISE_FIGURE_DB }
+        Self {
+            bandwidth_hz: 500e3,
+            spreading_factor: 9,
+            noise_figure_db: DEFAULT_NOISE_FIGURE_DB,
+        }
     }
 
     /// The six rows of Table 1, in order.
     pub fn table1_rows() -> Vec<Self> {
-        [(500e3, 9), (500e3, 8), (250e3, 8), (250e3, 7), (125e3, 7), (125e3, 6)]
-            .into_iter()
-            .map(|(bw, sf)| Self { bandwidth_hz: bw, spreading_factor: sf, noise_figure_db: DEFAULT_NOISE_FIGURE_DB })
-            .collect()
+        [
+            (500e3, 9),
+            (500e3, 8),
+            (250e3, 8),
+            (250e3, 7),
+            (125e3, 7),
+            (125e3, 6),
+        ]
+        .into_iter()
+        .map(|(bw, sf)| Self {
+            bandwidth_hz: bw,
+            spreading_factor: sf,
+            noise_figure_db: DEFAULT_NOISE_FIGURE_DB,
+        })
+        .collect()
     }
 
     /// The underlying chirp parameters.
@@ -90,7 +109,8 @@ impl ModulationConfig {
     /// Receiver sensitivity in dBm: thermal floor over `BW` plus the minimum
     /// demodulation SNR of the spreading factor (Table 1 "Sensitivity").
     pub fn sensitivity_dbm(&self) -> f64 {
-        thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db) + required_snr_db(self.spreading_factor)
+        thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)
+            + required_snr_db(self.spreading_factor)
     }
 
     /// Number of FFT bins / concurrent devices supported, `2^SF`.
@@ -219,7 +239,10 @@ mod tests {
         // The paper's config-2 query (1760 bits) takes 11 ms.
         assert!((profile.downlink_duration_s(1760) - 0.011).abs() < 1e-12);
         // SKIP=0 is treated as 1.
-        let p = PhyProfile { skip: 0, ..Default::default() };
+        let p = PhyProfile {
+            skip: 0,
+            ..Default::default()
+        };
         assert_eq!(p.max_concurrent_devices(), 512);
     }
 

@@ -39,18 +39,32 @@ pub struct PreambleBuilder {
 impl PreambleBuilder {
     /// Creates a builder for a device assigned the given cyclic shift.
     pub fn new(params: ChirpParams, assigned_shift: usize) -> Self {
-        Self { modulator: OnOffModulator::new(params, assigned_shift) }
+        Self {
+            modulator: OnOffModulator::new(params, assigned_shift),
+        }
     }
 
     /// Generates the full 8-symbol preamble with the device's impairments.
-    pub fn build(&self, timing_offset_s: f64, freq_offset_hz: f64, amplitude: f64) -> Vec<Complex64> {
+    pub fn build(
+        &self,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+    ) -> Vec<Complex64> {
         let n = self.modulator.params().num_bins();
         let mut out = Vec::with_capacity(PREAMBLE_SYMBOLS * n);
         for _ in 0..PREAMBLE_UPCHIRPS {
-            out.extend(self.modulator.symbol(true, timing_offset_s, freq_offset_hz, amplitude));
+            out.extend(
+                self.modulator
+                    .symbol(true, timing_offset_s, freq_offset_hz, amplitude),
+            );
         }
         for _ in 0..PREAMBLE_DOWNCHIRPS {
-            out.extend(self.modulator.preamble_downchirp(timing_offset_s, freq_offset_hz, amplitude));
+            out.extend(self.modulator.preamble_downchirp(
+                timing_offset_s,
+                freq_offset_hz,
+                amplitude,
+            ));
         }
         out
     }
@@ -76,12 +90,29 @@ pub struct PreambleDetector {
     /// Peak-search window half-width (chirp bins) used when following a
     /// device across preamble symbols.
     pub search_halfwidth_bins: f64,
+    /// Forward bias (chirp bins) of the search window's centre relative to
+    /// the assigned bin. Hardware delays are one-sided — a tag can only
+    /// respond *late*, never early (§3.2.1) — so the peak always lands at or
+    /// after the assigned bin. Biasing the window forward covers delays of
+    /// up to `search_forward_bias_bins + search_halfwidth_bins` while only
+    /// reaching `search_halfwidth_bins − search_forward_bias_bins` backwards
+    /// (enough for the sub-bin CFO excursions of Fig. 14a), and keeps
+    /// adjacent SKIP-spaced devices from capturing each other's peaks.
+    pub search_forward_bias_bins: f64,
 }
 
 impl PreambleDetector {
     /// Creates a detector with the given zero-padding factor.
+    ///
+    /// The default window spans `[bin − 0.25, bin + 1.75]`: delays of up to
+    /// 3.5 µs at 500 kHz move a peak 1.75 bins forward, while CFO never
+    /// moves it more than ~0.16 bins in either direction.
     pub fn new(params: ChirpParams, zero_padding: usize) -> Result<Self, FftError> {
-        Ok(Self { demod: ConcurrentDemodulator::new(params, zero_padding)?, search_halfwidth_bins: 1.0 })
+        Ok(Self {
+            demod: ConcurrentDemodulator::new(params, zero_padding)?,
+            search_halfwidth_bins: 1.0,
+            search_forward_bias_bins: 0.75,
+        })
     }
 
     /// Access to the underlying concurrent demodulator.
@@ -149,7 +180,11 @@ impl PreambleDetector {
             let measurements: Vec<(f64, f64)> = spectra
                 .iter()
                 .map(|spec| {
-                    self.demod.device_power_at(spec, bin as f64, self.search_halfwidth_bins)
+                    self.demod.device_power_at(
+                        spec,
+                        bin as f64 + self.search_forward_bias_bins,
+                        self.search_halfwidth_bins,
+                    )
                 })
                 .collect();
             if measurements.iter().all(|(p, _)| *p > min_power) {
@@ -157,7 +192,11 @@ impl PreambleDetector {
                     measurements.iter().map(|(p, _)| *p).sum::<f64>() / measurements.len() as f64;
                 let observed_bin =
                     measurements.iter().map(|(_, b)| *b).sum::<f64>() / measurements.len() as f64;
-                detected.push(DetectedDevice { chirp_bin: bin, average_power, observed_bin });
+                detected.push(DetectedDevice {
+                    chirp_bin: bin,
+                    average_power,
+                    observed_bin,
+                });
             }
         }
         Ok(detected)
@@ -202,7 +241,9 @@ mod tests {
         let pre = PreambleBuilder::new(p, 100).build(0.0, 0.0, 1.0);
         let det = PreambleDetector::new(p, 4).unwrap();
         let n2 = (p.num_bins() as f64).powi(2);
-        let found = det.detect_devices(&pre, &[0, 50, 100, 150], n2 * 0.1).unwrap();
+        let found = det
+            .detect_devices(&pre, &[0, 50, 100, 150], n2 * 0.1)
+            .unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].chirp_bin, 100);
         assert!((found[0].average_power - n2).abs() / n2 < 0.05);
@@ -279,12 +320,16 @@ mod tests {
     #[test]
     fn packet_start_estimation_rejects_too_short_stream() {
         let det = PreambleDetector::new(params(), 2).unwrap();
-        assert!(det.estimate_packet_start(&[Complex64::ONE; 100], 10).is_none());
+        assert!(det
+            .estimate_packet_start(&[Complex64::ONE; 100], 10)
+            .is_none());
     }
 
     #[test]
     fn detect_devices_rejects_short_preamble() {
         let det = PreambleDetector::new(params(), 2).unwrap();
-        assert!(det.detect_devices(&[Complex64::ONE; 100], &[0], 0.1).is_err());
+        assert!(det
+            .detect_devices(&[Complex64::ONE; 100], &[0], 0.1)
+            .is_err());
     }
 }

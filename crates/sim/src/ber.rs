@@ -104,8 +104,10 @@ pub fn max_tolerable_power_difference_db<R: Rng + ?Sized>(
             freq_mismatch_sigma_hz: 300.0,
             zero_padding: 8,
         };
-        // High victim SNR so the limit is interference, not noise.
-        let ber = near_far_ber(rng, &config, 5.0, symbols_per_point);
+        // High victim SNR so the limit is interference, not noise: at +5 dB
+        // the residual AWGN floor (~0.3% BER) is visible in short sweeps,
+        // which would misattribute noise errors to the interferer.
+        let ber = near_far_ber(rng, &config, 15.0, symbols_per_point);
         if ber <= target_ber {
             tolerated = delta;
         } else {
@@ -127,7 +129,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let cfg = NearFarConfig::paper(0.0);
         let ber = near_far_ber(&mut rng, &cfg, -10.0, 300);
-        assert!(ber < 0.02, "BER {ber} too high at -10 dB SNR with an equal-power interferer");
+        assert!(
+            ber < 0.02,
+            "BER {ber} too high at -10 dB SNR with an equal-power interferer"
+        );
     }
 
     #[test]
@@ -146,7 +151,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let cfg = NearFarConfig::paper(35.0);
         let ber = near_far_ber(&mut rng, &cfg, -10.0, 300);
-        assert!(ber < 0.05, "BER {ber} too high with a 35 dB stronger interferer");
+        assert!(
+            ber < 0.05,
+            "BER {ber} too high with a 35 dB stronger interferer"
+        );
     }
 
     #[test]
@@ -160,16 +168,29 @@ mod tests {
             ..NearFarConfig::paper(30.0)
         };
         let ber = near_far_ber(&mut rng, &cfg, -10.0, 200);
-        assert!(ber > 0.05, "BER {ber} unexpectedly low for an adjacent strong interferer");
+        assert!(
+            ber > 0.05,
+            "BER {ber} unexpectedly low for an adjacent strong interferer"
+        );
     }
 
     #[test]
     fn tolerable_power_difference_grows_with_bin_separation() {
         let mut rng = StdRng::seed_from_u64(25);
         let params = ChirpParams::new(500e3, 9).unwrap();
-        let near = max_tolerable_power_difference_db(&mut rng, params, 2, 0.01, 60, 40.0);
-        let far = max_tolerable_power_difference_db(&mut rng, params, 256, 0.01, 60, 40.0);
-        assert!(far >= near, "far separation ({far} dB) should tolerate at least as much as near ({near} dB)");
-        assert!(far >= 30.0, "mid-spectrum separation should tolerate ≥30 dB, got {far}");
+        // The 300 Hz CFO tail gives an interference-independent BER floor of
+        // ~0.3%, and with 60 symbols per point a single error already reads
+        // as 1.7% — so the target must sit above both, or the sweep aborts
+        // on a stray CFO outlier rather than on actual interference.
+        let near = max_tolerable_power_difference_db(&mut rng, params, 2, 0.05, 60, 40.0);
+        let far = max_tolerable_power_difference_db(&mut rng, params, 256, 0.05, 60, 40.0);
+        assert!(
+            far >= near,
+            "far separation ({far} dB) should tolerate at least as much as near ({near} dB)"
+        );
+        assert!(
+            far >= 30.0,
+            "mid-spectrum separation should tolerate ≥30 dB, got {far}"
+        );
     }
 }

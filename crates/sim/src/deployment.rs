@@ -91,13 +91,16 @@ pub struct Deployment {
 impl Deployment {
     /// Generates a deployment with the given RNG.
     pub fn generate<R: Rng + ?Sized>(config: DeploymentConfig, rng: &mut R) -> Self {
-        let plan = Floorplan::office_grid(config.rooms_x, config.rooms_y, config.room_w, config.room_d);
+        let plan =
+            Floorplan::office_grid(config.rooms_x, config.rooms_y, config.room_w, config.room_d);
         let (w, d) = plan.extent();
         let ap = Position::new(w / 2.0, d / 2.0);
         let pathloss = IndoorPathLoss::default();
         let budget = LinkBudget::default();
-        let noise_floor =
-            thermal_noise_dbm(config.profile.modulation.bandwidth_hz, config.profile.modulation.noise_figure_db);
+        let noise_floor = thermal_noise_dbm(
+            config.profile.modulation.bandwidth_hz,
+            config.profile.modulation.noise_figure_db,
+        );
         let (pl_min, pl_max) = config.one_way_path_loss_range_db;
         let mut devices = Vec::with_capacity(config.num_devices);
         for _ in 0..config.num_devices {
@@ -131,7 +134,11 @@ impl Deployment {
             }
             devices.push(chosen.expect("max_retries >= 1"));
         }
-        Self { config, ap, devices }
+        Self {
+            config,
+            ap,
+            devices,
+        }
     }
 
     /// Uplink RSSI values of all devices, in dBm.
@@ -180,7 +187,10 @@ mod tests {
             .iter()
             .filter(|d| d.downlink_rssi_dbm >= -49.0)
             .count();
-        assert!(hear as f64 > 0.9 * 256.0, "only {hear} devices hear the query");
+        assert!(
+            hear as f64 > 0.9 * 256.0,
+            "only {hear} devices hear the query"
+        );
         // The interesting regime: a sizeable fraction of uplinks below the noise floor.
         let below = dep.devices.iter().filter(|d| d.uplink_snr_db < 0.0).count();
         assert!(below > 40, "only {below} devices are below the noise floor");

@@ -69,14 +69,30 @@ pub fn fig04(scale: Scale, seed: u64) -> String {
     let params = ChirpParams::new(500e3, 9).expect("paper parameters");
     let devices = scale.pick(32, 256);
     let packets = scale.pick(20, 200);
-    let tags =
-        fft_bin_variation_cdf(&mut rng, &ImpairmentModel::cots_backscatter(), params, devices, packets);
-    let radios =
-        fft_bin_variation_cdf(&mut rng, &ImpairmentModel::active_radio(), params, devices, packets);
+    let tags = fft_bin_variation_cdf(
+        &mut rng,
+        &ImpairmentModel::cots_backscatter(),
+        params,
+        devices,
+        packets,
+    );
+    let radios = fft_bin_variation_cdf(
+        &mut rng,
+        &ImpairmentModel::active_radio(),
+        params,
+        devices,
+        packets,
+    );
     let mut out = String::from("Fig. 4: CDF of delta-FFT-bin (BW=500 kHz, SF=9)\n  dFFTbin  CDF(backscatter)  CDF(LoRa radio)\n");
     for i in 0..=28 {
         let x = i as f64 * 0.25;
-        let _ = writeln!(out, "  {:7.2}  {:16.3}  {:15.3}", x, tags.probability_at_or_below(x), radios.probability_at_or_below(x));
+        let _ = writeln!(
+            out,
+            "  {:7.2}  {:16.3}  {:15.3}",
+            x,
+            tags.probability_at_or_below(x),
+            radios.probability_at_or_below(x)
+        );
     }
     let _ = writeln!(
         out,
@@ -92,7 +108,12 @@ pub fn fig08() -> String {
     let profile = sidelobe_profile_db(512, 8).expect("power-of-two sizes");
     let mut out = String::from("Fig. 8: side-lobe envelope vs. bin offset (SF=9, zero-padding 8x)\n  offset[bins]  level[dB]\n");
     for offset in [1usize, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256] {
-        let _ = writeln!(out, "  {:12}  {:9.2}", offset, profile.level_at_offset(offset));
+        let _ = writeln!(
+            out,
+            "  {:12}  {:9.2}",
+            offset,
+            profile.level_at_offset(offset)
+        );
     }
     let _ = writeln!(
         out,
@@ -130,7 +151,9 @@ pub fn fig12(scale: Scale, seed: u64) -> String {
     let symbols = scale.pick(200, 10_000);
     let snrs = [-20.0, -18.0, -16.0, -14.0, -12.0, -10.0];
     let deltas = [0.0, 35.0, 40.0, 45.0];
-    let mut out = String::from("Fig. 12: victim BER vs. SNR with a strong interferer (power-aware assignment)\n  SNR[dB]");
+    let mut out = String::from(
+        "Fig. 12: victim BER vs. SNR with a strong interferer (power-aware assignment)\n  SNR[dB]",
+    );
     for d in deltas {
         let _ = write!(out, "  delta={:>4.0}dB", d);
     }
@@ -204,17 +227,29 @@ pub fn fig14(scale: Scale, seed: u64) -> String {
 /// power dynamic range vs. FFT-bin separation.
 pub fn fig15(scale: Scale, seed: u64) -> String {
     let params = ChirpParams::new(500e3, 9).expect("paper parameters");
-    let mut out = String::from("Fig. 15a: Doppler delta-FFT-bin at 900 MHz\n  speed[m/s]  shift[Hz]  bins\n");
+    let mut out =
+        String::from("Fig. 15a: Doppler delta-FFT-bin at 900 MHz\n  speed[m/s]  shift[Hz]  bins\n");
     for speed in [0.0, 1.0, 3.0, 5.0] {
         let shift = backscatter_doppler_shift_hz(speed, 900e6);
-        let _ = writeln!(out, "  {:10.1}  {:9.1}  {:5.3}", speed, shift, params.frequency_offset_to_bins(shift));
+        let _ = writeln!(
+            out,
+            "  {:10.1}  {:9.1}  {:5.3}",
+            speed,
+            shift,
+            params.frequency_offset_to_bins(shift)
+        );
     }
     out.push_str("Fig. 15b: max tolerable power difference vs. bin separation\n  separation[bins]  tolerated[dB]\n");
     let mut rng = StdRng::seed_from_u64(seed);
     let symbols = scale.pick(60, 400);
+    // The target BER must sit above both the single-error quantum (1/symbols)
+    // and the ~0.3% CFO-tail error floor, or the sweep aborts on a stray
+    // noise outlier instead of actual interference (see the sibling test in
+    // ber.rs): 5% at 60 quick symbols, 1% at 400 full-scale symbols.
+    let target_ber = f64::max(0.01, 3.0 / symbols as f64);
     for sep in [2usize, 8, 32, 64, 128, 256] {
         let tolerated =
-            max_tolerable_power_difference_db(&mut rng, params, sep, 0.01, symbols, 45.0);
+            max_tolerable_power_difference_db(&mut rng, params, sep, target_ber, symbols, 45.0);
         let _ = writeln!(out, "  {:16}  {:13.0}", sep, tolerated);
     }
     out
@@ -231,17 +266,21 @@ pub fn fig16() -> String {
     let reference: f64 = {
         let sig = synth.oversampled_upchirp(0, 4, BackscatterGain::Full.amplitude());
         let sg = spectrogram(&sig, SpectrogramConfig::default()).expect("valid config");
-        sg.mean_profile_db().into_iter().fold(f64::NEG_INFINITY, f64::max)
+        sg.mean_profile_db()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     };
     for gain in BackscatterGain::ALL {
         let sig = synth.oversampled_upchirp(0, 4, gain.amplitude());
         // Use absolute power of the un-normalized signal: compute mean power and express vs full.
         let power_db = netscatter_dsp::linear_to_db(netscatter_dsp::complex::mean_power(&sig));
-        let full_db =
-            netscatter_dsp::linear_to_db(BackscatterGain::Full.amplitude().powi(2));
+        let full_db = netscatter_dsp::linear_to_db(BackscatterGain::Full.amplitude().powi(2));
         let _ = writeln!(out, "  {:8.0}  {:10.1}", gain.db(), power_db - full_db);
     }
-    let _ = writeln!(out, "(spectrogram reference peak, self-normalized: {reference:.1} dB)");
+    let _ = writeln!(
+        out,
+        "(spectrogram reference peak, self-normalized: {reference:.1} dB)"
+    );
     out
 }
 

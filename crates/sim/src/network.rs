@@ -81,7 +81,10 @@ pub fn netscatter_metrics(
     // power adaptation it fits inside the receiver dynamic range relative to
     // the strongest scheduled device. The Ideal variant skips the losses.
     let sensitivity = profile.modulation.sensitivity_dbm();
-    let strongest = devices.iter().map(|d| d.uplink_rssi_dbm).fold(f64::NEG_INFINITY, f64::max);
+    let strongest = devices
+        .iter()
+        .map(|d| d.uplink_rssi_dbm)
+        .fold(f64::NEG_INFINITY, f64::max);
     let delivered = devices
         .iter()
         .filter(|d| {
@@ -128,8 +131,10 @@ pub fn lora_backscatter_metrics(
 ) -> SchemeMetrics {
     let profile: PhyProfile = deployment.config.profile;
     let num_devices = num_devices.min(deployment.devices.len());
-    let rssi: Vec<f64> =
-        deployment.devices[..num_devices].iter().map(|d| d.uplink_rssi_dbm).collect();
+    let rssi: Vec<f64> = deployment.devices[..num_devices]
+        .iter()
+        .map(|d| d.uplink_rssi_dbm)
+        .collect();
     let net = LoraBackscatterNetwork::new(profile, scheme);
     let (phy, link, latency) = net.network_metrics(&rssi, payload_bits);
     let delivered = rssi
@@ -210,8 +215,14 @@ mod tests {
         let adapted = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::rate_adapted());
         let gain_fixed = ns.link_layer_rate_bps / fixed.link_layer_rate_bps;
         let gain_adapted = ns.link_layer_rate_bps / adapted.link_layer_rate_bps;
-        assert!(gain_fixed > 20.0, "gain over fixed-rate LoRa backscatter is only {gain_fixed:.1}x");
-        assert!(gain_adapted > 5.0, "gain over rate-adapted LoRa backscatter is only {gain_adapted:.1}x");
+        assert!(
+            gain_fixed > 20.0,
+            "gain over fixed-rate LoRa backscatter is only {gain_fixed:.1}x"
+        );
+        assert!(
+            gain_adapted > 5.0,
+            "gain over rate-adapted LoRa backscatter is only {gain_adapted:.1}x"
+        );
         let lat_gain = fixed.latency_s / ns.latency_s;
         assert!(lat_gain > 20.0, "latency gain only {lat_gain:.1}x");
     }

@@ -1,0 +1,51 @@
+//! Smoke test: every experiment driver binary runs to completion on a small
+//! problem size and prints a non-empty report.
+//!
+//! The binaries are executed as real subprocesses (cargo exposes their paths
+//! through `CARGO_BIN_EXE_*`), so this also covers argument parsing and the
+//! `--quick` scale switch, not just the underlying `experiments::*` calls.
+
+use std::process::Command;
+
+fn run(exe: &str, args: &[&str]) {
+    let output = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.trim().lines().count() >= 2,
+        "{exe} printed no report:\n{stdout}",
+    );
+}
+
+macro_rules! smoke {
+    ($($name:ident => $args:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            run(env!(concat!("CARGO_BIN_EXE_", stringify!($name))), &$args);
+        }
+    )*};
+}
+
+smoke! {
+    table1 => [];
+    fig04 => ["--quick"];
+    fig08 => [];
+    fig09 => ["--quick"];
+    fig12 => ["--quick"];
+    fig14 => ["--quick"];
+    fig15 => ["--quick"];
+    fig16 => [];
+    fig17 => ["--quick"];
+    fig18 => ["--quick"];
+    fig19 => ["--quick"];
+    analysis_choir => [];
+    analysis_capacity => [];
+}

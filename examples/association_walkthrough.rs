@@ -14,21 +14,37 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let profile = PhyProfile::default();
     let mut ap = AssociationManager::new(CyclicShiftAllocator::new(&profile));
-    println!("association cyclic shifts reserved at bins {:?}", ap.association_bins());
+    println!(
+        "association cyclic shifts reserved at bins {:?}",
+        ap.association_bins()
+    );
 
     // Two devices are already in the network.
     for strength in [-96.0, -112.0] {
         ap.handle_request(strength).unwrap();
         ap.handle_ack(true).unwrap();
     }
-    println!("existing members: {:?}", ap.members().iter().map(|m| m.chirp_bin).collect::<Vec<_>>());
+    println!(
+        "existing members: {:?}",
+        ap.members().iter().map(|m| m.chirp_bin).collect::<Vec<_>>()
+    );
 
     // Device #3 wakes up, hears the query at -44 dBm, and requests association.
     let model = ImpairmentModel::cots_backscatter();
-    let mut device =
-        BackscatterDevice::new(DeviceConfig { id: 3, ..Default::default() }, profile, &model, &mut rng);
+    let mut device = BackscatterDevice::new(
+        DeviceConfig {
+            id: 3,
+            ..Default::default()
+        },
+        profile,
+        &model,
+        &mut rng,
+    );
     let downlink_rssi = -44.0;
-    println!("\ndevice 3 hears the query at {downlink_rssi} dBm: {}", device.hears_query(downlink_rssi));
+    println!(
+        "\ndevice 3 hears the query at {downlink_rssi} dBm: {}",
+        device.hears_query(downlink_rssi)
+    );
 
     // The AP measures the request at -118 dBm and assigns a shift.
     let assignment = ap.handle_request(-118.0).unwrap();

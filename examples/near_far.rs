@@ -32,7 +32,10 @@ fn main() {
 
     println!("\nSame victim with the interferer only 2 bins away (no power-aware assignment):");
     for delta in [0.0, 20.0, 35.0] {
-        let cfg = NearFarConfig { interferer_bin: 4, ..NearFarConfig::paper(delta) };
+        let cfg = NearFarConfig {
+            interferer_bin: 4,
+            ..NearFarConfig::paper(delta)
+        };
         let ber = near_far_ber(&mut rng, &cfg, -12.0, 2_000);
         println!("  interferer +{delta:4.0} dB -> BER {ber:.4}");
     }

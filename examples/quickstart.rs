@@ -29,7 +29,10 @@ fn main() {
     for (i, &s) in strengths.iter().enumerate() {
         let assignment = allocator.assign(s).expect("network has room");
         let mut dev = BackscatterDevice::new(
-            DeviceConfig { id: i as u16, ..Default::default() },
+            DeviceConfig {
+                id: i as u16,
+                ..Default::default()
+            },
             profile,
             &model,
             &mut rng,
@@ -68,8 +71,13 @@ fn main() {
     let bins: Vec<usize> = devices.iter().map(|d| d.assigned_bin().unwrap()).collect();
     let round = receiver.decode_round(&air, 0, &bins, 16).expect("decode");
     for (i, (dev, bits)) in devices.iter().zip(&payloads).enumerate() {
-        let decoded = round.bits_for(dev.assigned_bin().unwrap()).expect("detected");
+        let decoded = round
+            .bits_for(dev.assigned_bin().unwrap())
+            .expect("detected");
         let errors = decoded.iter().zip(bits).filter(|(a, b)| a != b).count();
-        println!("device {i}: {} payload bits decoded, {errors} bit errors", decoded.len());
+        println!(
+            "device {i}: {} payload bits decoded, {errors} bit errors",
+            decoded.len()
+        );
     }
 }

@@ -5,4 +5,3 @@ pub use netscatter_channel as channel;
 pub use netscatter_dsp as dsp;
 pub use netscatter_phy as phy;
 pub use netscatter_sim as sim;
-

@@ -28,7 +28,10 @@ fn sixteen_devices_deliver_crc_protected_packets_concurrently() {
         let strength = -95.0 - (i as f64) * 1.3;
         let assignment = allocator.assign(strength).unwrap();
         let mut dev = BackscatterDevice::new(
-            DeviceConfig { id: i as u16, ..Default::default() },
+            DeviceConfig {
+                id: i as u16,
+                ..Default::default()
+            },
             profile,
             &model,
             &mut rng,
@@ -38,8 +41,9 @@ fn sixteen_devices_deliver_crc_protected_packets_concurrently() {
     }
 
     // Each device sends a distinct CRC-protected packet.
-    let packets: Vec<LinkPacket> =
-        (0..16).map(|i| LinkPacket::new(vec![i as u8, 0x5A, i as u8 ^ 0xFF, 0x0F])).collect();
+    let packets: Vec<LinkPacket> = (0..16)
+        .map(|i| LinkPacket::new(vec![i as u8, 0x5A, i as u8 ^ 0xFF, 0x0F]))
+        .collect();
     let payload_bits = packets[0].to_bits().len();
 
     let n = profile.modulation.num_bins();
@@ -129,7 +133,10 @@ fn association_and_power_adaptation_round_trip() {
     // The device tracks a slowly improving then degrading channel.
     let mut transmitted = 0;
     for rssi in [-45.0, -43.0, -41.0, -44.0, -47.0, -46.0] {
-        if matches!(device.power_adjust_and_decide(rssi), TransmitDecision::Transmit(_)) {
+        if matches!(
+            device.power_adjust_and_decide(rssi),
+            TransmitDecision::Transmit(_)
+        ) {
             transmitted += 1;
         }
     }

@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark framework.
+//!
+//! The build environment has no crate-registry access, so this vendored crate
+//! implements the API subset the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a simple
+//! wall-clock harness: each benchmark is warmed up once, then timed over
+//! `sample_size` batches, and the median batch time is printed. Statistical
+//! machinery (outlier analysis, HTML reports) is intentionally absent; the
+//! numbers are honest medians good enough for relative comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` parameterised by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: F) {
+        // One warm-up call, then `sample_size` timed samples of one iteration
+        // each; report the median so a single hiccup does not skew the line.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                b.elapsed = Duration::ZERO;
+                routine(&mut b);
+                b.elapsed
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!("{}/{:<40} median {:>12.3?}", self.name, id, median);
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_samples(&id.id, routine);
+        self
+    }
+
+    /// Registers and immediately runs one parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_samples(&id.id, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group("bench");
+        group.run_samples(&id.id, routine);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the `main` function running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

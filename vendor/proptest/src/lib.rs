@@ -1,0 +1,186 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no crate-registry access, so this vendored crate
+//! implements the subset the workspace's tests use: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], a [`Strategy`]
+//! trait implemented for numeric ranges and tuples, `prop_map`, and
+//! [`collection::vec`]. Cases are generated from a deterministic RNG so runs
+//! are reproducible; there is no shrinking — on failure the offending inputs
+//! are reported as generated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Deterministic RNG handed to strategies.
+    pub struct TestRng(pub(crate) rand::rngs::StdRng);
+
+    impl TestRng {
+        /// A fixed-seed RNG so test runs are reproducible.
+        pub fn deterministic() -> Self {
+            TestRng(rand::rngs::StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The number of elements a [`vec`] strategy may generate: either exact
+    /// or drawn uniformly from a half-open range.
+    #[derive(Clone, Debug)]
+    pub enum SizeRange {
+        /// Always exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => rng.0.gen_range(lo..hi),
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Each function's arguments are drawn from the
+/// given strategies; the body runs once per accepted case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(100).max(1000),
+                        "proptest stub: too many prop_assume! rejections in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    // `prop_assume!` inside the body expands to `continue`,
+                    // skipping the acceptance count below.
+                    { $body }
+                    accepted += 1;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

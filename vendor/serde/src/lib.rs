@@ -1,0 +1,26 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crate-registry access, so this vendored crate
+//! supplies the surface the workspace actually uses: the [`Serialize`] and
+//! [`Deserialize`] marker traits together with no-op derive macros of the
+//! same names (from the sibling `serde_derive` stub). Types deriving them
+//! compile and advertise serializability; actual wire formats can be added
+//! when a real serializer becomes available. The `derive` cargo feature is
+//! accepted for compatibility and is always on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait for types that can be serialized.
+///
+/// In the real `serde` this carries the `serialize` method; the offline stub
+/// only records the capability so `#[derive(Serialize)]` compiles.
+pub trait Serialize {}
+
+/// Marker trait for types that can be deserialized.
+///
+/// In the real `serde` this carries the `deserialize` method; the offline
+/// stub only records the capability so `#[derive(Deserialize)]` compiles.
+pub trait Deserialize {}

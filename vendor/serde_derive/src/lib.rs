@@ -1,0 +1,122 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline `serde` stand-in.
+//!
+//! Each derive parses just enough of the item — outer attributes, visibility,
+//! the `struct`/`enum` keyword, the type name and an optional generics list —
+//! to emit an empty `impl` of the corresponding marker trait. No `syn`/`quote`
+//! dependency: the parsing is done directly on [`proc_macro::TokenStream`].
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed identity of a derived type: its name and raw generics tokens.
+struct Item {
+    name: String,
+    /// Tokens between `<` and `>` (exclusive), verbatim, or empty.
+    generics: String,
+    /// The generic parameter names (lifetimes/types) for the `for Ty<...>`
+    /// position, without bounds or defaults.
+    params: String,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#` followed by a bracketed group) and
+    // visibility (`pub`, optionally followed by a parenthesised restriction).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde stub derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" || kw.to_string() == "enum" => {}
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other:?}"),
+    };
+    // Optional generics: collect raw tokens between balanced < and >.
+    let mut generics = String::new();
+    let mut params = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut bound_depth = 0usize; // inside `:` bounds or `=` defaults
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ':' if depth == 1 => bound_depth = 1,
+                        '=' if depth == 1 => bound_depth = 1,
+                        ',' if depth == 1 => bound_depth = 0,
+                        _ => {}
+                    }
+                }
+                generics.push_str(&tt.to_string());
+                generics.push(' ');
+                if bound_depth == 0 || matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    params.push_str(&tt.to_string());
+                    params.push(' ');
+                }
+            }
+        }
+    }
+    Item {
+        name,
+        generics,
+        params,
+    }
+}
+
+fn emit(input: TokenStream, trait_path: &str) -> TokenStream {
+    let item = parse_item(input);
+    let code = if item.generics.is_empty() {
+        format!(
+            "#[automatically_derived] impl {} for {} {{}}",
+            trait_path, item.name
+        )
+    } else {
+        format!(
+            "#[automatically_derived] impl<{}> {} for {}<{}> {{}}",
+            item.generics, trait_path, item.name, item.params
+        )
+    };
+    code.parse()
+        .expect("serde stub derive: generated impl failed to parse")
+}
+
+/// Derives the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Serialize")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "::serde::Deserialize")
+}
