@@ -8,7 +8,7 @@ use netscatter::receiver::ConcurrentReceiver;
 use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
 use netscatter_dsp::fft::Fft;
 use netscatter_dsp::Complex64;
-use netscatter_phy::distributed::OnOffModulator;
+use netscatter_phy::distributed::{DemodWorkspace, OnOffModulator};
 use netscatter_phy::params::PhyProfile;
 use netscatter_phy::preamble::DetectedDevice;
 use std::hint::black_box;
@@ -19,16 +19,28 @@ fn fft_and_dechirp(c: &mut Criterion) {
     let params = ChirpParams::new(500e3, 9).unwrap();
     let synth = ChirpSynthesizer::new(params);
     let symbol = synth.shifted_upchirp(123);
+    let mut scratch: Vec<Complex64> = Vec::new();
     group.bench_function("dechirp_512", |b| {
-        b.iter(|| black_box(synth.dechirp(&symbol)))
+        b.iter(|| {
+            synth.dechirp_into(&symbol, &mut scratch);
+            black_box(scratch.len())
+        })
     });
     let fft = Fft::new(4096).unwrap();
     let dechirped = synth.dechirp(&symbol);
+    let mut spectrum: Vec<Complex64> = Vec::new();
     group.bench_function("zero_padded_fft_4096", |b| {
-        b.iter(|| black_box(fft.forward_zero_padded(&dechirped).unwrap()))
+        b.iter(|| {
+            fft.forward_zero_padded_into(&dechirped, &mut spectrum)
+                .unwrap();
+            black_box(spectrum[0])
+        })
     });
     group.bench_function("chirp_synthesis", |b| {
-        b.iter(|| black_box(synth.impaired_upchirp(200, 1.5e-6, 100.0, 0.7)))
+        b.iter(|| {
+            synth.impaired_upchirp_into(200, 1.5e-6, 100.0, 0.7, &mut scratch);
+            black_box(scratch[0])
+        })
     });
     group.finish();
 }
@@ -39,16 +51,15 @@ fn receiver_complexity_vs_devices(c: &mut Criterion) {
     let profile = PhyProfile::default();
     let params = profile.modulation.chirp();
     let rx = ConcurrentReceiver::new(&profile).unwrap();
+    let mut ws = DemodWorkspace::new();
+    let mut bits: Vec<bool> = Vec::new();
     for &n_devices in &[1usize, 16, 64, 256] {
-        // Superpose n devices into one payload symbol.
+        // Superpose n devices into one payload symbol, in place.
         let mut symbol = vec![Complex64::ZERO; params.num_bins()];
         let mut detected = Vec::new();
         for i in 0..n_devices {
             let bin = (i * 2) % params.num_bins();
-            let s = OnOffModulator::new(params, bin).symbol(true, 0.0, 0.0, 1.0);
-            for (acc, x) in symbol.iter_mut().zip(s.iter()) {
-                *acc += *x;
-            }
+            OnOffModulator::new(params, bin).add_symbol(true, 0.0, 0.0, 1.0, &mut symbol);
             detected.push(DetectedDevice {
                 chirp_bin: bin,
                 average_power: (params.num_bins() as f64).powi(2),
@@ -58,7 +69,13 @@ fn receiver_complexity_vs_devices(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("decode_payload_symbol", n_devices),
             &n_devices,
-            |b, _| b.iter(|| black_box(rx.decode_payload_symbol(&symbol, &detected).unwrap())),
+            |b, _| {
+                b.iter(|| {
+                    rx.decode_payload_symbol_with(&symbol, &detected, &mut ws, &mut bits)
+                        .unwrap();
+                    black_box(bits.len())
+                })
+            },
         );
     }
     group.finish();

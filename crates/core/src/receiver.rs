@@ -16,7 +16,7 @@
 
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::Complex64;
-use netscatter_phy::distributed::ConcurrentDemodulator;
+use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace};
 use netscatter_phy::params::PhyProfile;
 use netscatter_phy::preamble::{DetectedDevice, PreambleDetector, PREAMBLE_UPCHIRPS};
 use serde::{Deserialize, Serialize};
@@ -102,9 +102,24 @@ impl ConcurrentReceiver {
         preamble: &[Complex64],
         assigned_bins: &[usize],
     ) -> Result<Vec<DetectedDevice>, FftError> {
+        let mut ws = DemodWorkspace::new();
+        self.detect_devices_with(preamble, assigned_bins, &mut ws)
+    }
+
+    /// As [`Self::detect_devices`], reusing the caller's workspace.
+    pub fn detect_devices_with(
+        &self,
+        preamble: &[Complex64],
+        assigned_bins: &[usize],
+        ws: &mut DemodWorkspace,
+    ) -> Result<Vec<DetectedDevice>, FftError> {
         let n2 = (self.profile.modulation.num_bins() as f64).powi(2);
-        self.detector
-            .detect_devices(preamble, assigned_bins, n2 * self.detection_floor_fraction)
+        self.detector.detect_devices_with(
+            preamble,
+            assigned_bins,
+            n2 * self.detection_floor_fraction,
+            ws,
+        )
     }
 
     /// Decodes one payload symbol for the detected devices, returning one bit
@@ -114,20 +129,36 @@ impl ConcurrentReceiver {
         symbol: &[Complex64],
         detected: &[DetectedDevice],
     ) -> Result<Vec<bool>, FftError> {
-        let padded = self.demodulator.padded_spectrum(symbol)?;
-        Ok(detected
-            .iter()
-            .map(|d| {
-                // Track the device at the peak position learned from its
-                // preamble; a narrow window there rejects neighbouring
-                // devices even when hardware delays push peaks off their
-                // nominal bins.
-                let (power, _) = self
-                    .demodulator
-                    .device_power_at(&padded, d.observed_bin, 0.5);
-                power > PreambleDetector::payload_threshold(d.average_power)
-            })
-            .collect())
+        let mut ws = DemodWorkspace::new();
+        let mut bits = Vec::new();
+        self.decode_payload_symbol_with(symbol, detected, &mut ws, &mut bits)?;
+        Ok(bits)
+    }
+
+    /// As [`Self::decode_payload_symbol`], but running entirely inside the
+    /// caller's scratch buffers: one dechirp, one pruned zero-padded FFT and
+    /// one power pass per symbol, with zero steady-state heap allocation.
+    /// `bits` is cleared and refilled with one decision per detected device.
+    pub fn decode_payload_symbol_with(
+        &self,
+        symbol: &[Complex64],
+        detected: &[DetectedDevice],
+        ws: &mut DemodWorkspace,
+        bits: &mut Vec<bool>,
+    ) -> Result<(), FftError> {
+        self.demodulator.padded_spectrum_into(symbol, ws)?;
+        bits.clear();
+        bits.extend(detected.iter().map(|d| {
+            // Track the device at the peak position learned from its
+            // preamble; a narrow window there rejects neighbouring
+            // devices even when hardware delays push peaks off their
+            // nominal bins.
+            let (power, _) = self
+                .demodulator
+                .device_power_at(ws.power(), d.observed_bin, 0.5);
+            power > PreambleDetector::payload_threshold(d.average_power)
+        }));
+        Ok(())
     }
 
     /// Decodes a complete round from contiguous samples: preamble followed by
@@ -149,7 +180,11 @@ impl ConcurrentReceiver {
             });
         }
         let preamble = &stream[packet_start..packet_start + preamble_len];
-        let detected = self.detect_devices(preamble, assigned_bins)?;
+        // One workspace and one per-symbol bit scratch serve the whole round:
+        // preamble detection and every payload symbol run allocation-free.
+        let mut ws = DemodWorkspace::new();
+        let mut symbol_bits: Vec<bool> = Vec::new();
+        let detected = self.detect_devices_with(preamble, assigned_bins, &mut ws)?;
         let mut devices: Vec<DecodedDevice> = detected
             .iter()
             .map(|d| DecodedDevice {
@@ -166,8 +201,8 @@ impl ConcurrentReceiver {
             if hi > stream.len() {
                 break;
             }
-            let bits = self.decode_payload_symbol(&stream[lo..hi], &detected)?;
-            for (dev, bit) in devices.iter_mut().zip(bits) {
+            self.decode_payload_symbol_with(&stream[lo..hi], &detected, &mut ws, &mut symbol_bits)?;
+            for (dev, &bit) in devices.iter_mut().zip(symbol_bits.iter()) {
                 dev.bits.push(bit);
             }
         }

@@ -17,7 +17,7 @@
 //! frequency offsets (crystal tolerance, §3.2.2) and amplitude scaling
 //! (backscatter power gains, §3.2.3).
 
-use crate::complex::Complex64;
+use crate::complex::{multiply_into, Complex64};
 use std::f64::consts::PI;
 use std::fmt;
 
@@ -201,6 +201,18 @@ impl ChirpParams {
     }
 }
 
+/// Parameters of one recurrence-synthesized chirp tone: starting argument
+/// `x0` (fractional samples into the `N`-periodic phase), per-output-sample
+/// argument step, extra linear phase per step (CFO), amplitude and chirp
+/// direction. Internal to [`ChirpSynthesizer::synthesize_into`].
+struct ChirpTone {
+    x0: f64,
+    step: f64,
+    cfo_rad_per_step: f64,
+    amplitude: f64,
+    down: bool,
+}
+
 /// Synthesizes chirp symbols for a fixed [`ChirpParams`].
 ///
 /// The baseline upchirp is precomputed once; cyclic shifts, conjugation and
@@ -322,23 +334,170 @@ impl ChirpSynthesizer {
         amplitude: f64,
         down: bool,
     ) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.params.num_bins()];
+        self.write_impaired(
+            shift,
+            timing_offset_s,
+            freq_offset_hz,
+            amplitude,
+            down,
+            &mut out,
+        );
+        out
+    }
+
+    /// Synthesizes an impaired upchirp symbol into a caller-owned buffer
+    /// (cleared and resized to `2^SF` samples), allocation-free in steady
+    /// state. Semantics match [`Self::impaired_upchirp`].
+    pub fn impaired_upchirp_into(
+        &self,
+        shift: usize,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        out.resize(self.params.num_bins(), Complex64::ZERO);
+        self.write_impaired(
+            shift,
+            timing_offset_s,
+            freq_offset_hz,
+            amplitude,
+            false,
+            out,
+        );
+    }
+
+    /// As [`Self::impaired_upchirp_into`] for downchirp symbols.
+    pub fn impaired_downchirp_into(
+        &self,
+        shift: usize,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        out.resize(self.params.num_bins(), Complex64::ZERO);
+        self.write_impaired(shift, timing_offset_s, freq_offset_hz, amplitude, true, out);
+    }
+
+    /// Accumulates (adds) an impaired upchirp symbol onto `out`, which must
+    /// hold exactly `2^SF` samples. This is the superposition primitive: the
+    /// waveforms of concurrent devices sum in place instead of materializing
+    /// one vector per device.
+    pub fn add_impaired_upchirp(
+        &self,
+        shift: usize,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut [Complex64],
+    ) {
+        assert_eq!(
+            out.len(),
+            self.params.num_bins(),
+            "add_impaired_upchirp expects exactly one symbol of {} samples",
+            self.params.num_bins()
+        );
+        let dt_samples = timing_offset_s * self.params.bandwidth_hz();
+        let tone = ChirpTone {
+            x0: (shift % self.params.num_bins()) as f64 + dt_samples,
+            step: 1.0,
+            cfo_rad_per_step: 2.0 * PI * freq_offset_hz / self.params.bandwidth_hz(),
+            amplitude,
+            down: false,
+        };
+        self.synthesize_into(tone, true, out);
+    }
+
+    fn write_impaired(
+        &self,
+        shift: usize,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        down: bool,
+        out: &mut [Complex64],
+    ) {
         let n = self.params.num_bins();
         let fs = self.params.bandwidth_hz();
-        let shift = (shift % n) as f64;
         // Timing offset expressed in (fractional) samples. Because the chirp
         // is N-periodic, a window misalignment is equivalent to a fractional
         // cyclic shift of the symbol, which after dechirping moves the FFT
         // peak by Δt·BW bins (Fig. 6).
         let dt_samples = timing_offset_s * fs;
-        (0..n)
-            .map(|i| {
-                let idx = i as f64 + shift + dt_samples;
-                let base = Self::phase_at(n, idx.rem_euclid(n as f64));
-                let base = if down { -base } else { base };
-                let cfo = 2.0 * PI * freq_offset_hz * (i as f64 / fs);
-                Complex64::cis(base + cfo).scale(amplitude)
-            })
-            .collect()
+        let tone = ChirpTone {
+            x0: (shift % n) as f64 + dt_samples,
+            step: 1.0,
+            cfo_rad_per_step: 2.0 * PI * freq_offset_hz / fs,
+            amplitude,
+            down,
+        };
+        self.synthesize_into(tone, false, out);
+    }
+
+    /// Evaluates `amplitude · e^{j(±φ((x0 + i·step) mod N) + i·cfo)}` for
+    /// every output sample with a second-order phase-rotation recurrence —
+    /// two complex multiplies per sample instead of a sin/cos pair.
+    ///
+    /// The quadratic phase has a linear first difference and the constant
+    /// second difference `2π·step²/N`, so the phasor advances as
+    /// `z ← z·w`, `w ← w·d`. The argument `x0 + i·step` crosses the period
+    /// boundary `N` at most once per symbol; since
+    /// `φ(x − N) = φ(x) − 2π(x − N)`, the crossing folds into one constant
+    /// factor on `z` (and one on `w` for fractional steps). A cheap Newton
+    /// renormalization every 64 samples pins the magnitude drift, keeping
+    /// the recurrence within ~1e-12 of the closed form even over long
+    /// oversampled symbols.
+    fn synthesize_into(&self, tone: ChirpTone, accumulate: bool, out: &mut [Complex64]) {
+        let n = self.params.num_bins();
+        let nf = n as f64;
+        let x0 = tone.x0.rem_euclid(nf);
+        let sign = if tone.down { -1.0 } else { 1.0 };
+        let step = tone.step;
+        let phi0 = sign * Self::phase_at(n, x0);
+        let dphi = sign * 2.0 * PI * ((2.0 * x0 * step + step * step) / (2.0 * nf) - step / 2.0)
+            + tone.cfo_rad_per_step;
+        let ddphi = sign * 2.0 * PI * step * step / nf;
+        let mut z = Complex64::from_polar(tone.amplitude, phi0);
+        let mut w = Complex64::cis(dphi);
+        let d = Complex64::cis(ddphi);
+        let wrap_at = if step > 0.0 {
+            ((nf - x0) / step).ceil() as usize
+        } else {
+            usize::MAX
+        };
+        let (z_fix, w_fix) = if wrap_at < out.len() {
+            let x_wrap = x0 + wrap_at as f64 * step - nf;
+            (
+                Complex64::cis(sign * -2.0 * PI * x_wrap),
+                Complex64::cis(sign * -2.0 * PI * step),
+            )
+        } else {
+            (Complex64::ONE, Complex64::ONE)
+        };
+        let target_power = tone.amplitude * tone.amplitude;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i == wrap_at {
+                z *= z_fix;
+                w *= w_fix;
+            }
+            if accumulate {
+                *slot += z;
+            } else {
+                *slot = z;
+            }
+            z *= w;
+            w *= d;
+            if i % 64 == 63 {
+                w = w.scale(1.5 - 0.5 * w.norm_sqr());
+                if target_power > 0.0 {
+                    z = z.scale(1.5 - 0.5 * z.norm_sqr() / target_power);
+                }
+            }
+        }
     }
 
     /// Dechirps a received symbol by multiplying with the baseline
@@ -348,34 +507,41 @@ impl ChirpSynthesizer {
     /// Panics if `symbol` does not have `2^SF` samples; symbol framing is the
     /// caller's responsibility at this layer.
     pub fn dechirp(&self, symbol: &[Complex64]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.dechirp_into(symbol, &mut out);
+        out
+    }
+
+    /// As [`Self::dechirp`], but writing into a caller-owned buffer (cleared
+    /// and refilled) so the per-symbol receive path performs no allocation.
+    pub fn dechirp_into(&self, symbol: &[Complex64], out: &mut Vec<Complex64>) {
         assert_eq!(
             symbol.len(),
             self.params.num_bins(),
             "dechirp expects exactly one symbol of {} samples",
             self.params.num_bins()
         );
-        symbol
-            .iter()
-            .zip(self.baseline_down.iter())
-            .map(|(s, d)| *s * *d)
-            .collect()
+        multiply_into(symbol, &self.baseline_down, out);
     }
 
     /// Dechirps a received *downchirp* symbol by multiplying with the
     /// baseline upchirp. Used for the downchirp part of the preamble when
     /// locating the exact packet start (§3.3.1).
     pub fn dechirp_down(&self, symbol: &[Complex64]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.dechirp_down_into(symbol, &mut out);
+        out
+    }
+
+    /// As [`Self::dechirp_down`], but writing into a caller-owned buffer.
+    pub fn dechirp_down_into(&self, symbol: &[Complex64], out: &mut Vec<Complex64>) {
         assert_eq!(
             symbol.len(),
             self.params.num_bins(),
             "dechirp_down expects exactly one symbol of {} samples",
             self.params.num_bins()
         );
-        symbol
-            .iter()
-            .zip(self.baseline_up.iter())
-            .map(|(s, u)| *s * *u)
-            .collect()
+        multiply_into(symbol, &self.baseline_up, out);
     }
 
     /// Synthesizes an oversampled shifted upchirp for spectrogram-style
@@ -388,16 +554,32 @@ impl ChirpSynthesizer {
         oversample: usize,
         amplitude: f64,
     ) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.oversampled_upchirp_into(shift, oversample, amplitude, &mut out);
+        out
+    }
+
+    /// As [`Self::oversampled_upchirp`], but writing into a caller-owned
+    /// buffer (cleared and resized to `oversample · 2^SF` samples).
+    pub fn oversampled_upchirp_into(
+        &self,
+        shift: usize,
+        oversample: usize,
+        amplitude: f64,
+        out: &mut Vec<Complex64>,
+    ) {
         let oversample = oversample.max(1);
         let n = self.params.num_bins();
-        let total = n * oversample;
-        let shift = (shift % n) as f64;
-        (0..total)
-            .map(|i| {
-                let idx = (i as f64 / oversample as f64 + shift).rem_euclid(n as f64);
-                Complex64::cis(Self::phase_at(n, idx)).scale(amplitude)
-            })
-            .collect()
+        out.clear();
+        out.resize(n * oversample, Complex64::ZERO);
+        let tone = ChirpTone {
+            x0: (shift % n) as f64,
+            step: 1.0 / oversample as f64,
+            cfo_rad_per_step: 0.0,
+            amplitude,
+            down: false,
+        };
+        self.synthesize_into(tone, false, out);
     }
 }
 
@@ -584,6 +766,106 @@ mod tests {
         }
         // oversample = 0 is clamped to 1.
         assert_eq!(synth.oversampled_upchirp(0, 0, 1.0).len(), 128);
+    }
+
+    /// Closed-form reference for the recurrence synthesizer: evaluates the
+    /// documented phase formula `φ(i) = 2π(i²/(2N) − i/2)` with a sin/cos
+    /// pair per sample, exactly as the pre-recurrence implementation did.
+    fn closed_form_impaired(
+        params: &ChirpParams,
+        shift: usize,
+        dt_s: f64,
+        f_hz: f64,
+        amplitude: f64,
+        down: bool,
+    ) -> Vec<Complex64> {
+        let n = params.num_bins();
+        let fs = params.bandwidth_hz();
+        let shift = (shift % n) as f64;
+        let dt_samples = dt_s * fs;
+        (0..n)
+            .map(|i| {
+                let idx = i as f64 + shift + dt_samples;
+                let base = ChirpSynthesizer::phase_at(n, idx.rem_euclid(n as f64));
+                let base = if down { -base } else { base };
+                let cfo = 2.0 * PI * f_hz * (i as f64 / fs);
+                Complex64::cis(base + cfo).scale(amplitude)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form_synthesis() {
+        let params = ChirpParams::paper_default();
+        let synth = ChirpSynthesizer::new(params);
+        for (shift, dt_us, f_hz, amp) in [
+            (0usize, 0.0, 0.0, 1.0),
+            (100, 1.7, 300.0, 0.6),
+            (511, -2.3, -450.0, 1.3),
+            (2, 0.4, 120.0, 1e-3),
+            (256, -0.9, 0.0, 2.0),
+        ] {
+            let dt = dt_us * 1e-6;
+            for down in [false, true] {
+                let fast = if down {
+                    synth.impaired_downchirp(shift, dt, f_hz, amp)
+                } else {
+                    synth.impaired_upchirp(shift, dt, f_hz, amp)
+                };
+                let reference = closed_form_impaired(&params, shift, dt, f_hz, amp, down);
+                for (a, b) in fast.iter().zip(reference.iter()) {
+                    assert!(
+                        (*a - *b).abs() < 1e-10,
+                        "shift {shift} dt {dt_us}us f {f_hz} down {down}: {a:?} != {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversampled_recurrence_matches_closed_form() {
+        let params = ChirpParams::new(500e3, 9).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let n = params.num_bins();
+        for (shift, os) in [(0usize, 1usize), (1, 4), (200, 8), (511, 2)] {
+            let fast = synth.oversampled_upchirp(shift, os, 0.7);
+            let shift_f = (shift % n) as f64;
+            for (i, a) in fast.iter().enumerate() {
+                let idx = (i as f64 / os as f64 + shift_f).rem_euclid(n as f64);
+                let b = Complex64::cis(ChirpSynthesizer::phase_at(n, idx)).scale(0.7);
+                assert!(
+                    (*a - b).abs() < 1e-10,
+                    "shift {shift} os {os} sample {i}: {a:?} != {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_impaired_upchirp_superposes_in_place() {
+        let params = ChirpParams::new(500e3, 8).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let mut acc = synth.impaired_upchirp(10, 0.0, 0.0, 1.0);
+        synth.add_impaired_upchirp(200, 1e-6, 50.0, 0.5, &mut acc);
+        let b = synth.impaired_upchirp(200, 1e-6, 50.0, 0.5);
+        let a = synth.impaired_upchirp(10, 0.0, 0.0, 1.0);
+        for ((s, x), y) in acc.iter().zip(a.iter()).zip(b.iter()) {
+            assert!((*s - (*x + *y)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_and_resize_buffers() {
+        let synth = ChirpSynthesizer::new(ChirpParams::new(500e3, 7).unwrap());
+        let mut buf = vec![Complex64::ONE; 3];
+        synth.impaired_upchirp_into(5, 0.0, 0.0, 1.0, &mut buf);
+        assert_eq!(buf.len(), 128);
+        assert_eq!(buf, synth.impaired_upchirp(5, 0.0, 0.0, 1.0));
+        synth.dechirp_into(&synth.shifted_upchirp(9), &mut buf);
+        assert_eq!(buf, synth.dechirp(&synth.shifted_upchirp(9)));
+        synth.oversampled_upchirp_into(3, 2, 1.0, &mut buf);
+        assert_eq!(buf.len(), 256);
     }
 
     #[test]

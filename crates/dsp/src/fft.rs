@@ -84,6 +84,9 @@ pub struct Fft {
     size: usize,
     /// Twiddle factors e^{-j 2π k / size} for k in 0..size/2.
     twiddles: Vec<Complex64>,
+    /// Conjugate twiddle factors, precomputed so the inverse transform's
+    /// butterfly loop carries no per-element branch or conjugation.
+    twiddles_conj: Vec<Complex64>,
     /// Bit-reversal permutation indices.
     reversed: Vec<usize>,
 }
@@ -97,9 +100,10 @@ impl Fft {
         if size == 0 || !size.is_power_of_two() {
             return Err(FftError::SizeNotPowerOfTwo { size });
         }
-        let twiddles = (0..size / 2)
+        let twiddles: Vec<Complex64> = (0..size / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / size as f64))
             .collect();
+        let twiddles_conj = twiddles.iter().map(|t| t.conj()).collect();
         let bits = size.trailing_zeros();
         let reversed = (0..size)
             .map(|i| {
@@ -113,6 +117,7 @@ impl Fft {
         Ok(Self {
             size,
             twiddles,
+            twiddles_conj,
             reversed,
         })
     }
@@ -127,7 +132,7 @@ impl Fft {
     pub fn forward_in_place(&self, buf: &mut [Complex64]) -> Result<(), FftError> {
         self.check_len(buf)?;
         self.permute(buf);
-        self.butterflies(buf, false);
+        self.butterflies_from(buf, 2, &self.twiddles);
         Ok(())
     }
 
@@ -136,7 +141,7 @@ impl Fft {
     pub fn inverse_in_place(&self, buf: &mut [Complex64]) -> Result<(), FftError> {
         self.check_len(buf)?;
         self.permute(buf);
-        self.butterflies(buf, true);
+        self.butterflies_from(buf, 2, &self.twiddles_conj);
         let scale = 1.0 / self.size as f64;
         for v in buf.iter_mut() {
             *v = v.scale(scale);
@@ -161,17 +166,52 @@ impl Fft {
     /// Returns [`FftError::InputLongerThanTransform`] if `input` is longer
     /// than the plan size.
     pub fn forward_zero_padded(&self, input: &[Complex64]) -> Result<Vec<Complex64>, FftError> {
+        let mut buf = Vec::new();
+        self.forward_zero_padded_into(input, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// As [`Self::forward_zero_padded`], but writing the spectrum into a
+    /// caller-owned buffer (cleared and resized to the plan size) so the
+    /// steady-state decode path performs no heap allocation.
+    ///
+    /// The transform is *input-pruned*: with `m = input.len()` rounded up to
+    /// a power of two and `p = size / m`, the first `log2(p)` butterfly
+    /// stages of a decimation-in-time FFT only combine each real sample with
+    /// known zeros, which reduces to broadcasting that sample across its
+    /// `p`-wide block in bit-reversed order. Those stages (3 of 12 for a
+    /// 512-sample symbol in a 4096-point plan, §3.2.3) are skipped entirely
+    /// and the butterflies start at length `2p`.
+    pub fn forward_zero_padded_into(
+        &self,
+        input: &[Complex64],
+        out: &mut Vec<Complex64>,
+    ) -> Result<(), FftError> {
         if input.len() > self.size {
             return Err(FftError::InputLongerThanTransform {
                 input: input.len(),
                 size: self.size,
             });
         }
-        let mut buf = Vec::with_capacity(self.size);
-        buf.extend_from_slice(input);
-        buf.resize(self.size, Complex64::ZERO);
-        self.forward_in_place(&mut buf)?;
-        Ok(buf)
+        out.clear();
+        out.resize(self.size, Complex64::ZERO);
+        if input.is_empty() {
+            return Ok(());
+        }
+        let m = input.len().next_power_of_two();
+        let p = self.size / m;
+        // After bit-reversal permutation of the zero-padded buffer, the
+        // non-zero samples sit at indices divisible by p, holding
+        // input[bitrev_m(j)] at index j·p; the first log2(p) butterfly
+        // stages then merely copy that value across the whole p-block.
+        for (j, block) in out.chunks_exact_mut(p).enumerate() {
+            let src = self.reversed[j * p];
+            if src < input.len() {
+                block.fill(input[src]);
+            }
+        }
+        self.butterflies_from(out, 2 * p, &self.twiddles);
+        Ok(())
     }
 
     fn check_len(&self, buf: &[Complex64]) -> Result<(), FftError> {
@@ -194,20 +234,26 @@ impl Fft {
         }
     }
 
-    fn butterflies(&self, buf: &mut [Complex64], inverse: bool) {
+    /// Runs the butterfly stages from length `start_len` up to the plan size
+    /// with the given twiddle table (forward or conjugate). Starting above 2
+    /// is how the pruned zero-padded transform skips its all-zero stages.
+    fn butterflies_from(&self, buf: &mut [Complex64], start_len: usize, twiddles: &[Complex64]) {
         let n = self.size;
-        let mut len = 2;
+        let mut len = start_len.max(2);
         while len <= n {
             let half = len / 2;
             let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let tw = self.twiddles[k * stride];
-                    let tw = if inverse { tw.conj() } else { tw };
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * tw;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
+            for chunk in buf.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a, b), tw) in lo
+                    .iter_mut()
+                    .zip(hi.iter_mut())
+                    .zip(twiddles.iter().step_by(stride))
+                {
+                    let t = *b * *tw;
+                    let u = *a;
+                    *a = u + t;
+                    *b = u - t;
                 }
             }
             len <<= 1;
@@ -239,6 +285,14 @@ pub fn fft_shift<T: Copy>(spectrum: &[T]) -> Vec<T> {
     out.extend_from_slice(&spectrum[half..]);
     out.extend_from_slice(&spectrum[..half]);
     out
+}
+
+/// In-place variant of [`fft_shift`]: rotates the spectrum so that bin 0
+/// (DC) sits in the middle, without allocating. Used by the spectrogram
+/// path, which shifts one row per STFT frame.
+pub fn fft_shift_in_place<T>(spectrum: &mut [T]) {
+    let half = spectrum.len().div_ceil(2);
+    spectrum.rotate_left(half);
 }
 
 #[cfg(test)]
@@ -382,6 +436,54 @@ mod tests {
         assert_eq!(fft_shift(&v), vec![4, 5, 6, 7, 0, 1, 2, 3]);
         let odd: Vec<usize> = (0..5).collect();
         assert_eq!(fft_shift(&odd), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fft_shift_in_place_matches_allocating_version() {
+        for n in [0usize, 1, 2, 5, 8, 13] {
+            let v: Vec<usize> = (0..n).collect();
+            let mut w = v.clone();
+            fft_shift_in_place(&mut w);
+            assert_eq!(w, fft_shift(&v), "length {n}");
+        }
+    }
+
+    #[test]
+    fn pruned_zero_padded_matches_dense_transform() {
+        // Every (input length, plan size) combination, including non-power-
+        // of-two inputs and the unpruned input == size case, must agree with
+        // the dense pad-then-transform path.
+        let plan = Fft::new(64).unwrap();
+        for len in [0usize, 1, 2, 3, 7, 8, 12, 16, 33, 64] {
+            let input: Vec<Complex64> = (0..len)
+                .map(|t| Complex64::new((t as f64 * 0.7).sin(), (t as f64 * 1.3).cos()))
+                .collect();
+            let mut dense: Vec<Complex64> = input.clone();
+            dense.resize(64, Complex64::ZERO);
+            plan.forward_in_place(&mut dense).unwrap();
+            let pruned = plan.forward_zero_padded(&input).unwrap();
+            for (a, b) in pruned.iter().zip(dense.iter()) {
+                assert_close(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_zero_padded_into_reuses_buffer() {
+        let plan = Fft::new(16).unwrap();
+        let input = vec![Complex64::ONE; 4];
+        let mut out = vec![Complex64::new(9.0, 9.0); 3]; // stale, wrong size
+        plan.forward_zero_padded_into(&input, &mut out).unwrap();
+        assert_eq!(out.len(), 16);
+        let reference = plan.forward_zero_padded(&input).unwrap();
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert_close(*a, *b, 1e-12);
+        }
+        // Oversized inputs are still rejected and leave no partial state
+        // requirement on the caller.
+        assert!(plan
+            .forward_zero_padded_into(&vec![Complex64::ONE; 17], &mut out)
+            .is_err());
     }
 
     #[test]

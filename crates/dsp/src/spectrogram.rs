@@ -6,8 +6,8 @@
 //! reproduces that analysis on simulated backscatter waveforms.
 
 use crate::complex::Complex64;
-use crate::fft::{fft_shift, Fft, FftError};
-use crate::spectrum::power_spectrum;
+use crate::fft::{fft_shift_in_place, Fft, FftError};
+use crate::spectrum::power_spectrum_into;
 use crate::units::linear_to_db;
 use crate::window::WindowKind;
 
@@ -104,21 +104,26 @@ pub fn spectrogram(
     let plan = Fft::new(config.fft_size)?;
     let window = config.window.generate(config.fft_size);
     let mut frames_power: Vec<Vec<f64>> = Vec::new();
+    // One reusable time-domain frame; only the per-frame power rows (which
+    // outlive the loop as output) are allocated.
+    let mut frame: Vec<Complex64> = Vec::with_capacity(config.fft_size);
     let mut start = 0usize;
     while start < signal.len() {
         let end = (start + config.fft_size).min(signal.len());
-        let mut frame: Vec<Complex64> = signal[start..end]
-            .iter()
-            .enumerate()
-            .map(|(i, s)| s.scale(window[i]))
-            .collect();
+        frame.clear();
+        frame.extend(
+            signal[start..end]
+                .iter()
+                .zip(window.iter())
+                .map(|(s, w)| s.scale(*w)),
+        );
         frame.resize(config.fft_size, Complex64::ZERO);
         plan.forward_in_place(&mut frame)?;
-        let row = if config.centered {
-            fft_shift(&power_spectrum(&frame))
-        } else {
-            power_spectrum(&frame)
-        };
+        let mut row = Vec::new();
+        power_spectrum_into(&frame, &mut row);
+        if config.centered {
+            fft_shift_in_place(&mut row);
+        }
         frames_power.push(row);
         start += config.hop;
     }

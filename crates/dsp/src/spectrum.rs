@@ -27,6 +27,13 @@ pub fn power_spectrum(spectrum: &[Complex64]) -> Vec<f64> {
     spectrum.iter().map(|c| c.norm_sqr()).collect()
 }
 
+/// As [`power_spectrum`], but writing into a caller-owned buffer (cleared
+/// and refilled) so the per-symbol decode path performs no heap allocation.
+pub fn power_spectrum_into(spectrum: &[Complex64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(spectrum.iter().map(|c| c.norm_sqr()));
+}
+
 /// Computes the per-bin power of a spectrum in dB, normalized so that the
 /// strongest bin is 0 dB. Empty bins map to `f64::NEG_INFINITY`.
 ///
@@ -226,6 +233,16 @@ mod tests {
         assert!((db[1] - 0.0).abs() < 1e-12);
         assert!((db[0] - (-20.0)).abs() < 1e-9);
         assert_eq!(db[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn power_spectrum_into_matches_allocating_version() {
+        let spec: Vec<Complex64> = (0..9)
+            .map(|k| Complex64::cis(k as f64).scale(2.0))
+            .collect();
+        let mut out = vec![1.0; 3]; // stale contents must be discarded
+        power_spectrum_into(&spec, &mut out);
+        assert_eq!(out, power_spectrum(&spec));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use netscatter_dsp::fft::{fft, ifft, Fft};
 use netscatter_dsp::spectrum::PeakSearch;
 use netscatter_dsp::Complex64;
 use proptest::prelude::*;
+use std::f64::consts::PI;
 
 fn arb_complex() -> impl Strategy<Value = Complex64> {
     (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| Complex64::new(re, im))
@@ -117,5 +118,88 @@ proptest! {
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(v >= lo && v <= hi);
+    }
+
+    /// The input-pruned zero-padded transform is numerically identical (to
+    /// 1e-9) to the dense pad-then-transform path, over random inputs,
+    /// input lengths (power-of-two or not) and padding factors.
+    #[test]
+    fn pruned_zero_padded_fft_matches_dense(
+        signal in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..257),
+        log2_pad in 0u32..=4,
+    ) {
+        let input: Vec<Complex64> = signal.iter().map(|(re, im)| Complex64::new(*re, *im)).collect();
+        let size = (input.len().next_power_of_two() << log2_pad).max(2);
+        let plan = Fft::new(size).unwrap();
+        // Dense reference: explicit zero-pad, full permutation + all stages.
+        let mut dense = input.clone();
+        dense.resize(size, Complex64::ZERO);
+        plan.forward_in_place(&mut dense).unwrap();
+        // Pruned path (forward_zero_padded delegates to the _into variant).
+        let pruned = plan.forward_zero_padded(&input).unwrap();
+        for (a, b) in pruned.iter().zip(dense.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9, "{a:?} != {b:?}");
+        }
+    }
+
+    /// The phase-rotation-recurrence chirp synthesizer agrees with the
+    /// closed-form `cis(φ)` evaluation (the documented quadratic phase
+    /// `φ(i) = 2π(i²/(2N) − i/2)` at `(i + shift + Δt·BW) mod N`, plus the
+    /// CFO ramp) for random impairments, both chirp directions.
+    #[test]
+    fn chirp_recurrence_matches_cis_closed_form(
+        sf in 6u32..=10,
+        shift in 0usize..1024,
+        dt_us in -3.0f64..3.0,
+        f_hz in -500.0f64..500.0,
+        amplitude in 0.01f64..2.0,
+        down_sel in 0u32..2,
+    ) {
+        let down = down_sel == 1;
+        let params = ChirpParams::new(500e3, sf).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let n = params.num_bins();
+        let shift = shift % n;
+        let dt = dt_us * 1e-6;
+        let symbol = if down {
+            synth.impaired_downchirp(shift, dt, f_hz, amplitude)
+        } else {
+            synth.impaired_upchirp(shift, dt, f_hz, amplitude)
+        };
+        let fs = params.bandwidth_hz();
+        let nf = n as f64;
+        let dt_samples = dt * fs;
+        for (i, got) in symbol.iter().enumerate() {
+            let idx = (i as f64 + shift as f64 + dt_samples).rem_euclid(nf);
+            let base = 2.0 * PI * (idx * idx / (2.0 * nf) - idx / 2.0);
+            let base = if down { -base } else { base };
+            let cfo = 2.0 * PI * f_hz * (i as f64 / fs);
+            let want = Complex64::cis(base + cfo).scale(amplitude);
+            prop_assert!(
+                (*got - want).abs() < 1e-9 * amplitude.max(1.0),
+                "sample {i}: {got:?} != {want:?}"
+            );
+        }
+    }
+
+    /// The oversampled recurrence matches the closed form too (no CFO, unit
+    /// fractional step 1/oversample).
+    #[test]
+    fn oversampled_chirp_recurrence_matches_cis(
+        shift in 0usize..512,
+        log2_os in 0u32..=3,
+    ) {
+        let params = ChirpParams::new(500e3, 9).unwrap();
+        let synth = ChirpSynthesizer::new(params);
+        let os = 1usize << log2_os;
+        let n = params.num_bins();
+        let nf = n as f64;
+        let symbol = synth.oversampled_upchirp(shift, os, 1.0);
+        prop_assert_eq!(symbol.len(), n * os);
+        for (i, got) in symbol.iter().enumerate() {
+            let idx = (i as f64 / os as f64 + (shift % n) as f64).rem_euclid(nf);
+            let want = Complex64::cis(2.0 * PI * (idx * idx / (2.0 * nf) - idx / 2.0));
+            prop_assert!((*got - want).abs() < 1e-9, "sample {i}: {got:?} != {want:?}");
+        }
     }
 }

@@ -14,8 +14,37 @@
 
 use netscatter_dsp::chirp::{ChirpParams, ChirpSynthesizer};
 use netscatter_dsp::fft::{Fft, FftError};
-use netscatter_dsp::spectrum::power_spectrum;
+use netscatter_dsp::spectrum::power_spectrum_into;
 use netscatter_dsp::Complex64;
+
+/// Reusable scratch buffers for the allocation-free decode path.
+///
+/// The steady-state per-symbol receive chain is dechirp → zero-padded FFT →
+/// power spectrum; each stage writes into one of these buffers, so after the
+/// first symbol has sized them no further heap allocation occurs. One
+/// workspace serves one receiver thread; create one per thread when decoding
+/// in parallel.
+#[derive(Debug, Clone, Default)]
+pub struct DemodWorkspace {
+    /// Dechirped time-domain symbol (`2^SF` samples).
+    dechirped: Vec<Complex64>,
+    /// Zero-padded complex spectrum (`2^SF · zero_padding` bins).
+    padded: Vec<Complex64>,
+    /// Power spectrum of `padded`.
+    power: Vec<f64>,
+}
+
+impl DemodWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently computed padded power spectrum.
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+}
 
 /// The ON-OFF-keying modulator run by each backscatter device.
 #[derive(Debug, Clone)]
@@ -53,15 +82,54 @@ impl OnOffModulator {
         freq_offset_hz: f64,
         amplitude: f64,
     ) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.symbol_into(bit, timing_offset_s, freq_offset_hz, amplitude, &mut out);
+        out
+    }
+
+    /// As [`Self::symbol`], but writing into a caller-owned buffer (cleared
+    /// and resized to one symbol) so per-symbol synthesis is allocation-free.
+    pub fn symbol_into(
+        &self,
+        bit: bool,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut Vec<Complex64>,
+    ) {
         if bit {
-            self.synth.impaired_upchirp(
+            self.synth.impaired_upchirp_into(
                 self.assigned_shift,
                 timing_offset_s,
                 freq_offset_hz,
                 amplitude,
-            )
+                out,
+            );
         } else {
-            vec![Complex64::ZERO; self.params().num_bins()]
+            out.clear();
+            out.resize(self.params().num_bins(), Complex64::ZERO);
+        }
+    }
+
+    /// Adds this device's symbol onto an existing one-symbol buffer — the
+    /// superposition primitive for simulating concurrent devices without
+    /// materializing one vector per device. A '0' bit adds nothing.
+    pub fn add_symbol(
+        &self,
+        bit: bool,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut [Complex64],
+    ) {
+        if bit {
+            self.synth.add_impaired_upchirp(
+                self.assigned_shift,
+                timing_offset_s,
+                freq_offset_hz,
+                amplitude,
+                out,
+            );
         }
     }
 
@@ -90,11 +158,36 @@ impl OnOffModulator {
         freq_offset_hz: f64,
         amplitude: f64,
     ) -> Vec<Complex64> {
-        let mut out = Vec::with_capacity(bits.len() * self.params().num_bins());
-        for &bit in bits {
-            out.extend(self.symbol(bit, timing_offset_s, freq_offset_hz, amplitude));
-        }
+        let mut out = Vec::new();
+        self.modulate_payload_into(bits, timing_offset_s, freq_offset_hz, amplitude, &mut out);
         out
+    }
+
+    /// As [`Self::modulate_payload`], but writing into a caller-owned buffer
+    /// (cleared and resized to `bits.len()` symbols), synthesizing each '1'
+    /// symbol in place with no per-symbol allocation.
+    pub fn modulate_payload_into(
+        &self,
+        bits: &[bool],
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        amplitude: f64,
+        out: &mut Vec<Complex64>,
+    ) {
+        let n = self.params().num_bins();
+        out.clear();
+        out.resize(bits.len() * n, Complex64::ZERO);
+        for (&bit, chunk) in bits.iter().zip(out.chunks_exact_mut(n)) {
+            if bit {
+                self.synth.add_impaired_upchirp(
+                    self.assigned_shift,
+                    timing_offset_s,
+                    freq_offset_hz,
+                    amplitude,
+                    chunk,
+                );
+            }
+        }
     }
 }
 
@@ -145,29 +238,61 @@ impl ConcurrentDemodulator {
     /// spectrum (length `2^SF · zero_padding`). This is the single FFT whose
     /// cost is independent of the number of concurrent devices.
     pub fn padded_spectrum(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
-        if symbol.len() != self.params().num_bins() {
-            return Err(FftError::LengthMismatch {
-                expected: self.params().num_bins(),
-                actual: symbol.len(),
-            });
-        }
-        let dechirped = self.synth.dechirp(symbol);
-        let spec = self.fft.forward_zero_padded(&dechirped)?;
-        Ok(power_spectrum(&spec))
+        let mut ws = DemodWorkspace::new();
+        self.padded_spectrum_into(symbol, &mut ws)?;
+        Ok(ws.power)
     }
 
     /// As [`Self::padded_spectrum`] but dechirping with the *upchirp*, for
     /// received downchirp preamble symbols.
     pub fn padded_spectrum_downchirp(&self, symbol: &[Complex64]) -> Result<Vec<f64>, FftError> {
+        let mut ws = DemodWorkspace::new();
+        self.padded_spectrum_downchirp_into(symbol, &mut ws)?;
+        Ok(ws.power)
+    }
+
+    /// Allocation-free variant of [`Self::padded_spectrum`]: dechirp,
+    /// pruned zero-padded FFT and power spectrum all run inside the
+    /// workspace's scratch buffers. Returns the power spectrum borrowed from
+    /// the workspace.
+    pub fn padded_spectrum_into<'ws>(
+        &self,
+        symbol: &[Complex64],
+        ws: &'ws mut DemodWorkspace,
+    ) -> Result<&'ws [f64], FftError> {
+        self.spectrum_into(symbol, ws, false)
+    }
+
+    /// Allocation-free variant of [`Self::padded_spectrum_downchirp`].
+    pub fn padded_spectrum_downchirp_into<'ws>(
+        &self,
+        symbol: &[Complex64],
+        ws: &'ws mut DemodWorkspace,
+    ) -> Result<&'ws [f64], FftError> {
+        self.spectrum_into(symbol, ws, true)
+    }
+
+    fn spectrum_into<'ws>(
+        &self,
+        symbol: &[Complex64],
+        ws: &'ws mut DemodWorkspace,
+        down: bool,
+    ) -> Result<&'ws [f64], FftError> {
         if symbol.len() != self.params().num_bins() {
             return Err(FftError::LengthMismatch {
                 expected: self.params().num_bins(),
                 actual: symbol.len(),
             });
         }
-        let dechirped = self.synth.dechirp_down(symbol);
-        let spec = self.fft.forward_zero_padded(&dechirped)?;
-        Ok(power_spectrum(&spec))
+        if down {
+            self.synth.dechirp_down_into(symbol, &mut ws.dechirped);
+        } else {
+            self.synth.dechirp_into(symbol, &mut ws.dechirped);
+        }
+        self.fft
+            .forward_zero_padded_into(&ws.dechirped, &mut ws.padded)?;
+        power_spectrum_into(&ws.padded, &mut ws.power);
+        Ok(&ws.power)
     }
 
     /// Measured power of the device assigned `chirp_bin`, searching the
@@ -228,24 +353,52 @@ impl ConcurrentDemodulator {
         thresholds: &[f64],
         search_halfwidth_bins: f64,
     ) -> Result<Vec<SymbolDecision>, FftError> {
+        let mut ws = DemodWorkspace::new();
+        let mut decisions = Vec::new();
+        self.demodulate_symbol_with(
+            symbol,
+            assignments,
+            thresholds,
+            search_halfwidth_bins,
+            &mut ws,
+            &mut decisions,
+        )?;
+        Ok(decisions)
+    }
+
+    /// As [`Self::demodulate_symbol`], but reusing the workspace's scratch
+    /// buffers and writing the decisions into a caller-owned vector (cleared
+    /// first), so steady-state demodulation performs no heap allocation.
+    pub fn demodulate_symbol_with(
+        &self,
+        symbol: &[Complex64],
+        assignments: &[usize],
+        thresholds: &[f64],
+        search_halfwidth_bins: f64,
+        ws: &mut DemodWorkspace,
+        decisions: &mut Vec<SymbolDecision>,
+    ) -> Result<(), FftError> {
         assert_eq!(
             assignments.len(),
             thresholds.len(),
             "assignments and thresholds must be parallel slices"
         );
-        let padded = self.padded_spectrum(symbol)?;
-        Ok(assignments
-            .iter()
-            .zip(thresholds.iter())
-            .map(|(&bin, &thr)| {
-                let power = self.device_power(&padded, bin, search_halfwidth_bins);
-                SymbolDecision {
-                    assigned_bin: bin,
-                    power,
-                    bit: power > thr,
-                }
-            })
-            .collect())
+        self.padded_spectrum_into(symbol, ws)?;
+        decisions.clear();
+        decisions.extend(
+            assignments
+                .iter()
+                .zip(thresholds.iter())
+                .map(|(&bin, &thr)| {
+                    let power = self.device_power(&ws.power, bin, search_halfwidth_bins);
+                    SymbolDecision {
+                        assigned_bin: bin,
+                        power,
+                        bit: power > thr,
+                    }
+                }),
+        );
+        Ok(())
     }
 }
 
@@ -259,11 +412,6 @@ mod tests {
 
     fn params() -> ChirpParams {
         ChirpParams::new(500e3, 9).unwrap()
-    }
-
-    fn superpose(symbols: &[Vec<Complex64>]) -> Vec<Complex64> {
-        let n = symbols[0].len();
-        (0..n).map(|i| symbols.iter().map(|s| s[i]).sum()).collect()
     }
 
     #[test]
@@ -304,12 +452,11 @@ mod tests {
         // Devices on every 32nd bin, alternating bit pattern.
         let assignments: Vec<usize> = (0..16).map(|i| i * 32).collect();
         let bits: Vec<bool> = (0..16).map(|i| i % 3 != 0).collect();
-        let symbols: Vec<Vec<Complex64>> = assignments
-            .iter()
-            .zip(&bits)
-            .map(|(&bin, &bit)| OnOffModulator::new(p, bin).symbol(bit, 0.0, 0.0, 1.0))
-            .collect();
-        let rx = superpose(&symbols);
+        // Superpose all devices into one buffer, in place.
+        let mut rx = vec![Complex64::ZERO; p.num_bins()];
+        for (&bin, &bit) in assignments.iter().zip(&bits) {
+            OnOffModulator::new(p, bin).add_symbol(bit, 0.0, 0.0, 1.0, &mut rx);
+        }
         let n2 = (p.num_bins() as f64).powi(2);
         let thresholds = vec![n2 * 0.25; assignments.len()];
         let decisions = demod
@@ -330,12 +477,10 @@ mod tests {
         let assignments: Vec<usize> = (0..64).map(|i| i * 8).collect();
         let bits: Vec<bool> = (0..64).map(|i| (i * 5) % 4 != 0).collect();
         let amplitude = 1.0;
-        let symbols: Vec<Vec<Complex64>> = assignments
-            .iter()
-            .zip(&bits)
-            .map(|(&bin, &bit)| OnOffModulator::new(p, bin).symbol(bit, 0.0, 0.0, amplitude))
-            .collect();
-        let mut rx = superpose(&symbols);
+        let mut rx = vec![Complex64::ZERO; p.num_bins()];
+        for (&bin, &bit) in assignments.iter().zip(&bits) {
+            OnOffModulator::new(p, bin).add_symbol(bit, 0.0, 0.0, amplitude, &mut rx);
+        }
         // Per-device SNR of -5 dB: noise power = amplitude^2 * 10^0.5.
         let noise_power = amplitude * amplitude * 10f64.powf(0.5);
         AwgnChannel::with_noise_power(noise_power).apply(&mut rng, &mut rx);
@@ -430,6 +575,57 @@ mod tests {
             .unwrap();
         // Downchirps dechirped with the upchirp mirror the bin: N - shift.
         assert_eq!(peak / 4, p.num_bins() - 40);
+    }
+
+    #[test]
+    fn workspace_path_matches_allocating_path() {
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        let m = OnOffModulator::new(p, 77);
+        let sym = m.symbol(true, 1e-6, 200.0, 0.8);
+        let mut ws = DemodWorkspace::new();
+        // Run twice through the same workspace: steady-state reuse must not
+        // leak state between symbols.
+        for _ in 0..2 {
+            let fast = demod.padded_spectrum_into(&sym, &mut ws).unwrap().to_vec();
+            assert_eq!(fast, demod.padded_spectrum(&sym).unwrap());
+        }
+        let down = m.preamble_downchirp(0.0, 0.0, 1.0);
+        let fast = demod
+            .padded_spectrum_downchirp_into(&down, &mut ws)
+            .unwrap()
+            .to_vec();
+        assert_eq!(fast, demod.padded_spectrum_downchirp(&down).unwrap());
+        // And the decision path agrees with the allocating one.
+        let assignments = vec![77usize, 200];
+        let thresholds = vec![1.0, 1.0];
+        let mut decisions = Vec::new();
+        demod
+            .demodulate_symbol_with(
+                &sym,
+                &assignments,
+                &thresholds,
+                1.0,
+                &mut ws,
+                &mut decisions,
+            )
+            .unwrap();
+        assert_eq!(
+            decisions,
+            demod
+                .demodulate_symbol(&sym, &assignments, &thresholds, 1.0)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn modulate_payload_into_matches_allocating_path() {
+        let p = params();
+        let m = OnOffModulator::new(p, 31);
+        let bits = [true, false, true, true];
+        let mut buf = vec![Complex64::ONE; 7];
+        m.modulate_payload_into(&bits, 1e-6, 120.0, 0.9, &mut buf);
+        assert_eq!(buf, m.modulate_payload(&bits, 1e-6, 120.0, 0.9));
     }
 
     #[test]

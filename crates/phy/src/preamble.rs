@@ -18,7 +18,7 @@
 //!    preamble symbols, and the average preamble power becomes the payload
 //!    decision threshold (half of it, §3.3.1).
 
-use crate::distributed::{ConcurrentDemodulator, OnOffModulator};
+use crate::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
 use netscatter_dsp::chirp::ChirpParams;
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::Complex64;
@@ -126,6 +126,19 @@ impl PreambleDetector {
     /// power). Returns `None` if the stream is too short to hold a preamble
     /// at any candidate offset.
     pub fn estimate_packet_start(&self, stream: &[Complex64], max_offset: usize) -> Option<usize> {
+        let mut ws = DemodWorkspace::new();
+        self.estimate_packet_start_with(stream, max_offset, &mut ws)
+    }
+
+    /// As [`Self::estimate_packet_start`], reusing the caller's workspace:
+    /// the search evaluates `(max_offset + 1) · 6` padded spectra, all of
+    /// which now run through one set of scratch buffers.
+    pub fn estimate_packet_start_with(
+        &self,
+        stream: &[Complex64],
+        max_offset: usize,
+        ws: &mut DemodWorkspace,
+    ) -> Option<usize> {
         let n = self.demod.params().num_bins();
         let needed = PREAMBLE_UPCHIRPS * n;
         if stream.len() < needed {
@@ -139,7 +152,7 @@ impl PreambleDetector {
             for s in 0..PREAMBLE_UPCHIRPS {
                 let start = offset + s * n;
                 let symbol = &stream[start..start + n];
-                if let Ok(spec) = self.demod.padded_spectrum(symbol) {
+                if let Ok(spec) = self.demod.padded_spectrum_into(symbol, ws) {
                     metric += spec.iter().cloned().fold(0.0, f64::max);
                 }
             }
@@ -165,6 +178,21 @@ impl PreambleDetector {
         candidate_bins: &[usize],
         min_power: f64,
     ) -> Result<Vec<DetectedDevice>, FftError> {
+        let mut ws = DemodWorkspace::new();
+        self.detect_devices_with(preamble, candidate_bins, min_power, &mut ws)
+    }
+
+    /// As [`Self::detect_devices`], reusing the caller's workspace. The
+    /// upchirp spectra are consumed one at a time with per-candidate
+    /// accumulators, so only one power spectrum is ever held in memory
+    /// instead of all six.
+    pub fn detect_devices_with(
+        &self,
+        preamble: &[Complex64],
+        candidate_bins: &[usize],
+        min_power: f64,
+        ws: &mut DemodWorkspace,
+    ) -> Result<Vec<DetectedDevice>, FftError> {
         let n = self.demod.params().num_bins();
         if preamble.len() < PREAMBLE_UPCHIRPS * n {
             return Err(FftError::LengthMismatch {
@@ -172,34 +200,34 @@ impl PreambleDetector {
                 actual: preamble.len(),
             });
         }
-        let spectra: Vec<Vec<f64>> = (0..PREAMBLE_UPCHIRPS)
-            .map(|s| self.demod.padded_spectrum(&preamble[s * n..(s + 1) * n]))
-            .collect::<Result<_, _>>()?;
-        let mut detected = Vec::new();
-        for &bin in candidate_bins {
-            let measurements: Vec<(f64, f64)> = spectra
-                .iter()
-                .map(|spec| {
-                    self.demod.device_power_at(
-                        spec,
-                        bin as f64 + self.search_forward_bias_bins,
-                        self.search_halfwidth_bins,
-                    )
-                })
-                .collect();
-            if measurements.iter().all(|(p, _)| *p > min_power) {
-                let average_power =
-                    measurements.iter().map(|(p, _)| *p).sum::<f64>() / measurements.len() as f64;
-                let observed_bin =
-                    measurements.iter().map(|(_, b)| *b).sum::<f64>() / measurements.len() as f64;
-                detected.push(DetectedDevice {
-                    chirp_bin: bin,
-                    average_power,
-                    observed_bin,
-                });
+        // (power sum, observed-bin sum, above-floor-in-every-symbol).
+        let mut acc: Vec<(f64, f64, bool)> = vec![(0.0, 0.0, true); candidate_bins.len()];
+        for s in 0..PREAMBLE_UPCHIRPS {
+            let spec = self
+                .demod
+                .padded_spectrum_into(&preamble[s * n..(s + 1) * n], ws)?;
+            for (&bin, a) in candidate_bins.iter().zip(acc.iter_mut()) {
+                let (power, observed) = self.demod.device_power_at(
+                    spec,
+                    bin as f64 + self.search_forward_bias_bins,
+                    self.search_halfwidth_bins,
+                );
+                a.0 += power;
+                a.1 += observed;
+                a.2 &= power > min_power;
             }
         }
-        Ok(detected)
+        let symbols = PREAMBLE_UPCHIRPS as f64;
+        Ok(candidate_bins
+            .iter()
+            .zip(acc.iter())
+            .filter(|(_, a)| a.2)
+            .map(|(&bin, a)| DetectedDevice {
+                chirp_bin: bin,
+                average_power: a.0 / symbols,
+                observed_bin: a.1 / symbols,
+            })
+            .collect())
     }
 
     /// The payload decision threshold derived from a device's preamble power:
@@ -221,10 +249,15 @@ mod tests {
     }
 
     fn superpose(parts: &[Vec<Complex64>]) -> Vec<Complex64> {
+        // Accumulate every waveform into one buffer in place.
         let n = parts.iter().map(|p| p.len()).max().unwrap_or(0);
-        (0..n)
-            .map(|i| parts.iter().filter_map(|p| p.get(i)).copied().sum())
-            .collect()
+        let mut out = vec![Complex64::ZERO; n];
+        for part in parts {
+            for (acc, s) in out.iter_mut().zip(part.iter()) {
+                *acc += *s;
+            }
+        }
+        out
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Symbol-level Monte-Carlo experiments: near-far BER (Fig. 12) and the
 //! power-dynamic-range sweep (Fig. 15b).
 
+use crate::montecarlo::MonteCarlo;
 use netscatter_channel::noise::{standard_normal, AwgnChannel};
 use netscatter_dsp::chirp::ChirpParams;
 use netscatter_dsp::units::db_to_linear;
 use netscatter_dsp::Complex64;
-use netscatter_phy::distributed::{ConcurrentDemodulator, OnOffModulator};
+use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
 use rand::Rng;
 
 /// Parameters of the Fig. 12 near-far BER experiment.
@@ -40,6 +41,75 @@ impl NearFarConfig {
     }
 }
 
+/// The fixed experiment state shared by every trial of one near-far sweep
+/// point: modulators, demodulator, channel and decision threshold are built
+/// once, and the per-trial scratch buffers live in [`NearFarScratch`].
+struct NearFarExperiment {
+    victim: OnOffModulator,
+    interferer: OnOffModulator,
+    demod: ConcurrentDemodulator,
+    channel: AwgnChannel,
+    interferer_amplitude: f64,
+    freq_mismatch_sigma_hz: f64,
+    victim_bin: usize,
+    threshold: f64,
+}
+
+/// Per-thread reusable buffers: the superposed receive symbol and the
+/// demodulator workspace.
+#[derive(Default)]
+struct NearFarScratch {
+    rx: Vec<Complex64>,
+    ws: DemodWorkspace,
+}
+
+impl NearFarExperiment {
+    fn new(config: &NearFarConfig, victim_snr_db: f64) -> Self {
+        let params = config.params;
+        let n = params.num_bins() as f64;
+        Self {
+            victim: OnOffModulator::new(params, config.victim_bin),
+            interferer: OnOffModulator::new(params, config.interferer_bin),
+            demod: ConcurrentDemodulator::new(params, config.zero_padding)
+                .expect("paper zero-padding is a power of two"),
+            // Victim amplitude 1; noise power from the requested SNR.
+            channel: AwgnChannel::with_noise_power(1.0 / db_to_linear(victim_snr_db)),
+            interferer_amplitude: db_to_linear(config.interferer_power_delta_db).sqrt(),
+            freq_mismatch_sigma_hz: config.freq_mismatch_sigma_hz,
+            victim_bin: config.victim_bin,
+            // Decision threshold: half the victim's ideal peak power, as
+            // calibrated from the preamble in the full receiver.
+            threshold: 0.5 * n * n,
+        }
+    }
+
+    /// Runs one ON-OFF symbol trial; returns `true` on a bit error. The
+    /// victim and interferer superpose in place into `scratch.rx` and the
+    /// whole decode runs in `scratch.ws` — no per-trial allocation.
+    fn trial<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut NearFarScratch) -> bool {
+        let victim_bit = rng.gen_bool(0.5);
+        let interferer_bit = rng.gen_bool(0.5);
+        let victim_cfo = self.freq_mismatch_sigma_hz * standard_normal(rng);
+        let interferer_cfo = self.freq_mismatch_sigma_hz * standard_normal(rng);
+        self.victim
+            .symbol_into(victim_bit, 0.0, victim_cfo, 1.0, &mut scratch.rx);
+        self.interferer.add_symbol(
+            interferer_bit,
+            0.0,
+            interferer_cfo,
+            self.interferer_amplitude,
+            &mut scratch.rx,
+        );
+        self.channel.apply(rng, &mut scratch.rx);
+        let spectrum = self
+            .demod
+            .padded_spectrum_into(&scratch.rx, &mut scratch.ws)
+            .expect("correct symbol length");
+        let power = self.demod.device_power(spectrum, self.victim_bin, 0.5);
+        (power > self.threshold) != victim_bit
+    }
+}
+
 /// Measures the victim device's BER at the given per-symbol SNR with a
 /// concurrent interferer, over `symbols` random ON-OFF symbols.
 pub fn near_far_ber<R: Rng + ?Sized>(
@@ -48,37 +118,31 @@ pub fn near_far_ber<R: Rng + ?Sized>(
     victim_snr_db: f64,
     symbols: usize,
 ) -> f64 {
-    let params = config.params;
-    let victim = OnOffModulator::new(params, config.victim_bin);
-    let interferer = OnOffModulator::new(params, config.interferer_bin);
-    let demod = ConcurrentDemodulator::new(params, config.zero_padding)
-        .expect("paper zero-padding is a power of two");
-    let n = params.num_bins() as f64;
-    // Victim amplitude 1; noise power set from the requested per-sample SNR.
-    let noise_power = 1.0 / db_to_linear(victim_snr_db);
-    let channel = AwgnChannel::with_noise_power(noise_power);
-    let interferer_amplitude = db_to_linear(config.interferer_power_delta_db).sqrt();
-    // Decision threshold: half the victim's ideal peak power, as calibrated
-    // from the preamble in the full receiver.
-    let threshold = 0.5 * n * n;
-    let mut errors = 0usize;
-    for i in 0..symbols {
-        let victim_bit = rng.gen_bool(0.5);
-        let interferer_bit = rng.gen_bool(0.5);
-        let victim_cfo = config.freq_mismatch_sigma_hz * standard_normal(rng);
-        let interferer_cfo = config.freq_mismatch_sigma_hz * standard_normal(rng);
-        let v = victim.symbol(victim_bit, 0.0, victim_cfo, 1.0);
-        let ifer = interferer.symbol(interferer_bit, 0.0, interferer_cfo, interferer_amplitude);
-        let mut rx: Vec<Complex64> = v.iter().zip(&ifer).map(|(a, b)| *a + *b).collect();
-        channel.apply(rng, &mut rx);
-        let spectrum = demod.padded_spectrum(&rx).expect("correct symbol length");
-        let power = demod.device_power(&spectrum, config.victim_bin, 0.5);
-        let decided = power > threshold;
-        if decided != victim_bit {
-            errors += 1;
-        }
-        let _ = i;
-    }
+    let experiment = NearFarExperiment::new(config, victim_snr_db);
+    let mut scratch = NearFarScratch::default();
+    let errors = (0..symbols)
+        .filter(|_| experiment.trial(rng, &mut scratch))
+        .count();
+    errors as f64 / symbols.max(1) as f64
+}
+
+/// Sharded, multi-threaded variant of [`near_far_ber`]: the `symbols` trials
+/// are distributed across the runner's shards, each with its own RNG stream
+/// and scratch buffers, so the estimate is bit-identical for a given runner
+/// seed at any thread count.
+pub fn near_far_ber_sharded(
+    mc: &MonteCarlo,
+    config: &NearFarConfig,
+    victim_snr_db: f64,
+    symbols: usize,
+) -> f64 {
+    let experiment = NearFarExperiment::new(config, victim_snr_db);
+    let errors = mc.count(symbols, |rng, trials| {
+        let mut scratch = NearFarScratch::default();
+        trials
+            .filter(|_| experiment.trial(rng, &mut scratch))
+            .count()
+    });
     errors as f64 / symbols.max(1) as f64
 }
 
@@ -92,6 +156,39 @@ pub fn max_tolerable_power_difference_db<R: Rng + ?Sized>(
     target_ber: f64,
     symbols_per_point: usize,
     max_delta_db: f64,
+) -> f64 {
+    sweep_power_difference(params, bin_separation, target_ber, max_delta_db, |config| {
+        near_far_ber(rng, config, 15.0, symbols_per_point)
+    })
+}
+
+/// Sharded, multi-threaded variant of [`max_tolerable_power_difference_db`]:
+/// each delta step of the sweep runs its Monte-Carlo point on a runner
+/// derived from `mc` (decorrelated seed per step), so the whole sweep is
+/// bit-identical for a given runner seed at any thread count.
+pub fn max_tolerable_power_difference_db_sharded(
+    mc: &MonteCarlo,
+    params: ChirpParams,
+    bin_separation: usize,
+    target_ber: f64,
+    symbols_per_point: usize,
+    max_delta_db: f64,
+) -> f64 {
+    let mut step = 0u64;
+    sweep_power_difference(params, bin_separation, target_ber, max_delta_db, |config| {
+        step += 1;
+        near_far_ber_sharded(&mc.derive(step), config, 15.0, symbols_per_point)
+    })
+}
+
+/// Shared sweep skeleton: walks the interferer power advantage upwards in
+/// 5 dB steps until the measured BER exceeds `target_ber`.
+fn sweep_power_difference(
+    params: ChirpParams,
+    bin_separation: usize,
+    target_ber: f64,
+    max_delta_db: f64,
+    mut measure: impl FnMut(&NearFarConfig) -> f64,
 ) -> f64 {
     let mut tolerated = 0.0f64;
     let mut delta = 0.0f64;
@@ -107,7 +204,7 @@ pub fn max_tolerable_power_difference_db<R: Rng + ?Sized>(
         // High victim SNR so the limit is interference, not noise: at +5 dB
         // the residual AWGN floor (~0.3% BER) is visible in short sweeps,
         // which would misattribute noise errors to the interferer.
-        let ber = near_far_ber(rng, &config, 15.0, symbols_per_point);
+        let ber = measure(&config);
         if ber <= target_ber {
             tolerated = delta;
         } else {

@@ -1,0 +1,128 @@
+//! Performance snapshot for CI: times the steady-state decode path and the
+//! quick-mode experiment sweeps, prints a human-readable report, and writes
+//! the numbers to `BENCH_decode.json` so the perf trajectory of the decode
+//! pipeline is tracked from PR to PR.
+//!
+//! Usage: `perf_snapshot [--out <path>]` (default `BENCH_decode.json`).
+
+use netscatter::receiver::ConcurrentReceiver;
+use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
+use netscatter_phy::params::PhyProfile;
+use netscatter_sim::experiments::{fig15, fig17, Scale};
+use netscatter_sim::workloads::build_concurrent_round;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PAYLOAD_SYMBOLS: usize = 16;
+
+/// Median wall-time of `samples` timed invocations of `f`, in seconds.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    // One warm-up to populate scratch buffers and caches.
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_decode.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let profile = PhyProfile::default();
+    let params = profile.modulation.chirp();
+
+    // 1. ns per padded spectrum (dechirp + pruned zero-padded FFT + power),
+    //    the dominant per-symbol cost of the receiver.
+    let demod = ConcurrentDemodulator::new(params, profile.zero_padding)
+        .expect("profile zero-padding is a power of two");
+    let mut ws = DemodWorkspace::new();
+    let symbol = OnOffModulator::new(params, 123).symbol(true, 0.0, 0.0, 1.0);
+    let batch = 256usize;
+    let per_batch = median_secs(9, || {
+        for _ in 0..batch {
+            demod
+                .padded_spectrum_into(&symbol, &mut ws)
+                .expect("correct symbol length");
+        }
+    });
+    let padded_spectrum_ns = per_batch / batch as f64 * 1e9;
+
+    // 2. Full-round decode throughput (symbols/sec) vs device count.
+    let mut decode_rows = Vec::new();
+    for n_devices in [16usize, 64, 256] {
+        let rx = ConcurrentReceiver::new(&profile).expect("valid profile");
+        let (stream, bins) = build_concurrent_round(&profile, n_devices, PAYLOAD_SYMBOLS);
+        let round_s = median_secs(5, || {
+            let round = rx
+                .decode_round(&stream, 0, &bins, PAYLOAD_SYMBOLS)
+                .expect("round decodes");
+            assert_eq!(round.devices.len(), n_devices, "all devices detected");
+        });
+        let symbols_per_sec = PAYLOAD_SYMBOLS as f64 / round_s;
+        decode_rows.push((n_devices, round_s * 1e3, symbols_per_sec));
+    }
+
+    // 3. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and the
+    //    Fig. 17 network sweep, both through the sharded/parallel layer.
+    let t = Instant::now();
+    let fig15_report = fig15(Scale::Quick, 42);
+    let fig15_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let fig17_report = fig17(Scale::Quick, 42);
+    let fig17_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(fig15_report.contains("Fig. 15b") && fig17_report.contains("Fig. 17"));
+
+    // Human-readable report.
+    println!("perf_snapshot (quick mode)");
+    println!("  padded_spectrum: {padded_spectrum_ns:.0} ns per symbol spectrum");
+    for (n, ms, sps) in &decode_rows {
+        println!("  decode_round[{n:>3} devices]: {ms:.3} ms per {PAYLOAD_SYMBOLS}-symbol round = {sps:.0} symbols/sec");
+    }
+    println!("  fig15b quick sweep: {fig15_ms:.0} ms");
+    println!("  fig17 quick sweep: {fig17_ms:.0} ms");
+
+    // Machine-readable snapshot.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"netscatter-perf-snapshot-v1\",");
+    let _ = writeln!(json, "  \"payload_symbols_per_round\": {PAYLOAD_SYMBOLS},");
+    let _ = writeln!(json, "  \"padded_spectrum_ns\": {padded_spectrum_ns:.1},");
+    let _ = writeln!(json, "  \"decode\": [");
+    for (i, (n, ms, sps)) in decode_rows.iter().enumerate() {
+        let comma = if i + 1 < decode_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"devices\": {n}, \"round_ms\": {ms:.4}, \"symbols_per_sec\": {sps:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"sweeps\": {{");
+    let _ = writeln!(json, "    \"fig15b_quick_ms\": {fig15_ms:.1},");
+    let _ = writeln!(json, "    \"fig17_quick_ms\": {fig17_ms:.1}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

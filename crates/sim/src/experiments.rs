@@ -6,9 +6,12 @@
 //! the same drivers. `EXPERIMENTS.md` records the paper-vs-measured
 //! comparison for each one.
 
-use crate::ber::{max_tolerable_power_difference_db, near_far_ber, NearFarConfig};
+use crate::ber::{max_tolerable_power_difference_db_sharded, near_far_ber_sharded, NearFarConfig};
 use crate::deployment::{Deployment, DeploymentConfig};
-use crate::network::{lora_backscatter_metrics, netscatter_metrics, NetScatterVariant};
+use crate::montecarlo::{available_threads, parallel_map, MonteCarlo};
+use crate::network::{
+    lora_backscatter_metrics, netscatter_metrics, NetScatterVariant, SchemeMetrics,
+};
 use netscatter::analysis;
 use netscatter_baselines::choir::fft_bin_variation_cdf;
 use netscatter_baselines::tdma::LoraScheme;
@@ -146,8 +149,19 @@ pub fn fig09(scale: Scale, seed: u64) -> String {
 }
 
 /// Fig. 12: near-far BER vs. SNR for several interferer power advantages.
+///
+/// Every (SNR, Δpower) cell is an independent sharded Monte-Carlo point on
+/// a seed derived from `seed`, so the report is reproducible bit-for-bit at
+/// any thread count.
 pub fn fig12(scale: Scale, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    fig12_with_threads(scale, seed, available_threads())
+}
+
+/// [`fig12`] with an explicit worker-thread bound. The report is the same
+/// string at every `threads` value — the property the determinism tests
+/// pin down.
+pub fn fig12_with_threads(scale: Scale, seed: u64, threads: usize) -> String {
+    let mc = MonteCarlo::with_threads(seed, threads);
     let symbols = scale.pick(200, 10_000);
     let snrs = [-20.0, -18.0, -16.0, -14.0, -12.0, -10.0];
     let deltas = [0.0, 35.0, 40.0, 45.0];
@@ -158,11 +172,12 @@ pub fn fig12(scale: Scale, seed: u64) -> String {
         let _ = write!(out, "  delta={:>4.0}dB", d);
     }
     out.push('\n');
-    for snr in snrs {
+    for (i, snr) in snrs.iter().enumerate() {
         let _ = write!(out, "  {:7.1}", snr);
-        for delta in deltas {
-            let cfg = NearFarConfig::paper(delta);
-            let ber = near_far_ber(&mut rng, &cfg, snr, symbols);
+        for (j, delta) in deltas.iter().enumerate() {
+            let cfg = NearFarConfig::paper(*delta);
+            let cell = mc.derive((i * deltas.len() + j) as u64);
+            let ber = near_far_ber_sharded(&cell, &cfg, *snr, symbols);
             let _ = write!(out, "  {:12.4}", ber);
         }
         out.push('\n');
@@ -240,16 +255,22 @@ pub fn fig15(scale: Scale, seed: u64) -> String {
         );
     }
     out.push_str("Fig. 15b: max tolerable power difference vs. bin separation\n  separation[bins]  tolerated[dB]\n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mc = MonteCarlo::new(seed);
     let symbols = scale.pick(60, 400);
     // The target BER must sit above both the single-error quantum (1/symbols)
     // and the ~0.3% CFO-tail error floor, or the sweep aborts on a stray
     // noise outlier instead of actual interference (see the sibling test in
     // ber.rs): 5% at 60 quick symbols, 1% at 400 full-scale symbols.
     let target_ber = f64::max(0.01, 3.0 / symbols as f64);
-    for sep in [2usize, 8, 32, 64, 128, 256] {
-        let tolerated =
-            max_tolerable_power_difference_db(&mut rng, params, sep, target_ber, symbols, 45.0);
+    for (i, sep) in [2usize, 8, 32, 64, 128, 256].into_iter().enumerate() {
+        let tolerated = max_tolerable_power_difference_db_sharded(
+            &mc.derive(i as u64),
+            params,
+            sep,
+            target_ber,
+            symbols,
+            45.0,
+        );
         let _ = writeln!(out, "  {:16}  {:13.0}", sep, tolerated);
     }
     out
@@ -295,33 +316,53 @@ fn network_sweep(scale: Scale, seed: u64) -> (Deployment, Vec<usize>) {
     (dep, sizes)
 }
 
+/// One network size of the Fig. 17–19 sweep: all five schemes' metrics.
+struct SweepRow {
+    n: usize,
+    fixed: SchemeMetrics,
+    adapted: SchemeMetrics,
+    ideal: SchemeMetrics,
+    c1: SchemeMetrics,
+    c2: SchemeMetrics,
+}
+
+/// Computes every sweep row in parallel. Each row is a pure function of the
+/// (already generated) deployment, so the result is independent of the
+/// thread count and identical to the sequential sweep.
+fn sweep_rows(dep: &Deployment, sizes: &[usize]) -> Vec<SweepRow> {
+    parallel_map(sizes, available_threads(), |&n| SweepRow {
+        n,
+        fixed: lora_backscatter_metrics(dep, n, 40, LoraScheme::fixed()),
+        adapted: lora_backscatter_metrics(dep, n, 40, LoraScheme::rate_adapted()),
+        ideal: netscatter_metrics(dep, n, 40, NetScatterVariant::Ideal),
+        c1: netscatter_metrics(dep, n, 40, NetScatterVariant::Config1),
+        c2: netscatter_metrics(dep, n, 40, NetScatterVariant::Config2),
+    })
+}
+
 /// Fig. 17: network PHY rate vs. number of devices.
 pub fn fig17(scale: Scale, seed: u64) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
+    let rows = sweep_rows(&dep, &sizes);
     let mut out = String::from("Fig. 17: network PHY rate [kbps]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter(Ideal)  NetScatter\n");
-    for &n in &sizes {
-        let fixed = lora_backscatter_metrics(&dep, n, 40, LoraScheme::fixed());
-        let adapted = lora_backscatter_metrics(&dep, n, 40, LoraScheme::rate_adapted());
-        let ideal = netscatter_metrics(&dep, n, 40, NetScatterVariant::Ideal);
-        let real = netscatter_metrics(&dep, n, 40, NetScatterVariant::Config1);
+    for row in &rows {
         let _ = writeln!(
             out,
             "  {:4}  {:10.1}  {:15.1}  {:17.1}  {:10.1}",
-            n,
-            fixed.phy_rate_bps / 1e3,
-            adapted.phy_rate_bps / 1e3,
-            ideal.phy_rate_bps / 1e3,
-            real.phy_rate_bps / 1e3
+            row.n,
+            row.fixed.phy_rate_bps / 1e3,
+            row.adapted.phy_rate_bps / 1e3,
+            row.ideal.phy_rate_bps / 1e3,
+            row.c1.phy_rate_bps / 1e3
         );
     }
-    let fixed = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::fixed());
-    let adapted = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::rate_adapted());
-    let real = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
+    let last = rows.last().expect("sweep has at least one size");
     let _ = writeln!(
         out,
-        "PHY-rate gain at 256 devices: {:.1}x over fixed-rate (paper 26.2x), {:.1}x over rate-adapted (paper 6.8x)",
-        real.phy_rate_bps / fixed.phy_rate_bps,
-        real.phy_rate_bps / adapted.phy_rate_bps
+        "PHY-rate gain at {} devices: {:.1}x over fixed-rate (paper 26.2x), {:.1}x over rate-adapted (paper 6.8x)",
+        last.n,
+        last.c1.phy_rate_bps / last.fixed.phy_rate_bps,
+        last.c1.phy_rate_bps / last.adapted.phy_rate_bps
     );
     out
 }
@@ -329,33 +370,28 @@ pub fn fig17(scale: Scale, seed: u64) -> String {
 /// Fig. 18: link-layer data rate vs. number of devices.
 pub fn fig18(scale: Scale, seed: u64) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
+    let rows = sweep_rows(&dep, &sizes);
     let mut out = String::from("Fig. 18: link-layer data rate [kbps]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n");
-    for &n in &sizes {
-        let fixed = lora_backscatter_metrics(&dep, n, 40, LoraScheme::fixed());
-        let adapted = lora_backscatter_metrics(&dep, n, 40, LoraScheme::rate_adapted());
-        let c1 = netscatter_metrics(&dep, n, 40, NetScatterVariant::Config1);
-        let c2 = netscatter_metrics(&dep, n, 40, NetScatterVariant::Config2);
+    for row in &rows {
         let _ = writeln!(
             out,
             "  {:4}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
-            n,
-            fixed.link_layer_rate_bps / 1e3,
-            adapted.link_layer_rate_bps / 1e3,
-            c1.link_layer_rate_bps / 1e3,
-            c2.link_layer_rate_bps / 1e3
+            row.n,
+            row.fixed.link_layer_rate_bps / 1e3,
+            row.adapted.link_layer_rate_bps / 1e3,
+            row.c1.link_layer_rate_bps / 1e3,
+            row.c2.link_layer_rate_bps / 1e3
         );
     }
-    let fixed = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::fixed());
-    let adapted = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::rate_adapted());
-    let c1 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
-    let c2 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config2);
+    let last = rows.last().expect("sweep has at least one size");
     let _ = writeln!(
         out,
-        "link-layer gains at 256: cfg1 {:.1}x / cfg2 {:.1}x over fixed (paper 61.9x / 50.9x); cfg1 {:.1}x / cfg2 {:.1}x over rate-adapted (paper 14.1x / 11.6x)",
-        c1.link_layer_rate_bps / fixed.link_layer_rate_bps,
-        c2.link_layer_rate_bps / fixed.link_layer_rate_bps,
-        c1.link_layer_rate_bps / adapted.link_layer_rate_bps,
-        c2.link_layer_rate_bps / adapted.link_layer_rate_bps
+        "link-layer gains at {}: cfg1 {:.1}x / cfg2 {:.1}x over fixed (paper 61.9x / 50.9x); cfg1 {:.1}x / cfg2 {:.1}x over rate-adapted (paper 14.1x / 11.6x)",
+        last.n,
+        last.c1.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
+        last.c2.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
+        last.c1.link_layer_rate_bps / last.adapted.link_layer_rate_bps,
+        last.c2.link_layer_rate_bps / last.adapted.link_layer_rate_bps
     );
     out
 }
@@ -363,33 +399,28 @@ pub fn fig18(scale: Scale, seed: u64) -> String {
 /// Fig. 19: network latency vs. number of devices.
 pub fn fig19(scale: Scale, seed: u64) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
+    let rows = sweep_rows(&dep, &sizes);
     let mut out = String::from("Fig. 19: network latency [ms]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n");
-    for &n in &sizes {
-        let fixed = lora_backscatter_metrics(&dep, n, 40, LoraScheme::fixed());
-        let adapted = lora_backscatter_metrics(&dep, n, 40, LoraScheme::rate_adapted());
-        let c1 = netscatter_metrics(&dep, n, 40, NetScatterVariant::Config1);
-        let c2 = netscatter_metrics(&dep, n, 40, NetScatterVariant::Config2);
+    for row in &rows {
         let _ = writeln!(
             out,
             "  {:4}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
-            n,
-            fixed.latency_s * 1e3,
-            adapted.latency_s * 1e3,
-            c1.latency_s * 1e3,
-            c2.latency_s * 1e3
+            row.n,
+            row.fixed.latency_s * 1e3,
+            row.adapted.latency_s * 1e3,
+            row.c1.latency_s * 1e3,
+            row.c2.latency_s * 1e3
         );
     }
-    let fixed = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::fixed());
-    let adapted = lora_backscatter_metrics(&dep, 256, 40, LoraScheme::rate_adapted());
-    let c1 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config1);
-    let c2 = netscatter_metrics(&dep, 256, 40, NetScatterVariant::Config2);
+    let last = rows.last().expect("sweep has at least one size");
     let _ = writeln!(
         out,
-        "latency reductions at 256: cfg1 {:.1}x / cfg2 {:.1}x vs fixed (paper 67.0x / 55.1x); cfg1 {:.1}x / cfg2 {:.1}x vs rate-adapted (paper 15.3x / 12.6x)",
-        fixed.latency_s / c1.latency_s,
-        fixed.latency_s / c2.latency_s,
-        adapted.latency_s / c1.latency_s,
-        adapted.latency_s / c2.latency_s
+        "latency reductions at {}: cfg1 {:.1}x / cfg2 {:.1}x vs fixed (paper 67.0x / 55.1x); cfg1 {:.1}x / cfg2 {:.1}x vs rate-adapted (paper 15.3x / 12.6x)",
+        last.n,
+        last.fixed.latency_s / last.c1.latency_s,
+        last.fixed.latency_s / last.c2.latency_s,
+        last.adapted.latency_s / last.c1.latency_s,
+        last.adapted.latency_s / last.c2.latency_s
     );
     out
 }

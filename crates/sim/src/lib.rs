@@ -12,6 +12,10 @@
 //!   latency as functions of the number of devices (Figs. 17–19).
 //! * [`ber`] — symbol-level Monte-Carlo helpers: near-far BER sweeps
 //!   (Fig. 12) and the power-dynamic-range sweep (Fig. 15b).
+//! * [`montecarlo`] — the deterministic sharded Monte-Carlo runner: fixed
+//!   shard layout, one RNG stream per shard (`seed ⊕ shard`), worker threads
+//!   via `std::thread::scope`; results are bit-identical for a given seed at
+//!   any thread count.
 //! * [`experiments`] — one self-contained driver per table/figure, each
 //!   returning both structured rows and a printable report. The binaries in
 //!   `src/bin/` are thin wrappers around these drivers.
@@ -22,7 +26,10 @@
 pub mod ber;
 pub mod deployment;
 pub mod experiments;
+pub mod montecarlo;
 pub mod network;
+pub mod workloads;
 
 pub use deployment::{Deployment, DeploymentConfig, DeviceLink};
+pub use montecarlo::MonteCarlo;
 pub use network::{netscatter_metrics, NetScatterVariant};

@@ -1,0 +1,222 @@
+//! Deterministic sharded Monte-Carlo execution.
+//!
+//! The BER sweeps (Figs. 12/15b) and the network sweeps (Figs. 17–19) are
+//! embarrassingly parallel, but naive parallelism destroys reproducibility:
+//! splitting one RNG stream across threads makes the result depend on how
+//! the scheduler interleaves them. This module fixes the random structure
+//! *independently of the thread count*:
+//!
+//! * Work is partitioned into **shards** of a fixed number of trials
+//!   ([`TRIALS_PER_SHARD`]); the shard layout depends only on the total
+//!   trial count, never on the machine.
+//! * Each shard owns a private `StdRng` seeded `seed ⊕ shard`, so shard `s`
+//!   always consumes the same random stream no matter which worker thread
+//!   runs it, or in what order.
+//! * Workers ([`std::thread::scope`]) claim shards round-robin and results
+//!   are reassembled in shard order.
+//!
+//! The contract: **for a given seed and trial count, the per-shard results —
+//! and therefore any aggregate computed from them in shard order — are
+//! bit-identical at every thread count**, including the sequential
+//! single-thread path.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// Number of trials each shard runs with its private RNG stream. Fixed so
+/// that the random structure of an experiment is a function of `(seed,
+/// trials)` alone; thread count only changes which worker runs which shard.
+pub const TRIALS_PER_SHARD: usize = 64;
+
+/// A deterministic sharded Monte-Carlo runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Base seed; shard `s` uses `seed ^ s`.
+    pub seed: u64,
+    /// Maximum number of worker threads. Any value ≥ 1 produces identical
+    /// results; this only bounds parallelism.
+    pub threads: usize,
+}
+
+impl MonteCarlo {
+    /// A runner using every available core.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            threads: available_threads(),
+        }
+    }
+
+    /// A runner with an explicit worker-thread bound.
+    pub fn with_threads(seed: u64, threads: usize) -> Self {
+        Self {
+            seed,
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner for a derived sub-experiment (e.g. one sweep point): same
+    /// thread bound, decorrelated seed.
+    pub fn derive(&self, salt: u64) -> Self {
+        Self {
+            // SplitMix64-style mix so that consecutive salts produce
+            // unrelated shard seeds.
+            seed: self
+                .seed
+                .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(31),
+            threads: self.threads,
+        }
+    }
+
+    /// Runs `trials` independent trials, split into fixed-size shards, and
+    /// returns the per-shard results in shard order.
+    ///
+    /// `body` receives the shard's private RNG and the half-open range of
+    /// global trial indices it covers; it must not use any other source of
+    /// randomness. Results are bit-identical for a given `(seed, trials)`
+    /// at any thread count.
+    pub fn run_shards<T, F>(&self, trials: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut StdRng, Range<usize>) -> T + Sync,
+    {
+        let shards = shard_ranges(trials);
+        let indices: Vec<usize> = (0..shards.len()).collect();
+        parallel_map(&indices, self.threads, |&s| {
+            body(&mut self.shard_rng(s), shards[s].clone())
+        })
+    }
+
+    /// Convenience for counting experiments (e.g. bit errors): sums the
+    /// per-shard counts. Deterministic because integer addition is
+    /// associative and shards are summed in shard order.
+    pub fn count<F>(&self, trials: usize, body: F) -> usize
+    where
+        F: Fn(&mut StdRng, Range<usize>) -> usize + Sync,
+    {
+        self.run_shards(trials, body).into_iter().sum()
+    }
+
+    fn shard_rng(&self, shard: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ shard as u64)
+    }
+}
+
+/// The fixed shard layout for a trial count: consecutive chunks of
+/// [`TRIALS_PER_SHARD`] trials, the last one possibly shorter.
+fn shard_ranges(trials: usize) -> Vec<Range<usize>> {
+    (0..trials.div_ceil(TRIALS_PER_SHARD))
+        .map(|s| s * TRIALS_PER_SHARD..((s + 1) * TRIALS_PER_SHARD).min(trials))
+        .collect()
+}
+
+/// Number of worker threads to use by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` across worker threads, returning the
+/// results in input order. `f` must be a pure function of its input for the
+/// output to be thread-count-independent (which is how the Fig. 17–19
+/// network sweeps use it: the deployment is generated once up front, and
+/// every sweep point is a deterministic function of it).
+pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    let mut i = w;
+                    while i < items.len() {
+                        done.push((i, f(&items[i])));
+                        i += workers;
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("parallel_map worker panicked") {
+                results[i] = Some(value);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn shard_layout_depends_only_on_trial_count() {
+        assert!(shard_ranges(0).is_empty());
+        assert_eq!(shard_ranges(1), vec![0..1]);
+        assert_eq!(shard_ranges(TRIALS_PER_SHARD), vec![0..TRIALS_PER_SHARD]);
+        assert_eq!(
+            shard_ranges(TRIALS_PER_SHARD + 1),
+            vec![0..TRIALS_PER_SHARD, TRIALS_PER_SHARD..TRIALS_PER_SHARD + 1]
+        );
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        // A trial body whose result depends on both the rng stream and the
+        // trial index, so any scheduling leak would show up.
+        let body = |rng: &mut StdRng, range: Range<usize>| -> u64 {
+            range
+                .map(|t| rng.gen_range(0u64..1 << 40).wrapping_mul(t as u64 + 1))
+                .fold(0u64, u64::wrapping_add)
+        };
+        let reference = MonteCarlo::with_threads(42, 1).run_shards(1000, body);
+        for threads in [2usize, 3, 4, 16] {
+            let got = MonteCarlo::with_threads(42, threads).run_shards(1000, body);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn count_sums_shard_results() {
+        let mc = MonteCarlo::with_threads(7, 4);
+        let total = mc.count(300, |_, range| range.len());
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn derived_runners_decorrelate_seeds() {
+        let mc = MonteCarlo::with_threads(1, 1);
+        assert_ne!(mc.derive(0).seed, mc.derive(1).seed);
+        assert_ne!(mc.derive(1).seed, mc.seed);
+        // Deriving is deterministic.
+        assert_eq!(mc.derive(5), mc.derive(5));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let reference: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for threads in [1usize, 2, 5] {
+            assert_eq!(parallel_map(&items, threads, |i| i * i), reference);
+        }
+    }
+}

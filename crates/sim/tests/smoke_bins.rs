@@ -49,3 +49,23 @@ smoke! {
     analysis_choir => [];
     analysis_capacity => [];
 }
+
+#[test]
+fn perf_snapshot_writes_bench_json() {
+    let out = std::env::temp_dir().join("netscatter_perf_snapshot_test.json");
+    let _ = std::fs::remove_file(&out);
+    run(
+        env!("CARGO_BIN_EXE_perf_snapshot"),
+        &["--out", out.to_str().unwrap()],
+    );
+    let json = std::fs::read_to_string(&out).expect("snapshot file written");
+    for key in [
+        "netscatter-perf-snapshot-v1",
+        "padded_spectrum_ns",
+        "symbols_per_sec",
+        "fig15b_quick_ms",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    let _ = std::fs::remove_file(&out);
+}
