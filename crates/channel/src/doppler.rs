@@ -85,7 +85,7 @@ mod tests {
         let shifted = apply_frequency_shift(&sig, 2.0, fs);
         let spec = netscatter_dsp::fft::fft(&shifted).unwrap();
         let peak = (0..n)
-            .max_by(|&a, &b| spec[a].abs().partial_cmp(&spec[b].abs()).unwrap())
+            .max_by(|&a, &b| spec[a].abs().total_cmp(&spec[b].abs()))
             .unwrap();
         assert_eq!(peak, 2);
     }

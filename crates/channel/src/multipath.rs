@@ -105,16 +105,36 @@ impl MultipathChannel {
     }
 
     /// Applies the channel to a signal sampled at `sample_rate_hz` by
-    /// convolving with the tap response (delays rounded to the nearest
-    /// sample). The output has the same length as the input.
+    /// convolving with the tap response. The output has the same length as
+    /// the input.
+    ///
+    /// Each tap delay is split into an integer sample shift plus a residual
+    /// fractional delay. The fractional part is realized with a first-order
+    /// (linear-interpolation) fractional-delay filter, so sub-sample delays
+    /// survive instead of rounding to zero: at critical CSS sampling (2 µs
+    /// period) every indoor tap (50–300 ns) used to collapse onto shift 0,
+    /// silently degenerating the tapped-delay line into a scalar gain with
+    /// no group delay. For a narrowband signal the interpolated tap is
+    /// phase-accurate: a tone at frequency `f` picks up the expected
+    /// `−2π·f·τ` phase for the residual delay `τ`. Taps whose integer shift
+    /// falls past the end of the buffer contribute nothing.
     pub fn apply(&self, signal: &[Complex64], sample_rate_hz: f64) -> Vec<Complex64> {
         let mut out = vec![Complex64::ZERO; signal.len()];
         for (delay_s, gain) in &self.taps {
-            let shift = (delay_s * sample_rate_hz).round() as usize;
-            for (i, s) in signal.iter().enumerate() {
-                if i + shift < out.len() {
-                    out[i + shift] += *s * *gain;
-                }
+            let delay_samples = (delay_s * sample_rate_hz).max(0.0);
+            let shift = delay_samples.floor() as usize;
+            if shift >= out.len() {
+                continue;
+            }
+            let frac = delay_samples - delay_samples.floor();
+            for (i, o) in out.iter_mut().enumerate().skip(shift) {
+                let current = signal[i - shift];
+                let previous = if i - shift > 0 {
+                    signal[i - shift - 1]
+                } else {
+                    Complex64::ZERO
+                };
+                *o += (current.scale(1.0 - frac) + previous.scale(frac)) * *gain;
             }
         }
         out
@@ -210,17 +230,64 @@ mod tests {
     }
 
     #[test]
-    fn apply_at_narrowband_rate_reduces_to_flat_gain() {
-        // At 500 kHz sampling all sub-µs taps round to delay 0, so applying
-        // the channel equals multiplying by the flat gain.
+    fn apply_at_narrowband_rate_approximates_flat_gain() {
+        // At 500 kHz sampling all sub-µs taps are a small fraction of one
+        // sample, so applying the channel stays close to multiplying by the
+        // flat gain — but no longer *exactly* equal: the fractional delays
+        // are preserved instead of rounded away.
         let mut rng = StdRng::seed_from_u64(14);
         let profile = PowerDelayProfile::indoor(200e-9);
         let ch = profile.realize(&mut rng);
         let signal: Vec<Complex64> = (0..64).map(|i| Complex64::cis(i as f64 * 0.1)).collect();
         let out = ch.apply(&signal, 500e3);
         let flat = ch.flat_gain();
-        for (o, s) in out.iter().zip(&signal) {
-            assert!((*o - *s * flat).abs() < 1e-12);
+        for (o, s) in out.iter().zip(&signal).skip(1) {
+            assert!((*o - *s * flat).abs() < 0.05 * flat.abs().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn apply_preserves_sub_sample_group_delay() {
+        // A single tap delayed by a fraction of a sample must impose the
+        // narrowband delay signature: a tone at frequency f acquires a phase
+        // of −2π·f·τ. Before the fractional-delay fix the tap rounded to
+        // shift 0 and the phase was identically that of the gain.
+        let fs = 500e3;
+        let tau = 0.3 / fs; // 0.3 samples of delay
+        let ch = MultipathChannel {
+            taps: vec![(tau, Complex64::ONE)],
+        };
+        let f = 20e3; // well inside the band
+        let n = 256;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * f * i as f64 / fs))
+            .collect();
+        let out = ch.apply(&signal, fs);
+        // Compare steady-state phase (skip the first sample edge effect).
+        let expected = -2.0 * std::f64::consts::PI * f * tau;
+        for (o, s) in out.iter().zip(&signal).skip(1) {
+            let phase = (*o * s.conj()).arg();
+            assert!(
+                (phase - expected).abs() < 0.02,
+                "phase {phase} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn taps_beyond_buffer_length_are_ignored() {
+        // A 10 µs tap at 40 MHz is a 400-sample shift; on a 32-sample buffer
+        // it must contribute nothing (and not panic or wrap).
+        let ch = MultipathChannel {
+            taps: vec![
+                (0.0, Complex64::new(0.5, 0.0)),
+                (10e-6, Complex64::new(100.0, 0.0)),
+            ],
+        };
+        let signal = vec![Complex64::ONE; 32];
+        let out = ch.apply(&signal, 40e6);
+        for o in &out {
+            assert!((*o - Complex64::new(0.5, 0.0)).abs() < 1e-12);
         }
     }
 

@@ -200,11 +200,7 @@ impl CyclicShiftAllocator {
         }
         // Sort device indices by descending strength.
         let mut order: Vec<usize> = (0..signal_strengths_dbm.len()).collect();
-        order.sort_by(|&a, &b| {
-            signal_strengths_dbm[b]
-                .partial_cmp(&signal_strengths_dbm[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| signal_strengths_dbm[b].total_cmp(&signal_strengths_dbm[a]));
         let mut result = vec![
             ShiftAssignment {
                 slot: 0,

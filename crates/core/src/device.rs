@@ -230,8 +230,9 @@ impl BackscatterDevice {
     /// fast jitter draw almost never makes the tag respond before its
     /// nominal slot. On-air timing offsets therefore stay one-sided (small
     /// and positive, within a fraction of an FFT bin), which is the
-    /// invariant the receiver's forward-biased peak search relies on to keep
-    /// SKIP-spaced neighbours out of each other's windows.
+    /// invariant that lets the receiver measure every device at its
+    /// assigned bin without SKIP-spaced neighbours bleeding into each
+    /// other's measurements.
     pub fn packet_impairments<R: Rng + ?Sized>(
         &self,
         model: &ImpairmentModel,

@@ -590,7 +590,7 @@ mod tests {
 
     fn peak_bin(spectrum: &[Complex64]) -> usize {
         (0..spectrum.len())
-            .max_by(|&a, &b| spectrum[a].abs().partial_cmp(&spectrum[b].abs()).unwrap())
+            .max_by(|&a, &b| spectrum[a].abs().total_cmp(&spectrum[b].abs()))
             .unwrap()
     }
 

@@ -76,7 +76,7 @@ impl std::error::Error for FftError {}
 ///     .map(|n| Complex64::cis(2.0 * std::f64::consts::PI * 2.0 * n as f64 / 8.0))
 ///     .collect();
 /// fft.forward_in_place(&mut buf).unwrap();
-/// let peak = (0..8).max_by(|&a, &b| buf[a].abs().partial_cmp(&buf[b].abs()).unwrap()).unwrap();
+/// let peak = (0..8).max_by(|&a, &b| buf[a].abs().total_cmp(&buf[b].abs())).unwrap();
 /// assert_eq!(peak, 2);
 /// ```
 #[derive(Debug, Clone)]
@@ -364,7 +364,7 @@ mod tests {
                 .collect();
             let out = fft(&buf).unwrap();
             let peak = (0..n)
-                .max_by(|&a, &b| out[a].abs().partial_cmp(&out[b].abs()).unwrap())
+                .max_by(|&a, &b| out[a].abs().total_cmp(&out[b].abs()))
                 .unwrap();
             assert_eq!(peak, target_bin);
             assert!((out[peak].abs() - n as f64).abs() < 1e-6);
@@ -415,7 +415,7 @@ mod tests {
         let plan = Fft::new(pad).unwrap();
         let out = plan.forward_zero_padded(&input).unwrap();
         let peak = (0..pad)
-            .max_by(|&a, &b| out[a].abs().partial_cmp(&out[b].abs()).unwrap())
+            .max_by(|&a, &b| out[a].abs().total_cmp(&out[b].abs()))
             .unwrap();
         assert_eq!(peak, 20);
     }

@@ -61,10 +61,7 @@ impl PeakSearch {
         if power.is_empty() {
             return None;
         }
-        let (bin, &peak_power) = power
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        let (bin, &peak_power) = power.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         if peak_power <= 0.0 {
             return None;
         }
@@ -132,11 +129,7 @@ impl PeakSearch {
                 power: power[i],
             })
             .collect();
-        peaks.sort_by(|a, b| {
-            b.power
-                .partial_cmp(&a.power)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
         peaks
     }
 }
@@ -269,6 +262,16 @@ mod tests {
     fn strongest_of_empty_or_zero_spectrum_is_none() {
         assert!(PeakSearch::strongest(&[]).is_none());
         assert!(PeakSearch::strongest(&[0.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn nan_contaminated_spectrum_does_not_panic_peak_searches() {
+        // An impaired spectrum (e.g. overflow in an upstream stage) must
+        // never panic the receiver: `total_cmp` gives NaN a total order
+        // instead of unwrapping a failed `partial_cmp`.
+        let power = vec![0.1, f64::NAN, 4.0, 0.2];
+        let _ = PeakSearch::strongest(&power);
+        let _ = PeakSearch::peaks_above(&power, 0.05);
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl EmpiricalCdf {
     /// Builds a CDF from samples (NaNs are removed).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|v| !v.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 

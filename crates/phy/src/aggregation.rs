@@ -187,7 +187,7 @@ mod tests {
             let sym = rx.band().device_symbol(band, shift, true, 1.0);
             let powers = rx.bin_powers(&sym).unwrap();
             let peak = (0..powers.len())
-                .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
+                .max_by(|&a, &b| powers[a].total_cmp(&powers[b]))
                 .unwrap();
             assert_eq!(
                 peak,
@@ -247,7 +247,7 @@ mod tests {
         let sym = rx.band().device_symbol(0, 42, true, 1.0);
         let powers = rx.bin_powers(&sym).unwrap();
         let peak = (0..powers.len())
-            .max_by(|&a, &b| powers[a].partial_cmp(&powers[b]).unwrap())
+            .max_by(|&a, &b| powers[a].total_cmp(&powers[b]))
             .unwrap();
         assert_eq!(peak, 42);
     }

@@ -340,6 +340,79 @@ impl ConcurrentDemodulator {
         (best, best_idx as f64 / pad)
     }
 
+    /// Tracks a device's spectral peak by hill-climbing the zero-padded
+    /// power spectrum from `start_bins` to the nearest local maximum,
+    /// bounded to `[start − back_bins, start + fwd_bins]` (both in chirp
+    /// bins). Returns `(power, fractional bin)` of the climb's end point.
+    ///
+    /// This is the preamble's observed-bin estimator. A plain
+    /// max-over-window estimator breaks down when every SKIP-th bin is
+    /// occupied: the points *between* bins carry the aggregate Dirichlet
+    /// leakage of all concurrent tones (≈ −4 dB of a full peak, and phase-
+    /// static across preamble symbols), so the window maximum regularly
+    /// locks onto an interference ridge instead of the device's own lobe.
+    /// The climb instead starts on the device's own lobe and stops at the
+    /// first local maximum, which the valley between the own lobe and any
+    /// interference ridge prevents it from leaving. Because the main lobe
+    /// only spans ±1 bin, a delay larger than one bin (an uncompensated
+    /// tag, §3.2.1) would leave a single start point on sidelobe
+    /// structure; the climb therefore launches from every *integer*-bin
+    /// candidate inside the bounds — integer offsets are exactly where a
+    /// delayed peak's main lobe reaches and never where the inter-bin
+    /// leakage ridges live — and keeps the strongest endpoint.
+    pub fn device_peak_track(
+        &self,
+        padded_power: &[f64],
+        start_bins: f64,
+        back_bins: f64,
+        fwd_bins: f64,
+    ) -> (f64, f64) {
+        let pad = self.zero_padding as isize;
+        let total = padded_power.len() as isize;
+        let at = |raw: isize| padded_power[raw.rem_euclid(total) as usize];
+        let start = (start_bins * pad as f64).round() as isize;
+        let lo = start - (back_bins.max(0.0) * pad as f64).round() as isize;
+        let hi = start + (fwd_bins.max(0.0) * pad as f64).round() as isize;
+        let climb = |from: isize| -> (f64, isize) {
+            let mut idx = from;
+            let mut power = at(idx);
+            loop {
+                let mut best = idx;
+                let mut best_power = power;
+                for cand in [idx - 1, idx + 1] {
+                    if cand >= lo && cand <= hi && at(cand) > best_power {
+                        best_power = at(cand);
+                        best = cand;
+                    }
+                }
+                if best == idx {
+                    break;
+                }
+                idx = best;
+                power = best_power;
+            }
+            (power, idx)
+        };
+        let mut best = climb(start);
+        let mut offset = start + pad;
+        while offset <= hi {
+            let got = climb(offset);
+            if got.0 > best.0 {
+                best = got;
+            }
+            offset += pad;
+        }
+        let mut offset = start - pad;
+        while offset >= lo {
+            let got = climb(offset);
+            if got.0 > best.0 {
+                best = got;
+            }
+            offset -= pad;
+        }
+        (best.0, best.1 as f64 / pad as f64)
+    }
+
     /// Demodulates one payload symbol for a set of devices.
     ///
     /// `assignments` maps each device to its chirp bin; `thresholds` gives
@@ -439,7 +512,7 @@ mod tests {
         let sym = m.symbol(true, 0.0, 0.0, 1.0);
         let spec = d.padded_spectrum(&sym).unwrap();
         let peak = (0..spec.len())
-            .max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap())
+            .max_by(|&a, &b| spec[a].total_cmp(&spec[b]))
             .unwrap();
         assert_eq!(peak, 100 * 8);
         assert!(d.device_power(&spec, 100, 1.0) >= spec[peak] * 0.999);
@@ -499,6 +572,52 @@ mod tests {
             errors <= 1,
             "too many errors below the noise floor: {errors}"
         );
+    }
+
+    #[test]
+    fn peak_track_recovers_multi_bin_uncompensated_delays() {
+        // An uncompensated tag can respond up to 3.5 µs (1.75 bins) late;
+        // the assigned bin then sits on sidelobe structure, outside the
+        // ±1-bin main lobe. The integer-bin start candidates must still
+        // land the climb on the true peak.
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        let m = OnOffModulator::new(p, 100);
+        let dt = 3.0e-6; // 1.5 bins at 500 kHz
+        let sym = m.symbol(true, dt, 0.0, 1.0);
+        let spec = demod.padded_spectrum(&sym).unwrap();
+        let (power, pos) = demod.device_peak_track(&spec, 100.0, 0.25, 1.75);
+        // A fractional multi-bin shift smears the dechirped tone (the
+        // cyclic wrap splits it into two frequency segments), so the true
+        // peak sits near +1.1 bins at ≈ −4 dB of full scale. The climb
+        // must find that peak, not the ≈ −13 dB sidelobe residue at the
+        // assigned bin where a zero-bound measurement would sit.
+        assert!(
+            (100.5..102.0).contains(&pos),
+            "tracked to {pos}, expected near the delayed peak"
+        );
+        let n2 = (p.num_bins() as f64).powi(2);
+        assert!(power > 0.35 * n2, "peak power {power} vs full scale {n2}");
+        let at_assigned = demod.device_peak_track(&spec, 100.0, 0.0, 0.0).0;
+        assert!(
+            power > 4.0 * at_assigned,
+            "tracking must recover far more power than the assigned bin"
+        );
+    }
+
+    #[test]
+    fn peak_track_with_zero_bounds_measures_the_assigned_bin() {
+        // The compensated-population default: no tracking, exact
+        // assigned-bin measurement.
+        let p = params();
+        let demod = ConcurrentDemodulator::new(p, 8).unwrap();
+        let m = OnOffModulator::new(p, 40);
+        let sym = m.symbol(true, 0.0, 0.0, 1.0);
+        let spec = demod.padded_spectrum(&sym).unwrap();
+        let (power, pos) = demod.device_peak_track(&spec, 40.0, 0.0, 0.0);
+        assert_eq!(pos, 40.0);
+        let n2 = (p.num_bins() as f64).powi(2);
+        assert!((power - n2).abs() / n2 < 1e-6);
     }
 
     #[test]
@@ -571,7 +690,7 @@ mod tests {
         let sym = m.preamble_downchirp(0.0, 0.0, 1.0);
         let spec = demod.padded_spectrum_downchirp(&sym).unwrap();
         let peak = (0..spec.len())
-            .max_by(|&a, &b| spec[a].partial_cmp(&spec[b]).unwrap())
+            .max_by(|&a, &b| spec[a].total_cmp(&spec[b]))
             .unwrap();
         // Downchirps dechirped with the upchirp mirror the bin: N - shift.
         assert_eq!(peak / 4, p.num_bins() - 40);

@@ -87,31 +87,38 @@ pub struct DetectedDevice {
 #[derive(Debug, Clone)]
 pub struct PreambleDetector {
     demod: ConcurrentDemodulator,
-    /// Peak-search window half-width (chirp bins) used when following a
-    /// device across preamble symbols.
+    /// Half-width (chirp bins) of the peak-tracking bounds used when
+    /// following a device across preamble symbols. With the default of 0
+    /// the detector measures each device exactly at its assigned bin — the
+    /// correct estimator for a population whose tags pre-compensate their
+    /// hardware delay (§3.2.1): residual offsets stay under half a bin, the
+    /// scalloping they cause applies identically to threshold calibration
+    /// and payload decisions, and — decisively — at full SKIP-2 occupancy
+    /// any estimator that wanders *between* bins locks onto the aggregate
+    /// Dirichlet leakage of the other tones (≈ −4 dB of a full-scale peak,
+    /// phase-static across the preamble) and mis-calibrates the threshold.
+    /// Set nonzero to restore main-lobe tracking (hill climb within
+    /// `[bin − (hw − bias), bin + (hw + bias)]`) for tag populations with
+    /// uncompensated multi-bin delays.
     pub search_halfwidth_bins: f64,
-    /// Forward bias (chirp bins) of the search window's centre relative to
-    /// the assigned bin. Hardware delays are one-sided — a tag can only
-    /// respond *late*, never early (§3.2.1) — so the peak always lands at or
-    /// after the assigned bin. Biasing the window forward covers delays of
-    /// up to `search_forward_bias_bins + search_halfwidth_bins` while only
-    /// reaching `search_halfwidth_bins − search_forward_bias_bins` backwards
-    /// (enough for the sub-bin CFO excursions of Fig. 14a), and keeps
-    /// adjacent SKIP-spaced devices from capturing each other's peaks.
+    /// Forward bias (chirp bins) of the tracking bounds relative to the
+    /// assigned bin. Hardware delays are one-sided — a tag can only respond
+    /// *late*, never early (§3.2.1) — so when tracking is enabled the
+    /// bounds reach `search_halfwidth_bins + search_forward_bias_bins`
+    /// forward but only `search_halfwidth_bins − search_forward_bias_bins`
+    /// backwards (enough for the sub-bin CFO excursions of Fig. 14a).
     pub search_forward_bias_bins: f64,
 }
 
 impl PreambleDetector {
-    /// Creates a detector with the given zero-padding factor.
-    ///
-    /// The default window spans `[bin − 0.25, bin + 1.75]`: delays of up to
-    /// 3.5 µs at 500 kHz move a peak 1.75 bins forward, while CFO never
-    /// moves it more than ~0.16 bins in either direction.
+    /// Creates a detector with the given zero-padding factor, measuring
+    /// devices at their assigned bins (no peak tracking — see
+    /// [`Self::search_halfwidth_bins`] for when to widen the bounds).
     pub fn new(params: ChirpParams, zero_padding: usize) -> Result<Self, FftError> {
         Ok(Self {
             demod: ConcurrentDemodulator::new(params, zero_padding)?,
-            search_halfwidth_bins: 1.0,
-            search_forward_bias_bins: 0.75,
+            search_halfwidth_bins: 0.0,
+            search_forward_bias_bins: 0.0,
         })
     }
 
@@ -207,10 +214,16 @@ impl PreambleDetector {
                 .demod
                 .padded_spectrum_into(&preamble[s * n..(s + 1) * n], ws)?;
             for (&bin, a) in candidate_bins.iter().zip(acc.iter_mut()) {
-                let (power, observed) = self.demod.device_power_at(
+                // Climb the device's own main lobe from its assigned bin.
+                // The climb bounds reproduce the biased window
+                // `[bin − (hw − bias), bin + (hw + bias)]`: hardware delays
+                // are one-sided, so the peak can sit well forward of the
+                // assignment but barely behind it.
+                let (power, observed) = self.demod.device_peak_track(
                     spec,
-                    bin as f64 + self.search_forward_bias_bins,
-                    self.search_halfwidth_bins,
+                    bin as f64,
+                    self.search_halfwidth_bins - self.search_forward_bias_bins,
+                    self.search_halfwidth_bins + self.search_forward_bias_bins,
                 );
                 a.0 += power;
                 a.1 += observed;

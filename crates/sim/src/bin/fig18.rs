@@ -1,7 +1,12 @@
 //! Regenerates fig18 of the paper's evaluation (see EXPERIMENTS.md).
-use netscatter_sim::experiments::{fig18, Scale};
+//! `--fidelity sample` drives deliveries through the sample-level
+//! superposition + decode chain instead of the analytical RSSI gate.
+use netscatter_sim::experiments::{fig18_fidelity, parse_network_driver_args};
+use netscatter_sim::montecarlo::available_threads;
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    println!("{}", fig18(scale, 42));
+    let (scale, fidelity) = parse_network_driver_args();
+    println!(
+        "{}",
+        fig18_fidelity(scale, 42, fidelity, available_threads())
+    );
 }

@@ -1,15 +1,21 @@
-//! Performance snapshot for CI: times the steady-state decode path and the
-//! quick-mode experiment sweeps, prints a human-readable report, and writes
-//! the numbers to `BENCH_decode.json` so the perf trajectory of the decode
-//! pipeline is tracked from PR to PR.
+//! Performance snapshot for CI: times the steady-state decode path, the
+//! quick-mode experiment sweeps and the sample-level network simulator,
+//! prints a human-readable report, and writes the numbers to
+//! `BENCH_decode.json` + `BENCH_network.json` so the perf trajectory of
+//! both pipelines is tracked from PR to PR.
 //!
-//! Usage: `perf_snapshot [--out <path>]` (default `BENCH_decode.json`).
+//! Usage: `perf_snapshot [--out <path>] [--network-out <path>]`
+//! (defaults `BENCH_decode.json` / `BENCH_network.json`).
 
 use netscatter::receiver::ConcurrentReceiver;
 use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
 use netscatter_phy::params::PhyProfile;
+use netscatter_sim::deployment::{Deployment, DeploymentConfig};
 use netscatter_sim::experiments::{fig15, fig17, Scale};
+use netscatter_sim::fullround::{ChannelModel, FullRoundNetwork};
 use netscatter_sim::workloads::build_concurrent_round;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -26,18 +32,25 @@ fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_decode.json");
+    let mut network_out_path = String::from("BENCH_network.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
                 out_path = args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--network-out" => {
+                network_out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--network-out requires a path");
                     std::process::exit(2);
                 });
             }
@@ -82,7 +95,26 @@ fn main() {
         decode_rows.push((n_devices, round_s * 1e3, symbols_per_sec));
     }
 
-    // 3. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and the
+    // 3. Sample-level network round throughput: channel realization +
+    //    superposed synthesis + AWGN + full concurrent decode, per round,
+    //    under the office channel model.
+    let dep = Deployment::generate(
+        DeploymentConfig::office(256),
+        &mut StdRng::seed_from_u64(42),
+    );
+    let model = ChannelModel::office();
+    let mut network_rows = Vec::new();
+    for n_devices in [16usize, 64, 256] {
+        let mut net = FullRoundNetwork::for_trial(&dep, n_devices, &model, 7);
+        let round_s = median_secs(5, || {
+            let truth = net.simulate_round(PAYLOAD_SYMBOLS);
+            assert_eq!(truth.outcome.scheduled, n_devices);
+        });
+        let device_symbols_per_sec = n_devices as f64 * (8 + PAYLOAD_SYMBOLS) as f64 / round_s;
+        network_rows.push((n_devices, round_s * 1e3, device_symbols_per_sec));
+    }
+
+    // 4. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and the
     //    Fig. 17 network sweep, both through the sharded/parallel layer.
     let t = Instant::now();
     let fig15_report = fig15(Scale::Quick, 42);
@@ -97,6 +129,9 @@ fn main() {
     println!("  padded_spectrum: {padded_spectrum_ns:.0} ns per symbol spectrum");
     for (n, ms, sps) in &decode_rows {
         println!("  decode_round[{n:>3} devices]: {ms:.3} ms per {PAYLOAD_SYMBOLS}-symbol round = {sps:.0} symbols/sec");
+    }
+    for (n, ms, dsps) in &network_rows {
+        println!("  fullround[{n:>3} devices]: {ms:.3} ms per sample-level round = {dsps:.0} device-symbols/sec");
     }
     println!("  fig15b quick sweep: {fig15_ms:.0} ms");
     println!("  fig17 quick sweep: {fig17_ms:.0} ms");
@@ -125,4 +160,25 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    // Sample-level network snapshot.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"netscatter-network-bench-v1\",");
+    let _ = writeln!(json, "  \"payload_symbols_per_round\": {PAYLOAD_SYMBOLS},");
+    let _ = writeln!(json, "  \"channel_model\": \"office\",");
+    let _ = writeln!(json, "  \"rounds\": [");
+    for (i, (n, ms, dsps)) in network_rows.iter().enumerate() {
+        let comma = if i + 1 < network_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"devices\": {n}, \"round_ms\": {ms:.4}, \"device_symbols_per_sec\": {dsps:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&network_out_path, &json) {
+        eprintln!("failed to write {network_out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {network_out_path}");
 }

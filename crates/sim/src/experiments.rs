@@ -8,9 +8,11 @@
 
 use crate::ber::{max_tolerable_power_difference_db_sharded, near_far_ber_sharded, NearFarConfig};
 use crate::deployment::{Deployment, DeploymentConfig};
+use crate::fullround::ChannelModel;
 use crate::montecarlo::{available_threads, parallel_map, MonteCarlo};
 use crate::network::{
-    lora_backscatter_metrics, netscatter_metrics, NetScatterVariant, SchemeMetrics,
+    lora_backscatter_metrics_with, netscatter_metrics_with, Fidelity, NetScatterVariant,
+    SchemeMetrics,
 };
 use netscatter::analysis;
 use netscatter_baselines::choir::fft_bin_variation_cdf;
@@ -44,6 +46,38 @@ impl Scale {
             Scale::Full => full,
         }
     }
+}
+
+/// Parses the shared CLI of the network-figure drivers:
+/// `[--quick] [--fidelity analytical|sample]`. Exits with an error message
+/// on unknown arguments or fidelity values.
+pub fn parse_network_driver_args() -> (Scale, Fidelity) {
+    let mut scale = Scale::Full;
+    let mut fidelity = Fidelity::Analytical;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--fidelity" => {
+                fidelity = match args.next().as_deref() {
+                    Some("analytical") => Fidelity::Analytical,
+                    Some("sample") => Fidelity::SampleLevel,
+                    other => {
+                        eprintln!(
+                            "--fidelity expects 'analytical' or 'sample', got {:?}",
+                            other.unwrap_or("nothing")
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (scale, fidelity)
 }
 
 /// Table 1: modulation configurations and their derived properties.
@@ -327,24 +361,94 @@ struct SweepRow {
 }
 
 /// Computes every sweep row in parallel. Each row is a pure function of the
-/// (already generated) deployment, so the result is independent of the
-/// thread count and identical to the sequential sweep.
-fn sweep_rows(dep: &Deployment, sizes: &[usize]) -> Vec<SweepRow> {
-    parallel_map(sizes, available_threads(), |&n| SweepRow {
-        n,
-        fixed: lora_backscatter_metrics(dep, n, 40, LoraScheme::fixed()),
-        adapted: lora_backscatter_metrics(dep, n, 40, LoraScheme::rate_adapted()),
-        ideal: netscatter_metrics(dep, n, 40, NetScatterVariant::Ideal),
-        c1: netscatter_metrics(dep, n, 40, NetScatterVariant::Config1),
-        c2: netscatter_metrics(dep, n, 40, NetScatterVariant::Config2),
+/// (already generated) deployment and of the per-size derived Monte-Carlo
+/// runner, so the result is independent of the thread count and identical
+/// to the sequential sweep. Under [`Fidelity::SampleLevel`] the NetScatter
+/// and baseline metrics of one row share their channel realizations: both
+/// derive them from the same per-size runner.
+fn sweep_rows(
+    dep: &Deployment,
+    sizes: &[usize],
+    fidelity: Fidelity,
+    seed: u64,
+    threads: usize,
+) -> Vec<SweepRow> {
+    let model = ChannelModel::office();
+    let mc = MonteCarlo::with_threads(seed, threads);
+    parallel_map(sizes, threads, |&n| {
+        // One decorrelated runner per network size; within the row, every
+        // scheme sees the same trial seeds and therefore the same draws.
+        let row_mc = MonteCarlo::with_threads(mc.derive(n as u64).seed, 1);
+        SweepRow {
+            n,
+            fixed: lora_backscatter_metrics_with(
+                dep,
+                n,
+                40,
+                LoraScheme::fixed(),
+                fidelity,
+                &model,
+                &row_mc,
+            ),
+            adapted: lora_backscatter_metrics_with(
+                dep,
+                n,
+                40,
+                LoraScheme::rate_adapted(),
+                fidelity,
+                &model,
+                &row_mc,
+            ),
+            ideal: netscatter_metrics_with(
+                dep,
+                n,
+                40,
+                NetScatterVariant::Ideal,
+                fidelity,
+                &model,
+                &row_mc,
+            ),
+            c1: netscatter_metrics_with(
+                dep,
+                n,
+                40,
+                NetScatterVariant::Config1,
+                fidelity,
+                &model,
+                &row_mc,
+            ),
+            c2: netscatter_metrics_with(
+                dep,
+                n,
+                40,
+                NetScatterVariant::Config2,
+                fidelity,
+                &model,
+                &row_mc,
+            ),
+        }
     })
+}
+
+/// The report-header tag for a fidelity mode.
+fn fidelity_tag(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Analytical => "analytical",
+        Fidelity::SampleLevel => "sample-level",
+    }
 }
 
 /// Fig. 17: network PHY rate vs. number of devices.
 pub fn fig17(scale: Scale, seed: u64) -> String {
+    fig17_fidelity(scale, seed, Fidelity::Analytical, available_threads())
+}
+
+/// [`fig17`] at an explicit fidelity and worker-thread bound. The report is
+/// byte-identical at every `threads` value.
+pub fn fig17_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes);
-    let mut out = String::from("Fig. 17: network PHY rate [kbps]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter(Ideal)  NetScatter\n");
+    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
+    let mut out = format!("Fig. 17: network PHY rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter(Ideal)  NetScatter\n", fidelity_tag(fidelity));
     for row in &rows {
         let _ = writeln!(
             out,
@@ -369,9 +473,14 @@ pub fn fig17(scale: Scale, seed: u64) -> String {
 
 /// Fig. 18: link-layer data rate vs. number of devices.
 pub fn fig18(scale: Scale, seed: u64) -> String {
+    fig18_fidelity(scale, seed, Fidelity::Analytical, available_threads())
+}
+
+/// [`fig18`] at an explicit fidelity and worker-thread bound.
+pub fn fig18_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes);
-    let mut out = String::from("Fig. 18: link-layer data rate [kbps]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n");
+    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
+    let mut out = format!("Fig. 18: link-layer data rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(fidelity));
     for row in &rows {
         let _ = writeln!(
             out,
@@ -398,9 +507,14 @@ pub fn fig18(scale: Scale, seed: u64) -> String {
 
 /// Fig. 19: network latency vs. number of devices.
 pub fn fig19(scale: Scale, seed: u64) -> String {
+    fig19_fidelity(scale, seed, Fidelity::Analytical, available_threads())
+}
+
+/// [`fig19`] at an explicit fidelity and worker-thread bound.
+pub fn fig19_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
     let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes);
-    let mut out = String::from("Fig. 19: network latency [ms]\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n");
+    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
+    let mut out = format!("Fig. 19: network latency [ms] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(fidelity));
     for row in &rows {
         let _ = writeln!(
             out,

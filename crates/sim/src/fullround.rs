@@ -1,0 +1,629 @@
+//! Sample-level network round simulation.
+//!
+//! The analytical delivery model in [`crate::network`] gates each device on
+//! RSSI thresholds; this module instead *runs the radio*: every scheduled
+//! device realizes a channel (multipath composite gain and excess delay,
+//! temporally correlated fading, Doppler, hardware CFO and timing jitter),
+//! synthesizes its ON-OFF-keyed CSS packet, the waveforms superpose into one
+//! shared buffer, AWGN at the thermal floor is added, and the round is
+//! decoded by the real [`ConcurrentReceiver`]. Deliveries and bit errors
+//! fall out of the decode chain rather than a formula — the
+//! `Fidelity::SampleLevel` path of Figs. 17–19.
+//!
+//! The channel realization is split in two so the Choir/TDMA baselines can
+//! be evaluated on *identical* draws (apples-to-apples curves):
+//!
+//! * [`ChannelRealizer`] — owns every random channel process. Seeded from a
+//!   trial seed, it produces one [`RoundChannel`] per device per round and
+//!   consumes its RNG stream identically no matter which scheme asks.
+//! * [`FullRoundNetwork`] — owns the NetScatter-specific state (association,
+//!   power adjustment, packet impairments, payload bits, noise) on a second,
+//!   independent RNG stream.
+//!
+//! Everything is a pure function of the trial seed, so the Monte-Carlo
+//! layer can shard multi-round trials across threads and stay bit-identical
+//! at any thread count.
+
+use crate::deployment::Deployment;
+use netscatter::allocator::CyclicShiftAllocator;
+use netscatter::device::{BackscatterDevice, DeviceConfig, TransmitDecision};
+use netscatter::protocol::RoundOutcome;
+use netscatter::receiver::ConcurrentReceiver;
+use netscatter_channel::doppler::backscatter_doppler_shift_hz;
+use netscatter_channel::fading::TemporalFading;
+use netscatter_channel::impairments::ImpairmentModel;
+use netscatter_channel::multipath::PowerDelayProfile;
+use netscatter_channel::noise::AwgnChannel;
+use netscatter_dsp::chirp::ChirpSynthesizer;
+use netscatter_dsp::units::{db_to_amplitude, db_to_linear, linear_to_db, thermal_noise_dbm};
+use netscatter_dsp::Complex64;
+use netscatter_phy::params::{required_snr_db, PhyProfile};
+use netscatter_phy::preamble::{PREAMBLE_DOWNCHIRPS, PREAMBLE_SYMBOLS, PREAMBLE_UPCHIRPS};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Salt applied to a trial seed for the channel-realization RNG stream.
+/// Both NetScatter and the baselines derive their realizer from the same
+/// trial seed with this salt, which is what makes their channel draws
+/// identical.
+const CHANNEL_STREAM_SALT: u64 = 0xC4A1_57E4_11AB_1E5D;
+
+/// Salt applied to a trial seed for the NetScatter-local RNG stream
+/// (device statics, payload bits, packet jitter, AWGN).
+const LOCAL_STREAM_SALT: u64 = 0x0DDC_0FFE_E0DD_F00D;
+
+/// The impairment processes applied on top of a deployment's static link
+/// budgets when simulating at sample level.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelModel {
+    /// Multipath power-delay profile, realized once per device per trial
+    /// (`None` disables multipath: unit composite gain, zero excess delay).
+    pub multipath: Option<PowerDelayProfile>,
+    /// Stationary deviation of the per-device temporal fading process, in
+    /// dB (0 freezes the channel between rounds).
+    pub fading_sigma_db: f64,
+    /// Step-to-step correlation of the temporal fading process.
+    pub fading_correlation: f64,
+    /// Maximum device speed in m/s; each round draws a radial speed
+    /// uniformly in `[-max, max]` per device for the Doppler shift.
+    pub max_speed_mps: f64,
+    /// Carrier frequency in Hz for the Doppler computation.
+    pub carrier_hz: f64,
+    /// Hardware impairment population (CFO + timing jitter).
+    pub impairments: ImpairmentModel,
+    /// Whether to add AWGN at the thermal noise floor.
+    pub noise: bool,
+    /// Uniform SNR boost (dB) applied to every uplink — a test hook that
+    /// moves the whole deployment into the high-SNR regime without touching
+    /// its geometry.
+    pub snr_boost_db: f64,
+}
+
+impl ChannelModel {
+    /// The busy-office model used by the paper's evaluation: 150 ns RMS
+    /// delay spread, Fig. 9 temporal fading, pedestrian mobility, COTS
+    /// backscatter hardware, thermal noise.
+    pub fn office() -> Self {
+        Self {
+            multipath: Some(PowerDelayProfile::indoor(150e-9)),
+            fading_sigma_db: 1.8,
+            fading_correlation: 0.95,
+            max_speed_mps: 1.0,
+            carrier_hz: 900e6,
+            impairments: ImpairmentModel::cots_backscatter(),
+            noise: true,
+            snr_boost_db: 0.0,
+        }
+    }
+
+    /// A high-SNR model with negligible impairments: no multipath, frozen
+    /// fading, static devices, ideal hardware (zero CFO, zero delay
+    /// jitter — the calibrated mean delay is pre-compensated exactly), and
+    /// a +40 dB uplink boost that puts even the weakest device far above
+    /// the noise floor. Used by the property test that sample-level
+    /// delivery must agree with the analytical gate.
+    pub fn pristine() -> Self {
+        use netscatter_channel::impairments::{CfoModel, HardwareDelayModel};
+        Self {
+            multipath: None,
+            fading_sigma_db: 0.0,
+            fading_correlation: 0.0,
+            max_speed_mps: 0.0,
+            carrier_hz: 900e6,
+            impairments: ImpairmentModel {
+                delay: HardwareDelayModel {
+                    mean_s: 0.0,
+                    sigma_s: 0.0,
+                    jitter_sigma_s: 0.0,
+                    max_s: 0.0,
+                },
+                cfo: CfoModel {
+                    crystal_tolerance_ppm: 0.0,
+                    synthesized_frequency_hz: 3e6,
+                    per_packet_drift_hz: 0.0,
+                },
+            },
+            noise: true,
+            snr_boost_db: 40.0,
+        }
+    }
+}
+
+/// One device's channel realization for one round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundChannel {
+    /// Composite narrowband multipath gain (unit mean power across
+    /// realizations; exactly one for `multipath: None`). Carries the phase
+    /// every sample of the device's waveform is rotated by.
+    pub multipath_gain: Complex64,
+    /// Power-weighted mean excess delay of the multipath realization, which
+    /// adds to the device's timing-offset budget.
+    pub excess_delay_s: f64,
+    /// Temporal-fading deviation in dB, applied to both link directions
+    /// (channel reciprocity).
+    pub fading_db: f64,
+    /// Round-trip Doppler shift for this round's radial speed, in Hz.
+    pub doppler_hz: f64,
+}
+
+impl RoundChannel {
+    /// Total channel power deviation in dB relative to the static link
+    /// budget: multipath composite gain plus temporal fading.
+    pub fn gain_db(&self) -> f64 {
+        linear_to_db(self.multipath_gain.norm_sqr()) + self.fading_db
+    }
+}
+
+/// Per-trial channel-realization engine: one multipath realization per
+/// device (static environment), one temporal-fading process per device
+/// evolved across rounds, and a fresh Doppler draw per device per round.
+#[derive(Debug, Clone)]
+pub struct ChannelRealizer {
+    model: ChannelModel,
+    /// Per-device `(composite multipath gain, excess delay)` for the trial.
+    statics: Vec<(Complex64, f64)>,
+    fading: Vec<TemporalFading>,
+    rng: StdRng,
+}
+
+impl ChannelRealizer {
+    /// Creates the realizer for one trial. Every scheme evaluating the same
+    /// `(model, num_devices, trial_seed)` triple observes the exact same
+    /// channel draws.
+    pub fn for_trial(model: &ChannelModel, num_devices: usize, trial_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(trial_seed ^ CHANNEL_STREAM_SALT);
+        let statics = (0..num_devices)
+            .map(|_| match &model.multipath {
+                Some(profile) => {
+                    let ch = profile.realize(&mut rng);
+                    (ch.flat_gain(), ch.mean_excess_delay_s())
+                }
+                None => (Complex64::ONE, 0.0),
+            })
+            .collect();
+        let fading =
+            vec![TemporalFading::new(model.fading_sigma_db, model.fading_correlation); num_devices];
+        Self {
+            model: *model,
+            statics,
+            fading,
+            rng,
+        }
+    }
+
+    /// Number of devices this realizer covers.
+    pub fn num_devices(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// Advances every per-device process by one round and returns the
+    /// realizations in device order.
+    pub fn next_round(&mut self) -> Vec<RoundChannel> {
+        let model = self.model;
+        self.statics
+            .iter()
+            .zip(self.fading.iter_mut())
+            .map(|(&(gain, delay), fading)| {
+                let fading_db = fading.step(&mut self.rng);
+                let radial_mps = if model.max_speed_mps > 0.0 {
+                    self.rng
+                        .gen_range(-model.max_speed_mps..=model.max_speed_mps)
+                } else {
+                    0.0
+                };
+                RoundChannel {
+                    multipath_gain: gain,
+                    excess_delay_s: delay,
+                    fading_db,
+                    doppler_hz: backscatter_doppler_shift_hz(radial_mps, model.carrier_hz),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Ground truth of one simulated round.
+#[derive(Debug, Clone)]
+pub struct RoundTruth {
+    /// The round outcome in protocol terms (scheduled / detected / clean /
+    /// bit counts), ready for [`netscatter::protocol::NetworkProtocol`].
+    pub outcome: RoundOutcome,
+    /// Per scheduled device (deployment order): whether its payload was
+    /// decoded without a single bit error. Devices that skipped the round
+    /// count as not delivered.
+    pub delivered: Vec<bool>,
+    /// Per scheduled device: whether it decided to transmit this round.
+    pub transmitted: Vec<bool>,
+}
+
+/// The sample-level round simulator for one trial: a deployment subset with
+/// live device state, a channel realizer, and the AP receiver.
+#[derive(Debug, Clone)]
+pub struct FullRoundNetwork {
+    profile: PhyProfile,
+    model: ChannelModel,
+    /// Static downlink/uplink budgets of the scheduled devices
+    /// (deployment order).
+    downlink_dbm: Vec<f64>,
+    uplink_dbm: Vec<f64>,
+    devices: Vec<BackscatterDevice>,
+    /// Power-aware cyclic-shift assignment (deployment order).
+    bins: Vec<usize>,
+    realizer: ChannelRealizer,
+    rng: StdRng,
+    receiver: ConcurrentReceiver,
+    synth: ChirpSynthesizer,
+    noise_floor_dbm: f64,
+    /// Reused round waveform buffer.
+    stream: Vec<Complex64>,
+    /// Reused one-symbol synthesis scratch.
+    scratch: Vec<Complex64>,
+}
+
+impl FullRoundNetwork {
+    /// Builds the simulator for the first `num_devices` devices of a
+    /// deployment. Cyclic shifts are assigned power-aware: devices sorted by
+    /// descending uplink RSSI fill the allocator's interleaved slots, so
+    /// similar-strength devices are spectral neighbours and the strongest
+    /// and weakest ends sit half the spectrum apart (§3.2.3).
+    pub fn for_trial(
+        deployment: &Deployment,
+        num_devices: usize,
+        model: &ChannelModel,
+        trial_seed: u64,
+    ) -> Self {
+        let profile = deployment.config.profile;
+        let num_devices = num_devices
+            .min(deployment.devices.len())
+            .min(profile.modulation.num_bins() / profile.skip.max(1));
+        let links = &deployment.devices[..num_devices];
+        let mut rng = StdRng::seed_from_u64(trial_seed ^ LOCAL_STREAM_SALT);
+        // Power-aware slots: rank by descending uplink strength, then map
+        // ranks through the allocator's interleaved slot layout. Ranks are
+        // *strided* across the full slot space so a sparsely loaded network
+        // still puts its strongest and weakest devices half the spectrum
+        // apart — packing n ≪ capacity devices into the first n slots would
+        // leave a 35 dB-weaker device within a few bins of the strongest
+        // one's side lobes.
+        let allocator = CyclicShiftAllocator::new(&profile);
+        let stride = (allocator.total_slots() / num_devices.max(1)).max(1);
+        let mut order: Vec<usize> = (0..num_devices).collect();
+        order.sort_by(|&a, &b| {
+            links[b]
+                .uplink_rssi_dbm
+                .total_cmp(&links[a].uplink_rssi_dbm)
+        });
+        let mut bins = vec![0usize; num_devices];
+        for (rank, &device) in order.iter().enumerate() {
+            bins[device] = allocator.slot_to_bin(rank * stride);
+        }
+        let devices: Vec<BackscatterDevice> = links
+            .iter()
+            .zip(&bins)
+            .map(|(link, &bin)| {
+                let mut dev = BackscatterDevice::new(
+                    DeviceConfig::default(),
+                    profile,
+                    &model.impairments,
+                    &mut rng,
+                );
+                dev.accept_assignment(bin, link.downlink_rssi_dbm);
+                dev
+            })
+            .collect();
+        let mut receiver =
+            ConcurrentReceiver::new(&profile).expect("profile zero-padding is a power of two");
+        if model.noise {
+            // Detection floor at the modulation's minimum demodulation SNR
+            // over the (unit-power) noise: a device's dechirped peak is
+            // `a²·N²` and a noise bin averages `N`, so requiring
+            // `peak > S_req·N²` is the same post-FFT SNR test the Table 1
+            // sensitivities encode.
+            receiver.detection_floor_fraction =
+                db_to_linear(required_snr_db(profile.modulation.spreading_factor));
+        }
+        Self {
+            profile,
+            model: *model,
+            downlink_dbm: links.iter().map(|l| l.downlink_rssi_dbm).collect(),
+            uplink_dbm: links.iter().map(|l| l.uplink_rssi_dbm).collect(),
+            devices,
+            bins,
+            realizer: ChannelRealizer::for_trial(model, num_devices, trial_seed),
+            rng,
+            receiver,
+            synth: ChirpSynthesizer::new(profile.modulation.chirp()),
+            noise_floor_dbm: thermal_noise_dbm(
+                profile.modulation.bandwidth_hz,
+                profile.modulation.noise_figure_db,
+            ),
+            stream: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of scheduled devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The power-aware cyclic-shift assignment, in deployment order.
+    pub fn assigned_bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Simulates one complete round — query reception, power adjustment,
+    /// waveform synthesis and superposition, AWGN, and the real
+    /// [`ConcurrentReceiver`] decode — and returns the per-device truth.
+    ///
+    /// Every scheduled device draws `payload_bits` random payload bits; a
+    /// device is *delivered* when the receiver detected it and decoded all
+    /// of its bits correctly.
+    pub fn simulate_round(&mut self, payload_bits: usize) -> RoundTruth {
+        let n = self.profile.modulation.num_bins();
+        let num_devices = self.devices.len();
+        let total = (PREAMBLE_SYMBOLS + payload_bits) * n;
+        self.stream.clear();
+        self.stream.resize(total, Complex64::ZERO);
+        let channels = self.realizer.next_round();
+        let mut sent: Vec<Option<Vec<bool>>> = Vec::with_capacity(num_devices);
+        for (i, &ch) in channels.iter().enumerate() {
+            // Downlink as the device's envelope detector sees it this round
+            // (reciprocal fading on top of the static budget).
+            let downlink_dbm = self.downlink_dbm[i] + ch.fading_db;
+            let gain = match self.devices[i].power_adjust_and_decide(downlink_dbm) {
+                TransmitDecision::Transmit(gain) => gain,
+                TransmitDecision::Skip => {
+                    sent.push(None);
+                    continue;
+                }
+                TransmitDecision::Reassociate => {
+                    // The association exchange happens out of band; the
+                    // device rejoins on the same shift with a fresh power
+                    // baseline and sits this round out.
+                    self.devices[i].accept_assignment(self.bins[i], downlink_dbm);
+                    sent.push(None);
+                    continue;
+                }
+            };
+            let packet = self.devices[i].packet_impairments(&self.model.impairments, &mut self.rng);
+            let timing_offset_s = packet.timing_offset_s + ch.excess_delay_s;
+            let freq_offset_hz = packet.freq_offset_hz + ch.doppler_hz;
+            let bits: Vec<bool> = (0..payload_bits).map(|_| self.rng.gen_bool(0.5)).collect();
+            // Amplitude relative to unit noise power: uplink budget, fading
+            // (both legs), the device's chosen backscatter gain, and the
+            // model's SNR boost. The multipath composite gain contributes
+            // magnitude *and* phase.
+            let amp_db = self.uplink_dbm[i] + self.model.snr_boost_db + ch.fading_db + gain.db()
+                - self.noise_floor_dbm;
+            let gain_c = ch.multipath_gain.scale(db_to_amplitude(amp_db));
+            self.superpose_device(i, timing_offset_s, freq_offset_hz, gain_c, &bits, n);
+            sent.push(Some(bits));
+        }
+        if self.model.noise {
+            AwgnChannel::with_noise_power(1.0).apply(&mut self.rng, &mut self.stream);
+        }
+        let round = self
+            .receiver
+            .decode_round(&self.stream, 0, &self.bins, payload_bits)
+            .expect("stream is sized for exactly one round");
+        let mut delivered = vec![false; num_devices];
+        let mut transmitted = vec![false; num_devices];
+        let mut detected = 0usize;
+        let mut correct_bits = 0usize;
+        let mut transmitted_bits = 0usize;
+        for i in 0..num_devices {
+            let Some(bits) = &sent[i] else { continue };
+            transmitted[i] = true;
+            transmitted_bits += bits.len();
+            let Some(decoded) = round.bits_for(self.bins[i]) else {
+                continue;
+            };
+            detected += 1;
+            let matching = decoded.iter().zip(bits).filter(|(a, b)| a == b).count();
+            correct_bits += matching;
+            delivered[i] = decoded.len() == bits.len() && matching == bits.len();
+        }
+        let decoded_clean = delivered.iter().filter(|d| **d).count();
+        RoundTruth {
+            outcome: RoundOutcome {
+                scheduled: num_devices,
+                detected,
+                decoded_clean,
+                correct_bits,
+                // Only bits that actually went on the air: devices that
+                // skipped (or re-associated) this round transmit nothing,
+                // so they must not show up as phantom bit errors.
+                transmitted_bits,
+            },
+            delivered,
+            transmitted,
+        }
+    }
+
+    /// Adds one device's full packet (preamble + payload) onto the round
+    /// buffer. The up- and downchirp symbols are synthesized once each into
+    /// the scratch buffer and then accumulated with the complex channel
+    /// gain, so the steady-state cost is two chirp syntheses plus one
+    /// multiply-accumulate pass per occupied symbol.
+    fn superpose_device(
+        &mut self,
+        device: usize,
+        timing_offset_s: f64,
+        freq_offset_hz: f64,
+        gain: Complex64,
+        bits: &[bool],
+        n: usize,
+    ) {
+        let bin = self.bins[device];
+        self.synth.impaired_upchirp_into(
+            bin,
+            timing_offset_s,
+            freq_offset_hz,
+            1.0,
+            &mut self.scratch,
+        );
+        for symbol in 0..PREAMBLE_UPCHIRPS {
+            accumulate_scaled(
+                &mut self.stream[symbol * n..(symbol + 1) * n],
+                &self.scratch,
+                gain,
+            );
+        }
+        for (symbol, &bit) in bits.iter().enumerate() {
+            if bit {
+                let start = (PREAMBLE_SYMBOLS + symbol) * n;
+                accumulate_scaled(&mut self.stream[start..start + n], &self.scratch, gain);
+            }
+        }
+        self.synth.impaired_downchirp_into(
+            bin,
+            timing_offset_s,
+            freq_offset_hz,
+            1.0,
+            &mut self.scratch,
+        );
+        for symbol in 0..PREAMBLE_DOWNCHIRPS {
+            let start = (PREAMBLE_UPCHIRPS + symbol) * n;
+            accumulate_scaled(&mut self.stream[start..start + n], &self.scratch, gain);
+        }
+    }
+}
+
+/// `out[i] += symbol[i] · gain` — the complex-gain superposition primitive.
+fn accumulate_scaled(out: &mut [Complex64], symbol: &[Complex64], gain: Complex64) {
+    for (o, s) in out.iter_mut().zip(symbol) {
+        *o += *s * gain;
+    }
+}
+
+/// Draws the per-trial seed from a shard RNG. Exactly one `u64` per trial
+/// is consumed, so every scheme sharing the shard stream derives the same
+/// sequence of trial seeds.
+pub fn trial_seed(shard_rng: &mut StdRng) -> u64 {
+    shard_rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentConfig;
+
+    fn deployment(n: usize) -> Deployment {
+        Deployment::generate(DeploymentConfig::office(n), &mut StdRng::seed_from_u64(17))
+    }
+
+    #[test]
+    fn realizer_streams_are_identical_for_a_trial_seed() {
+        let model = ChannelModel::office();
+        let mut a = ChannelRealizer::for_trial(&model, 8, 99);
+        let mut b = ChannelRealizer::for_trial(&model, 8, 99);
+        for _ in 0..3 {
+            let ra = a.next_round();
+            let rb = b.next_round();
+            for (x, y) in ra.iter().zip(&rb) {
+                assert_eq!(x.multipath_gain, y.multipath_gain);
+                assert_eq!(x.fading_db, y.fading_db);
+                assert_eq!(x.doppler_hz, y.doppler_hz);
+                assert_eq!(x.excess_delay_s, y.excess_delay_s);
+            }
+        }
+        assert_eq!(a.num_devices(), 8);
+    }
+
+    #[test]
+    fn pristine_channel_is_static_and_clean() {
+        let model = ChannelModel::pristine();
+        let mut realizer = ChannelRealizer::for_trial(&model, 4, 5);
+        for _ in 0..3 {
+            for ch in realizer.next_round() {
+                assert_eq!(ch.multipath_gain, Complex64::ONE);
+                assert_eq!(ch.excess_delay_s, 0.0);
+                assert_eq!(ch.fading_db, 0.0);
+                assert_eq!(ch.doppler_hz, 0.0);
+                assert_eq!(ch.gain_db(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn office_channel_realizations_have_multipath_and_bounded_fading() {
+        let model = ChannelModel::office();
+        let mut realizer = ChannelRealizer::for_trial(&model, 64, 3);
+        let rounds: Vec<Vec<RoundChannel>> = (0..20).map(|_| realizer.next_round()).collect();
+        // Multipath statics persist across rounds within the trial.
+        for round in &rounds[1..] {
+            for (a, b) in round.iter().zip(&rounds[0]) {
+                assert_eq!(a.multipath_gain, b.multipath_gain);
+                assert_eq!(a.excess_delay_s, b.excess_delay_s);
+            }
+        }
+        // Fading evolves and stays in the Fig. 9 envelope.
+        let mut moved = 0;
+        for (a, b) in rounds[1].iter().zip(&rounds[0]) {
+            if a.fading_db != b.fading_db {
+                moved += 1;
+            }
+            assert!(a.fading_db.abs() < 12.0);
+        }
+        assert!(moved > 32, "fading froze: only {moved} devices moved");
+    }
+
+    #[test]
+    fn full_round_at_high_snr_delivers_every_transmitter() {
+        let dep = deployment(64);
+        let mut net = FullRoundNetwork::for_trial(&dep, 16, &ChannelModel::pristine(), 7);
+        let truth = net.simulate_round(8);
+        assert_eq!(truth.outcome.scheduled, 16);
+        let transmitted = truth.transmitted.iter().filter(|t| **t).count();
+        assert!(transmitted >= 15, "only {transmitted} devices transmitted");
+        assert_eq!(truth.outcome.decoded_clean, transmitted);
+        assert_eq!(truth.outcome.detected, transmitted);
+        assert_eq!(
+            truth.outcome.correct_bits,
+            transmitted * 8,
+            "every transmitted bit must decode at high SNR"
+        );
+    }
+
+    #[test]
+    fn assigned_bins_are_distinct_and_power_ordered() {
+        let dep = deployment(64);
+        let net = FullRoundNetwork::for_trial(&dep, 64, &ChannelModel::office(), 1);
+        let bins = net.assigned_bins();
+        let mut seen = std::collections::HashSet::new();
+        for &b in bins {
+            assert!(seen.insert(b), "bin {b} assigned twice");
+        }
+        // The strongest device sits on the rank-0 slot (bin 0).
+        let strongest = (0..64)
+            .max_by(|&a, &b| {
+                dep.devices[a]
+                    .uplink_rssi_dbm
+                    .total_cmp(&dep.devices[b].uplink_rssi_dbm)
+            })
+            .unwrap();
+        assert_eq!(bins[strongest], 0);
+    }
+
+    #[test]
+    fn trial_is_deterministic_for_a_seed() {
+        let dep = deployment(32);
+        let model = ChannelModel::office();
+        let run = |seed: u64| {
+            let mut net = FullRoundNetwork::for_trial(&dep, 32, &model, seed);
+            (0..2).map(|_| net.simulate_round(12)).collect::<Vec<_>>()
+        };
+        let a = run(11);
+        let b = run(11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.delivered, y.delivered);
+        }
+        let c = run(12);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.outcome != y.outcome),
+            "different seeds should change at least one round"
+        );
+    }
+}

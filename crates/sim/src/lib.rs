@@ -9,7 +9,12 @@
 //!   envelope detector, backscatter uplink RSSI and SNR at the AP).
 //! * [`network`] — end-to-end accounting of a NetScatter round versus the
 //!   TDMA LoRa-backscatter baselines: network PHY rate, link-layer rate and
-//!   latency as functions of the number of devices (Figs. 17–19).
+//!   latency as functions of the number of devices (Figs. 17–19), at either
+//!   analytical or sample-level fidelity.
+//! * [`fullround`] — the sample-level round simulator: per-device channel
+//!   realizations (multipath, temporal fading, Doppler, hardware
+//!   impairments), superposed waveform synthesis, and decode through the
+//!   real concurrent receiver.
 //! * [`ber`] — symbol-level Monte-Carlo helpers: near-far BER sweeps
 //!   (Fig. 12) and the power-dynamic-range sweep (Fig. 15b).
 //! * [`montecarlo`] — the deterministic sharded Monte-Carlo runner: fixed
@@ -26,10 +31,12 @@
 pub mod ber;
 pub mod deployment;
 pub mod experiments;
+pub mod fullround;
 pub mod montecarlo;
 pub mod network;
 pub mod workloads;
 
 pub use deployment::{Deployment, DeploymentConfig, DeviceLink};
+pub use fullround::{ChannelModel, ChannelRealizer, FullRoundNetwork, RoundChannel, RoundTruth};
 pub use montecarlo::MonteCarlo;
-pub use network::{netscatter_metrics, NetScatterVariant};
+pub use network::{netscatter_metrics, netscatter_metrics_with, Fidelity, NetScatterVariant};

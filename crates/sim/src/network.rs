@@ -19,11 +19,32 @@
 //! decoded and is excluded from that round's deliveries.
 
 use crate::deployment::Deployment;
+use crate::fullround::{trial_seed, ChannelModel, ChannelRealizer, FullRoundNetwork};
+use crate::montecarlo::MonteCarlo;
 use netscatter::protocol::{NetworkProtocol, RoundOutcome, RoundTiming};
 use netscatter::query::QueryMessage;
 use netscatter_baselines::tdma::{LoraBackscatterNetwork, LoraScheme};
 use netscatter_phy::params::PhyProfile;
 use serde::{Deserialize, Serialize};
+
+/// How deliveries are determined when computing network metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// The closed-form gate: RSSI thresholds (sensitivity, envelope
+    /// detector, receiver dynamic range) decide delivery analytically.
+    Analytical,
+    /// Sample-level simulation: every round synthesizes the superposed
+    /// waveform of all scheduled devices through the channel models and
+    /// decodes it with the real [`netscatter::receiver::ConcurrentReceiver`]
+    /// (see [`crate::fullround`]).
+    SampleLevel,
+}
+
+/// Independent multi-round trials per sample-level metrics evaluation.
+pub const SAMPLE_LEVEL_TRIALS: usize = 2;
+/// Rounds simulated per sample-level trial (temporal fading evolves across
+/// the rounds of a trial).
+pub const SAMPLE_LEVEL_ROUNDS_PER_TRIAL: usize = 2;
 
 /// Which NetScatter configuration to account for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,9 +78,120 @@ pub struct SchemeMetrics {
 /// assignment (§4.3: 35 dB).
 pub const NETSCATTER_DYNAMIC_RANGE_DB: f64 = 35.0;
 
+/// A zero-device round has no deliveries, no airtime attributable to
+/// payload, and no latency: every rate is exactly zero. Returning this
+/// well-defined empty value keeps a `num_devices == 0` sweep point from
+/// folding `strongest` to −∞ and pushing a degenerate round through the
+/// protocol accounting.
+fn empty_metrics() -> SchemeMetrics {
+    SchemeMetrics {
+        num_devices: 0,
+        phy_rate_bps: 0.0,
+        link_layer_rate_bps: 0.0,
+        latency_s: 0.0,
+        delivered: 0,
+    }
+}
+
+/// The query message a variant transmits per round.
+fn variant_query(variant: NetScatterVariant, num_devices: usize) -> QueryMessage {
+    match variant {
+        NetScatterVariant::Config1 | NetScatterVariant::Ideal => QueryMessage::config1(0),
+        NetScatterVariant::Config2 => {
+            QueryMessage::config2(0, (0..num_devices).map(|i| (i % 256) as u8).collect())
+        }
+    }
+}
+
 /// Computes NetScatter metrics for the first `num_devices` devices of a
-/// deployment, each delivering `payload_bits` bits in one concurrent round.
+/// deployment, each delivering `payload_bits` bits in one concurrent round,
+/// using the analytical delivery gate.
 pub fn netscatter_metrics(
+    deployment: &Deployment,
+    num_devices: usize,
+    payload_bits: usize,
+    variant: NetScatterVariant,
+) -> SchemeMetrics {
+    netscatter_metrics_analytical(deployment, num_devices, payload_bits, variant)
+}
+
+/// The number of devices a fidelity evaluation actually schedules: bounded
+/// by the deployment size and, for sample fidelity, by the spectrum
+/// capacity (`2^SF / SKIP` slots) — one concurrent round cannot carry more.
+/// Both schemes clamp identically so their channel realizers stay in
+/// lock-step on the shared trial seeds.
+fn schedulable_devices(deployment: &Deployment, num_devices: usize) -> usize {
+    num_devices
+        .min(deployment.devices.len())
+        .min(deployment.config.profile.max_concurrent_devices())
+}
+
+/// Computes NetScatter metrics at the requested fidelity.
+///
+/// * [`Fidelity::Analytical`] ignores `model` and `mc` and evaluates the
+///   closed-form RSSI gate.
+/// * [`Fidelity::SampleLevel`] runs [`SAMPLE_LEVEL_TRIALS`] independent
+///   multi-round trials through the full synthesize → superpose → decode
+///   chain of [`crate::fullround`], sharded deterministically by `mc`. The
+///   `Ideal` variant stays analytical — it is the no-loss upper bound by
+///   definition. `num_devices` is clamped to the spectrum capacity
+///   (`2^SF / SKIP`): a single concurrent round cannot schedule more.
+pub fn netscatter_metrics_with(
+    deployment: &Deployment,
+    num_devices: usize,
+    payload_bits: usize,
+    variant: NetScatterVariant,
+    fidelity: Fidelity,
+    model: &ChannelModel,
+    mc: &MonteCarlo,
+) -> SchemeMetrics {
+    let num_devices = schedulable_devices(deployment, num_devices);
+    if num_devices == 0 {
+        return empty_metrics();
+    }
+    if fidelity == Fidelity::Analytical || variant == NetScatterVariant::Ideal {
+        return netscatter_metrics_analytical(deployment, num_devices, payload_bits, variant);
+    }
+    let profile = deployment.config.profile;
+    let timing =
+        RoundTiming::netscatter(&profile, &variant_query(variant, num_devices), payload_bits);
+    // Each trial builds its simulator from one `u64` drawn from the shard
+    // stream, runs its rounds sequentially (temporal fading evolves), and
+    // reports the per-round outcomes. The shard layout and RNG streams are
+    // fixed by `(mc.seed, SAMPLE_LEVEL_TRIALS)`, so the result is
+    // bit-identical at any thread count.
+    let per_shard: Vec<Vec<Vec<RoundOutcome>>> =
+        mc.run_shards(SAMPLE_LEVEL_TRIALS, |rng, range| {
+            range
+                .map(|_| {
+                    let seed = trial_seed(rng);
+                    let mut net = FullRoundNetwork::for_trial(deployment, num_devices, model, seed);
+                    (0..SAMPLE_LEVEL_ROUNDS_PER_TRIAL)
+                        .map(|_| net.simulate_round(payload_bits).outcome)
+                        .collect()
+                })
+                .collect::<Vec<Vec<RoundOutcome>>>()
+        });
+    let mut protocol = NetworkProtocol::new(profile);
+    let mut delivered_total = 0usize;
+    let mut rounds = 0usize;
+    for outcome in per_shard.into_iter().flatten().flatten() {
+        delivered_total += outcome.decoded_clean;
+        rounds += 1;
+        protocol.record_round(timing, outcome);
+    }
+    let metrics = protocol.metrics().expect("at least one round recorded");
+    SchemeMetrics {
+        num_devices,
+        phy_rate_bps: metrics.phy_rate_bps,
+        link_layer_rate_bps: metrics.link_layer_rate_bps,
+        latency_s: metrics.latency_s,
+        // Mean deliveries per round, rounded to the nearest device.
+        delivered: (delivered_total as f64 / rounds as f64).round() as usize,
+    }
+}
+
+fn netscatter_metrics_analytical(
     deployment: &Deployment,
     num_devices: usize,
     payload_bits: usize,
@@ -67,15 +199,12 @@ pub fn netscatter_metrics(
 ) -> SchemeMetrics {
     let profile = deployment.config.profile;
     let num_devices = num_devices.min(deployment.devices.len());
+    if num_devices == 0 {
+        return empty_metrics();
+    }
     let devices = &deployment.devices[..num_devices];
-    // Query choice by variant.
-    let query = match variant {
-        NetScatterVariant::Config1 | NetScatterVariant::Ideal => QueryMessage::config1(0),
-        NetScatterVariant::Config2 => {
-            QueryMessage::config2(0, (0..num_devices).map(|i| (i % 256) as u8).collect())
-        }
-    };
-    let timing = RoundTiming::netscatter(&profile, &query, payload_bits);
+    let timing =
+        RoundTiming::netscatter(&profile, &variant_query(variant, num_devices), payload_bits);
     // Delivery model: a device is delivered when (a) it hears the query,
     // (b) its uplink clears the distributed-CSS sensitivity, and (c) with
     // power adaptation it fits inside the receiver dynamic range relative to
@@ -122,27 +251,106 @@ pub fn netscatter_metrics(
 }
 
 /// Computes the TDMA LoRa-backscatter baseline metrics for the first
-/// `num_devices` devices of a deployment.
+/// `num_devices` devices of a deployment (analytical fidelity: static link
+/// budgets only).
 pub fn lora_backscatter_metrics(
     deployment: &Deployment,
     num_devices: usize,
     payload_bits: usize,
     scheme: LoraScheme,
 ) -> SchemeMetrics {
-    let profile: PhyProfile = deployment.config.profile;
     let num_devices = num_devices.min(deployment.devices.len());
+    if num_devices == 0 {
+        return empty_metrics();
+    }
     let rssi: Vec<f64> = deployment.devices[..num_devices]
         .iter()
         .map(|d| d.uplink_rssi_dbm)
         .collect();
+    lora_round_metrics(deployment.config.profile, scheme, &rssi, payload_bits)
+}
+
+/// The TDMA baseline at the requested fidelity. Under
+/// [`Fidelity::SampleLevel`] every trial derives its channel realizations
+/// from the *same* trial seeds as [`netscatter_metrics_with`] on the same
+/// `mc`, so both schemes face identical multipath/fading/Doppler draws —
+/// the apples-to-apples requirement of the Fig. 17–19 curves. The baseline
+/// serves one device at a time, so its deliveries remain a per-round RSSI
+/// reachability question (no concurrent decode), but that RSSI now moves
+/// with the realized channel.
+pub fn lora_backscatter_metrics_with(
+    deployment: &Deployment,
+    num_devices: usize,
+    payload_bits: usize,
+    scheme: LoraScheme,
+    fidelity: Fidelity,
+    model: &ChannelModel,
+    mc: &MonteCarlo,
+) -> SchemeMetrics {
+    let num_devices = schedulable_devices(deployment, num_devices);
+    if num_devices == 0 {
+        return empty_metrics();
+    }
+    if fidelity == Fidelity::Analytical {
+        return lora_backscatter_metrics(deployment, num_devices, payload_bits, scheme);
+    }
+    let profile = deployment.config.profile;
+    let static_rssi: Vec<f64> = deployment.devices[..num_devices]
+        .iter()
+        .map(|d| d.uplink_rssi_dbm)
+        .collect();
+    let per_shard: Vec<Vec<Vec<Vec<f64>>>> = mc.run_shards(SAMPLE_LEVEL_TRIALS, |rng, range| {
+        range
+            .map(|_| {
+                let seed = trial_seed(rng);
+                let mut realizer = ChannelRealizer::for_trial(model, num_devices, seed);
+                (0..SAMPLE_LEVEL_ROUNDS_PER_TRIAL)
+                    .map(|_| {
+                        realizer
+                            .next_round()
+                            .iter()
+                            .zip(&static_rssi)
+                            .map(|(ch, rssi)| rssi + model.snr_boost_db + ch.gain_db())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect::<Vec<Vec<Vec<f64>>>>()
+    });
+    let rounds: Vec<Vec<f64>> = per_shard.into_iter().flatten().flatten().collect();
+    let num_rounds = rounds.len();
+    let mut acc = empty_metrics();
+    for rssi in &rounds {
+        let m = lora_round_metrics(profile, scheme, rssi, payload_bits);
+        acc.phy_rate_bps += m.phy_rate_bps;
+        acc.link_layer_rate_bps += m.link_layer_rate_bps;
+        acc.latency_s += m.latency_s;
+        acc.delivered += m.delivered;
+    }
+    SchemeMetrics {
+        num_devices,
+        phy_rate_bps: acc.phy_rate_bps / num_rounds as f64,
+        link_layer_rate_bps: acc.link_layer_rate_bps / num_rounds as f64,
+        latency_s: acc.latency_s / num_rounds as f64,
+        delivered: (acc.delivered as f64 / num_rounds as f64).round() as usize,
+    }
+}
+
+/// One TDMA schedule pass over per-round effective RSSIs.
+fn lora_round_metrics(
+    profile: PhyProfile,
+    scheme: LoraScheme,
+    rssi: &[f64],
+    payload_bits: usize,
+) -> SchemeMetrics {
     let net = LoraBackscatterNetwork::new(profile, scheme);
-    let (phy, link, latency) = net.network_metrics(&rssi, payload_bits);
+    let (phy, link, latency) = net.network_metrics(rssi, payload_bits);
     let delivered = rssi
         .iter()
         .filter(|r| net.serve_device(**r, payload_bits).reachable)
         .count();
     SchemeMetrics {
-        num_devices,
+        num_devices: rssi.len(),
         phy_rate_bps: phy,
         link_layer_rate_bps: link,
         latency_s: latency,
@@ -159,6 +367,77 @@ mod tests {
 
     fn deployment(n: usize) -> Deployment {
         Deployment::generate(DeploymentConfig::office(n), &mut StdRng::seed_from_u64(17))
+    }
+
+    #[test]
+    fn zero_scheduled_devices_yield_well_defined_empty_metrics() {
+        // Regression: a 0-device sweep point used to fold `strongest` to
+        // −∞ and push a degenerate 0-device round through the protocol
+        // accounting. All metrics must be exactly zero and finite.
+        let dep = deployment(8);
+        for variant in [
+            NetScatterVariant::Config1,
+            NetScatterVariant::Config2,
+            NetScatterVariant::Ideal,
+        ] {
+            let m = netscatter_metrics(&dep, 0, 40, variant);
+            assert_eq!(m.num_devices, 0);
+            assert_eq!(m.delivered, 0);
+            assert_eq!(m.phy_rate_bps, 0.0);
+            assert_eq!(m.link_layer_rate_bps, 0.0);
+            assert_eq!(m.latency_s, 0.0);
+        }
+        let m = lora_backscatter_metrics(&dep, 0, 40, LoraScheme::fixed());
+        assert_eq!((m.num_devices, m.delivered), (0, 0));
+        assert!(m.phy_rate_bps == 0.0 && m.link_layer_rate_bps == 0.0 && m.latency_s == 0.0);
+        // Sample-level fidelity takes the same early exit.
+        let mc = MonteCarlo::with_threads(1, 1);
+        let m = netscatter_metrics_with(
+            &dep,
+            0,
+            40,
+            NetScatterVariant::Config1,
+            Fidelity::SampleLevel,
+            &ChannelModel::office(),
+            &mc,
+        );
+        assert_eq!((m.num_devices, m.delivered), (0, 0));
+        assert_eq!(m.latency_s, 0.0);
+    }
+
+    #[test]
+    fn device_counts_beyond_spectrum_capacity_are_clamped() {
+        // One concurrent round can schedule at most 2^SF / SKIP devices;
+        // requesting more must clamp consistently across schemes so the
+        // reported num_devices matches what was simulated and both
+        // realizers consume identical RNG streams.
+        let dep = Deployment::generate(
+            crate::deployment::DeploymentConfig::office(300),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let capacity = dep.config.profile.max_concurrent_devices();
+        assert_eq!(capacity, 256);
+        let mc = MonteCarlo::with_threads(3, 1);
+        let ns = netscatter_metrics_with(
+            &dep,
+            300,
+            8,
+            NetScatterVariant::Config1,
+            Fidelity::SampleLevel,
+            &ChannelModel::pristine(),
+            &mc,
+        );
+        assert_eq!(ns.num_devices, capacity);
+        let lora = lora_backscatter_metrics_with(
+            &dep,
+            300,
+            8,
+            LoraScheme::fixed(),
+            Fidelity::SampleLevel,
+            &ChannelModel::pristine(),
+            &mc,
+        );
+        assert_eq!(lora.num_devices, capacity);
     }
 
     #[test]

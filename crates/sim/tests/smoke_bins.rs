@@ -51,12 +51,32 @@ smoke! {
 }
 
 #[test]
+fn network_figs_run_at_sample_fidelity() {
+    // The tentpole smoke: Figs. 17–19 end-to-end through the sample-level
+    // superposition + decode chain.
+    for exe in [
+        env!("CARGO_BIN_EXE_fig17"),
+        env!("CARGO_BIN_EXE_fig18"),
+        env!("CARGO_BIN_EXE_fig19"),
+    ] {
+        run(exe, &["--quick", "--fidelity", "sample"]);
+    }
+}
+
+#[test]
 fn perf_snapshot_writes_bench_json() {
     let out = std::env::temp_dir().join("netscatter_perf_snapshot_test.json");
+    let net_out = std::env::temp_dir().join("netscatter_perf_snapshot_net_test.json");
     let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&net_out);
     run(
         env!("CARGO_BIN_EXE_perf_snapshot"),
-        &["--out", out.to_str().unwrap()],
+        &[
+            "--out",
+            out.to_str().unwrap(),
+            "--network-out",
+            net_out.to_str().unwrap(),
+        ],
     );
     let json = std::fs::read_to_string(&out).expect("snapshot file written");
     for key in [
@@ -67,5 +87,14 @@ fn perf_snapshot_writes_bench_json() {
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
+    let json = std::fs::read_to_string(&net_out).expect("network snapshot written");
+    for key in [
+        "netscatter-network-bench-v1",
+        "device_symbols_per_sec",
+        "\"devices\": 256",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
     let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&net_out);
 }
