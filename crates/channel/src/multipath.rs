@@ -38,6 +38,19 @@ impl PowerDelayProfile {
         }
     }
 
+    /// An outdoor profile with the given RMS delay spread (seconds;
+    /// suburban/rural deployments: 0.5–2 µs). Outdoor scatterers produce a
+    /// longer, sparser tail than office reflections, so the realization uses
+    /// 24 taps spanning six times the delay spread.
+    pub fn outdoor(rms_delay_spread_s: f64) -> Self {
+        let rms = rms_delay_spread_s.max(1e-9);
+        Self {
+            rms_delay_spread_s: rms,
+            num_taps: 24,
+            tap_spacing_s: rms / 4.0,
+        }
+    }
+
     /// Mean power of tap `k` under the exponential profile (unnormalized).
     fn tap_power(&self, k: usize) -> f64 {
         (-(k as f64) * self.tap_spacing_s / self.rms_delay_spread_s).exp()

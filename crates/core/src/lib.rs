@@ -27,6 +27,8 @@
 //!   experiments.
 //! * [`analysis`] — closed-form results quoted in §3.1: the `2^SF / SF`
 //!   throughput gain and the multi-user Shannon-capacity scaling argument.
+//! * [`json`] — a dependency-free ordered JSON document model (printer +
+//!   parser) backing the structured experiment-result sinks.
 //!
 //! ## Quick start
 //!
@@ -58,6 +60,7 @@ pub mod allocator;
 pub mod analysis;
 pub mod association;
 pub mod device;
+pub mod json;
 pub mod power;
 pub mod protocol;
 pub mod query;

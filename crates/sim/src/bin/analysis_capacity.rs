@@ -1,4 +1,6 @@
-//! §3.1 analysis: throughput gain and multi-user Shannon capacity scaling.
+//! Shim for `netscatter run analysis_capacity`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    println!("{}", netscatter_sim::experiments::analysis_capacity());
+    netscatter_sim::cli::legacy_main("analysis_capacity");
 }

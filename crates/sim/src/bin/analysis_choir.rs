@@ -1,4 +1,6 @@
-//! §2.2 analysis: why Choir-style concurrent LoRa does not scale for backscatter.
+//! Shim for `netscatter run analysis_choir`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    println!("{}", netscatter_sim::experiments::analysis_choir());
+    netscatter_sim::cli::legacy_main("analysis_choir");
 }

@@ -1,4 +1,6 @@
-//! Regenerates Fig. 8 (side-lobe envelope of the dechirped spectrum).
+//! Shim for `netscatter run fig08`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    println!("{}", netscatter_sim::experiments::fig08());
+    netscatter_sim::cli::legacy_main("fig08");
 }

@@ -1,7 +1,6 @@
-//! Regenerates fig12 of the paper's evaluation (see EXPERIMENTS.md).
-use netscatter_sim::experiments::{fig12, Scale};
+//! Shim for `netscatter run fig12`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    println!("{}", fig12(scale, 42));
+    netscatter_sim::cli::legacy_main("fig12");
 }

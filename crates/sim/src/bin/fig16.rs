@@ -1,4 +1,6 @@
-//! Regenerates Fig. 16 (backscatter power levels via the switch network).
+//! Shim for `netscatter run fig16`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    println!("{}", netscatter_sim::experiments::fig16());
+    netscatter_sim::cli::legacy_main("fig16");
 }

@@ -1,12 +1,6 @@
-//! Regenerates fig18 of the paper's evaluation (see EXPERIMENTS.md).
-//! `--fidelity sample` drives deliveries through the sample-level
-//! superposition + decode chain instead of the analytical RSSI gate.
-use netscatter_sim::experiments::{fig18_fidelity, parse_network_driver_args};
-use netscatter_sim::montecarlo::available_threads;
+//! Shim for `netscatter run fig18`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    let (scale, fidelity) = parse_network_driver_args();
-    println!(
-        "{}",
-        fig18_fidelity(scale, 42, fidelity, available_threads())
-    );
+    netscatter_sim::cli::legacy_main("fig18");
 }

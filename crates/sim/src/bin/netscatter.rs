@@ -1,0 +1,6 @@
+//! The unified experiment CLI: `netscatter list | run <id> | sweep <id>`.
+//! See `netscatter --help` and `crates/sim/src/cli.rs`.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netscatter_sim::cli::main_with_args(&args));
+}

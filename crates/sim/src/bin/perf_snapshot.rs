@@ -1,184 +1,78 @@
-//! Performance snapshot for CI: times the steady-state decode path, the
-//! quick-mode experiment sweeps and the sample-level network simulator,
-//! prints a human-readable report, and writes the numbers to
-//! `BENCH_decode.json` + `BENCH_network.json` so the perf trajectory of
-//! both pipelines is tracked from PR to PR.
+//! Performance snapshot for CI: runs the registered `perf` experiment
+//! (decode path, quick-mode sweeps, sample-level network rounds), prints
+//! its report, and writes `BENCH_decode.json` + `BENCH_network.json`
+//! through the schema-versioned `ExperimentResult` JSON sink so the perf
+//! trajectory of both pipelines is tracked from PR to PR.
 //!
-//! Usage: `perf_snapshot [--out <path>] [--network-out <path>]`
-//! (defaults `BENCH_decode.json` / `BENCH_network.json`).
+//! Usage: `perf_snapshot [--out <path>] [--network-out <path>]
+//! [--format text|json] [--seed N]`
+//! (defaults `BENCH_decode.json` / `BENCH_network.json`, text report).
+//! The other universal experiment flags are accepted; ones the `perf`
+//! experiment does not read (e.g. `--threads`) produce a stderr note.
 
-use netscatter::receiver::ConcurrentReceiver;
-use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
-use netscatter_phy::params::PhyProfile;
-use netscatter_sim::deployment::{Deployment, DeploymentConfig};
-use netscatter_sim::experiments::{fig15, fig17, Scale};
-use netscatter_sim::fullround::{ChannelModel, FullRoundNetwork};
-use netscatter_sim::workloads::build_concurrent_round;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::fmt::Write as _;
-use std::time::Instant;
+use netscatter_sim::cli::{parse_flags_or_exit, warn_unused_fields};
+use netscatter_sim::experiment::{render, OutputFormat};
+use netscatter_sim::experiments::{find, perf_bench_results};
 
-const PAYLOAD_SYMBOLS: usize = 16;
+const USAGE: &str = "perf_snapshot — CI perf snapshot (the registered `perf` experiment)
 
-/// Median wall-time of `samples` timed invocations of `f`, in seconds.
-fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
-    // One warm-up to populate scratch buffers and caches.
-    f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
-}
+USAGE:
+  perf_snapshot [flags]
+
+FLAGS:
+  --out <PATH>            BENCH_decode.json path (default: BENCH_decode.json)
+  --network-out <PATH>    BENCH_network.json path (default: BENCH_network.json)
+  --seed <N>              deployment seed (default: 42)
+  --format <text|json>    stdout report sink (default: text);
+                          the BENCH artifacts are always JSON
+
+Other universal experiment flags are accepted; ones the perf experiment
+does not read (e.g. --threads) produce a stderr note.";
 
 fn main() {
     let mut out_path = String::from("BENCH_decode.json");
     let mut network_out_path = String::from("BENCH_network.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                });
-            }
-            "--network-out" => {
-                network_out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--network-out requires a path");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
+    // Split the snapshot-specific flags off, then hand the rest to the
+    // shared experiment-flag parser (which handles --help and rejects
+    // unknown flags / unknown --format values with a usage error rather
+    // than a silent default).
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut shared = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            raw.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", raw[*i - 1]);
                 std::process::exit(2);
-            }
+            })
+        };
+        match raw[i].as_str() {
+            "--out" => out_path = take_value(&mut i),
+            "--network-out" => network_out_path = take_value(&mut i),
+            other => shared.push(other.to_string()),
         }
+        i += 1;
+    }
+    let opts = parse_flags_or_exit(&shared, USAGE);
+    if opts.format == OutputFormat::Csv {
+        eprintln!(
+            "perf_snapshot supports --format text|json (the BENCH artifacts are always JSON)"
+        );
+        std::process::exit(2);
     }
 
-    let profile = PhyProfile::default();
-    let params = profile.modulation.chirp();
+    let exp = find("perf").expect("perf experiment is registered");
+    warn_unused_fields(exp, &opts);
+    let result = exp.run(&opts.scenario);
+    print!("{}", render(exp, &result, opts.format));
 
-    // 1. ns per padded spectrum (dechirp + pruned zero-padded FFT + power),
-    //    the dominant per-symbol cost of the receiver.
-    let demod = ConcurrentDemodulator::new(params, profile.zero_padding)
-        .expect("profile zero-padding is a power of two");
-    let mut ws = DemodWorkspace::new();
-    let symbol = OnOffModulator::new(params, 123).symbol(true, 0.0, 0.0, 1.0);
-    let batch = 256usize;
-    let per_batch = median_secs(9, || {
-        for _ in 0..batch {
-            demod
-                .padded_spectrum_into(&symbol, &mut ws)
-                .expect("correct symbol length");
+    let (decode, network) = perf_bench_results(&result);
+    for (artifact, path) in [(decode, &out_path), (network, &network_out_path)] {
+        if let Err(e) = std::fs::write(path, artifact.to_json().to_string_pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
         }
-    });
-    let padded_spectrum_ns = per_batch / batch as f64 * 1e9;
-
-    // 2. Full-round decode throughput (symbols/sec) vs device count.
-    let mut decode_rows = Vec::new();
-    for n_devices in [16usize, 64, 256] {
-        let rx = ConcurrentReceiver::new(&profile).expect("valid profile");
-        let (stream, bins) = build_concurrent_round(&profile, n_devices, PAYLOAD_SYMBOLS);
-        let round_s = median_secs(5, || {
-            let round = rx
-                .decode_round(&stream, 0, &bins, PAYLOAD_SYMBOLS)
-                .expect("round decodes");
-            assert_eq!(round.devices.len(), n_devices, "all devices detected");
-        });
-        let symbols_per_sec = PAYLOAD_SYMBOLS as f64 / round_s;
-        decode_rows.push((n_devices, round_s * 1e3, symbols_per_sec));
+        println!("wrote {path}");
     }
-
-    // 3. Sample-level network round throughput: channel realization +
-    //    superposed synthesis + AWGN + full concurrent decode, per round,
-    //    under the office channel model.
-    let dep = Deployment::generate(
-        DeploymentConfig::office(256),
-        &mut StdRng::seed_from_u64(42),
-    );
-    let model = ChannelModel::office();
-    let mut network_rows = Vec::new();
-    for n_devices in [16usize, 64, 256] {
-        let mut net = FullRoundNetwork::for_trial(&dep, n_devices, &model, 7);
-        let round_s = median_secs(5, || {
-            let truth = net.simulate_round(PAYLOAD_SYMBOLS);
-            assert_eq!(truth.outcome.scheduled, n_devices);
-        });
-        let device_symbols_per_sec = n_devices as f64 * (8 + PAYLOAD_SYMBOLS) as f64 / round_s;
-        network_rows.push((n_devices, round_s * 1e3, device_symbols_per_sec));
-    }
-
-    // 4. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and the
-    //    Fig. 17 network sweep, both through the sharded/parallel layer.
-    let t = Instant::now();
-    let fig15_report = fig15(Scale::Quick, 42);
-    let fig15_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    let fig17_report = fig17(Scale::Quick, 42);
-    let fig17_ms = t.elapsed().as_secs_f64() * 1e3;
-    assert!(fig15_report.contains("Fig. 15b") && fig17_report.contains("Fig. 17"));
-
-    // Human-readable report.
-    println!("perf_snapshot (quick mode)");
-    println!("  padded_spectrum: {padded_spectrum_ns:.0} ns per symbol spectrum");
-    for (n, ms, sps) in &decode_rows {
-        println!("  decode_round[{n:>3} devices]: {ms:.3} ms per {PAYLOAD_SYMBOLS}-symbol round = {sps:.0} symbols/sec");
-    }
-    for (n, ms, dsps) in &network_rows {
-        println!("  fullround[{n:>3} devices]: {ms:.3} ms per sample-level round = {dsps:.0} device-symbols/sec");
-    }
-    println!("  fig15b quick sweep: {fig15_ms:.0} ms");
-    println!("  fig17 quick sweep: {fig17_ms:.0} ms");
-
-    // Machine-readable snapshot.
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"netscatter-perf-snapshot-v1\",");
-    let _ = writeln!(json, "  \"payload_symbols_per_round\": {PAYLOAD_SYMBOLS},");
-    let _ = writeln!(json, "  \"padded_spectrum_ns\": {padded_spectrum_ns:.1},");
-    let _ = writeln!(json, "  \"decode\": [");
-    for (i, (n, ms, sps)) in decode_rows.iter().enumerate() {
-        let comma = if i + 1 < decode_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"devices\": {n}, \"round_ms\": {ms:.4}, \"symbols_per_sec\": {sps:.1}}}{comma}"
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"sweeps\": {{");
-    let _ = writeln!(json, "    \"fig15b_quick_ms\": {fig15_ms:.1},");
-    let _ = writeln!(json, "    \"fig17_quick_ms\": {fig17_ms:.1}");
-    let _ = writeln!(json, "  }}");
-    json.push_str("}\n");
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("failed to write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("wrote {out_path}");
-
-    // Sample-level network snapshot.
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"netscatter-network-bench-v1\",");
-    let _ = writeln!(json, "  \"payload_symbols_per_round\": {PAYLOAD_SYMBOLS},");
-    let _ = writeln!(json, "  \"channel_model\": \"office\",");
-    let _ = writeln!(json, "  \"rounds\": [");
-    for (i, (n, ms, dsps)) in network_rows.iter().enumerate() {
-        let comma = if i + 1 < network_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"devices\": {n}, \"round_ms\": {ms:.4}, \"device_symbols_per_sec\": {dsps:.1}}}{comma}"
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
-    if let Err(e) = std::fs::write(&network_out_path, &json) {
-        eprintln!("failed to write {network_out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("wrote {network_out_path}");
 }

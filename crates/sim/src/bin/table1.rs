@@ -1,4 +1,6 @@
-//! Regenerates Table 1 of the paper.
+//! Shim for `netscatter run table1`: kept so existing scripts and the CI fig
+//! smoke stay green. Accepts the universal experiment flags
+//! (`--quick`/`--paper`, `--seed`, `--threads`, `--fidelity`, ...).
 fn main() {
-    println!("{}", netscatter_sim::experiments::table1());
+    netscatter_sim::cli::legacy_main("table1");
 }

@@ -1,0 +1,578 @@
+//! The unified `netscatter` command-line interface.
+//!
+//! One binary replaces the 14 per-figure drivers:
+//!
+//! * `netscatter list` — every registered experiment with its scenario
+//!   knobs.
+//! * `netscatter run <id> [flags]` — run one experiment; `--format
+//!   text|json|csv` selects the sink, `--out` redirects it to a file.
+//! * `netscatter sweep <id> --set field=v1,v2,… [--set …]` — the cartesian
+//!   parameter grid over any [`Scenario`] field, one structured result per
+//!   grid point.
+//!
+//! Every experiment accepts the same universal flags (`--quick`/`--paper`,
+//! `--seed`, `--threads`, `--fidelity`, `--devices`, `--placement`,
+//! `--channel`, `--scheme`, `--payload-bits`); the per-figure shim binaries
+//! route through [`legacy_main`] so `fig17 --quick --fidelity sample` keeps
+//! working unchanged.
+
+use crate::experiment::{render, Experiment, ExperimentResult, OutputFormat, SCHEMA_VERSION};
+use crate::experiments::{find, registry};
+use crate::scenario::{Scenario, SCENARIO_FIELDS};
+use netscatter::json::Json;
+
+/// A CLI failure: message for stderr plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable error (printed to stderr).
+    pub message: String,
+    /// Process exit code (2 for usage errors, 1 for I/O failures).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// The `--help` text.
+pub fn usage() -> String {
+    let schemes: Vec<&str> = crate::scenario::Scheme::ALL
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    format!(
+        "netscatter — unified experiment runner for the NetScatter reproduction
+
+USAGE:
+  netscatter list
+  netscatter run <id> [flags]
+  netscatter sweep <id> --set <field>=<v1,v2,...> [--set ...] [flags]
+
+FLAGS (run & sweep):
+  --quick | --paper           trial-count scale (default: paper)
+  --seed <N>                  Monte-Carlo base seed (default: 42)
+  --threads <N>               worker-thread bound (default: all cores)
+  --fidelity <analytical|sample>
+  --devices <N>               population size (default: 256)
+  --placement <office|hall>
+  --channel <office|outdoor|pristine>
+  --scheme <{schemes}>
+  --payload-bits <N>
+  --format <text|json|csv>    output sink (default: text)
+  --out <PATH>                write output to PATH instead of stdout
+
+Sweepable scenario fields: {fields}
+Run `netscatter list` for the experiment ids.",
+        schemes = schemes.join("|"),
+        fields = SCENARIO_FIELDS.join(", ")
+    )
+}
+
+/// Options shared by `run`, `sweep`, and the shim binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// The scenario assembled from the flags.
+    pub scenario: Scenario,
+    /// Output sink.
+    pub format: OutputFormat,
+    /// Output file (stdout when `None`).
+    pub out: Option<String>,
+    /// `--set` grid axes, in flag order (sweep only).
+    pub grid: Vec<(String, Vec<String>)>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scenario: Scenario::default(),
+            format: OutputFormat::Text,
+            out: None,
+            grid: Vec::new(),
+        }
+    }
+}
+
+/// Parses the universal flag set into [`RunOptions`]. `allow_grid` enables
+/// `--set` (the sweep grid); everything else is shared by `run` and the
+/// shims.
+pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliError> {
+    let mut opts = RunOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => opts
+                .scenario
+                .set_field("scale", "quick")
+                .map_err(CliError::usage)?,
+            "--paper" => opts
+                .scenario
+                .set_field("scale", "paper")
+                .map_err(CliError::usage)?,
+            "--seed" | "--threads" | "--fidelity" | "--devices" | "--placement" | "--channel"
+            | "--scheme" => {
+                let field = arg.trim_start_matches("--").to_string();
+                let v = value(&mut i, arg)?;
+                opts.scenario
+                    .set_field(&field, &v)
+                    .map_err(CliError::usage)?;
+            }
+            "--payload-bits" => {
+                let v = value(&mut i, arg)?;
+                opts.scenario
+                    .set_field("payload_bits", &v)
+                    .map_err(CliError::usage)?;
+            }
+            "--format" => {
+                let v = value(&mut i, arg)?;
+                opts.format = OutputFormat::parse(&v).map_err(CliError::usage)?;
+            }
+            "--out" => opts.out = Some(value(&mut i, arg)?),
+            "--set" if allow_grid => {
+                let v = value(&mut i, arg)?;
+                let (field, values) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError::usage("--set expects <field>=<v1,v2,...>"))?;
+                if !SCENARIO_FIELDS.contains(&field) {
+                    return Err(CliError::usage(format!(
+                        "unknown scenario field {field:?}; known fields: {}",
+                        SCENARIO_FIELDS.join(", ")
+                    )));
+                }
+                if opts.grid.iter().any(|(f, _)| f == field) {
+                    // A second axis on the same field would overwrite the
+                    // first and mislabel every sweep point.
+                    return Err(CliError::usage(format!(
+                        "--set {field} given twice; list all values in one axis"
+                    )));
+                }
+                let values: Vec<String> = values.split(',').map(str::to_string).collect();
+                if values.iter().any(String::is_empty) {
+                    return Err(CliError::usage(format!(
+                        "--set {field}= has an empty value"
+                    )));
+                }
+                opts.grid.push((field.to_string(), values));
+            }
+            "--help" | "-h" => {
+                return Err(CliError {
+                    message: usage(),
+                    code: 0,
+                })
+            }
+            other => return Err(CliError::usage(format!("unknown argument: {other}"))),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Looks up `id` in the registry with a usage-quality error.
+fn find_experiment(id: &str) -> Result<&'static dyn Experiment, CliError> {
+    find(id).ok_or_else(|| {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        CliError::usage(format!(
+            "unknown experiment {id:?}; available: {}",
+            ids.join(", ")
+        ))
+    })
+}
+
+/// Warns (stderr) when a flag sets a field the experiment never reads.
+/// Shared by `run`, `sweep`, the shims, and `perf_snapshot`.
+pub fn warn_unused_fields(exp: &dyn Experiment, opts: &RunOptions) {
+    let defaults = Scenario::default();
+    let default_fields = defaults.fields();
+    for ((name, value), (_, default)) in opts.scenario.fields().iter().zip(&default_fields) {
+        let used = exp.scenario_fields().contains(name);
+        if value != default && !used {
+            eprintln!(
+                "note: {} does not read scenario field '{name}' (set to {value}); result is unaffected",
+                exp.id()
+            );
+        }
+    }
+    for (field, _) in &opts.grid {
+        if !exp.scenario_fields().contains(&field.as_str()) {
+            eprintln!(
+                "note: {} does not read scenario field '{field}'; sweeping it repeats the same result",
+                exp.id()
+            );
+        }
+    }
+}
+
+/// Writes `content` to `--out` or stdout.
+fn emit(content: &str, out: &Option<String>) -> Result<(), CliError> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content)
+                .map_err(|e| CliError::io(format!("failed to write {path}: {e}")))?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// `netscatter list`.
+fn list() -> Result<(), CliError> {
+    println!("registered experiments ({}):", registry().len());
+    for exp in registry() {
+        let fields = exp.scenario_fields();
+        let knobs = if fields.is_empty() {
+            "none (pure function)".to_string()
+        } else {
+            fields.join(", ")
+        };
+        println!("  {:18} {}", exp.id(), exp.title());
+        println!("  {:18}   scenario knobs: {knobs}", "");
+    }
+    Ok(())
+}
+
+/// `netscatter run <id>`.
+fn run(id: &str, flag_args: &[String]) -> Result<(), CliError> {
+    let exp = find_experiment(id)?;
+    let opts = parse_flags(flag_args, false)?;
+    warn_unused_fields(exp, &opts);
+    let result = exp.run(&opts.scenario);
+    emit(&render(exp, &result, opts.format), &opts.out)
+}
+
+/// Expands the cartesian grid of `--set` axes into concrete scenarios.
+/// Returns `(labels, scenarios)` in row-major order (last axis fastest).
+fn expand_grid(
+    base: &Scenario,
+    grid: &[(String, Vec<String>)],
+) -> Result<Vec<(String, Scenario)>, CliError> {
+    let mut combos: Vec<(String, Scenario)> = vec![(String::new(), base.clone())];
+    for (field, values) in grid {
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for (label, scenario) in &combos {
+            for value in values {
+                let mut s = scenario.clone();
+                s.set_field(field, value).map_err(CliError::usage)?;
+                let label = if label.is_empty() {
+                    format!("{field}={value}")
+                } else {
+                    format!("{label} {field}={value}")
+                };
+                next.push((label, s));
+            }
+        }
+        combos = next;
+    }
+    Ok(combos)
+}
+
+/// `netscatter sweep <id>`.
+fn sweep(id: &str, flag_args: &[String]) -> Result<(), CliError> {
+    let exp = find_experiment(id)?;
+    let opts = parse_flags(flag_args, true)?;
+    if opts.grid.is_empty() {
+        return Err(CliError::usage(
+            "sweep requires at least one --set <field>=<v1,v2,...> axis",
+        ));
+    }
+    warn_unused_fields(exp, &opts);
+    let combos = expand_grid(&opts.scenario, &opts.grid)?;
+    let results: Vec<(String, ExperimentResult)> = combos
+        .into_iter()
+        .map(|(label, scenario)| (label, exp.run(&scenario)))
+        .collect();
+    let content = match opts.format {
+        OutputFormat::Json => {
+            let axes = Json::Array(
+                opts.grid
+                    .iter()
+                    .map(|(field, values)| {
+                        Json::object(vec![
+                            ("field", Json::Str(field.clone())),
+                            (
+                                "values",
+                                Json::Array(values.iter().map(|v| Json::Str(v.clone())).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            Json::object(vec![
+                ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+                ("experiment", Json::Str(exp.id().to_string())),
+                ("sweep", axes),
+                (
+                    "results",
+                    Json::Array(results.iter().map(|(_, r)| r.to_json()).collect()),
+                ),
+            ])
+            .to_string_pretty()
+        }
+        OutputFormat::Csv => {
+            let mut out = String::new();
+            for (label, result) in &results {
+                out.push_str(&format!("# sweep-point: {label}\n"));
+                out.push_str(&result.to_csv());
+            }
+            out
+        }
+        OutputFormat::Text => {
+            let mut out = String::new();
+            for (label, result) in &results {
+                out.push_str(&format!("== {label} ==\n"));
+                out.push_str(&exp.render_text(result));
+            }
+            out
+        }
+    };
+    emit(&content, &opts.out)
+}
+
+/// Entry point shared by the `netscatter` binary: dispatches the
+/// subcommand and returns the process exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let outcome = match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => match args.get(1).map(String::as_str) {
+            Some("--help") | Some("-h") => {
+                println!("{}", usage());
+                Ok(())
+            }
+            Some(id) => run(id, &args[2..]),
+            None => Err(CliError::usage("run requires an experiment id")),
+        },
+        Some("sweep") => match args.get(1).map(String::as_str) {
+            Some("--help") | Some("-h") => {
+                println!("{}", usage());
+                Ok(())
+            }
+            Some(id) => sweep(id, &args[2..]),
+            None => Err(CliError::usage("sweep requires an experiment id")),
+        },
+        Some("--help") | Some("-h") | Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown subcommand {other:?}; expected list, run or sweep"
+        ))),
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => {
+            if e.code == 0 {
+                println!("{}", e.message);
+            } else {
+                eprintln!("{}", e.message);
+                eprintln!("run `netscatter --help` for usage");
+            }
+            e.code
+        }
+    }
+}
+
+/// The `--help` text for a standalone (non-subcommand) binary: the shared
+/// flag set without the `netscatter` subcommands, plus an optional
+/// binary-specific trailer.
+pub fn standalone_usage(name: &str, summary: &str, extra_flags: &str) -> String {
+    format!(
+        "{name} — {summary}
+
+USAGE:
+  {name} [flags]
+
+FLAGS:
+  --quick | --paper           trial-count scale (default: paper)
+  --seed <N>                  Monte-Carlo base seed (default: 42)
+  --threads <N>               worker-thread bound (default: all cores)
+  --fidelity <analytical|sample>
+  --devices <N>  --placement <office|hall>  --channel <office|outdoor|pristine>
+  --scheme <name>  --payload-bits <N>
+  --format <text|json|csv>    output sink (default: text)
+  --out <PATH>                write output to PATH instead of stdout{extra_flags}
+
+Flags setting scenario fields this experiment does not read produce a
+stderr note. The unified CLI (`netscatter list | run | sweep`) exposes the
+same experiments plus parameter sweeps."
+    )
+}
+
+/// Parses standalone-binary flags or exits: prints `help` and exits 0 on
+/// `--help`, prints the error and exits with its code on failure. Shared
+/// by [`legacy_main`] and `perf_snapshot`.
+pub fn parse_flags_or_exit(args: &[String], help: &str) -> RunOptions {
+    match parse_flags(args, false) {
+        Ok(opts) => opts,
+        Err(e) if e.code == 0 => {
+            println!("{help}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}
+
+/// Entry point for the per-figure shim binaries: parses the universal flag
+/// set from `std::env::args` and prints the experiment's report — identical
+/// behaviour and output to the pre-redesign binary, now with the shared
+/// `--seed`/`--threads` flags instead of a hardcoded seed.
+pub fn legacy_main(id: &str) {
+    let exp = find(id).unwrap_or_else(|| panic!("shim for unregistered experiment {id}"));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let help = standalone_usage(id, &format!("shim for `netscatter run {id}`"), "");
+    let opts = parse_flags_or_exit(&args, &help);
+    warn_unused_fields(exp, &opts);
+    let result = exp.run(&opts.scenario);
+    let rendered = render(exp, &result, opts.format);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        // `println!` (not `print!`): the pre-redesign binaries printed the
+        // report through `println!("{report}")`, so stdout ends with the
+        // report's own newline plus one more — kept byte-identical.
+        None => println!("{rendered}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn universal_flags_assemble_a_scenario() {
+        let opts = parse_flags(
+            &args(&[
+                "--quick",
+                "--seed",
+                "7",
+                "--threads",
+                "3",
+                "--fidelity",
+                "sample",
+                "--devices",
+                "32",
+                "--placement",
+                "hall",
+                "--channel",
+                "outdoor",
+                "--scheme",
+                "lora-fixed",
+                "--payload-bits",
+                "16",
+                "--format",
+                "json",
+            ]),
+            false,
+        )
+        .expect("flags parse");
+        assert_eq!(opts.scenario.scale, Scale::Quick);
+        assert_eq!(opts.scenario.seed, 7);
+        assert_eq!(opts.scenario.threads, 3);
+        assert_eq!(opts.scenario.devices, 32);
+        assert_eq!(opts.scenario.payload_bits, 16);
+        assert_eq!(opts.format, OutputFormat::Json);
+        assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_usage_errors() {
+        for bad in [
+            vec!["--frobnicate"],
+            vec!["--seed"],
+            vec!["--seed", "many"],
+            vec!["--fidelity", "vibes"],
+            vec!["--format", "yaml"],
+            vec!["--set", "devices=1,2"], // grid not allowed outside sweep
+        ] {
+            let err = parse_flags(&args(&bad), false).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn grid_parsing_validates_fields_and_expands_cartesian_products() {
+        let opts = parse_flags(
+            &args(&["--set", "devices=16,64", "--set", "seed=1,2,3"]),
+            true,
+        )
+        .expect("grid parses");
+        let combos = expand_grid(&opts.scenario, &opts.grid).expect("grid expands");
+        assert_eq!(combos.len(), 6);
+        assert_eq!(combos[0].0, "devices=16 seed=1");
+        assert_eq!(combos[5].0, "devices=64 seed=3");
+        assert_eq!(combos[5].1.devices, 64);
+        assert_eq!(combos[5].1.seed, 3);
+        // Unknown fields, empty values, and duplicate axes are rejected at
+        // parse time (a second axis on one field would mislabel the sweep).
+        assert!(parse_flags(&args(&["--set", "volume=11"]), true).is_err());
+        assert!(parse_flags(&args(&["--set", "devices=,"]), true).is_err());
+        assert!(parse_flags(&args(&["--set", "devices"]), true).is_err());
+        let dup = parse_flags(&args(&["--set", "seed=1,2", "--set", "seed=3"]), true).unwrap_err();
+        assert!(dup.message.contains("twice"), "{}", dup.message);
+    }
+
+    #[test]
+    fn main_dispatch_reports_usage_errors() {
+        assert_eq!(main_with_args(&args(&["run"])), 2);
+        assert_eq!(main_with_args(&args(&["run", "fig99"])), 2);
+        assert_eq!(
+            main_with_args(&args(&["sweep", "fig08"])),
+            2,
+            "sweep without --set"
+        );
+        assert_eq!(main_with_args(&args(&["bogus"])), 2);
+    }
+
+    #[test]
+    fn help_is_reachable_from_every_dispatch_position() {
+        assert_eq!(main_with_args(&args(&["--help"])), 0);
+        assert_eq!(main_with_args(&args(&["run", "--help"])), 0);
+        assert_eq!(main_with_args(&args(&["sweep", "-h"])), 0);
+    }
+
+    #[test]
+    fn run_and_list_succeed_end_to_end() {
+        // `list` and a cheap pure-function experiment through the real
+        // dispatch path (stdout is shared with the test harness; the exit
+        // code is the contract here).
+        assert_eq!(main_with_args(&args(&["list"])), 0);
+        assert_eq!(main_with_args(&args(&["run", "fig08"])), 0);
+        assert_eq!(
+            main_with_args(&args(&["run", "analysis_choir", "--format", "csv"])),
+            0
+        );
+    }
+}

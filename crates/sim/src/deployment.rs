@@ -56,6 +56,23 @@ impl DeploymentConfig {
             one_way_path_loss_range_db: (58.0, 76.0),
         }
     }
+
+    /// An open-plan hall: one 30 m × 12 m space with no interior walls, so
+    /// the link-budget spread comes from distance (and shadowing) alone.
+    /// Pairs with [`crate::fullround::ChannelModel::outdoor`] for the
+    /// beyond-the-paper workload combinations the scenario API exposes.
+    pub fn hall(num_devices: usize) -> Self {
+        Self {
+            num_devices,
+            rooms_x: 1,
+            rooms_y: 1,
+            room_w: 30.0,
+            room_d: 12.0,
+            profile: PhyProfile::default(),
+            max_retries: 50,
+            one_way_path_loss_range_db: (58.0, 76.0),
+        }
+    }
 }
 
 /// The link budget of one deployed device.

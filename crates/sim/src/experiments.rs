@@ -1,19 +1,24 @@
-//! One driver per table/figure of the paper's evaluation.
+//! The registered experiment drivers — one per table/figure/analysis of the
+//! paper's evaluation, plus the CI perf snapshot.
 //!
-//! Every function returns a human-readable report whose rows mirror the
-//! corresponding table or figure series; the binaries in `src/bin/` simply
-//! print these reports, and the Criterion benches in `netscatter-bench` time
-//! the same drivers. `EXPERIMENTS.md` records the paper-vs-measured
-//! comparison for each one.
+//! Every driver implements [`Experiment`]: `run` maps a
+//! [`Scenario`] to a structured [`ExperimentResult`] (named numeric tables
+//! plus named scalars), and `render_text` reproduces the pre-redesign text
+//! report byte-for-byte from that structure — pinned by the golden parity
+//! tests in `tests/golden_parity.rs`. The unified `netscatter` CLI and the
+//! per-figure shim binaries both drive [`registry`]; the Criterion benches
+//! time the same drivers through the string-returning compatibility
+//! wrappers ([`fig04`], [`fig17`], …).
 
 use crate::ber::{max_tolerable_power_difference_db_sharded, near_far_ber_sharded, NearFarConfig};
-use crate::deployment::{Deployment, DeploymentConfig};
-use crate::fullround::ChannelModel;
+use crate::deployment::Deployment;
+use crate::experiment::{Experiment, ExperimentResult, Table};
 use crate::montecarlo::{available_threads, parallel_map, MonteCarlo};
 use crate::network::{
     lora_backscatter_metrics_with, netscatter_metrics_with, Fidelity, NetScatterVariant,
     SchemeMetrics,
 };
+use crate::scenario::Scenario;
 use netscatter::analysis;
 use netscatter_baselines::choir::fft_bin_variation_cdf;
 use netscatter_baselines::tdma::LoraScheme;
@@ -29,324 +34,640 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
-/// Scale of an experiment run: `Quick` for benches/tests, `Full` for the
-/// figure-quality binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Reduced trial counts for CI and Criterion.
-    Quick,
-    /// Paper-scale trial counts.
-    Full,
+pub use crate::scenario::Scale;
+
+/// The registered experiments, in the order `netscatter list` prints them.
+static REGISTRY: [&dyn Experiment; 14] = [
+    &Table1,
+    &Fig04,
+    &Fig08,
+    &Fig09,
+    &Fig12,
+    &Fig14,
+    &Fig15,
+    &Fig16,
+    &Fig17,
+    &Fig18,
+    &Fig19,
+    &AnalysisChoir,
+    &AnalysisCapacity,
+    &Perf,
+];
+
+/// Every registered experiment.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
 }
 
-impl Scale {
-    fn pick(&self, quick: usize, full: usize) -> usize {
-        match self {
-            Scale::Quick => quick,
-            Scale::Full => full,
-        }
+/// Looks an experiment up by its registry id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().find(|e| e.id() == id).copied()
+}
+
+/// The report-header tag for a fidelity mode.
+fn fidelity_tag(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Analytical => "analytical",
+        Fidelity::SampleLevel => "sample-level",
     }
 }
 
-/// Parses the shared CLI of the network-figure drivers:
-/// `[--quick] [--fidelity analytical|sample]`. Exits with an error message
-/// on unknown arguments or fidelity values.
-pub fn parse_network_driver_args() -> (Scale, Fidelity) {
-    let mut scale = Scale::Full;
-    let mut fidelity = Fidelity::Analytical;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--fidelity" => {
-                fidelity = match args.next().as_deref() {
-                    Some("analytical") => Fidelity::Analytical,
-                    Some("sample") => Fidelity::SampleLevel,
-                    other => {
-                        eprintln!(
-                            "--fidelity expects 'analytical' or 'sample', got {:?}",
-                            other.unwrap_or("nothing")
-                        );
-                        std::process::exit(2);
-                    }
-                };
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    (scale, fidelity)
-}
+// ---------------------------------------------------------------------------
+// Table 1
 
 /// Table 1: modulation configurations and their derived properties.
-pub fn table1() -> String {
-    let mut out = String::from(
-        "Table 1: NetScatter modulation configurations\nBW[kHz]  SF  TimeVar[us]  FreqVar[Hz]  BitRate[bps]  Sensitivity[dBm]\n",
-    );
-    for cfg in ModulationConfig::table1_rows() {
-        let _ = writeln!(
-            out,
-            "{:7.0}  {:2}  {:11.1}  {:11.0}  {:12.0}  {:16.1}",
-            cfg.bandwidth_hz / 1e3,
-            cfg.spreading_factor,
-            cfg.tolerable_timing_mismatch_s() * 1e6,
-            cfg.tolerable_frequency_mismatch_hz(),
-            cfg.per_device_bitrate_bps(),
-            cfg.sensitivity_dbm()
-        );
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
     }
-    out
+
+    fn title(&self) -> &'static str {
+        "Table 1: modulation configurations and derived properties"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "configs",
+            &[
+                ("bandwidth_hz", "Hz"),
+                ("spreading_factor", ""),
+                ("tolerable_timing_mismatch_s", "s"),
+                ("tolerable_frequency_mismatch_hz", "Hz"),
+                ("per_device_bitrate_bps", "bps"),
+                ("sensitivity_dbm", "dBm"),
+            ],
+        );
+        for cfg in ModulationConfig::table1_rows() {
+            t.push_row(vec![
+                cfg.bandwidth_hz,
+                cfg.spreading_factor as f64,
+                cfg.tolerable_timing_mismatch_s(),
+                cfg.tolerable_frequency_mismatch_hz(),
+                cfg.per_device_bitrate_bps(),
+                cfg.sensitivity_dbm(),
+            ]);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from(
+            "Table 1: NetScatter modulation configurations\nBW[kHz]  SF  TimeVar[us]  FreqVar[Hz]  BitRate[bps]  Sensitivity[dBm]\n",
+        );
+        for row in &result.table("configs").expect("configs table").rows {
+            let _ = writeln!(
+                out,
+                "{:7.0}  {:2.0}  {:11.1}  {:11.0}  {:12.0}  {:16.1}",
+                row[0] / 1e3,
+                row[1],
+                row[2] * 1e6,
+                row[3],
+                row[4],
+                row[5]
+            );
+        }
+        out
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 4
 
 /// Fig. 4: CDF of ΔFFTbin for backscatter devices vs. active LoRa radios.
-pub fn fig04(scale: Scale, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let params = ChirpParams::new(500e3, 9).expect("paper parameters");
-    let devices = scale.pick(32, 256);
-    let packets = scale.pick(20, 200);
-    let tags = fft_bin_variation_cdf(
-        &mut rng,
-        &ImpairmentModel::cots_backscatter(),
-        params,
-        devices,
-        packets,
-    );
-    let radios = fft_bin_variation_cdf(
-        &mut rng,
-        &ImpairmentModel::active_radio(),
-        params,
-        devices,
-        packets,
-    );
-    let mut out = String::from("Fig. 4: CDF of delta-FFT-bin (BW=500 kHz, SF=9)\n  dFFTbin  CDF(backscatter)  CDF(LoRa radio)\n");
-    for i in 0..=28 {
-        let x = i as f64 * 0.25;
+pub struct Fig04;
+
+impl Experiment for Fig04 {
+    fn id(&self) -> &'static str {
+        "fig04"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 4: CDF of delta-FFT-bin, backscatter vs. active LoRa radios"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["scale", "seed"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let params = ChirpParams::new(500e3, 9).expect("paper parameters");
+        let devices = scenario.scale.pick(32, 256);
+        let packets = scenario.scale.pick(20, 200);
+        let tags = fft_bin_variation_cdf(
+            &mut rng,
+            &ImpairmentModel::cots_backscatter(),
+            params,
+            devices,
+            packets,
+        );
+        let radios = fft_bin_variation_cdf(
+            &mut rng,
+            &ImpairmentModel::active_radio(),
+            params,
+            devices,
+            packets,
+        );
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "cdf",
+            &[
+                ("dfft_bin", "bins"),
+                ("backscatter", ""),
+                ("lora_radio", ""),
+            ],
+        );
+        for i in 0..=28 {
+            let x = i as f64 * 0.25;
+            t.push_row(vec![
+                x,
+                tags.probability_at_or_below(x),
+                radios.probability_at_or_below(x),
+            ]);
+        }
+        result.tables.push(t);
+        result
+            .scalars
+            .push(("backscatter_p99_bins".into(), tags.quantile(0.99)));
+        result
+            .scalars
+            .push(("radio_p99_bins".into(), radios.quantile(0.99)));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Fig. 4: CDF of delta-FFT-bin (BW=500 kHz, SF=9)\n  dFFTbin  CDF(backscatter)  CDF(LoRa radio)\n");
+        for row in &result.table("cdf").expect("cdf table").rows {
+            let _ = writeln!(out, "  {:7.2}  {:16.3}  {:15.3}", row[0], row[1], row[2]);
+        }
         let _ = writeln!(
             out,
-            "  {:7.2}  {:16.3}  {:15.3}",
-            x,
-            tags.probability_at_or_below(x),
-            radios.probability_at_or_below(x)
+            "backscatter p99 = {:.3} bins, radio p99 = {:.3} bins",
+            result.scalar("backscatter_p99_bins").expect("scalar"),
+            result.scalar("radio_p99_bins").expect("scalar")
         );
+        out
     }
-    let _ = writeln!(
-        out,
-        "backscatter p99 = {:.3} bins, radio p99 = {:.3} bins",
-        tags.quantile(0.99),
-        radios.quantile(0.99)
-    );
-    out
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 8
 
 /// Fig. 8: normalized dechirped power spectrum side-lobe levels.
-pub fn fig08() -> String {
-    let profile = sidelobe_profile_db(512, 8).expect("power-of-two sizes");
-    let mut out = String::from("Fig. 8: side-lobe envelope vs. bin offset (SF=9, zero-padding 8x)\n  offset[bins]  level[dB]\n");
-    for offset in [1usize, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256] {
+pub struct Fig08;
+
+impl Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 8: dechirped-spectrum side-lobe envelope"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let profile = sidelobe_profile_db(512, 8).expect("power-of-two sizes");
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new("sidelobes", &[("offset_bins", "bins"), ("level_db", "dB")]);
+        for offset in [1usize, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256] {
+            t.push_row(vec![offset as f64, profile.level_at_offset(offset)]);
+        }
+        result.tables.push(t);
+        result.scalars.push((
+            "skip2_tolerable_db".into(),
+            profile.tolerable_power_difference_db(2),
+        ));
+        result.scalars.push((
+            "skip3_tolerable_db".into(),
+            profile.tolerable_power_difference_db(3),
+        ));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Fig. 8: side-lobe envelope vs. bin offset (SF=9, zero-padding 8x)\n  offset[bins]  level[dB]\n");
+        for row in &result.table("sidelobes").expect("sidelobes table").rows {
+            let _ = writeln!(out, "  {:12.0}  {:9.2}", row[0], row[1]);
+        }
         let _ = writeln!(
             out,
-            "  {:12}  {:9.2}",
-            offset,
-            profile.level_at_offset(offset)
+            "SKIP=2 tolerable power difference ≈ {:.1} dB (paper: ≈13 dB); SKIP=3 ≈ {:.1} dB (paper: ≈21 dB)",
+            result.scalar("skip2_tolerable_db").expect("scalar"),
+            result.scalar("skip3_tolerable_db").expect("scalar")
         );
+        out
     }
-    let _ = writeln!(
-        out,
-        "SKIP=2 tolerable power difference ≈ {:.1} dB (paper: ≈13 dB); SKIP=3 ≈ {:.1} dB (paper: ≈21 dB)",
-        profile.tolerable_power_difference_db(2),
-        profile.tolerable_power_difference_db(3)
-    );
-    out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 9
+
 /// Fig. 9: CDF of SNR variation for eight devices over a busy office period.
-pub fn fig09(scale: Scale, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let steps = scale.pick(2_000, 20_000);
-    let mut out = String::from("Fig. 9: CDF of SNR deviation (dB) per device over 30 minutes of office mobility\n  device  p5      p50     p95\n");
-    for device in 0..8 {
-        let mut fading = TemporalFading::office_default();
-        let series = fading.series(&mut rng, steps);
-        let cdf = EmpiricalCdf::from_samples(series);
-        let _ = writeln!(
-            out,
-            "  {:6}  {:6.2}  {:6.2}  {:6.2}",
-            device + 1,
-            cdf.quantile(0.05),
-            cdf.quantile(0.5),
-            cdf.quantile(0.95)
-        );
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
     }
-    out
+
+    fn title(&self) -> &'static str {
+        "Fig. 9: CDF of SNR variation under office mobility"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["scale", "seed"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let steps = scenario.scale.pick(2_000, 20_000);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "snr_deviation",
+            &[
+                ("device", ""),
+                ("p5_db", "dB"),
+                ("p50_db", "dB"),
+                ("p95_db", "dB"),
+            ],
+        );
+        for device in 0..8 {
+            let mut fading = TemporalFading::office_default();
+            let series = fading.series(&mut rng, steps);
+            let cdf = EmpiricalCdf::from_samples(series);
+            t.push_row(vec![
+                (device + 1) as f64,
+                cdf.quantile(0.05),
+                cdf.quantile(0.5),
+                cdf.quantile(0.95),
+            ]);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Fig. 9: CDF of SNR deviation (dB) per device over 30 minutes of office mobility\n  device  p5      p50     p95\n");
+        for row in &result.table("snr_deviation").expect("table").rows {
+            let _ = writeln!(
+                out,
+                "  {:6.0}  {:6.2}  {:6.2}  {:6.2}",
+                row[0], row[1], row[2], row[3]
+            );
+        }
+        out
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 12
+
+/// Interferer power advantages of the Fig. 12 sweep, in dB.
+const FIG12_DELTAS_DB: [f64; 4] = [0.0, 35.0, 40.0, 45.0];
 
 /// Fig. 12: near-far BER vs. SNR for several interferer power advantages.
 ///
 /// Every (SNR, Δpower) cell is an independent sharded Monte-Carlo point on
-/// a seed derived from `seed`, so the report is reproducible bit-for-bit at
-/// any thread count.
-pub fn fig12(scale: Scale, seed: u64) -> String {
-    fig12_with_threads(scale, seed, available_threads())
-}
+/// a seed derived from the scenario seed, so the report is reproducible
+/// bit-for-bit at any thread count.
+pub struct Fig12;
 
-/// [`fig12`] with an explicit worker-thread bound. The report is the same
-/// string at every `threads` value — the property the determinism tests
-/// pin down.
-pub fn fig12_with_threads(scale: Scale, seed: u64, threads: usize) -> String {
-    let mc = MonteCarlo::with_threads(seed, threads);
-    let symbols = scale.pick(200, 10_000);
-    let snrs = [-20.0, -18.0, -16.0, -14.0, -12.0, -10.0];
-    let deltas = [0.0, 35.0, 40.0, 45.0];
-    let mut out = String::from(
-        "Fig. 12: victim BER vs. SNR with a strong interferer (power-aware assignment)\n  SNR[dB]",
-    );
-    for d in deltas {
-        let _ = write!(out, "  delta={:>4.0}dB", d);
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
     }
-    out.push('\n');
-    for (i, snr) in snrs.iter().enumerate() {
-        let _ = write!(out, "  {:7.1}", snr);
-        for (j, delta) in deltas.iter().enumerate() {
-            let cfg = NearFarConfig::paper(*delta);
-            let cell = mc.derive((i * deltas.len() + j) as u64);
-            let ber = near_far_ber_sharded(&cell, &cfg, *snr, symbols);
-            let _ = write!(out, "  {:12.4}", ber);
+
+    fn title(&self) -> &'static str {
+        "Fig. 12: near-far BER vs. SNR with a strong interferer"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["scale", "seed", "threads"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mc = scenario.monte_carlo();
+        let symbols = scenario.scale.pick(200, 10_000);
+        let snrs = [-20.0, -18.0, -16.0, -14.0, -12.0, -10.0];
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "ber",
+            &[
+                ("snr_db", "dB"),
+                ("ber_delta0", ""),
+                ("ber_delta35", ""),
+                ("ber_delta40", ""),
+                ("ber_delta45", ""),
+            ],
+        );
+        for (i, snr) in snrs.iter().enumerate() {
+            let mut row = vec![*snr];
+            for (j, delta) in FIG12_DELTAS_DB.iter().enumerate() {
+                let cfg = NearFarConfig::paper(*delta);
+                let cell = mc.derive((i * FIG12_DELTAS_DB.len() + j) as u64);
+                row.push(near_far_ber_sharded(&cell, &cfg, *snr, symbols));
+            }
+            t.push_row(row);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from(
+            "Fig. 12: victim BER vs. SNR with a strong interferer (power-aware assignment)\n  SNR[dB]",
+        );
+        for d in FIG12_DELTAS_DB {
+            let _ = write!(out, "  delta={d:>4.0}dB");
         }
         out.push('\n');
+        for row in &result.table("ber").expect("ber table").rows {
+            let _ = write!(out, "  {:7.1}", row[0]);
+            for ber in &row[1..] {
+                let _ = write!(out, "  {ber:12.4}");
+            }
+            out.push('\n');
+        }
+        out
     }
-    out
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 14
 
 /// Fig. 14: (a) device frequency-offset CDF and (b) residual ΔFFTbin for
 /// three modulation configurations.
-pub fn fig14(scale: Scale, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let model = ImpairmentModel::cots_backscatter();
-    let devices = scale.pick(64, 256);
-    let packets = scale.pick(50, 1000);
-    // (a) frequency offsets.
-    let mut offsets = Vec::new();
-    for _ in 0..devices {
-        let d = model.sample_device(&mut rng);
-        for _ in 0..packets / 10 {
-            offsets.push(model.sample_packet(&mut rng, &d).freq_offset_hz);
-        }
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
     }
-    let cdf = EmpiricalCdf::from_samples(offsets);
-    let mut out = String::from("Fig. 14a: device frequency offsets (Hz)\n");
-    let _ = writeln!(
-        out,
-        "  p1 = {:.1} Hz, p50 = {:.1} Hz, p99 = {:.1} Hz (paper: within ±150 Hz)",
-        cdf.quantile(0.01),
-        cdf.quantile(0.5),
-        cdf.quantile(0.99)
-    );
-    // (b) residual ΔFFTbin for the three configurations.
-    out.push_str("Fig. 14b: residual delta-FFT-bin (1-CDF at 0.5/1.0/1.5/2.0 bins)\n  BW[kHz] SF   >0.5    >1.0    >1.5    >2.0\n");
-    for (bw, sf) in [(500e3, 9u32), (250e3, 8), (125e3, 7)] {
-        let params = ChirpParams::new(bw, sf).expect("table configs are valid");
-        let mut samples = Vec::new();
+
+    fn title(&self) -> &'static str {
+        "Fig. 14: frequency offsets and residual delta-FFT-bin"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["scale", "seed"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let model = ImpairmentModel::cots_backscatter();
+        let devices = scenario.scale.pick(64, 256);
+        let packets = scenario.scale.pick(50, 1000);
+        // (a) frequency offsets.
+        let mut offsets = Vec::new();
         for _ in 0..devices {
             let d = model.sample_device(&mut rng);
             for _ in 0..packets / 10 {
-                let p = model.sample_packet(&mut rng, &d);
-                let bins = params.timing_offset_to_bins(p.timing_offset_s)
-                    + params.frequency_offset_to_bins(p.freq_offset_hz);
-                samples.push(bins.abs());
+                offsets.push(model.sample_packet(&mut rng, &d).freq_offset_hz);
             }
         }
-        let cdf = EmpiricalCdf::from_samples(samples);
+        let cdf = EmpiricalCdf::from_samples(offsets);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        result
+            .scalars
+            .push(("freq_p1_hz".into(), cdf.quantile(0.01)));
+        result
+            .scalars
+            .push(("freq_p50_hz".into(), cdf.quantile(0.5)));
+        result
+            .scalars
+            .push(("freq_p99_hz".into(), cdf.quantile(0.99)));
+        // (b) residual ΔFFTbin for the three configurations.
+        let mut t = Table::new(
+            "residual_bins",
+            &[
+                ("bandwidth_hz", "Hz"),
+                ("spreading_factor", ""),
+                ("above_0p5", ""),
+                ("above_1p0", ""),
+                ("above_1p5", ""),
+                ("above_2p0", ""),
+            ],
+        );
+        for (bw, sf) in [(500e3, 9u32), (250e3, 8), (125e3, 7)] {
+            let params = ChirpParams::new(bw, sf).expect("table configs are valid");
+            let mut samples = Vec::new();
+            for _ in 0..devices {
+                let d = model.sample_device(&mut rng);
+                for _ in 0..packets / 10 {
+                    let p = model.sample_packet(&mut rng, &d);
+                    let bins = params.timing_offset_to_bins(p.timing_offset_s)
+                        + params.frequency_offset_to_bins(p.freq_offset_hz);
+                    samples.push(bins.abs());
+                }
+            }
+            let cdf = EmpiricalCdf::from_samples(samples);
+            t.push_row(vec![
+                bw,
+                sf as f64,
+                cdf.probability_above(0.5),
+                cdf.probability_above(1.0),
+                cdf.probability_above(1.5),
+                cdf.probability_above(2.0),
+            ]);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Fig. 14a: device frequency offsets (Hz)\n");
         let _ = writeln!(
             out,
-            "  {:6.0} {:3}  {:6.3}  {:6.3}  {:6.3}  {:6.3}",
-            bw / 1e3,
-            sf,
-            cdf.probability_above(0.5),
-            cdf.probability_above(1.0),
-            cdf.probability_above(1.5),
-            cdf.probability_above(2.0)
+            "  p1 = {:.1} Hz, p50 = {:.1} Hz, p99 = {:.1} Hz (paper: within ±150 Hz)",
+            result.scalar("freq_p1_hz").expect("scalar"),
+            result.scalar("freq_p50_hz").expect("scalar"),
+            result.scalar("freq_p99_hz").expect("scalar")
         );
+        out.push_str("Fig. 14b: residual delta-FFT-bin (1-CDF at 0.5/1.0/1.5/2.0 bins)\n  BW[kHz] SF   >0.5    >1.0    >1.5    >2.0\n");
+        for row in &result.table("residual_bins").expect("table").rows {
+            let _ = writeln!(
+                out,
+                "  {:6.0} {:3.0}  {:6.3}  {:6.3}  {:6.3}  {:6.3}",
+                row[0] / 1e3,
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                row[5]
+            );
+        }
+        out
     }
-    out
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 15
 
 /// Fig. 15: (a) Doppler-induced ΔFFTbin for pedestrian speeds and (b) the
 /// power dynamic range vs. FFT-bin separation.
-pub fn fig15(scale: Scale, seed: u64) -> String {
-    let params = ChirpParams::new(500e3, 9).expect("paper parameters");
-    let mut out =
-        String::from("Fig. 15a: Doppler delta-FFT-bin at 900 MHz\n  speed[m/s]  shift[Hz]  bins\n");
-    for speed in [0.0, 1.0, 3.0, 5.0] {
-        let shift = backscatter_doppler_shift_hz(speed, 900e6);
-        let _ = writeln!(
-            out,
-            "  {:10.1}  {:9.1}  {:5.3}",
-            speed,
-            shift,
-            params.frequency_offset_to_bins(shift)
-        );
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
     }
-    out.push_str("Fig. 15b: max tolerable power difference vs. bin separation\n  separation[bins]  tolerated[dB]\n");
-    let mc = MonteCarlo::new(seed);
-    let symbols = scale.pick(60, 400);
-    // The target BER must sit above both the single-error quantum (1/symbols)
-    // and the ~0.3% CFO-tail error floor, or the sweep aborts on a stray
-    // noise outlier instead of actual interference (see the sibling test in
-    // ber.rs): 5% at 60 quick symbols, 1% at 400 full-scale symbols.
-    let target_ber = f64::max(0.01, 3.0 / symbols as f64);
-    for (i, sep) in [2usize, 8, 32, 64, 128, 256].into_iter().enumerate() {
-        let tolerated = max_tolerable_power_difference_db_sharded(
-            &mc.derive(i as u64),
-            params,
-            sep,
-            target_ber,
-            symbols,
-            45.0,
-        );
-        let _ = writeln!(out, "  {:16}  {:13.0}", sep, tolerated);
+
+    fn title(&self) -> &'static str {
+        "Fig. 15: Doppler delta-FFT-bin and power dynamic range"
     }
-    out
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["scale", "seed", "threads"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let params = ChirpParams::new(500e3, 9).expect("paper parameters");
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut doppler = Table::new(
+            "doppler",
+            &[("speed_mps", "m/s"), ("shift_hz", "Hz"), ("bins", "bins")],
+        );
+        for speed in [0.0, 1.0, 3.0, 5.0] {
+            let shift = backscatter_doppler_shift_hz(speed, 900e6);
+            doppler.push_row(vec![speed, shift, params.frequency_offset_to_bins(shift)]);
+        }
+        result.tables.push(doppler);
+        let mc = scenario.monte_carlo();
+        let symbols = scenario.scale.pick(60, 400);
+        // The target BER must sit above both the single-error quantum
+        // (1/symbols) and the ~0.3% CFO-tail error floor, or the sweep
+        // aborts on a stray noise outlier instead of actual interference
+        // (see the sibling test in ber.rs): 5% at 60 quick symbols, 1% at
+        // 400 full-scale symbols.
+        let target_ber = f64::max(0.01, 3.0 / symbols as f64);
+        let mut range = Table::new(
+            "power_range",
+            &[("separation_bins", "bins"), ("tolerated_db", "dB")],
+        );
+        for (i, sep) in [2usize, 8, 32, 64, 128, 256].into_iter().enumerate() {
+            let tolerated = max_tolerable_power_difference_db_sharded(
+                &mc.derive(i as u64),
+                params,
+                sep,
+                target_ber,
+                symbols,
+                45.0,
+            );
+            range.push_row(vec![sep as f64, tolerated]);
+        }
+        result.tables.push(range);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from(
+            "Fig. 15a: Doppler delta-FFT-bin at 900 MHz\n  speed[m/s]  shift[Hz]  bins\n",
+        );
+        for row in &result.table("doppler").expect("doppler table").rows {
+            let _ = writeln!(out, "  {:10.1}  {:9.1}  {:5.3}", row[0], row[1], row[2]);
+        }
+        out.push_str("Fig. 15b: max tolerable power difference vs. bin separation\n  separation[bins]  tolerated[dB]\n");
+        for row in &result.table("power_range").expect("power_range table").rows {
+            let _ = writeln!(out, "  {:16.0}  {:13.0}", row[0], row[1]);
+        }
+        out
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Fig. 16
 
 /// Fig. 16: spectrogram peak levels of the backscattered signal at the three
 /// power gains.
-pub fn fig16() -> String {
-    use netscatter::power::BackscatterGain;
-    use netscatter_dsp::chirp::ChirpSynthesizer;
-    let params = ChirpParams::new(500e3, 9).expect("paper parameters");
-    let synth = ChirpSynthesizer::new(params);
-    let mut out = String::from("Fig. 16: backscattered-signal spectrogram peak power at each gain setting\n  gain[dB]  measured peak[dB rel. full]\n");
-    let reference: f64 = {
-        let sig = synth.oversampled_upchirp(0, 4, BackscatterGain::Full.amplitude());
-        let sg = spectrogram(&sig, SpectrogramConfig::default()).expect("valid config");
-        sg.mean_profile_db()
-            .into_iter()
-            .fold(f64::NEG_INFINITY, f64::max)
-    };
-    for gain in BackscatterGain::ALL {
-        let sig = synth.oversampled_upchirp(0, 4, gain.amplitude());
-        // Use absolute power of the un-normalized signal: compute mean power and express vs full.
-        let power_db = netscatter_dsp::linear_to_db(netscatter_dsp::complex::mean_power(&sig));
-        let full_db = netscatter_dsp::linear_to_db(BackscatterGain::Full.amplitude().powi(2));
-        let _ = writeln!(out, "  {:8.0}  {:10.1}", gain.db(), power_db - full_db);
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
     }
-    let _ = writeln!(
-        out,
-        "(spectrogram reference peak, self-normalized: {reference:.1} dB)"
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Fig. 16: backscatter power levels via the switch network"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        use netscatter::power::BackscatterGain;
+        use netscatter_dsp::chirp::ChirpSynthesizer;
+        let params = ChirpParams::new(500e3, 9).expect("paper parameters");
+        let synth = ChirpSynthesizer::new(params);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let reference: f64 = {
+            let sig = synth.oversampled_upchirp(0, 4, BackscatterGain::Full.amplitude());
+            let sg = spectrogram(&sig, SpectrogramConfig::default()).expect("valid config");
+            sg.mean_profile_db()
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let mut t = Table::new("gains", &[("gain_db", "dB"), ("measured_rel_db", "dB")]);
+        for gain in BackscatterGain::ALL {
+            let sig = synth.oversampled_upchirp(0, 4, gain.amplitude());
+            // Use absolute power of the un-normalized signal: compute mean
+            // power and express vs full.
+            let power_db = netscatter_dsp::linear_to_db(netscatter_dsp::complex::mean_power(&sig));
+            let full_db = netscatter_dsp::linear_to_db(BackscatterGain::Full.amplitude().powi(2));
+            t.push_row(vec![gain.db(), power_db - full_db]);
+        }
+        result.tables.push(t);
+        result
+            .scalars
+            .push(("spectrogram_reference_db".into(), reference));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Fig. 16: backscattered-signal spectrogram peak power at each gain setting\n  gain[dB]  measured peak[dB rel. full]\n");
+        for row in &result.table("gains").expect("gains table").rows {
+            let _ = writeln!(out, "  {:8.0}  {:10.1}", row[0], row[1]);
+        }
+        let reference = result.scalar("spectrogram_reference_db").expect("scalar");
+        let _ = writeln!(
+            out,
+            "(spectrogram reference peak, self-normalized: {reference:.1} dB)"
+        );
+        out
+    }
 }
 
-/// Shared helper: the Fig. 17–19 sweep over network sizes.
-fn network_sweep(scale: Scale, seed: u64) -> (Deployment, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dep = Deployment::generate(DeploymentConfig::office(256), &mut rng);
-    let sizes: Vec<usize> = match scale {
+// ---------------------------------------------------------------------------
+// Figs. 17–19 (shared sweep)
+
+/// The Fig. 17–19 sweep over network sizes: the deployment (generated from
+/// the scenario's placement/devices/seed) and the x-axis sizes, clamped to
+/// the scenario's device count.
+fn network_sweep(scenario: &Scenario) -> (Deployment, Vec<usize>) {
+    let dep = scenario.deployment();
+    let base: Vec<usize> = match scenario.scale {
         Scale::Quick => vec![1, 64, 256],
         Scale::Full => vec![1, 16, 32, 64, 96, 128, 160, 192, 224, 256],
     };
+    let mut sizes: Vec<usize> = base
+        .into_iter()
+        .filter(|&n| n <= scenario.devices)
+        .collect();
+    if sizes.last() != Some(&scenario.devices) {
+        sizes.push(scenario.devices);
+    }
     (dep, sizes)
 }
 
@@ -366,16 +687,11 @@ struct SweepRow {
 /// to the sequential sweep. Under [`Fidelity::SampleLevel`] the NetScatter
 /// and baseline metrics of one row share their channel realizations: both
 /// derive them from the same per-size runner.
-fn sweep_rows(
-    dep: &Deployment,
-    sizes: &[usize],
-    fidelity: Fidelity,
-    seed: u64,
-    threads: usize,
-) -> Vec<SweepRow> {
-    let model = ChannelModel::office();
-    let mc = MonteCarlo::with_threads(seed, threads);
-    parallel_map(sizes, threads, |&n| {
+fn sweep_rows(dep: &Deployment, sizes: &[usize], scenario: &Scenario) -> Vec<SweepRow> {
+    let model = scenario.channel_model();
+    let fidelity = scenario.fidelity;
+    let mc = scenario.monte_carlo();
+    parallel_map(sizes, scenario.threads, |&n| {
         // One decorrelated runner per network size; within the row, every
         // scheme sees the same trial seeds and therefore the same draws.
         let row_mc = MonteCarlo::with_threads(mc.derive(n as u64).seed, 1);
@@ -384,7 +700,7 @@ fn sweep_rows(
             fixed: lora_backscatter_metrics_with(
                 dep,
                 n,
-                40,
+                scenario.payload_bits,
                 LoraScheme::fixed(),
                 fidelity,
                 &model,
@@ -393,7 +709,7 @@ fn sweep_rows(
             adapted: lora_backscatter_metrics_with(
                 dep,
                 n,
-                40,
+                scenario.payload_bits,
                 LoraScheme::rate_adapted(),
                 fidelity,
                 &model,
@@ -402,7 +718,7 @@ fn sweep_rows(
             ideal: netscatter_metrics_with(
                 dep,
                 n,
-                40,
+                scenario.payload_bits,
                 NetScatterVariant::Ideal,
                 fidelity,
                 &model,
@@ -411,7 +727,7 @@ fn sweep_rows(
             c1: netscatter_metrics_with(
                 dep,
                 n,
-                40,
+                scenario.payload_bits,
                 NetScatterVariant::Config1,
                 fidelity,
                 &model,
@@ -420,7 +736,7 @@ fn sweep_rows(
             c2: netscatter_metrics_with(
                 dep,
                 n,
-                40,
+                scenario.payload_bits,
                 NetScatterVariant::Config2,
                 fidelity,
                 &model,
@@ -430,15 +746,672 @@ fn sweep_rows(
     })
 }
 
-/// The report-header tag for a fidelity mode.
-fn fidelity_tag(fidelity: Fidelity) -> &'static str {
-    match fidelity {
-        Fidelity::Analytical => "analytical",
-        Fidelity::SampleLevel => "sample-level",
+/// The scenario fields the network figures consume.
+const NETWORK_FIG_FIELDS: [&str; 8] = [
+    "devices",
+    "placement",
+    "channel",
+    "fidelity",
+    "scale",
+    "seed",
+    "threads",
+    "payload_bits",
+];
+
+/// Fig. 17: network PHY rate vs. number of devices.
+pub struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 17: network PHY rate vs. number of devices"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &NETWORK_FIG_FIELDS
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let (dep, sizes) = network_sweep(scenario);
+        let rows = sweep_rows(&dep, &sizes, scenario);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "phy_rate",
+            &[
+                ("n", ""),
+                ("lora_fixed_bps", "bps"),
+                ("lora_adapted_bps", "bps"),
+                ("netscatter_ideal_bps", "bps"),
+                ("netscatter_bps", "bps"),
+            ],
+        );
+        for row in &rows {
+            t.push_row(vec![
+                row.n as f64,
+                row.fixed.phy_rate_bps,
+                row.adapted.phy_rate_bps,
+                row.ideal.phy_rate_bps,
+                row.c1.phy_rate_bps,
+            ]);
+        }
+        result.tables.push(t);
+        let last = rows.last().expect("sweep has at least one size");
+        result.scalars.push((
+            "gain_over_fixed".into(),
+            last.c1.phy_rate_bps / last.fixed.phy_rate_bps,
+        ));
+        result.scalars.push((
+            "gain_over_adapted".into(),
+            last.c1.phy_rate_bps / last.adapted.phy_rate_bps,
+        ));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = format!("Fig. 17: network PHY rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter(Ideal)  NetScatter\n", fidelity_tag(result.scenario.fidelity));
+        let t = result.table("phy_rate").expect("phy_rate table");
+        for row in &t.rows {
+            let _ = writeln!(
+                out,
+                "  {:4.0}  {:10.1}  {:15.1}  {:17.1}  {:10.1}",
+                row[0],
+                row[1] / 1e3,
+                row[2] / 1e3,
+                row[3] / 1e3,
+                row[4] / 1e3
+            );
+        }
+        let last = t.rows.last().expect("sweep has at least one size");
+        let _ = writeln!(
+            out,
+            "PHY-rate gain at {} devices: {:.1}x over fixed-rate (paper 26.2x), {:.1}x over rate-adapted (paper 6.8x)",
+            last[0],
+            result.scalar("gain_over_fixed").expect("scalar"),
+            result.scalar("gain_over_adapted").expect("scalar")
+        );
+        out
     }
 }
 
-/// Fig. 17: network PHY rate vs. number of devices.
+/// Fig. 18: link-layer data rate vs. number of devices.
+pub struct Fig18;
+
+impl Experiment for Fig18 {
+    fn id(&self) -> &'static str {
+        "fig18"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 18: link-layer data rate vs. number of devices"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &NETWORK_FIG_FIELDS
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let (dep, sizes) = network_sweep(scenario);
+        let rows = sweep_rows(&dep, &sizes, scenario);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "link_rate",
+            &[
+                ("n", ""),
+                ("lora_fixed_bps", "bps"),
+                ("lora_adapted_bps", "bps"),
+                ("netscatter_cfg1_bps", "bps"),
+                ("netscatter_cfg2_bps", "bps"),
+            ],
+        );
+        for row in &rows {
+            t.push_row(vec![
+                row.n as f64,
+                row.fixed.link_layer_rate_bps,
+                row.adapted.link_layer_rate_bps,
+                row.c1.link_layer_rate_bps,
+                row.c2.link_layer_rate_bps,
+            ]);
+        }
+        result.tables.push(t);
+        let last = rows.last().expect("sweep has at least one size");
+        for (name, value) in [
+            (
+                "cfg1_gain_over_fixed",
+                last.c1.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
+            ),
+            (
+                "cfg2_gain_over_fixed",
+                last.c2.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
+            ),
+            (
+                "cfg1_gain_over_adapted",
+                last.c1.link_layer_rate_bps / last.adapted.link_layer_rate_bps,
+            ),
+            (
+                "cfg2_gain_over_adapted",
+                last.c2.link_layer_rate_bps / last.adapted.link_layer_rate_bps,
+            ),
+        ] {
+            result.scalars.push((name.into(), value));
+        }
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = format!("Fig. 18: link-layer data rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(result.scenario.fidelity));
+        let t = result.table("link_rate").expect("link_rate table");
+        for row in &t.rows {
+            let _ = writeln!(
+                out,
+                "  {:4.0}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
+                row[0],
+                row[1] / 1e3,
+                row[2] / 1e3,
+                row[3] / 1e3,
+                row[4] / 1e3
+            );
+        }
+        let last = t.rows.last().expect("sweep has at least one size");
+        let _ = writeln!(
+            out,
+            "link-layer gains at {}: cfg1 {:.1}x / cfg2 {:.1}x over fixed (paper 61.9x / 50.9x); cfg1 {:.1}x / cfg2 {:.1}x over rate-adapted (paper 14.1x / 11.6x)",
+            last[0],
+            result.scalar("cfg1_gain_over_fixed").expect("scalar"),
+            result.scalar("cfg2_gain_over_fixed").expect("scalar"),
+            result.scalar("cfg1_gain_over_adapted").expect("scalar"),
+            result.scalar("cfg2_gain_over_adapted").expect("scalar")
+        );
+        out
+    }
+}
+
+/// Fig. 19: network latency vs. number of devices.
+pub struct Fig19;
+
+impl Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 19: network latency vs. number of devices"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &NETWORK_FIG_FIELDS
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let (dep, sizes) = network_sweep(scenario);
+        let rows = sweep_rows(&dep, &sizes, scenario);
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "latency",
+            &[
+                ("n", ""),
+                ("lora_fixed_s", "s"),
+                ("lora_adapted_s", "s"),
+                ("netscatter_cfg1_s", "s"),
+                ("netscatter_cfg2_s", "s"),
+            ],
+        );
+        for row in &rows {
+            t.push_row(vec![
+                row.n as f64,
+                row.fixed.latency_s,
+                row.adapted.latency_s,
+                row.c1.latency_s,
+                row.c2.latency_s,
+            ]);
+        }
+        result.tables.push(t);
+        let last = rows.last().expect("sweep has at least one size");
+        for (name, value) in [
+            (
+                "cfg1_speedup_vs_fixed",
+                last.fixed.latency_s / last.c1.latency_s,
+            ),
+            (
+                "cfg2_speedup_vs_fixed",
+                last.fixed.latency_s / last.c2.latency_s,
+            ),
+            (
+                "cfg1_speedup_vs_adapted",
+                last.adapted.latency_s / last.c1.latency_s,
+            ),
+            (
+                "cfg2_speedup_vs_adapted",
+                last.adapted.latency_s / last.c2.latency_s,
+            ),
+        ] {
+            result.scalars.push((name.into(), value));
+        }
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = format!("Fig. 19: network latency [ms] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(result.scenario.fidelity));
+        let t = result.table("latency").expect("latency table");
+        for row in &t.rows {
+            let _ = writeln!(
+                out,
+                "  {:4.0}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
+                row[0],
+                row[1] * 1e3,
+                row[2] * 1e3,
+                row[3] * 1e3,
+                row[4] * 1e3
+            );
+        }
+        let last = t.rows.last().expect("sweep has at least one size");
+        let _ = writeln!(
+            out,
+            "latency reductions at {}: cfg1 {:.1}x / cfg2 {:.1}x vs fixed (paper 67.0x / 55.1x); cfg1 {:.1}x / cfg2 {:.1}x vs rate-adapted (paper 15.3x / 12.6x)",
+            last[0],
+            result.scalar("cfg1_speedup_vs_fixed").expect("scalar"),
+            result.scalar("cfg2_speedup_vs_fixed").expect("scalar"),
+            result.scalar("cfg1_speedup_vs_adapted").expect("scalar"),
+            result.scalar("cfg2_speedup_vs_adapted").expect("scalar")
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyses
+
+/// §2.2 analysis: Choir collision probabilities and distinct-fraction odds.
+pub struct AnalysisChoir;
+
+impl Experiment for AnalysisChoir {
+    fn id(&self) -> &'static str {
+        "analysis_choir"
+    }
+
+    fn title(&self) -> &'static str {
+        "§2.2 analysis: Choir / concurrent-LoRa collision probabilities"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "collisions",
+            &[
+                ("n", ""),
+                ("p_shift_collision", ""),
+                ("p_distinct_fractions", ""),
+            ],
+        );
+        for n in [2usize, 5, 10, 20, 50] {
+            t.push_row(vec![
+                n as f64,
+                analysis::lora_collision_probability(n, 9),
+                analysis::choir_distinct_fraction_probability(n),
+            ]);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Choir / concurrent-LoRa analysis (SF = 9)\n  N   P(shift collision)  P(distinct tenth-bin fractions)\n");
+        for row in &result.table("collisions").expect("table").rows {
+            let _ = writeln!(out, "  {:3.0}  {:18.3}  {:30.4}", row[0], row[1], row[2]);
+        }
+        out
+    }
+}
+
+/// §3.1 analysis: throughput gain and multi-user capacity scaling.
+pub struct AnalysisCapacity;
+
+impl Experiment for AnalysisCapacity {
+    fn id(&self) -> &'static str {
+        "analysis_capacity"
+    }
+
+    fn title(&self) -> &'static str {
+        "§3.1 analysis: distributed-CSS throughput gain and capacity scaling"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        let mut t = Table::new(
+            "capacity",
+            &[
+                ("sf", ""),
+                ("gain", ""),
+                ("capacity_n64_bps", "bps"),
+                ("capacity_n256_bps", "bps"),
+            ],
+        );
+        for sf in 6u32..=12 {
+            t.push_row(vec![
+                sf as f64,
+                analysis::distributed_throughput_gain(sf),
+                analysis::multiuser_capacity_bps(500e3, 64, -30.0),
+                analysis::multiuser_capacity_bps(500e3, 256, -30.0),
+            ]);
+        }
+        result.tables.push(t);
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("Distributed CSS throughput gain 2^SF/SF and multi-user capacity\n  SF  gain      capacity@N=64[-30dB, kbps]  capacity@N=256\n");
+        for row in &result.table("capacity").expect("table").rows {
+            let _ = writeln!(
+                out,
+                "  {:2.0}  {:8.1}  {:26.1}  {:14.1}",
+                row[0],
+                row[1],
+                row[2] / 1e3,
+                row[3] / 1e3
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perf snapshot
+
+/// Payload symbols per round timed by the perf snapshot.
+pub const PERF_PAYLOAD_SYMBOLS: usize = 16;
+
+/// Median wall-time of `samples` timed invocations of `f`, in seconds.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    // One warm-up to populate scratch buffers and caches.
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// CI perf snapshot: times the steady-state decode path, the quick-mode
+/// experiment sweeps, and the sample-level network simulator. Timing values
+/// vary run to run, so this is the one registered experiment without a
+/// golden parity pin.
+pub struct Perf;
+
+impl Experiment for Perf {
+    fn id(&self) -> &'static str {
+        "perf"
+    }
+
+    fn title(&self) -> &'static str {
+        "Perf snapshot: decode and sample-level round throughput"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &["seed"]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        use crate::deployment::{Deployment, DeploymentConfig};
+        use crate::fullround::{ChannelModel, FullRoundNetwork};
+        use crate::workloads::build_concurrent_round;
+        use netscatter::receiver::ConcurrentReceiver;
+        use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace, OnOffModulator};
+        use netscatter_phy::params::PhyProfile;
+        use std::time::Instant;
+
+        let profile = PhyProfile::default();
+        let params = profile.modulation.chirp();
+
+        // 1. ns per padded spectrum (dechirp + pruned zero-padded FFT +
+        //    power), the dominant per-symbol cost of the receiver.
+        let demod = ConcurrentDemodulator::new(params, profile.zero_padding)
+            .expect("profile zero-padding is a power of two");
+        let mut ws = DemodWorkspace::new();
+        let symbol = OnOffModulator::new(params, 123).symbol(true, 0.0, 0.0, 1.0);
+        let batch = 256usize;
+        let per_batch = median_secs(9, || {
+            for _ in 0..batch {
+                demod
+                    .padded_spectrum_into(&symbol, &mut ws)
+                    .expect("correct symbol length");
+            }
+        });
+        let padded_spectrum_ns = per_batch / batch as f64 * 1e9;
+
+        // 2. Full-round decode throughput (symbols/sec) vs device count.
+        let mut decode = Table::new(
+            "decode",
+            &[
+                ("devices", ""),
+                ("round_ms", "ms"),
+                ("symbols_per_sec", "1/s"),
+            ],
+        );
+        for n_devices in [16usize, 64, 256] {
+            let rx = ConcurrentReceiver::new(&profile).expect("valid profile");
+            let (stream, bins) = build_concurrent_round(&profile, n_devices, PERF_PAYLOAD_SYMBOLS);
+            let round_s = median_secs(5, || {
+                let round = rx
+                    .decode_round(&stream, 0, &bins, PERF_PAYLOAD_SYMBOLS)
+                    .expect("round decodes");
+                assert_eq!(round.devices.len(), n_devices, "all devices detected");
+            });
+            decode.push_row(vec![
+                n_devices as f64,
+                round_s * 1e3,
+                PERF_PAYLOAD_SYMBOLS as f64 / round_s,
+            ]);
+        }
+
+        // 3. Sample-level network round throughput: channel realization +
+        //    superposed synthesis + AWGN + full concurrent decode, per
+        //    round, under the office channel model.
+        let dep = Deployment::generate(
+            DeploymentConfig::office(256),
+            &mut StdRng::seed_from_u64(scenario.seed),
+        );
+        let model = ChannelModel::office();
+        let mut network = Table::new(
+            "network",
+            &[
+                ("devices", ""),
+                ("round_ms", "ms"),
+                ("device_symbols_per_sec", "1/s"),
+            ],
+        );
+        for n_devices in [16usize, 64, 256] {
+            let mut net = FullRoundNetwork::for_trial(&dep, n_devices, &model, 7);
+            let round_s = median_secs(5, || {
+                let truth = net.simulate_round(PERF_PAYLOAD_SYMBOLS);
+                assert_eq!(truth.outcome.scheduled, n_devices);
+            });
+            network.push_row(vec![
+                n_devices as f64,
+                round_s * 1e3,
+                n_devices as f64 * (8 + PERF_PAYLOAD_SYMBOLS) as f64 / round_s,
+            ]);
+        }
+
+        // 4. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and
+        //    the Fig. 17 network sweep, both through the sharded/parallel
+        //    layer.
+        let t = Instant::now();
+        let fig15_report = fig15(Scale::Quick, scenario.seed);
+        let fig15_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let fig17_report = fig17(Scale::Quick, scenario.seed);
+        let fig17_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(fig15_report.contains("Fig. 15b") && fig17_report.contains("Fig. 17"));
+
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        result.tables.push(decode);
+        result.tables.push(network);
+        result.scalars.push((
+            "payload_symbols_per_round".into(),
+            PERF_PAYLOAD_SYMBOLS as f64,
+        ));
+        result
+            .scalars
+            .push(("padded_spectrum_ns".into(), padded_spectrum_ns));
+        result.scalars.push(("fig15b_quick_ms".into(), fig15_ms));
+        result.scalars.push(("fig17_quick_ms".into(), fig17_ms));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = String::from("perf_snapshot (quick mode)\n");
+        let spectrum = result.scalar("padded_spectrum_ns").expect("scalar");
+        let _ = writeln!(
+            out,
+            "  padded_spectrum: {spectrum:.0} ns per symbol spectrum"
+        );
+        for row in &result.table("decode").expect("decode table").rows {
+            let _ = writeln!(
+                out,
+                "  decode_round[{:>3.0} devices]: {:.3} ms per {PERF_PAYLOAD_SYMBOLS}-symbol round = {:.0} symbols/sec",
+                row[0], row[1], row[2]
+            );
+        }
+        for row in &result.table("network").expect("network table").rows {
+            let _ = writeln!(
+                out,
+                "  fullround[{:>3.0} devices]: {:.3} ms per sample-level round = {:.0} device-symbols/sec",
+                row[0], row[1], row[2]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  fig15b quick sweep: {:.0} ms",
+            result.scalar("fig15b_quick_ms").expect("scalar")
+        );
+        let _ = writeln!(
+            out,
+            "  fig17 quick sweep: {:.0} ms",
+            result.scalar("fig17_quick_ms").expect("scalar")
+        );
+        out
+    }
+}
+
+/// Splits a [`Perf`] result into the two CI artifacts — `BENCH_decode`
+/// (decode pipeline + sweep wall-times) and `BENCH_network` (sample-level
+/// round throughput) — each a self-contained schema-versioned
+/// [`ExperimentResult`] for the JSON sink.
+pub fn perf_bench_results(perf: &ExperimentResult) -> (ExperimentResult, ExperimentResult) {
+    let mut decode = ExperimentResult::new(
+        "bench_decode",
+        "Decode-pipeline perf snapshot (BENCH_decode)",
+        &perf.scenario,
+    );
+    decode.source.clone_from(&perf.source);
+    decode
+        .tables
+        .push(perf.table("decode").expect("decode table").clone());
+    for name in [
+        "payload_symbols_per_round",
+        "padded_spectrum_ns",
+        "fig15b_quick_ms",
+        "fig17_quick_ms",
+    ] {
+        decode
+            .scalars
+            .push((name.into(), perf.scalar(name).expect("perf scalar")));
+    }
+    let mut network = ExperimentResult::new(
+        "bench_network",
+        "Sample-level network perf snapshot (BENCH_network)",
+        &perf.scenario,
+    );
+    network.source.clone_from(&perf.source);
+    network
+        .tables
+        .push(perf.table("network").expect("network table").clone());
+    network.scalars.push((
+        "payload_symbols_per_round".into(),
+        perf.scalar("payload_symbols_per_round").expect("scalar"),
+    ));
+    (decode, network)
+}
+
+// ---------------------------------------------------------------------------
+// String-returning compatibility wrappers (benches, examples, tests)
+
+fn render_for(exp: &dyn Experiment, scenario: &Scenario) -> String {
+    exp.render_text(&exp.run(scenario))
+}
+
+fn scenario_at(scale: Scale, seed: u64) -> Scenario {
+    Scenario::builder().scale(scale).seed(seed).build()
+}
+
+/// Table 1 as the pre-redesign text report.
+pub fn table1() -> String {
+    render_for(&Table1, &Scenario::default())
+}
+
+/// Fig. 4 as the pre-redesign text report.
+pub fn fig04(scale: Scale, seed: u64) -> String {
+    render_for(&Fig04, &scenario_at(scale, seed))
+}
+
+/// Fig. 8 as the pre-redesign text report.
+pub fn fig08() -> String {
+    render_for(&Fig08, &Scenario::default())
+}
+
+/// Fig. 9 as the pre-redesign text report.
+pub fn fig09(scale: Scale, seed: u64) -> String {
+    render_for(&Fig09, &scenario_at(scale, seed))
+}
+
+/// Fig. 12 as the pre-redesign text report.
+pub fn fig12(scale: Scale, seed: u64) -> String {
+    fig12_with_threads(scale, seed, available_threads())
+}
+
+/// [`fig12`] with an explicit worker-thread bound. The report is the same
+/// string at every `threads` value — the property the determinism tests
+/// pin down.
+pub fn fig12_with_threads(scale: Scale, seed: u64, threads: usize) -> String {
+    let scenario = Scenario::builder()
+        .scale(scale)
+        .seed(seed)
+        .threads(threads)
+        .build();
+    render_for(&Fig12, &scenario)
+}
+
+/// Fig. 14 as the pre-redesign text report.
+pub fn fig14(scale: Scale, seed: u64) -> String {
+    render_for(&Fig14, &scenario_at(scale, seed))
+}
+
+/// Fig. 15 as the pre-redesign text report.
+pub fn fig15(scale: Scale, seed: u64) -> String {
+    render_for(&Fig15, &scenario_at(scale, seed))
+}
+
+/// Fig. 16 as the pre-redesign text report.
+pub fn fig16() -> String {
+    render_for(&Fig16, &Scenario::default())
+}
+
+/// Fig. 17 as the pre-redesign text report (analytical fidelity).
 pub fn fig17(scale: Scale, seed: u64) -> String {
     fig17_fidelity(scale, seed, Fidelity::Analytical, available_threads())
 }
@@ -446,128 +1419,55 @@ pub fn fig17(scale: Scale, seed: u64) -> String {
 /// [`fig17`] at an explicit fidelity and worker-thread bound. The report is
 /// byte-identical at every `threads` value.
 pub fn fig17_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
-    let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
-    let mut out = format!("Fig. 17: network PHY rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter(Ideal)  NetScatter\n", fidelity_tag(fidelity));
-    for row in &rows {
-        let _ = writeln!(
-            out,
-            "  {:4}  {:10.1}  {:15.1}  {:17.1}  {:10.1}",
-            row.n,
-            row.fixed.phy_rate_bps / 1e3,
-            row.adapted.phy_rate_bps / 1e3,
-            row.ideal.phy_rate_bps / 1e3,
-            row.c1.phy_rate_bps / 1e3
-        );
-    }
-    let last = rows.last().expect("sweep has at least one size");
-    let _ = writeln!(
-        out,
-        "PHY-rate gain at {} devices: {:.1}x over fixed-rate (paper 26.2x), {:.1}x over rate-adapted (paper 6.8x)",
-        last.n,
-        last.c1.phy_rate_bps / last.fixed.phy_rate_bps,
-        last.c1.phy_rate_bps / last.adapted.phy_rate_bps
-    );
-    out
+    let scenario = Scenario::builder()
+        .scale(scale)
+        .seed(seed)
+        .fidelity(fidelity)
+        .threads(threads)
+        .build();
+    render_for(&Fig17, &scenario)
 }
 
-/// Fig. 18: link-layer data rate vs. number of devices.
+/// Fig. 18 as the pre-redesign text report (analytical fidelity).
 pub fn fig18(scale: Scale, seed: u64) -> String {
     fig18_fidelity(scale, seed, Fidelity::Analytical, available_threads())
 }
 
 /// [`fig18`] at an explicit fidelity and worker-thread bound.
 pub fn fig18_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
-    let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
-    let mut out = format!("Fig. 18: link-layer data rate [kbps] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(fidelity));
-    for row in &rows {
-        let _ = writeln!(
-            out,
-            "  {:4}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
-            row.n,
-            row.fixed.link_layer_rate_bps / 1e3,
-            row.adapted.link_layer_rate_bps / 1e3,
-            row.c1.link_layer_rate_bps / 1e3,
-            row.c2.link_layer_rate_bps / 1e3
-        );
-    }
-    let last = rows.last().expect("sweep has at least one size");
-    let _ = writeln!(
-        out,
-        "link-layer gains at {}: cfg1 {:.1}x / cfg2 {:.1}x over fixed (paper 61.9x / 50.9x); cfg1 {:.1}x / cfg2 {:.1}x over rate-adapted (paper 14.1x / 11.6x)",
-        last.n,
-        last.c1.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
-        last.c2.link_layer_rate_bps / last.fixed.link_layer_rate_bps,
-        last.c1.link_layer_rate_bps / last.adapted.link_layer_rate_bps,
-        last.c2.link_layer_rate_bps / last.adapted.link_layer_rate_bps
-    );
-    out
+    let scenario = Scenario::builder()
+        .scale(scale)
+        .seed(seed)
+        .fidelity(fidelity)
+        .threads(threads)
+        .build();
+    render_for(&Fig18, &scenario)
 }
 
-/// Fig. 19: network latency vs. number of devices.
+/// Fig. 19 as the pre-redesign text report (analytical fidelity).
 pub fn fig19(scale: Scale, seed: u64) -> String {
     fig19_fidelity(scale, seed, Fidelity::Analytical, available_threads())
 }
 
 /// [`fig19`] at an explicit fidelity and worker-thread bound.
 pub fn fig19_fidelity(scale: Scale, seed: u64, fidelity: Fidelity, threads: usize) -> String {
-    let (dep, sizes) = network_sweep(scale, seed);
-    let rows = sweep_rows(&dep, &sizes, fidelity, seed, threads);
-    let mut out = format!("Fig. 19: network latency [ms] ({} delivery)\n  N     LoRa-fixed  LoRa-rate-adapt  NetScatter-cfg1  NetScatter-cfg2\n", fidelity_tag(fidelity));
-    for row in &rows {
-        let _ = writeln!(
-            out,
-            "  {:4}  {:10.1}  {:15.1}  {:15.1}  {:15.1}",
-            row.n,
-            row.fixed.latency_s * 1e3,
-            row.adapted.latency_s * 1e3,
-            row.c1.latency_s * 1e3,
-            row.c2.latency_s * 1e3
-        );
-    }
-    let last = rows.last().expect("sweep has at least one size");
-    let _ = writeln!(
-        out,
-        "latency reductions at {}: cfg1 {:.1}x / cfg2 {:.1}x vs fixed (paper 67.0x / 55.1x); cfg1 {:.1}x / cfg2 {:.1}x vs rate-adapted (paper 15.3x / 12.6x)",
-        last.n,
-        last.fixed.latency_s / last.c1.latency_s,
-        last.fixed.latency_s / last.c2.latency_s,
-        last.adapted.latency_s / last.c1.latency_s,
-        last.adapted.latency_s / last.c2.latency_s
-    );
-    out
+    let scenario = Scenario::builder()
+        .scale(scale)
+        .seed(seed)
+        .fidelity(fidelity)
+        .threads(threads)
+        .build();
+    render_for(&Fig19, &scenario)
 }
 
-/// §2.2 analysis: Choir collision probabilities and distinct-fraction odds.
+/// The Choir analysis as the pre-redesign text report.
 pub fn analysis_choir() -> String {
-    let mut out = String::from("Choir / concurrent-LoRa analysis (SF = 9)\n  N   P(shift collision)  P(distinct tenth-bin fractions)\n");
-    for n in [2usize, 5, 10, 20, 50] {
-        let _ = writeln!(
-            out,
-            "  {:3}  {:18.3}  {:30.4}",
-            n,
-            analysis::lora_collision_probability(n, 9),
-            analysis::choir_distinct_fraction_probability(n)
-        );
-    }
-    out
+    render_for(&AnalysisChoir, &Scenario::default())
 }
 
-/// §3.1 analysis: throughput gain and multi-user capacity scaling.
+/// The capacity analysis as the pre-redesign text report.
 pub fn analysis_capacity() -> String {
-    let mut out = String::from("Distributed CSS throughput gain 2^SF/SF and multi-user capacity\n  SF  gain      capacity@N=64[-30dB, kbps]  capacity@N=256\n");
-    for sf in 6u32..=12 {
-        let _ = writeln!(
-            out,
-            "  {:2}  {:8.1}  {:26.1}  {:14.1}",
-            sf,
-            analysis::distributed_throughput_gain(sf),
-            analysis::multiuser_capacity_bps(500e3, 64, -30.0) / 1e3,
-            analysis::multiuser_capacity_bps(500e3, 256, -30.0) / 1e3
-        );
-    }
-    out
+    render_for(&AnalysisCapacity, &Scenario::default())
 }
 
 #[cfg(test)]
@@ -596,5 +1496,86 @@ mod tests {
         assert!(f17.contains("PHY-rate gain"));
         assert!(f18.contains("link-layer gains"));
         assert!(f19.contains("latency reductions"));
+    }
+
+    #[test]
+    fn registry_covers_all_fourteen_former_drivers() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "table1",
+                "fig04",
+                "fig08",
+                "fig09",
+                "fig12",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig19",
+                "analysis_choir",
+                "analysis_capacity",
+                "perf",
+            ]
+        );
+        assert!(find("fig17").is_some());
+        assert!(find("fig99").is_none());
+        for exp in registry() {
+            assert!(!exp.title().is_empty(), "{} needs a title", exp.id());
+            for field in exp.scenario_fields() {
+                assert!(
+                    crate::scenario::SCENARIO_FIELDS.contains(field),
+                    "{} declares unknown field {field}",
+                    exp.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_results_expose_series_not_just_text() {
+        let scenario = Scenario::builder().scale(Scale::Quick).seed(2).build();
+        let result = Fig17.run(&scenario);
+        assert_eq!(result.schema_version, crate::experiment::SCHEMA_VERSION);
+        let t = result.table("phy_rate").expect("phy_rate table");
+        let n = t.column("n").expect("n column");
+        assert_eq!(n, vec![1.0, 64.0, 256.0]);
+        let ns = t.column("netscatter_bps").expect("netscatter column");
+        assert!(ns.last().unwrap() > &150_000.0);
+        assert!(result.scalar("gain_over_fixed").unwrap() > 10.0);
+    }
+
+    #[test]
+    fn payload_bits_reach_the_network_figures() {
+        let short = Fig18.run(
+            &Scenario::builder()
+                .scale(Scale::Quick)
+                .devices(64)
+                .payload_bits(8)
+                .build(),
+        );
+        let long = Fig18.run(
+            &Scenario::builder()
+                .scale(Scale::Quick)
+                .devices(64)
+                .payload_bits(80)
+                .build(),
+        );
+        // Longer payloads amortize the fixed query/preamble overhead, so
+        // the link-layer rate must move.
+        let rate = |r: &ExperimentResult| r.table("link_rate").unwrap().rows[1][3];
+        assert!(rate(&long) > rate(&short));
+    }
+
+    #[test]
+    fn network_sweep_clamps_sizes_to_the_scenario_population() {
+        let scenario = Scenario::builder().scale(Scale::Quick).devices(48).build();
+        let (_, sizes) = network_sweep(&scenario);
+        assert_eq!(sizes, vec![1, 48]);
+        let default = Scenario::builder().scale(Scale::Quick).build();
+        let (_, sizes) = network_sweep(&default);
+        assert_eq!(sizes, vec![1, 64, 256]);
     }
 }

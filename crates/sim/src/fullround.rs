@@ -96,6 +96,24 @@ impl ChannelModel {
         }
     }
 
+    /// An outdoor deployment model: 1 µs RMS delay spread from distant
+    /// scatterers, slower-decorrelating shadowing with a larger deviation,
+    /// vehicular-pedestrian mixed mobility (up to 5 m/s), and the same COTS
+    /// backscatter hardware population. One of the workload combinations the
+    /// scenario API opens up beyond the paper's office evaluation.
+    pub fn outdoor() -> Self {
+        Self {
+            multipath: Some(PowerDelayProfile::outdoor(1e-6)),
+            fading_sigma_db: 3.0,
+            fading_correlation: 0.98,
+            max_speed_mps: 5.0,
+            carrier_hz: 900e6,
+            impairments: ImpairmentModel::cots_backscatter(),
+            noise: true,
+            snr_boost_db: 0.0,
+        }
+    }
+
     /// A high-SNR model with negligible impairments: no multipath, frozen
     /// fading, static devices, ideal hardware (zero CFO, zero delay
     /// jitter — the calibrated mean delay is pre-compensated exactly), and

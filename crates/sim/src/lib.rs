@@ -21,22 +21,38 @@
 //!   shard layout, one RNG stream per shard (`seed ⊕ shard`), worker threads
 //!   via `std::thread::scope`; results are bit-identical for a given seed at
 //!   any thread count.
-//! * [`experiments`] — one self-contained driver per table/figure, each
-//!   returning both structured rows and a printable report. The binaries in
-//!   `src/bin/` are thin wrappers around these drivers.
+//! * [`scenario`] — the typed [`Scenario`](scenario::Scenario) builder:
+//!   population, placement, channel stack, fidelity, scheme, seed, threads
+//!   and scale as one composable value, settable by name for sweeps.
+//! * [`experiment`] — the [`Experiment`](experiment::Experiment) trait, the
+//!   structured serde-serializable
+//!   [`ExperimentResult`](experiment::ExperimentResult) (schema-versioned
+//!   tables + scalars) and the text/JSON/CSV sinks.
+//! * [`experiments`] — the registered drivers, one per table/figure of the
+//!   paper plus the CI perf snapshot. The `netscatter` CLI binary and the
+//!   per-figure shim binaries in `src/bin/` are thin wrappers around
+//!   [`experiments::registry`].
+//! * [`cli`] — the unified `netscatter` command-line interface
+//!   (`list` / `run` / `sweep`) and the shared flag parsing the shim
+//!   binaries reuse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod cli;
 pub mod deployment;
+pub mod experiment;
 pub mod experiments;
 pub mod fullround;
 pub mod montecarlo;
 pub mod network;
+pub mod scenario;
 pub mod workloads;
 
 pub use deployment::{Deployment, DeploymentConfig, DeviceLink};
+pub use experiment::{Experiment, ExperimentResult, OutputFormat, Table};
 pub use fullround::{ChannelModel, ChannelRealizer, FullRoundNetwork, RoundChannel, RoundTruth};
 pub use montecarlo::MonteCarlo;
 pub use network::{netscatter_metrics, netscatter_metrics_with, Fidelity, NetScatterVariant};
+pub use scenario::{ChannelProfile, Placement, Scale, Scenario, ScenarioBuilder, Scheme};

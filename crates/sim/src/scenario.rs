@@ -1,0 +1,564 @@
+//! Typed, composable experiment scenarios.
+//!
+//! A [`Scenario`] declaratively bundles everything an experiment run depends
+//! on: the population (device count and placement), the channel stack
+//! (multipath profile, fading, Doppler, CFO/jitter, noise — selected through
+//! a named [`ChannelProfile`]), the delivery [`Fidelity`], the [`Scheme`]
+//! under test, the Monte-Carlo seed, the worker-thread bound, the run
+//! [`Scale`] and the per-device payload size. The experiment drivers in
+//! [`crate::experiments`] consume whichever subset of these fields they are
+//! parameterized by (declared per experiment via
+//! [`crate::experiment::Experiment::scenario_fields`]); the `netscatter` CLI
+//! builds scenarios from flags, and `netscatter sweep` iterates grids over
+//! any field by name through [`Scenario::set_field`].
+//!
+//! Scenarios are plain data: two scenarios that compare equal produce
+//! bit-identical experiment results at any thread count (the Monte-Carlo
+//! layer guarantees thread-count independence separately).
+
+use crate::deployment::{Deployment, DeploymentConfig};
+use crate::fullround::ChannelModel;
+use crate::montecarlo::{available_threads, MonteCarlo};
+use crate::network::{
+    lora_backscatter_metrics_with, netscatter_metrics_with, Fidelity, NetScatterVariant,
+    SchemeMetrics,
+};
+use netscatter_baselines::tdma::LoraScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Scale of an experiment run: `Quick` for benches/tests/CI, `Full` for the
+/// figure-quality runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Reduced trial counts for CI and Criterion.
+    Quick,
+    /// Paper-scale trial counts.
+    Full,
+}
+
+impl Scale {
+    /// Selects the trial count for this scale.
+    pub fn pick(&self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// The stable CLI name ("quick" / "paper").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "paper",
+        }
+    }
+}
+
+/// Where the population is deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// The paper's 6×2 grid of 5 m × 6 m offices (12 rooms).
+    Office,
+    /// An open-plan 30 m × 12 m hall with no interior walls.
+    Hall,
+}
+
+impl Placement {
+    /// The stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Office => "office",
+            Placement::Hall => "hall",
+        }
+    }
+}
+
+/// Named channel stacks (multipath + fading + Doppler + hardware
+/// impairments + noise) for the sample-level simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelProfile {
+    /// The busy-office model of the paper's evaluation
+    /// ([`ChannelModel::office`]).
+    Office,
+    /// Outdoor deployment: 1 µs delay spread, up to 5 m/s mobility
+    /// ([`ChannelModel::outdoor`]).
+    Outdoor,
+    /// High-SNR, impairment-free diagnostics channel
+    /// ([`ChannelModel::pristine`]).
+    Pristine,
+}
+
+impl ChannelProfile {
+    /// The stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChannelProfile::Office => "office",
+            ChannelProfile::Outdoor => "outdoor",
+            ChannelProfile::Pristine => "pristine",
+        }
+    }
+
+    /// The impairment stack this profile selects.
+    pub fn model(&self) -> ChannelModel {
+        match self {
+            ChannelProfile::Office => ChannelModel::office(),
+            ChannelProfile::Outdoor => ChannelModel::outdoor(),
+            ChannelProfile::Pristine => ChannelModel::pristine(),
+        }
+    }
+}
+
+/// The scheme a single-scheme evaluation measures. (The figure experiments
+/// that plot several schemes side by side run all of them regardless.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// A NetScatter variant (Config 1 / Config 2 / Ideal).
+    NetScatter(NetScatterVariant),
+    /// A sequential TDMA LoRa-backscatter baseline.
+    TdmaLora(LoraScheme),
+}
+
+impl Scheme {
+    /// The stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::NetScatter(NetScatterVariant::Config1) => "netscatter",
+            Scheme::NetScatter(NetScatterVariant::Config2) => "netscatter-cfg2",
+            Scheme::NetScatter(NetScatterVariant::Ideal) => "netscatter-ideal",
+            Scheme::TdmaLora(s) => s.label(),
+        }
+    }
+
+    /// Every scheme the scenario API can evaluate, in CLI-name order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::NetScatter(NetScatterVariant::Config1),
+        Scheme::NetScatter(NetScatterVariant::Config2),
+        Scheme::NetScatter(NetScatterVariant::Ideal),
+        Scheme::TdmaLora(LoraScheme {
+            adaptation: netscatter_baselines::rate_adaptation::RateAdaptation::Fixed,
+            query_bits: 28,
+        }),
+        Scheme::TdmaLora(LoraScheme {
+            adaptation: netscatter_baselines::rate_adaptation::RateAdaptation::Ideal,
+            query_bits: 28,
+        }),
+    ];
+}
+
+/// A fully specified experiment input. See the module docs for the role of
+/// each field; construct via [`Scenario::builder`] or [`Scenario::default`]
+/// (the paper-default office evaluation at seed 42).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Population size (the figure sweeps treat this as the maximum network
+    /// size of their x-axis).
+    pub devices: usize,
+    /// Deployment geometry.
+    pub placement: Placement,
+    /// Channel impairment stack for sample-level fidelity.
+    pub channel: ChannelProfile,
+    /// Delivery model for the network experiments.
+    pub fidelity: Fidelity,
+    /// Scheme for single-scheme evaluations ([`Scenario::scheme_metrics`]).
+    pub scheme: Scheme,
+    /// Trial-count scale.
+    pub scale: Scale,
+    /// Monte-Carlo base seed.
+    pub seed: u64,
+    /// Worker-thread bound (results are bit-identical at any value).
+    pub threads: usize,
+    /// Payload bits each device delivers per round.
+    pub payload_bits: usize,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            devices: 256,
+            placement: Placement::Office,
+            channel: ChannelProfile::Office,
+            fidelity: Fidelity::Analytical,
+            scheme: Scheme::NetScatter(NetScatterVariant::Config1),
+            scale: Scale::Full,
+            seed: 42,
+            threads: available_threads(),
+            payload_bits: 40,
+        }
+    }
+}
+
+/// The names of every settable [`Scenario`] field, in canonical order —
+/// the vocabulary of `netscatter sweep` and [`Scenario::set_field`].
+pub const SCENARIO_FIELDS: [&str; 9] = [
+    "devices",
+    "placement",
+    "channel",
+    "fidelity",
+    "scheme",
+    "scale",
+    "seed",
+    "threads",
+    "payload_bits",
+];
+
+impl Scenario {
+    /// Starts a builder from the default scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder(Scenario::default())
+    }
+
+    /// The fidelity's stable CLI name.
+    pub fn fidelity_name(&self) -> &'static str {
+        match self.fidelity {
+            Fidelity::Analytical => "analytical",
+            Fidelity::SampleLevel => "sample",
+        }
+    }
+
+    /// Every field as a `(name, value)` string pair, in
+    /// [`SCENARIO_FIELDS`] order — the scenario block of serialized results.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("devices", self.devices.to_string()),
+            ("placement", self.placement.name().to_string()),
+            ("channel", self.channel.name().to_string()),
+            ("fidelity", self.fidelity_name().to_string()),
+            ("scheme", self.scheme.name().to_string()),
+            ("scale", self.scale.name().to_string()),
+            ("seed", self.seed.to_string()),
+            ("threads", self.threads.to_string()),
+            ("payload_bits", self.payload_bits.to_string()),
+        ]
+    }
+
+    /// Sets one field from its CLI string form. Unknown fields and
+    /// unparsable values return a usage-quality error message.
+    pub fn set_field(&mut self, name: &str, value: &str) -> Result<(), String> {
+        fn int<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{name} expects an integer, got {value:?}"))
+        }
+        match name {
+            "devices" => {
+                let devices = int(name, value)?;
+                if devices == 0 {
+                    // A zero-device sweep point would divide the headline
+                    // gains by zero (NaN scalars that JSON cannot carry).
+                    return Err("devices expects a positive integer, got \"0\"".into());
+                }
+                self.devices = devices;
+            }
+            "seed" => self.seed = int(name, value)?,
+            "threads" => {
+                self.threads = int::<usize>(name, value)?.max(1);
+            }
+            "payload_bits" => self.payload_bits = int(name, value)?,
+            "placement" => {
+                self.placement = match value {
+                    "office" => Placement::Office,
+                    "hall" => Placement::Hall,
+                    _ => {
+                        return Err(format!(
+                            "placement expects 'office' or 'hall', got {value:?}"
+                        ))
+                    }
+                }
+            }
+            "channel" => {
+                self.channel = match value {
+                    "office" => ChannelProfile::Office,
+                    "outdoor" => ChannelProfile::Outdoor,
+                    "pristine" => ChannelProfile::Pristine,
+                    _ => {
+                        return Err(format!(
+                            "channel expects 'office', 'outdoor' or 'pristine', got {value:?}"
+                        ))
+                    }
+                }
+            }
+            "fidelity" => {
+                self.fidelity = match value {
+                    "analytical" => Fidelity::Analytical,
+                    "sample" => Fidelity::SampleLevel,
+                    _ => {
+                        return Err(format!(
+                            "fidelity expects 'analytical' or 'sample', got {value:?}"
+                        ))
+                    }
+                }
+            }
+            "scheme" => {
+                self.scheme = Scheme::ALL
+                    .into_iter()
+                    .find(|s| s.name() == value)
+                    .ok_or_else(|| {
+                        let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+                        format!("scheme expects one of {}, got {value:?}", names.join("/"))
+                    })?;
+            }
+            "scale" => {
+                self.scale = match value {
+                    "quick" => Scale::Quick,
+                    "paper" | "full" => Scale::Full,
+                    _ => return Err(format!("scale expects 'quick' or 'paper', got {value:?}")),
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "unknown scenario field {name:?}; known fields: {}",
+                    SCENARIO_FIELDS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The deployment this scenario describes, generated deterministically
+    /// from the scenario seed.
+    pub fn deployment(&self) -> Deployment {
+        let config = match self.placement {
+            Placement::Office => DeploymentConfig::office(self.devices),
+            Placement::Hall => DeploymentConfig::hall(self.devices),
+        };
+        Deployment::generate(config, &mut StdRng::seed_from_u64(self.seed))
+    }
+
+    /// The channel impairment stack.
+    pub fn channel_model(&self) -> ChannelModel {
+        self.channel.model()
+    }
+
+    /// The deterministic sharded Monte-Carlo runner for this scenario.
+    pub fn monte_carlo(&self) -> MonteCarlo {
+        MonteCarlo::with_threads(self.seed, self.threads)
+    }
+
+    /// Evaluates the scenario's [`Scheme`] end to end and returns its
+    /// network metrics — the single-scheme programmatic entry point that
+    /// lets library users compose workload combinations (e.g. outdoor
+    /// multipath × hall placement × sample fidelity) that the fixed figure
+    /// drivers never plotted.
+    pub fn scheme_metrics(&self) -> SchemeMetrics {
+        let deployment = self.deployment();
+        let model = self.channel_model();
+        let mc = self.monte_carlo();
+        match self.scheme {
+            Scheme::NetScatter(variant) => netscatter_metrics_with(
+                &deployment,
+                self.devices,
+                self.payload_bits,
+                variant,
+                self.fidelity,
+                &model,
+                &mc,
+            ),
+            Scheme::TdmaLora(scheme) => lora_backscatter_metrics_with(
+                &deployment,
+                self.devices,
+                self.payload_bits,
+                scheme,
+                self.fidelity,
+                &model,
+                &mc,
+            ),
+        }
+    }
+}
+
+/// Chainable constructor for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder(Scenario);
+
+impl ScenarioBuilder {
+    /// Population size (clamped to ≥ 1: a zero-device scenario has no
+    /// defined headline gains).
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.0.devices = devices.max(1);
+        self
+    }
+
+    /// Deployment geometry.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.0.placement = placement;
+        self
+    }
+
+    /// Channel impairment stack.
+    pub fn channel(mut self, channel: ChannelProfile) -> Self {
+        self.0.channel = channel;
+        self
+    }
+
+    /// Delivery model.
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.0.fidelity = fidelity;
+        self
+    }
+
+    /// Scheme under test for single-scheme evaluations.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.0.scheme = scheme;
+        self
+    }
+
+    /// Trial-count scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.0.scale = scale;
+        self
+    }
+
+    /// Monte-Carlo base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.0.seed = seed;
+        self
+    }
+
+    /// Worker-thread bound (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.0.threads = threads.max(1);
+        self
+    }
+
+    /// Payload bits per device per round.
+    pub fn payload_bits(mut self, payload_bits: usize) -> Self {
+        self.0.payload_bits = payload_bits;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let s = Scenario::builder()
+            .devices(64)
+            .placement(Placement::Hall)
+            .channel(ChannelProfile::Outdoor)
+            .fidelity(Fidelity::SampleLevel)
+            .scale(Scale::Quick)
+            .seed(7)
+            .threads(0)
+            .payload_bits(8)
+            .build();
+        assert_eq!(s.devices, 64);
+        assert_eq!(
+            Scenario::builder().devices(0).build().devices,
+            1,
+            "devices clamp to >= 1"
+        );
+        assert_eq!(s.placement, Placement::Hall);
+        assert_eq!(s.channel, ChannelProfile::Outdoor);
+        assert_eq!(s.fidelity, Fidelity::SampleLevel);
+        assert_eq!(s.scale, Scale::Quick);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.threads, 1, "threads clamp to >= 1");
+        assert_eq!(s.payload_bits, 8);
+    }
+
+    #[test]
+    fn set_field_round_trips_every_field() {
+        // Drive every field away from its default via the string interface,
+        // then check `fields()` reports the new values.
+        let mut s = Scenario::default();
+        for (name, value) in [
+            ("devices", "32"),
+            ("placement", "hall"),
+            ("channel", "pristine"),
+            ("fidelity", "sample"),
+            ("scheme", "lora-adapted"),
+            ("scale", "quick"),
+            ("seed", "9"),
+            ("threads", "2"),
+            ("payload_bits", "16"),
+        ] {
+            s.set_field(name, value).unwrap_or_else(|e| panic!("{e}"));
+        }
+        let fields = s.fields();
+        assert_eq!(fields.len(), SCENARIO_FIELDS.len());
+        for ((name, got), want) in fields.iter().zip([
+            "32",
+            "hall",
+            "pristine",
+            "sample",
+            "lora-adapted",
+            "quick",
+            "9",
+            "2",
+            "16",
+        ]) {
+            assert_eq!(got, want, "field {name}");
+        }
+    }
+
+    #[test]
+    fn set_field_rejects_unknown_names_and_bad_values() {
+        let mut s = Scenario::default();
+        assert!(s.set_field("volume", "11").unwrap_err().contains("unknown"));
+        assert!(s.set_field("devices", "lots").is_err());
+        assert!(
+            s.set_field("devices", "0")
+                .unwrap_err()
+                .contains("positive"),
+            "a zero-device scenario has no defined gains"
+        );
+        assert!(s.set_field("fidelity", "vibes").is_err());
+        assert!(s
+            .set_field("scheme", "aloha")
+            .unwrap_err()
+            .contains("netscatter"));
+        // Failed sets leave the scenario untouched.
+        assert_eq!(s, Scenario::default());
+    }
+
+    #[test]
+    fn scheme_names_are_unique_and_parse_back() {
+        let mut seen = std::collections::HashSet::new();
+        for scheme in Scheme::ALL {
+            assert!(seen.insert(scheme.name()), "duplicate {}", scheme.name());
+            let mut s = Scenario::default();
+            s.set_field("scheme", scheme.name()).unwrap();
+            assert_eq!(s.scheme, scheme);
+        }
+    }
+
+    #[test]
+    fn scheme_metrics_composes_new_workloads() {
+        // A combination no fixed binary could express: 48 devices in an
+        // open hall, evaluated programmatically for two schemes on the same
+        // scenario. NetScatter's concurrent round must beat TDMA's serial
+        // schedule on link-layer rate.
+        let base = Scenario::builder()
+            .devices(48)
+            .placement(Placement::Hall)
+            .scale(Scale::Quick)
+            .seed(3)
+            .build();
+        let ns = base.clone().scheme_metrics();
+        let mut lora = base.clone();
+        lora.set_field("scheme", "lora-fixed").unwrap();
+        let lora = lora.scheme_metrics();
+        assert_eq!(ns.num_devices, 48);
+        assert_eq!(lora.num_devices, 48);
+        assert!(ns.link_layer_rate_bps > lora.link_layer_rate_bps);
+    }
+
+    #[test]
+    fn deployment_and_monte_carlo_follow_the_seed() {
+        let a = Scenario::builder().seed(5).devices(16).build();
+        let b = Scenario::builder().seed(5).devices(16).build();
+        assert_eq!(a.deployment().devices, b.deployment().devices);
+        assert_eq!(a.monte_carlo().seed, 5);
+        let c = Scenario::builder().seed(6).devices(16).build();
+        assert_ne!(a.deployment().devices, c.deployment().devices);
+    }
+}

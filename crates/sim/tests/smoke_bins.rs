@@ -1,28 +1,34 @@
-//! Smoke test: every experiment driver binary runs to completion on a small
-//! problem size and prints a non-empty report.
+//! Smoke test: the unified `netscatter` CLI and every shim binary run to
+//! completion on a small problem size and print a non-empty report.
 //!
 //! The binaries are executed as real subprocesses (cargo exposes their paths
-//! through `CARGO_BIN_EXE_*`), so this also covers argument parsing and the
-//! `--quick` scale switch, not just the underlying `experiments::*` calls.
+//! through `CARGO_BIN_EXE_*`), so this also covers the shared argument
+//! parsing (`--quick`, `--seed`, `--threads`, `--fidelity`, `--format`),
+//! not just the underlying `experiments::*` calls.
 
-use std::process::Command;
+use std::process::{Command, Output};
 
-fn run(exe: &str, args: &[&str]) {
-    let output = Command::new(exe)
+fn spawn(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
         .args(args)
         .output()
-        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"))
+}
+
+fn run(exe: &str, args: &[&str]) -> String {
+    let output = spawn(exe, args);
     assert!(
         output.status.success(),
         "{exe} {args:?} exited with {:?}\nstderr:\n{}",
         output.status,
         String::from_utf8_lossy(&output.stderr),
     );
-    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
     assert!(
         stdout.trim().lines().count() >= 2,
         "{exe} printed no report:\n{stdout}",
     );
+    stdout
 }
 
 macro_rules! smoke {
@@ -52,8 +58,8 @@ smoke! {
 
 #[test]
 fn network_figs_run_at_sample_fidelity() {
-    // The tentpole smoke: Figs. 17–19 end-to-end through the sample-level
-    // superposition + decode chain.
+    // The sample-level smoke: Figs. 17–19 end-to-end through the
+    // superposition + decode chain, via the shim flag surface.
     for exe in [
         env!("CARGO_BIN_EXE_fig17"),
         env!("CARGO_BIN_EXE_fig18"),
@@ -64,7 +70,146 @@ fn network_figs_run_at_sample_fidelity() {
 }
 
 #[test]
-fn perf_snapshot_writes_bench_json() {
+fn shims_accept_the_universal_seed_and_threads_flags() {
+    // The seed is a flag now, not a constant baked into each binary: a
+    // different seed must change the Monte-Carlo figures...
+    let exe = env!("CARGO_BIN_EXE_fig04");
+    let default = run(exe, &["--quick"]);
+    let same = run(exe, &["--quick", "--seed", "42", "--threads", "2"]);
+    let reseeded = run(exe, &["--quick", "--seed", "7"]);
+    assert_eq!(default, same, "seed 42 is the default");
+    assert_ne!(default, reseeded, "--seed must reach the experiment");
+    // ...and unknown arguments still fail loudly.
+    let bad = spawn(exe, &["--qiuck"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn netscatter_list_enumerates_all_former_drivers() {
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    let listing = run(exe, &["list"]);
+    for id in [
+        "table1",
+        "fig04",
+        "fig08",
+        "fig09",
+        "fig12",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "analysis_choir",
+        "analysis_capacity",
+        "perf",
+    ] {
+        assert!(listing.contains(id), "list is missing {id}:\n{listing}");
+    }
+}
+
+#[test]
+fn netscatter_run_emits_schema_versioned_json_for_every_driver() {
+    use netscatter::json::Json;
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    // Every registered experiment except `perf` (covered by the snapshot
+    // test below, where its JSON artifacts are exercised): run at quick
+    // scale and validate the structured output parses and is stamped.
+    for id in [
+        "table1",
+        "fig04",
+        "fig08",
+        "fig09",
+        "fig12",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "analysis_choir",
+        "analysis_capacity",
+    ] {
+        let stdout = run(exe, &["run", id, "--quick", "--format", "json"]);
+        let doc = Json::parse(&stdout).unwrap_or_else(|e| panic!("{id}: invalid JSON: {e}"));
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(1),
+            "{id}: missing schema_version"
+        );
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some(id));
+        assert!(
+            !doc.get("tables")
+                .and_then(Json::as_array)
+                .expect("tables array")
+                .is_empty(),
+            "{id}: no tables"
+        );
+    }
+}
+
+#[test]
+fn netscatter_sweep_produces_one_result_per_grid_point() {
+    use netscatter::json::Json;
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    let stdout = run(
+        exe,
+        &[
+            "sweep",
+            "fig17",
+            "--quick",
+            "--set",
+            "devices=16,48",
+            "--set",
+            "seed=1,2",
+            "--format",
+            "json",
+        ],
+    );
+    let doc = Json::parse(&stdout).expect("sweep JSON parses");
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert_eq!(results.len(), 4, "2x2 grid");
+    for r in results {
+        assert_eq!(r.get("schema_version").and_then(Json::as_u64), Some(1));
+    }
+    // The swept field actually varies across results.
+    let devices: Vec<u64> = results
+        .iter()
+        .map(|r| {
+            r.get("scenario")
+                .and_then(|s| s.get("devices"))
+                .and_then(Json::as_u64)
+                .expect("devices in scenario")
+        })
+        .collect();
+    assert_eq!(devices, [16, 16, 48, 48]);
+}
+
+#[test]
+fn netscatter_rejects_unknown_experiments_and_flags() {
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    for args in [
+        ["run", "fig99"].as_slice(),
+        ["run", "fig08", "--format", "yaml"].as_slice(),
+        ["sweep", "fig17", "--set", "volume=11"].as_slice(),
+        ["sweep", "fig17"].as_slice(),
+        ["frobnicate"].as_slice(),
+    ] {
+        let out = spawn(exe, args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(
+            !spawn(exe, args).stderr.is_empty(),
+            "{args:?} needs a message"
+        );
+    }
+}
+
+#[test]
+fn perf_snapshot_writes_schema_versioned_bench_json() {
+    use netscatter::json::Json;
     let out = std::env::temp_dir().join("netscatter_perf_snapshot_test.json");
     let net_out = std::env::temp_dir().join("netscatter_perf_snapshot_net_test.json");
     let _ = std::fs::remove_file(&out);
@@ -78,23 +223,43 @@ fn perf_snapshot_writes_bench_json() {
             net_out.to_str().unwrap(),
         ],
     );
-    let json = std::fs::read_to_string(&out).expect("snapshot file written");
-    for key in [
-        "netscatter-perf-snapshot-v1",
-        "padded_spectrum_ns",
-        "symbols_per_sec",
-        "fig15b_quick_ms",
+    for (path, experiment, table, rate_column) in [
+        (&out, "bench_decode", "decode", "symbols_per_sec"),
+        (
+            &net_out,
+            "bench_network",
+            "network",
+            "device_symbols_per_sec",
+        ),
     ] {
-        assert!(json.contains(key), "missing {key} in:\n{json}");
+        let text = std::fs::read_to_string(path).expect("snapshot file written");
+        let doc = Json::parse(&text).expect("BENCH artifact is valid JSON");
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some(experiment)
+        );
+        let tables = doc.get("tables").and_then(Json::as_array).expect("tables");
+        let t = &tables[0];
+        assert_eq!(t.get("name").and_then(Json::as_str), Some(table));
+        let columns = t.get("columns").and_then(Json::as_array).expect("columns");
+        assert!(
+            columns
+                .iter()
+                .any(|c| c.get("name").and_then(Json::as_str) == Some(rate_column)),
+            "{experiment} is missing the {rate_column} column"
+        );
+        let rows = t.get("rows").and_then(Json::as_array).expect("rows");
+        assert_eq!(rows.len(), 3, "{experiment}: 16/64/256-device rows");
     }
-    let json = std::fs::read_to_string(&net_out).expect("network snapshot written");
-    for key in [
-        "netscatter-network-bench-v1",
-        "device_symbols_per_sec",
-        "\"devices\": 256",
-    ] {
-        assert!(json.contains(key), "missing {key} in:\n{json}");
-    }
+    // Unknown --format values are rejected with a usage error, not
+    // silently defaulted.
+    let bad = spawn(
+        env!("CARGO_BIN_EXE_perf_snapshot"),
+        &["--format", "xml", "--out", out.to_str().unwrap()],
+    );
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--format"));
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&net_out);
 }
