@@ -1,0 +1,88 @@
+//! Streaming-gateway throughput: the full producer → SPSC ring → online
+//! detector → decode-worker pipeline over a pre-synthesized continuous
+//! stream.
+//!
+//! * `stream_throughput/pipeline/N` — one 0.1 s sample-level office stream
+//!   (Poisson arrivals at 20 rounds/s, AWGN idle) for N ∈ {16, 64, 256}
+//!   devices, replayed through `run_stream`. Dividing 50 000 samples by the
+//!   reported median gives Msamples/s; over the 500 kHz sample rate that is
+//!   the real-time factor `perf_snapshot` tracks in `BENCH_stream.json`.
+//! * `stream_throughput/detector_idle` — the energy-gate scan alone over a
+//!   noise-only stream: the cost of listening when nobody transmits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netscatter_dsp::Complex64;
+use netscatter_gateway::{run_stream, GatewayConfig, ReplaySource, StreamDetector, StreamSource};
+use netscatter_phy::params::PhyProfile;
+use netscatter_sim::deployment::{Deployment, DeploymentConfig};
+use netscatter_sim::fullround::ChannelModel;
+use netscatter_sim::stream::{ArrivalConfig, RoundArrivalSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Synthesizes one office-channel stream and its gateway config.
+fn synthesize(devices: usize) -> (Vec<Complex64>, GatewayConfig) {
+    let dep = Deployment::generate(
+        DeploymentConfig::office(devices.max(16)),
+        &mut StdRng::seed_from_u64(42),
+    );
+    let model = ChannelModel::office();
+    let mut source = RoundArrivalSource::new(
+        &dep,
+        devices,
+        &model,
+        ArrivalConfig {
+            rate_hz: 20.0,
+            stream_secs: 0.1,
+            payload_bits: 16,
+        },
+        7,
+    );
+    let config = GatewayConfig {
+        detection_floor_fraction: Some(source.detection_floor_fraction()),
+        ..GatewayConfig::new(dep.config.profile, source.assigned_bins().to_vec(), 16)
+    };
+    let mut samples = Vec::new();
+    let mut buf = vec![Complex64::ZERO; 4096];
+    loop {
+        let got = source.fill(&mut buf);
+        samples.extend_from_slice(&buf[..got]);
+        if got < buf.len() {
+            break;
+        }
+    }
+    (samples, config)
+}
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_throughput");
+    group.sample_size(10);
+    for &devices in &[16usize, 64, 256] {
+        let (samples, config) = synthesize(devices);
+        group.bench_with_input(BenchmarkId::new("pipeline", devices), &devices, |b, _| {
+            b.iter(|| {
+                let mut source = ReplaySource::from_samples(samples.clone(), 500e3);
+                let report = run_stream(&mut source, &config).unwrap();
+                black_box(report.packets.len())
+            })
+        });
+    }
+    // The idle-listening cost: pure energy-gate scan, no packets.
+    let idle = vec![Complex64::new(0.02, -0.01); 50_000];
+    let config = GatewayConfig::new(PhyProfile::default(), vec![0, 64, 128], 16);
+    group.bench_function("detector_idle", |b| {
+        b.iter(|| {
+            let mut det = StreamDetector::new(&config).unwrap();
+            let mut out = Vec::new();
+            for chunk in idle.chunks(4096) {
+                det.push(chunk, &mut out);
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_throughput);
+criterion_main!(benches);

@@ -1,0 +1,607 @@
+//! The online packet-detection state machine.
+//!
+//! The batch receiver is handed a pre-aligned round buffer; the gateway is
+//! not. [`StreamDetector`] consumes an unbounded stream chunk by chunk and
+//! finds the packets on its own, in three stages (one per state):
+//!
+//! 1. **Energy gate** (`Hunting`) — a sliding [`GATE_WINDOW`]-sample power
+//!    average is compared against a gate derived from a running noise-floor
+//!    estimate. Cheap (one multiply-add per sample), so the idle stream
+//!    costs almost nothing.
+//! 2. **Preamble sync** (`Syncing`) — around the gated onset, the packet
+//!    start is located by cross-correlating candidate offsets against the
+//!    *assigned-bin comb over the up/down preamble structure*: each
+//!    candidate's six upchirps are dechirped with the upchirp reference
+//!    and sampled at every assigned cyclic shift, its two downchirps are
+//!    dechirped with the downchirp reference and sampled at each shift's
+//!    mirrored bin, and the candidate maximizing the summed *per-device
+//!    minimum* of the two measurements wins. Each ingredient kills one
+//!    ambiguity a blind dechirp-sharpness metric cannot resolve:
+//!
+//!    * the preamble repeats identical upchirps, so any window offset into
+//!      the repetition is just another cyclic shift at full peak power —
+//!      but a one-sample offset moves every tone one whole chirp bin off
+//!      its assignment (critical sampling), collapsing the on-bin comb to
+//!      its orthogonal-DFT zeros;
+//!    * at full SKIP-`k` occupancy a `k`-sample offset permutes the tones
+//!      *onto other assigned bins*, leaving every power-sum comb almost
+//!      unchanged — the permutation travels with the devices, the up/down
+//!      mirror symmetry cancels, and the power-aware allocator makes
+//!      spectral neighbours deliberately similar in strength, so no
+//!      preamble-interior statistic can tell the lattice shifts apart. The
+//!      comb therefore only *shortlists* the shift lattice, and the winner
+//!      is the shortlisted candidate **nearest the leading-edge anchor**:
+//!      the first sample of the sync range whose individual power clears
+//!      [`EDGE_ANCHOR_DB`] over the noise floor. A changepoint pinned by a
+//!      single strong sample errs only when the packet's opening samples
+//!      are exponentially unlucky (≈ 10⁻³ per sample at the SNRs where
+//!      dense rounds decode at all) — orders of magnitude more reliable
+//!      than windowed energy contrast, whose √δ-sample statistics cannot
+//!      resolve shifts of a couple of samples.
+//!
+//!    The energy gate bounds the uncertainty to `GATE_WINDOW` samples
+//!    (plus [`SYNC_SLACK`] for hardware timing offsets), so only a few
+//!    dozen candidates are evaluated instead of the unbounded search a
+//!    blind receiver would need.
+//! 3. **Payload handoff** (`Decoding`) — once the stitched window covers
+//!    the full packet, its samples are emitted as a [`PacketSpan`] for the
+//!    decode stage (CFO/timing sync happens inside the existing
+//!    preamble-detection path: each device's `observed_bin` absorbs its
+//!    residual offset, §3.3.1).
+//!
+//! **Overlap-save stitching.** The detector keeps a rolling window of the
+//! stream with an absolute sample index for its first element. Chunks are
+//! appended, decisions are made purely in absolute-index terms, and only
+//! the provably consumed prefix is discarded — so a chirp window spanning
+//! any number of chunk boundaries is decoded from exactly the same samples
+//! as in a single contiguous buffer. This is what makes the streaming
+//! decode *chunk-size invariant*: the equivalence tests pin streaming
+//! output to the batch receiver bit for bit under randomized chunk sizes.
+
+use netscatter::receiver::ConcurrentReceiver;
+use netscatter_dsp::fft::FftError;
+use netscatter_dsp::Complex64;
+use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace};
+use netscatter_phy::params::PhyProfile;
+use netscatter_phy::preamble::{PREAMBLE_DOWNCHIRPS, PREAMBLE_SYMBOLS, PREAMBLE_UPCHIRPS};
+
+/// Sliding-window length (samples) of the energy gate. Short enough to
+/// localize the packet onset tightly (it bounds the sync search), long
+/// enough to average over noise.
+pub const GATE_WINDOW: usize = 16;
+
+/// Extra samples searched on both sides of the energy-gated onset interval
+/// during preamble sync, covering the one-sided hardware timing offsets
+/// (≲ 2 samples for the COTS population) with margin.
+pub const SYNC_SLACK: usize = 4;
+
+/// Per-sample power threshold of the leading-edge anchor, in dB over the
+/// noise floor: high enough that idle noise rarely crosses it
+/// (`e^{-10} ≈ 5·10⁻⁵` per sample), low enough that a decodable dense
+/// round's opening samples almost surely do.
+pub const EDGE_ANCHOR_DB: f64 = 10.0;
+
+/// Comb fraction (of the best candidate) a candidate must reach to stay on
+/// the edge-anchor shortlist. Lattice-ambiguous candidates sit within
+/// ~±15% of each other under fading; off-lattice candidates collapse to a
+/// few percent, so the cut sits between with wide margin on both sides.
+const COMB_SHORTLIST_FRACTION: f64 = 0.7;
+
+/// Streaming-gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// The PHY profile (modulation, zero padding, SKIP) of the population.
+    pub profile: PhyProfile,
+    /// The cyclic shifts assigned to the population, in deployment order.
+    pub assigned_bins: Vec<usize>,
+    /// Payload symbols per packet (the round's payload bit count).
+    pub payload_symbols: usize,
+    /// Samples per producer chunk.
+    pub chunk_samples: usize,
+    /// Ring-buffer capacity in chunks.
+    pub ring_slots: usize,
+    /// Decode worker threads (0 resolves to the available parallelism).
+    pub workers: usize,
+    /// Energy gate in dB over the running noise-floor estimate.
+    pub energy_gate_db: f64,
+    /// Override for the receiver's detection floor fraction (`None` keeps
+    /// the [`ConcurrentReceiver`] default).
+    pub detection_floor_fraction: Option<f64>,
+}
+
+impl GatewayConfig {
+    /// A gateway for `assigned_bins` under `profile` with the defaults the
+    /// experiments use: 4096-sample chunks, 8 ring slots, auto workers,
+    /// 6 dB energy gate.
+    pub fn new(profile: PhyProfile, assigned_bins: Vec<usize>, payload_symbols: usize) -> Self {
+        Self {
+            profile,
+            assigned_bins,
+            payload_symbols,
+            chunk_samples: 4096,
+            ring_slots: 8,
+            workers: 0,
+            energy_gate_db: 6.0,
+            detection_floor_fraction: None,
+        }
+    }
+
+    /// Samples in one full packet (preamble plus payload).
+    pub fn packet_samples(&self) -> usize {
+        (PREAMBLE_SYMBOLS + self.payload_symbols) * self.profile.modulation.num_bins()
+    }
+}
+
+/// Where the detection state machine currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorState {
+    /// Scanning the stream with the energy gate.
+    Hunting,
+    /// Energy found; locating the packet start by preamble correlation.
+    Syncing,
+    /// Start located; accumulating the full packet before handoff.
+    Decoding,
+}
+
+/// One located packet, ready for the decode stage.
+#[derive(Debug, Clone)]
+pub struct PacketSpan {
+    /// Sequence number in stream order (0-based).
+    pub index: usize,
+    /// Absolute stream index of the packet's first sample.
+    pub start_sample: u64,
+    /// The packet's samples (preamble + payload), copied out of the window.
+    pub samples: Vec<Complex64>,
+}
+
+/// Internal per-state data.
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Hunting,
+    /// `lo..=hi` is the absolute candidate range for the packet start.
+    Syncing {
+        lo: u64,
+        hi: u64,
+    },
+    /// Absolute packet start.
+    Decoding {
+        start: u64,
+    },
+}
+
+/// The chunk-stitching online detector. Feed it samples with
+/// [`StreamDetector::push`]; it emits [`PacketSpan`]s as packets complete.
+#[derive(Debug, Clone)]
+pub struct StreamDetector {
+    receiver: ConcurrentReceiver,
+    /// Demodulator for the assigned-bin sync comb.
+    demod: ConcurrentDemodulator,
+    /// Scratch buffers for the sync spectra.
+    ws: DemodWorkspace,
+    /// The assigned cyclic shifts the sync comb samples.
+    bins: Vec<usize>,
+    /// Per-bin upchirp-comb accumulator (sync scratch).
+    up_acc: Vec<f64>,
+    /// Per-bin downchirp-comb accumulator (sync scratch).
+    down_acc: Vec<f64>,
+    payload_symbols: usize,
+    energy_gate_factor: f64,
+    /// Rolling stream window; `window[0]` is absolute index `window_start`.
+    window: Vec<Complex64>,
+    window_start: u64,
+    /// Next absolute sample index the energy gate will examine.
+    scan: u64,
+    /// Sum of `|x|²` over the last `min(run_len, GATE_WINDOW)` samples
+    /// before `scan`.
+    sliding_sum: f64,
+    /// Consecutive samples accumulated since the gate was last reset.
+    run_len: usize,
+    /// Estimate of the idle-stream power the gate is relative to: seeded
+    /// from the first full gate window, then an EWMA over below-gate
+    /// windows. (Tracking the *minimum* window mean instead would park the
+    /// floor ~5 dB under the true noise power and make a 6 dB gate fire on
+    /// ordinary noise fluctuations.)
+    noise_floor: f64,
+    /// Whether `noise_floor` has been seeded yet.
+    floor_seeded: bool,
+    state: State,
+    next_index: usize,
+    /// Packets whose span ran past the end of the stream at `finish`.
+    truncated: usize,
+}
+
+/// EWMA coefficient of the noise-floor estimate (per gate window).
+const NOISE_ALPHA: f64 = 1.0 / 1024.0;
+
+/// Absolute power floor under which the gate never drops, so a noise-free
+/// stream (all-zero idle) still gates correctly on the first real sample.
+const GATE_EPSILON: f64 = 1e-12;
+
+impl StreamDetector {
+    /// Creates the detector for `config`.
+    pub fn new(config: &GatewayConfig) -> Result<Self, FftError> {
+        let mut receiver = ConcurrentReceiver::new(&config.profile)?;
+        if let Some(floor) = config.detection_floor_fraction {
+            receiver.detection_floor_fraction = floor;
+        }
+        Ok(Self {
+            receiver,
+            demod: ConcurrentDemodulator::new(
+                config.profile.modulation.chirp(),
+                config.profile.zero_padding,
+            )?,
+            ws: DemodWorkspace::new(),
+            bins: config.assigned_bins.clone(),
+            up_acc: Vec::new(),
+            down_acc: Vec::new(),
+            payload_symbols: config.payload_symbols,
+            energy_gate_factor: netscatter_dsp::units::db_to_linear(config.energy_gate_db),
+            window: Vec::new(),
+            window_start: 0,
+            scan: 0,
+            sliding_sum: 0.0,
+            run_len: 0,
+            noise_floor: 0.0,
+            floor_seeded: false,
+            state: State::Hunting,
+            next_index: 0,
+            truncated: 0,
+        })
+    }
+
+    /// The receiver the emitted spans should be decoded with (same PHY
+    /// profile and detection floor as the detector).
+    pub fn receiver(&self) -> &ConcurrentReceiver {
+        &self.receiver
+    }
+
+    /// Current state of the detection machine.
+    pub fn state(&self) -> DetectorState {
+        match self.state {
+            State::Hunting => DetectorState::Hunting,
+            State::Syncing { .. } => DetectorState::Syncing,
+            State::Decoding { .. } => DetectorState::Decoding,
+        }
+    }
+
+    /// The running noise-floor estimate (linear power per sample).
+    pub fn noise_floor(&self) -> f64 {
+        self.noise_floor
+    }
+
+    /// Number of packets dropped at end of stream because their tail was
+    /// never received.
+    pub fn truncated(&self) -> usize {
+        self.truncated
+    }
+
+    /// Appends a chunk of stream samples and runs the state machine as far
+    /// as the stitched window allows, pushing completed packets into `out`.
+    pub fn push(&mut self, chunk: &[Complex64], out: &mut Vec<PacketSpan>) {
+        self.window.extend_from_slice(chunk);
+        self.advance(out);
+        self.trim();
+    }
+
+    /// Ends the stream: anything still syncing or mid-packet is counted as
+    /// truncated.
+    pub fn finish(&mut self) {
+        if !matches!(self.state, State::Hunting) {
+            self.truncated += 1;
+            self.state = State::Hunting;
+        }
+    }
+
+    /// Absolute index one past the last sample currently in the window.
+    fn window_end(&self) -> u64 {
+        self.window_start + self.window.len() as u64
+    }
+
+    /// The sample at absolute index `abs` (must be within the window).
+    fn sample(&self, abs: u64) -> Complex64 {
+        self.window[(abs - self.window_start) as usize]
+    }
+
+    /// The current energy gate (linear power).
+    fn gate(&self) -> f64 {
+        (self.noise_floor * self.energy_gate_factor).max(GATE_EPSILON)
+    }
+
+    /// Runs the state machine until no further transition is possible with
+    /// the samples currently in the window.
+    fn advance(&mut self, out: &mut Vec<PacketSpan>) {
+        let n = self.receiver.profile().modulation.num_bins();
+        let sync_len = PREAMBLE_SYMBOLS * n;
+        let packet_len = ((PREAMBLE_SYMBOLS + self.payload_symbols) * n) as u64;
+        loop {
+            match self.state {
+                State::Hunting => {
+                    let mut gated = false;
+                    while self.scan < self.window_end() {
+                        let p = self.sample(self.scan).norm_sqr();
+                        self.sliding_sum += p;
+                        self.run_len += 1;
+                        if self.run_len > GATE_WINDOW {
+                            self.sliding_sum -=
+                                self.sample(self.scan - GATE_WINDOW as u64).norm_sqr();
+                            self.run_len = GATE_WINDOW;
+                        }
+                        self.scan += 1;
+                        if self.run_len < GATE_WINDOW {
+                            continue;
+                        }
+                        let mean = self.sliding_sum / GATE_WINDOW as f64;
+                        if !self.floor_seeded {
+                            // The first full window calibrates the floor;
+                            // gating starts with the next one.
+                            self.noise_floor = mean;
+                            self.floor_seeded = true;
+                            continue;
+                        }
+                        if mean > self.gate() {
+                            // The first above-gate sample lies within the
+                            // current window; search it plus slack on both
+                            // sides for the exact start.
+                            let edge = self.scan - 1;
+                            let lo = edge
+                                .saturating_sub((GATE_WINDOW - 1 + SYNC_SLACK) as u64)
+                                .max(self.window_start);
+                            let hi = edge + SYNC_SLACK as u64;
+                            self.state = State::Syncing { lo, hi };
+                            gated = true;
+                            break;
+                        }
+                        // Below-gate window: feed the noise estimate.
+                        self.noise_floor += NOISE_ALPHA * (mean - self.noise_floor);
+                    }
+                    if !gated {
+                        return;
+                    }
+                }
+                State::Syncing { lo, hi } => {
+                    // Need the whole candidate range plus the full 8-symbol
+                    // preamble before the correlation can run.
+                    if self.window_end() < hi + sync_len as u64 {
+                        return;
+                    }
+                    // Stage one: when the leading-edge anchor fired, the true
+                    // start lies within a couple of samples of it, so the
+                    // comb only needs to score the candidates around the
+                    // anchor (9 instead of ~24 — the comb's eight spectra
+                    // per candidate dominate the whole sync cost). The
+                    // anchor-less fallback (weak aggregate, where the comb
+                    // is sharp on its own) scores the full range.
+                    let anchor = self.edge_anchor(lo, hi);
+                    let (comb_lo, comb_hi) = if anchor < hi {
+                        (
+                            anchor.saturating_sub(SYNC_SLACK as u64).max(lo),
+                            (anchor + SYNC_SLACK as u64).min(hi),
+                        )
+                    } else {
+                        (lo, hi)
+                    };
+                    let combs: Vec<f64> = (comb_lo..=comb_hi)
+                        .map(|candidate| {
+                            let at = (candidate - self.window_start) as usize;
+                            self.sync_metric(at, n)
+                        })
+                        .collect();
+                    let best_comb = combs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    // Stage two: among the shortlisted (possibly
+                    // lattice-ambiguous) candidates, the one nearest the
+                    // anchor wins; ties keep the earliest offset.
+                    let mut best = comb_lo;
+                    let mut best_distance = u64::MAX;
+                    for (i, &comb) in combs.iter().enumerate() {
+                        if comb < best_comb * COMB_SHORTLIST_FRACTION {
+                            continue;
+                        }
+                        let candidate = comb_lo + i as u64;
+                        let distance = candidate.abs_diff(anchor);
+                        if distance < best_distance {
+                            best_distance = distance;
+                            best = candidate;
+                        }
+                    }
+                    self.state = State::Decoding { start: best };
+                }
+                State::Decoding { start } => {
+                    if self.window_end() < start + packet_len {
+                        return;
+                    }
+                    let s = (start - self.window_start) as usize;
+                    let samples = self.window[s..s + packet_len as usize].to_vec();
+                    out.push(PacketSpan {
+                        index: self.next_index,
+                        start_sample: start,
+                        samples,
+                    });
+                    self.next_index += 1;
+                    // Resume hunting right after the packet, with a fresh
+                    // gate window (the sliding sum would otherwise straddle
+                    // the skipped span).
+                    self.scan = start + packet_len;
+                    self.sliding_sum = 0.0;
+                    self.run_len = 0;
+                    self.state = State::Hunting;
+                }
+            }
+        }
+    }
+
+    /// The up/down consistency comb for one candidate packet start at
+    /// window index `at`: average assigned-bin power over the six
+    /// up-dechirped upchirps, average mirrored-bin power over the two
+    /// down-dechirped downchirps, summed per-device minimum of the two.
+    /// See the module docs for why both combs are needed.
+    fn sync_metric(&mut self, at: usize, n: usize) -> f64 {
+        self.up_acc.clear();
+        self.up_acc.resize(self.bins.len(), 0.0);
+        self.down_acc.clear();
+        self.down_acc.resize(self.bins.len(), 0.0);
+        for s in 0..PREAMBLE_UPCHIRPS {
+            let spec = self
+                .demod
+                .padded_spectrum_into(&self.window[at + s * n..at + (s + 1) * n], &mut self.ws)
+                .expect("sync window is one symbol long");
+            for (acc, &bin) in self.up_acc.iter_mut().zip(&self.bins) {
+                *acc += self.demod.device_power_at(spec, bin as f64, 0.0).0;
+            }
+        }
+        for s in 0..PREAMBLE_DOWNCHIRPS {
+            let o = at + (PREAMBLE_UPCHIRPS + s) * n;
+            let spec = self
+                .demod
+                .padded_spectrum_downchirp_into(&self.window[o..o + n], &mut self.ws)
+                .expect("sync window is one symbol long");
+            for (acc, &bin) in self.down_acc.iter_mut().zip(&self.bins) {
+                // A shift-`a` downchirp dechirps to the mirrored bin
+                // `(n − a) mod n`.
+                let mirrored = ((n - bin) % n) as f64;
+                *acc += self.demod.device_power_at(spec, mirrored, 0.0).0;
+            }
+        }
+        self.up_acc
+            .iter()
+            .zip(&self.down_acc)
+            .map(|(&up, &down)| {
+                (up / PREAMBLE_UPCHIRPS as f64).min(down / PREAMBLE_DOWNCHIRPS as f64)
+            })
+            .sum()
+    }
+
+    /// The leading-edge anchor of a sync range: the first sample whose
+    /// individual power clears [`EDGE_ANCHOR_DB`] over the noise floor —
+    /// the changepoint a single strong sample pins. Falls back to `hi`
+    /// when nothing crosses (weak aggregate; the comb is then sharp on its
+    /// own and the anchor is moot).
+    fn edge_anchor(&self, lo: u64, hi: u64) -> u64 {
+        let threshold = (self.noise_floor * netscatter_dsp::units::db_to_linear(EDGE_ANCHOR_DB))
+            .max(GATE_EPSILON);
+        (lo..=hi)
+            .find(|&abs| self.sample(abs).norm_sqr() > threshold)
+            .unwrap_or(hi)
+    }
+
+    /// Discards the window prefix no state can ever revisit.
+    fn trim(&mut self) {
+        let hold = match self.state {
+            // The gate may retro-locate a start up to
+            // GATE_WINDOW - 1 + SYNC_SLACK samples before `scan`.
+            State::Hunting => self.scan.saturating_sub((GATE_WINDOW + SYNC_SLACK) as u64),
+            State::Syncing { lo, .. } => lo,
+            State::Decoding { start } => start,
+        };
+        if hold > self.window_start {
+            let drop = (hold - self.window_start) as usize;
+            self.window.drain(..drop);
+            self.window_start = hold;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netscatter_phy::distributed::OnOffModulator;
+    use netscatter_phy::preamble::PreambleBuilder;
+
+    fn config(bins: Vec<usize>, payload: usize) -> GatewayConfig {
+        GatewayConfig::new(PhyProfile::default(), bins, payload)
+    }
+
+    /// One ideal packet on `bin` with the given payload bits.
+    fn packet(bin: usize, bits: &[bool]) -> Vec<Complex64> {
+        let params = PhyProfile::default().modulation.chirp();
+        let mut out = PreambleBuilder::new(params, bin).build(0.0, 0.0, 1.0);
+        out.extend(OnOffModulator::new(params, bin).modulate_payload(bits, 0.0, 0.0, 1.0));
+        out
+    }
+
+    #[test]
+    fn detector_finds_an_offset_packet_sample_exactly() {
+        let bits = [true, false, true, true];
+        let cfg = config(vec![100], bits.len());
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        let mut stream = vec![Complex64::ZERO; 777];
+        stream.extend(packet(100, &bits));
+        stream.extend(vec![Complex64::ZERO; 300]);
+        let mut spans = Vec::new();
+        det.push(&stream, &mut spans);
+        det.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_sample, 777);
+        assert_eq!(spans[0].samples.len(), cfg.packet_samples());
+        assert_eq!(det.truncated(), 0);
+        assert_eq!(det.state(), DetectorState::Hunting);
+    }
+
+    #[test]
+    fn single_sample_chunks_give_the_same_span() {
+        let bits = [true, true, false, true, false];
+        let cfg = config(vec![64], bits.len());
+        let mut stream = vec![Complex64::ZERO; 123];
+        stream.extend(packet(64, &bits));
+        stream.extend(vec![Complex64::ZERO; 50]);
+
+        let mut whole = Vec::new();
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        det.push(&stream, &mut whole);
+
+        let mut single = Vec::new();
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        for s in &stream {
+            det.push(std::slice::from_ref(s), &mut single);
+        }
+
+        assert_eq!(whole.len(), 1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(whole[0].start_sample, single[0].start_sample);
+        assert_eq!(whole[0].samples, single[0].samples);
+    }
+
+    #[test]
+    fn mid_packet_stream_end_counts_as_truncated() {
+        let bits = [true; 8];
+        let cfg = config(vec![32], bits.len());
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        let mut stream = vec![Complex64::ZERO; 40];
+        let pkt = packet(32, &bits);
+        stream.extend(&pkt[..pkt.len() / 2]);
+        let mut spans = Vec::new();
+        det.push(&stream, &mut spans);
+        det.finish();
+        assert!(spans.is_empty());
+        assert_eq!(det.truncated(), 1);
+    }
+
+    #[test]
+    fn window_stays_bounded_over_a_long_idle_stream() {
+        let cfg = config(vec![0], 4);
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        let idle = vec![Complex64::ZERO; 4096];
+        let mut spans = Vec::new();
+        for _ in 0..64 {
+            det.push(&idle, &mut spans);
+        }
+        assert!(spans.is_empty());
+        assert!(
+            det.window.len() <= 2 * (GATE_WINDOW + SYNC_SLACK) + 4096,
+            "window grew to {} samples",
+            det.window.len()
+        );
+    }
+
+    #[test]
+    fn noise_floor_tracks_the_idle_power() {
+        let cfg = config(vec![0], 4);
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        // Constant-power idle at |x|² = 0.25 (deterministic, below any
+        // plausible packet power).
+        let idle = vec![Complex64::new(0.5, 0.0); 1 << 15];
+        let mut spans = Vec::new();
+        det.push(&idle, &mut spans);
+        assert!(spans.is_empty());
+        assert!((det.noise_floor() - 0.25).abs() < 0.02);
+    }
+}

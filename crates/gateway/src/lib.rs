@@ -1,0 +1,32 @@
+//! Streaming gateway receiver for NetScatter.
+//!
+//! The batch pipeline in `netscatter` decodes pre-aligned, whole-round
+//! sample buffers; a real AP listens to a *continuous* RF stream and must
+//! detect, synchronize and decode concurrent backscatter rounds whose
+//! arrivals it does not control. This crate is that missing subsystem:
+//!
+//! * [`source`] — the [`source::StreamSource`] abstraction the gateway
+//!   consumes (deterministic replay here; the live Poisson round
+//!   synthesizer lives in `netscatter_sim::stream`);
+//! * [`ring`] — the lock-free SPSC ring buffer carrying sample chunks from
+//!   the producer thread into the detector;
+//! * [`detect`] — the online detection state machine (energy gate →
+//!   preamble cross-correlation sync → payload handoff) with overlap-save
+//!   chunk stitching, making the decode chunk-size invariant;
+//! * [`pipeline`] — the synchronous [`pipeline::StreamGateway`] facade and
+//!   the threaded [`pipeline::run_stream`] session with N decode workers,
+//!   reporting measured throughput and the real-time factor.
+//!
+//! The gate needs at least one full noise-only gate window
+//! ([`detect::GATE_WINDOW`] samples) at the head of the stream to calibrate
+//! its floor before the first packet; every practical source (and the
+//! stream synthesizer) starts with an idle gap.
+
+pub mod detect;
+pub mod pipeline;
+pub mod ring;
+pub mod source;
+
+pub use detect::{GatewayConfig, PacketSpan, StreamDetector};
+pub use pipeline::{run_stream, DecodedPacket, GatewayReport, StreamGateway};
+pub use source::{ReplaySource, StreamSource};

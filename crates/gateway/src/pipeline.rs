@@ -1,0 +1,319 @@
+//! The chunked stream-processing pipeline.
+//!
+//! Two entry points drive the [`crate::detect::StreamDetector`]:
+//!
+//! * [`StreamGateway`] — the synchronous, single-threaded facade: feed
+//!   chunks, get decoded packets back. This is the deterministic core the
+//!   equivalence tests pin against the batch receiver.
+//! * [`run_stream`] — the real-time topology: a producer thread pulls
+//!   chunks from a [`StreamSource`] and pushes them through the lock-free
+//!   SPSC ring; the calling thread runs detection and hands completed
+//!   [`PacketSpan`]s to `workers` decode threads round-robin; results are
+//!   reassembled in packet order. The report carries the measured
+//!   throughput and the real-time factor (throughput over the source's
+//!   sample rate) — the number that says whether this gateway keeps up
+//!   with the radio.
+//!
+//! Packet decode reuses the existing batch path unchanged
+//! ([`ConcurrentReceiver::decode_round`] → `DemodWorkspace` → pruned
+//! zero-padded FFT), so every performance property of the per-symbol hot
+//! path carries over to the streaming receiver.
+
+use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
+use crate::ring::spsc_ring;
+use crate::source::StreamSource;
+use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
+use netscatter_dsp::fft::FftError;
+use netscatter_dsp::Complex64;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One decoded packet of the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedPacket {
+    /// Sequence number in stream order (0-based).
+    pub index: usize,
+    /// Absolute stream index of the packet's first sample.
+    pub start_sample: u64,
+    /// The concurrent-round decode (per detected device: bin, preamble
+    /// power, payload bits).
+    pub round: DecodedRound,
+}
+
+/// The outcome of one [`run_stream`] session.
+#[derive(Debug, Clone)]
+pub struct GatewayReport {
+    /// Decoded packets in stream order.
+    pub packets: Vec<DecodedPacket>,
+    /// Total samples consumed from the source.
+    pub samples_in: u64,
+    /// Packets dropped because the stream ended mid-packet.
+    pub truncated: usize,
+    /// Wall-clock duration of the session in seconds.
+    pub elapsed_s: f64,
+    /// Measured processing throughput in samples per second.
+    pub samples_per_sec: f64,
+    /// `samples_per_sec` over the source's sample rate: ≥ 1 means the
+    /// gateway keeps up with the radio in real time.
+    pub real_time_factor: f64,
+}
+
+impl GatewayReport {
+    /// Packets whose decode detected at least one device (an energy-gate
+    /// trigger that decodes to zero devices is a false alarm, not a round).
+    pub fn detected_rounds(&self) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| !p.round.devices.is_empty())
+            .count()
+    }
+}
+
+/// The synchronous gateway: online detection plus inline decode.
+#[derive(Debug, Clone)]
+pub struct StreamGateway {
+    detector: StreamDetector,
+    assigned_bins: Vec<usize>,
+    payload_symbols: usize,
+    spans: Vec<PacketSpan>,
+}
+
+impl StreamGateway {
+    /// Creates a gateway for `config`.
+    pub fn new(config: &GatewayConfig) -> Result<Self, FftError> {
+        Ok(Self {
+            detector: StreamDetector::new(config)?,
+            assigned_bins: config.assigned_bins.clone(),
+            payload_symbols: config.payload_symbols,
+            spans: Vec::new(),
+        })
+    }
+
+    /// The receiver packets are decoded with.
+    pub fn receiver(&self) -> &ConcurrentReceiver {
+        self.detector.receiver()
+    }
+
+    /// Feeds one chunk and returns the packets completed by it, decoded
+    /// inline on the calling thread.
+    pub fn feed(&mut self, chunk: &[Complex64]) -> Result<Vec<DecodedPacket>, FftError> {
+        self.spans.clear();
+        let mut spans = std::mem::take(&mut self.spans);
+        self.detector.push(chunk, &mut spans);
+        let packets = spans
+            .iter()
+            .map(|span| {
+                decode_span(
+                    self.detector.receiver(),
+                    span,
+                    &self.assigned_bins,
+                    self.payload_symbols,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>();
+        self.spans = spans;
+        packets
+    }
+
+    /// Ends the stream; returns the number of truncated packets.
+    pub fn finish(&mut self) -> usize {
+        self.detector.finish();
+        self.detector.truncated()
+    }
+}
+
+/// Decodes one located span through the batch receiver path.
+fn decode_span(
+    receiver: &ConcurrentReceiver,
+    span: &PacketSpan,
+    assigned_bins: &[usize],
+    payload_symbols: usize,
+) -> Result<DecodedPacket, FftError> {
+    let round = receiver.decode_round(&span.samples, 0, assigned_bins, payload_symbols)?;
+    Ok(DecodedPacket {
+        index: span.index,
+        start_sample: span.start_sample,
+        round,
+    })
+}
+
+/// A chunk in flight between the producer and the detector.
+struct Chunk {
+    samples: Vec<Complex64>,
+}
+
+/// Runs the full threaded pipeline over `source` until it is exhausted and
+/// returns the report. Deterministic for a deterministic source: detection
+/// runs in stream order on the calling thread, and decoded packets are
+/// reassembled by sequence number regardless of worker scheduling.
+pub fn run_stream(
+    source: &mut dyn StreamSource,
+    config: &GatewayConfig,
+) -> Result<GatewayReport, FftError> {
+    let sample_rate = source.sample_rate_hz();
+    let mut detector = StreamDetector::new(config)?;
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.workers
+    };
+    let chunk_samples = config.chunk_samples.max(1);
+    let (ring_tx, ring_rx) = spsc_ring::<Chunk>(config.ring_slots.max(1));
+
+    let started = Instant::now();
+    let mut packets: Vec<DecodedPacket> = Vec::new();
+    let mut samples_in = 0u64;
+    std::thread::scope(|scope| -> Result<(), FftError> {
+        // Producer: pull chunks from the source into the ring until the
+        // source runs dry.
+        scope.spawn(move || {
+            loop {
+                let mut buf = vec![Complex64::ZERO; chunk_samples];
+                let got = source.fill(&mut buf);
+                if got == 0 {
+                    break;
+                }
+                buf.truncate(got);
+                if ring_tx.push(Chunk { samples: buf }).is_err() {
+                    break; // detector gone
+                }
+                if got < chunk_samples {
+                    break; // short read = end of stream
+                }
+            }
+            // ring_tx drops here, closing the ring.
+        });
+
+        // Decode workers: each owns a receiver clone and drains its private
+        // job queue; spans are dealt round-robin by sequence number.
+        let (result_tx, result_rx) = mpsc::channel::<Result<DecodedPacket, FftError>>();
+        let mut job_txs: Vec<mpsc::Sender<PacketSpan>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<PacketSpan>();
+            job_txs.push(job_tx);
+            let result_tx = result_tx.clone();
+            let receiver = detector.receiver().clone();
+            let bins = config.assigned_bins.clone();
+            let payload_symbols = config.payload_symbols;
+            scope.spawn(move || {
+                while let Ok(span) = job_rx.recv() {
+                    let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
+                    if result_tx.send(decoded).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        // Detection on this thread, in stream order.
+        let mut spans = Vec::new();
+        while let Some(chunk) = ring_rx.pop() {
+            samples_in += chunk.samples.len() as u64;
+            detector.push(&chunk.samples, &mut spans);
+            for span in spans.drain(..) {
+                let worker = span.index % workers;
+                job_txs[worker]
+                    .send(span)
+                    .expect("decode workers outlive detection");
+            }
+        }
+        detector.finish();
+        drop(job_txs);
+        for decoded in result_rx {
+            packets.push(decoded?);
+        }
+        Ok(())
+    })?;
+    let elapsed_s = started.elapsed().as_secs_f64().max(1e-12);
+    packets.sort_by_key(|p| p.index);
+
+    let samples_per_sec = samples_in as f64 / elapsed_s;
+    Ok(GatewayReport {
+        packets,
+        samples_in,
+        truncated: detector.truncated(),
+        elapsed_s,
+        samples_per_sec,
+        real_time_factor: samples_per_sec / sample_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ReplaySource;
+    use netscatter_phy::distributed::OnOffModulator;
+    use netscatter_phy::params::PhyProfile;
+    use netscatter_phy::preamble::PreambleBuilder;
+
+    /// A stream with `count` ideal single-device packets at varying gaps.
+    fn stream_with_packets(bin: usize, bits: &[bool], count: usize) -> Vec<Complex64> {
+        let params = PhyProfile::default().modulation.chirp();
+        let mut pkt = PreambleBuilder::new(params, bin).build(0.0, 0.0, 1.0);
+        pkt.extend(OnOffModulator::new(params, bin).modulate_payload(bits, 0.0, 0.0, 1.0));
+        let mut stream = Vec::new();
+        for i in 0..count {
+            stream.extend(vec![Complex64::ZERO; 400 + 137 * i]);
+            stream.extend(&pkt);
+        }
+        stream.extend(vec![Complex64::ZERO; 200]);
+        stream
+    }
+
+    #[test]
+    fn synchronous_gateway_decodes_every_packet() {
+        let bits = vec![true, false, true, true, false, true];
+        let cfg = GatewayConfig::new(PhyProfile::default(), vec![128], bits.len());
+        let stream = stream_with_packets(128, &bits, 3);
+        let mut gw = StreamGateway::new(&cfg).unwrap();
+        let mut packets = Vec::new();
+        for chunk in stream.chunks(777) {
+            packets.extend(gw.feed(chunk).unwrap());
+        }
+        assert_eq!(gw.finish(), 0);
+        assert_eq!(packets.len(), 3);
+        for p in &packets {
+            assert_eq!(p.round.bits_for(128).unwrap(), &bits[..]);
+        }
+    }
+
+    #[test]
+    fn threaded_pipeline_matches_the_synchronous_gateway() {
+        let bits = vec![true, true, false, true, false, false, true, true];
+        let cfg = GatewayConfig {
+            chunk_samples: 1000,
+            ring_slots: 4,
+            workers: 3,
+            ..GatewayConfig::new(PhyProfile::default(), vec![64, 192], bits.len())
+        };
+        let stream = stream_with_packets(64, &bits, 4);
+
+        let mut sync_packets = Vec::new();
+        let mut gw = StreamGateway::new(&cfg).unwrap();
+        for chunk in stream.chunks(cfg.chunk_samples) {
+            sync_packets.extend(gw.feed(chunk).unwrap());
+        }
+        gw.finish();
+
+        let mut source = ReplaySource::from_samples(stream, 500e3);
+        let report = run_stream(&mut source, &cfg).unwrap();
+        assert_eq!(report.packets, sync_packets);
+        assert_eq!(report.samples_in, source.len() as u64);
+        assert_eq!(report.truncated, 0);
+        assert_eq!(report.detected_rounds(), 4);
+        assert!(report.samples_per_sec > 0.0);
+        assert!(report.real_time_factor > 0.0);
+    }
+
+    #[test]
+    fn empty_stream_yields_an_empty_report() {
+        let cfg = GatewayConfig::new(PhyProfile::default(), vec![0], 4);
+        let mut source = ReplaySource::from_samples(Vec::new(), 500e3);
+        let report = run_stream(&mut source, &cfg).unwrap();
+        assert!(report.packets.is_empty());
+        assert_eq!(report.samples_in, 0);
+    }
+}

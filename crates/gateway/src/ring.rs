@@ -1,0 +1,238 @@
+//! A lock-free single-producer/single-consumer ring buffer.
+//!
+//! The gateway pipeline moves sample chunks from the producer thread (which
+//! owns the [`crate::source::StreamSource`]) to the detector without taking
+//! a lock on the hot path: the ring is a fixed array of slots indexed by two
+//! monotonically increasing counters, `tail` (written only by the producer)
+//! and `head` (written only by the consumer). Each side reads the other's
+//! counter with `Acquire` ordering and publishes its own with `Release`, so
+//! a slot is only ever touched by the side that provably owns it:
+//!
+//! * the producer may write slot `tail % capacity` iff `tail - head <
+//!   capacity` (the ring is not full);
+//! * the consumer may read slot `head % capacity` iff `head < tail` (the
+//!   ring is not empty).
+//!
+//! Those two invariants are the entire safety argument for the two `unsafe`
+//! blocks below. When its counterpart is not ready, a side spins with
+//! [`std::thread::yield_now`] — the ring carries multi-kilobyte sample
+//! chunks, so the handoff rate is a few thousand per second and the spin is
+//! never hot. Dropping the producer closes the ring; the consumer drains
+//! whatever was already published and then observes the end of stream.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared state of one SPSC ring.
+struct RingInner<T> {
+    /// Slot storage; `Option` so drops of undrained items are handled by the
+    /// normal `Drop` of the `Box` without any unsafe bookkeeping.
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Index of the next item to pop. Written only by the consumer.
+    head: AtomicUsize,
+    /// Index of the next free slot to push into. Written only by the
+    /// producer.
+    tail: AtomicUsize,
+    /// Set when the producer is dropped or closes the stream explicitly.
+    closed: AtomicBool,
+}
+
+// SAFETY: the head/tail ownership protocol documented on the module ensures
+// a slot is never accessed by both sides at once, so sharing the ring across
+// the two threads is sound whenever the items themselves may cross threads.
+unsafe impl<T: Send> Sync for RingInner<T> {}
+unsafe impl<T: Send> Send for RingInner<T> {}
+
+/// The producing half of a ring created by [`spsc_ring`].
+pub struct RingProducer<T> {
+    ring: Arc<RingInner<T>>,
+}
+
+/// The consuming half of a ring created by [`spsc_ring`].
+pub struct RingConsumer<T> {
+    ring: Arc<RingInner<T>>,
+}
+
+/// Creates a bounded lock-free SPSC ring with `capacity` slots (≥ 1).
+pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    let capacity = capacity.max(1);
+    let slots: Box<[UnsafeCell<Option<T>>]> =
+        (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let ring = Arc::new(RingInner {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (RingProducer { ring: ring.clone() }, RingConsumer { ring })
+}
+
+impl<T: Send> RingProducer<T> {
+    /// Pushes `item`, spinning while the ring is full. Returns the item back
+    /// if the consumer is gone (both counters frozen and the consumer handle
+    /// dropped is indistinguishable from a slow consumer, so the producer
+    /// instead detects closure via [`RingConsumer`] dropping its `Arc`).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        loop {
+            let head = ring.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < ring.slots.len() {
+                let slot = &ring.slots[tail % ring.slots.len()];
+                // SAFETY: `tail - head < capacity`, so the consumer cannot
+                // be reading this slot (it only reads indices < tail), and
+                // this thread is the only producer. Exclusive access holds
+                // until the Release store below publishes the slot.
+                unsafe { *slot.get() = Some(item) };
+                ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+                return Ok(());
+            }
+            if Arc::strong_count(&self.ring) == 1 {
+                // Consumer dropped its handle: nobody will ever drain us.
+                return Err(item);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks the stream as finished. Also done implicitly on drop.
+    pub fn close(&self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for RingProducer<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send> RingConsumer<T> {
+    /// Pops the next item, spinning while the ring is empty. Returns `None`
+    /// once the producer has closed the ring *and* every published item has
+    /// been drained.
+    pub fn pop(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        loop {
+            let tail = ring.tail.load(Ordering::Acquire);
+            if head != tail {
+                let slot = &ring.slots[head % ring.slots.len()];
+                // SAFETY: `head < tail`, so the producer has published this
+                // slot and will not touch it again until the Release store
+                // below hands it back; this thread is the only consumer.
+                let item = unsafe { (*slot.get()).take() };
+                ring.head.store(head.wrapping_add(1), Ordering::Release);
+                return Some(item.expect("published slot holds an item"));
+            }
+            if ring.closed.load(Ordering::Acquire) {
+                // Re-check emptiness after observing the close flag: the
+                // producer publishes items before closing.
+                if ring.tail.load(Ordering::Acquire) == head {
+                    return None;
+                }
+                continue;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pops without blocking: `Ok(Some)` on an item, `Ok(None)` when closed
+    /// and drained, `Err(RingEmpty)` when currently empty but still open.
+    pub fn try_pop(&self) -> Result<Option<T>, RingEmpty> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head != tail {
+            let slot = &ring.slots[head % ring.slots.len()];
+            // SAFETY: as in `pop` — `head < tail` grants the consumer
+            // exclusive access to this published slot.
+            let item = unsafe { (*slot.get()).take() };
+            ring.head.store(head.wrapping_add(1), Ordering::Release);
+            return Ok(Some(item.expect("published slot holds an item")));
+        }
+        if ring.closed.load(Ordering::Acquire) && ring.tail.load(Ordering::Acquire) == head {
+            return Ok(None);
+        }
+        Err(RingEmpty)
+    }
+}
+
+/// The ring held no item at the moment of a [`RingConsumer::try_pop`], but
+/// the producer is still live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingEmpty;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_in_order_across_threads() {
+        let (tx, rx) = spsc_ring::<u64>(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.push(i).expect("consumer alive");
+            }
+            // tx drops here, closing the ring.
+        });
+        let mut next = 0u64;
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, next);
+            next += 1;
+        }
+        assert_eq!(next, 10_000);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn close_without_items_ends_the_stream() {
+        let (tx, rx) = spsc_ring::<u8>(2);
+        tx.close();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn try_pop_distinguishes_empty_from_closed() {
+        let (tx, rx) = spsc_ring::<u8>(2);
+        assert_eq!(rx.try_pop(), Err(RingEmpty));
+        tx.push(7).unwrap();
+        assert_eq!(rx.try_pop(), Ok(Some(7)));
+        drop(tx);
+        assert_eq!(rx.try_pop(), Ok(None));
+    }
+
+    #[test]
+    fn capacity_bounds_inflight_items_and_drains_after_close() {
+        let (tx, rx) = spsc_ring::<usize>(3);
+        for i in 0..3 {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.pop(), Some(0));
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_once_the_consumer_is_gone() {
+        let (tx, rx) = spsc_ring::<usize>(1);
+        tx.push(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.push(2), Err(2));
+    }
+
+    #[test]
+    fn undrained_items_are_dropped_cleanly() {
+        // An Arc payload would leak if slot drops were mishandled.
+        let payload = Arc::new(42);
+        let (tx, rx) = spsc_ring::<Arc<i32>>(4);
+        tx.push(payload.clone()).unwrap();
+        tx.push(payload.clone()).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

@@ -63,16 +63,21 @@ USAGE:
 FLAGS (run & sweep):
   --quick | --paper           trial-count scale (default: paper)
   --seed <N>                  Monte-Carlo base seed (default: 42)
-  --threads <N>               worker-thread bound (default: all cores)
+  --threads <N>               worker-thread bound (default: all cores; 0 = all cores)
   --fidelity <analytical|sample>
   --devices <N>               population size (default: 256)
   --placement <office|hall>
   --channel <office|outdoor|pristine>
   --scheme <{schemes}>
   --payload-bits <N>
+  --arrival-rate <R>          gateway round arrivals per second (default: 10)
+  --stream-secs <S>           gateway stream duration (default: 1.0)
+  --chunk-samples <N>         gateway producer chunk size (default: 4096)
   --format <text|json|csv>    output sink (default: text)
   --out <PATH>                write output to PATH instead of stdout
 
+Enum values (--fidelity, --scheme, --placement, --channel, --format, and
+their --set counterparts) are case-insensitive.
 Sweepable scenario fields: {fields}
 Run `netscatter list` for the experiment ids.",
         schemes = schemes.join("|"),
@@ -127,7 +132,9 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
                 .scenario
                 .set_field("scale", "paper")
                 .map_err(CliError::usage)?,
-            "--seed" | "--threads" | "--fidelity" | "--devices" | "--placement" | "--channel"
+            // Enum-valued fields are case-insensitive inside `set_field`,
+            // which also covers the `--set` sweep path.
+            "--seed" | "--threads" | "--devices" | "--placement" | "--channel" | "--fidelity"
             | "--scheme" => {
                 let field = arg.trim_start_matches("--").to_string();
                 let v = value(&mut i, arg)?;
@@ -135,10 +142,11 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
                     .set_field(&field, &v)
                     .map_err(CliError::usage)?;
             }
-            "--payload-bits" => {
+            "--payload-bits" | "--arrival-rate" | "--stream-secs" | "--chunk-samples" => {
+                let field = arg.trim_start_matches("--").replace('-', "_");
                 let v = value(&mut i, arg)?;
                 opts.scenario
-                    .set_field("payload_bits", &v)
+                    .set_field(&field, &v)
                     .map_err(CliError::usage)?;
             }
             "--format" => {
@@ -185,12 +193,43 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
     Ok(opts)
 }
 
-/// Looks up `id` in the registry with a usage-quality error.
+/// Case-insensitive Levenshtein edit distance, for the did-you-mean hint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The registered experiment id closest to `id`, if any is close enough to
+/// plausibly be a typo (edit distance at most half the longer name).
+fn nearest_experiment_id(id: &str) -> Option<&'static str> {
+    registry()
+        .iter()
+        .map(|e| (edit_distance(id, e.id()), e.id()))
+        .min()
+        .filter(|(d, best)| *d * 2 <= id.len().max(best.len()))
+        .map(|(_, best)| best)
+}
+
+/// Looks up `id` in the registry with a usage-quality error, suggesting the
+/// nearest registered id on a miss.
 fn find_experiment(id: &str) -> Result<&'static dyn Experiment, CliError> {
     find(id).ok_or_else(|| {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        let hint = nearest_experiment_id(id)
+            .map(|best| format!(" did you mean {best:?}?"))
+            .unwrap_or_default();
         CliError::usage(format!(
-            "unknown experiment {id:?}; available: {}",
+            "unknown experiment {id:?};{hint} available: {}",
             ids.join(", ")
         ))
     })
@@ -405,10 +444,11 @@ USAGE:
 FLAGS:
   --quick | --paper           trial-count scale (default: paper)
   --seed <N>                  Monte-Carlo base seed (default: 42)
-  --threads <N>               worker-thread bound (default: all cores)
+  --threads <N>               worker-thread bound (default: all cores; 0 = all cores)
   --fidelity <analytical|sample>
   --devices <N>  --placement <office|hall>  --channel <office|outdoor|pristine>
   --scheme <name>  --payload-bits <N>
+  --arrival-rate <R>  --stream-secs <S>  --chunk-samples <N>
   --format <text|json|csv>    output sink (default: text)
   --out <PATH>                write output to PATH instead of stdout{extra_flags}
 
@@ -505,6 +545,82 @@ mod tests {
         assert_eq!(opts.scenario.payload_bits, 16);
         assert_eq!(opts.format, OutputFormat::Json);
         assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn gateway_flags_reach_the_scenario() {
+        let opts = parse_flags(
+            &args(&[
+                "--arrival-rate",
+                "2.5",
+                "--stream-secs",
+                "0.5",
+                "--chunk-samples",
+                "1024",
+            ]),
+            false,
+        )
+        .expect("flags parse");
+        assert_eq!(opts.scenario.arrival_rate, 2.5);
+        assert_eq!(opts.scenario.stream_secs, 0.5);
+        assert_eq!(opts.scenario.chunk_samples, 1024);
+        assert!(parse_flags(&args(&["--arrival-rate", "0"]), false).is_err());
+    }
+
+    #[test]
+    fn enum_valued_flags_are_case_insensitive() {
+        let opts = parse_flags(
+            &args(&[
+                "--fidelity",
+                "Sample",
+                "--scheme",
+                "LoRa-Fixed",
+                "--format",
+                "JSON",
+            ]),
+            false,
+        )
+        .expect("mixed-case values parse");
+        assert_eq!(
+            opts.scenario.fidelity,
+            crate::network::Fidelity::SampleLevel
+        );
+        assert_eq!(opts.scenario.scheme.name(), "lora-fixed");
+        assert_eq!(opts.format, OutputFormat::Json);
+        // Other flags stay strict: values that are not enum names at any
+        // capitalization still fail.
+        assert!(parse_flags(&args(&["--fidelity", "vibes"]), false).is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_ids_get_a_nearest_suggestion() {
+        let miss = |id: &str| find_experiment(id).err().expect("unknown id errors");
+        let err = miss("fig7");
+        assert!(
+            err.message.contains("did you mean \"fig17\"?")
+                || err.message.contains("did you mean \"fig04\"?"),
+            "{}",
+            err.message
+        );
+        let err = miss("gatewy");
+        assert!(
+            err.message.contains("did you mean \"gateway\"?"),
+            "{}",
+            err.message
+        );
+        // Nothing plausible: no suggestion, just the listing.
+        let err = miss("zzzzzzzzzzzz");
+        assert!(!err.message.contains("did you mean"), "{}", err.message);
+        assert!(err.message.contains("available:"));
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric_on_small_words() {
+        assert_eq!(edit_distance("fig17", "fig17"), 0);
+        assert_eq!(edit_distance("fig7", "fig17"), 1);
+        assert_eq!(edit_distance("FIG17", "fig17"), 0, "case-insensitive");
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -402,9 +402,9 @@ pub enum OutputFormat {
 }
 
 impl OutputFormat {
-    /// Parses a CLI `--format` value.
+    /// Parses a CLI `--format` value (case-insensitive).
     pub fn parse(value: &str) -> Result<Self, String> {
-        match value {
+        match value.to_lowercase().as_str() {
             "text" => Ok(OutputFormat::Text),
             "json" => Ok(OutputFormat::Json),
             "csv" => Ok(OutputFormat::Csv),

@@ -37,7 +37,7 @@ use std::fmt::Write as _;
 pub use crate::scenario::Scale;
 
 /// The registered experiments, in the order `netscatter list` prints them.
-static REGISTRY: [&dyn Experiment; 14] = [
+static REGISTRY: [&dyn Experiment; 15] = [
     &Table1,
     &Fig04,
     &Fig08,
@@ -51,6 +51,7 @@ static REGISTRY: [&dyn Experiment; 14] = [
     &Fig19,
     &AnalysisChoir,
     &AnalysisCapacity,
+    &Gateway,
     &Perf,
 ];
 
@@ -1125,6 +1126,296 @@ impl Experiment for AnalysisCapacity {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming gateway
+
+/// The network sizes the gateway experiment and the stream perf snapshot
+/// report (clamped to the scenario's population).
+const GATEWAY_SIZES: [usize; 3] = [16, 64, 256];
+
+/// Aggregate outcome of one streaming-gateway session, scored against the
+/// synthesizer's ground truth.
+struct GatewayOutcome {
+    /// Rounds the synthesizer put on the air.
+    rounds_offered: usize,
+    /// Offered rounds matched by a decoded packet with ≥ 1 device.
+    rounds_decoded: usize,
+    /// Emitted packets matching no offered round: energy-gate triggers
+    /// that decoded to zero devices, plus spurious non-empty decodes at
+    /// positions where nothing was transmitted.
+    false_alarms: usize,
+    /// Device-rounds delivered error-free over device-rounds transmitted.
+    delivery_frac: f64,
+    /// Bit errors over transmitted bits (unmatched rounds count their bits
+    /// as errors).
+    ber: f64,
+    /// Measured pipeline throughput in Msamples/s.
+    msamples_per_sec: f64,
+    /// Throughput over the stream's sample rate.
+    real_time_factor: f64,
+}
+
+/// Runs one streaming-gateway session: synthesize a `stream_secs` stream of
+/// Poisson round arrivals for the first `n` devices of `dep`, pump it
+/// through the threaded gateway pipeline, and score the decode against the
+/// synthesizer's truth.
+fn run_gateway_stream(
+    dep: &crate::deployment::Deployment,
+    n: usize,
+    model: &crate::fullround::ChannelModel,
+    scenario: &Scenario,
+    stream_secs: f64,
+    trial_seed: u64,
+) -> GatewayOutcome {
+    use crate::stream::{ArrivalConfig, RoundArrivalSource};
+    use netscatter_gateway::{run_stream, GatewayConfig};
+
+    let mut source = RoundArrivalSource::new(
+        dep,
+        n,
+        model,
+        ArrivalConfig {
+            rate_hz: scenario.arrival_rate,
+            stream_secs,
+            payload_bits: scenario.payload_bits,
+        },
+        trial_seed,
+    );
+    let truth = source.truth();
+    let round_samples = source.round_samples();
+    let config = GatewayConfig {
+        chunk_samples: scenario.chunk_samples,
+        workers: scenario.threads,
+        detection_floor_fraction: Some(source.detection_floor_fraction()),
+        ..GatewayConfig::new(
+            dep.config.profile,
+            source.assigned_bins().to_vec(),
+            scenario.payload_bits,
+        )
+    };
+    let bins = config.assigned_bins.clone();
+    let report = run_stream(&mut source, &config).expect("gateway stream decodes");
+
+    // Score: pair each offered round with the decoded packet whose start
+    // lies within half a round of the truth start (both sequences are
+    // monotonic in stream order).
+    let rounds = truth.lock().expect("truth lock");
+    let mut rounds_decoded = 0usize;
+    let mut matched = vec![false; report.packets.len()];
+    let mut transmitted_devices = 0usize;
+    let mut delivered_devices = 0usize;
+    let mut transmitted_bits = 0usize;
+    let mut error_bits = 0usize;
+    for round in rounds.iter() {
+        let packet = report.packets.iter().enumerate().find(|(_, p)| {
+            p.start_sample.abs_diff(round.start_sample) < round_samples / 2
+                && !p.round.devices.is_empty()
+        });
+        if let Some((i, _)) = packet {
+            matched[i] = true;
+            rounds_decoded += 1;
+        }
+        for (device, sent) in round.sent.iter().enumerate() {
+            let Some(bits) = sent else { continue };
+            transmitted_devices += 1;
+            transmitted_bits += bits.len();
+            let decoded = packet.and_then(|(_, p)| p.round.bits_for(bins[device]));
+            match decoded {
+                Some(decoded) => {
+                    let errors = decoded.iter().zip(bits).filter(|(a, b)| a != b).count()
+                        + bits.len().saturating_sub(decoded.len());
+                    error_bits += errors;
+                    if errors == 0 && decoded.len() == bits.len() {
+                        delivered_devices += 1;
+                    }
+                }
+                // A missed round (or missed device) loses every bit.
+                None => error_bits += bits.len(),
+            }
+        }
+    }
+    // A false alarm is any emitted packet that corresponds to no offered
+    // round: an energy-gate trigger that decoded to zero devices, or a
+    // spurious non-empty decode matching no truth start.
+    let false_alarms = report
+        .packets
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| !matched[*i] || p.round.devices.is_empty())
+        .count();
+    GatewayOutcome {
+        rounds_offered: rounds.len(),
+        rounds_decoded,
+        false_alarms,
+        delivery_frac: if transmitted_devices == 0 {
+            1.0
+        } else {
+            delivered_devices as f64 / transmitted_devices as f64
+        },
+        ber: if transmitted_bits == 0 {
+            0.0
+        } else {
+            error_bits as f64 / transmitted_bits as f64
+        },
+        msamples_per_sec: report.samples_per_sec / 1e6,
+        real_time_factor: report.real_time_factor,
+    }
+}
+
+/// The channel stack the gateway synthesizer runs under a given fidelity:
+/// sample level uses the scenario's channel profile; analytical idealizes
+/// the radio (no impairments, no noise) so the stream exercises only the
+/// detection/decode machinery.
+fn gateway_channel_model(scenario: &Scenario) -> crate::fullround::ChannelModel {
+    match scenario.fidelity {
+        Fidelity::SampleLevel => scenario.channel_model(),
+        Fidelity::Analytical => {
+            let mut model = crate::fullround::ChannelModel::pristine();
+            model.noise = false;
+            model
+        }
+    }
+}
+
+/// Streaming gateway: continuous-stream detection, sync and decode with
+/// measured real-time throughput.
+pub struct Gateway;
+
+impl Experiment for Gateway {
+    fn id(&self) -> &'static str {
+        "gateway"
+    }
+
+    fn title(&self) -> &'static str {
+        "Streaming gateway: continuous-stream detect + decode, real-time factor"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[
+            "devices",
+            "placement",
+            "channel",
+            "fidelity",
+            "scale",
+            "seed",
+            "threads",
+            "payload_bits",
+            "arrival_rate",
+            "stream_secs",
+            "chunk_samples",
+        ]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        /// Stream-length cap under quick scale, keeping CI and the smoke
+        /// tests fast.
+        const QUICK_STREAM_SECS_CAP: f64 = 0.25;
+        let dep = scenario.deployment();
+        let model = gateway_channel_model(scenario);
+        // Quick scale caps the stream length — loudly when it overrides a
+        // longer request, and the result's recorded scenario carries the
+        // value that actually ran so the metadata never contradicts the
+        // measurements.
+        let stream_secs = if scenario.scale == Scale::Quick {
+            // Warn only when the cap overrides a value the user actually
+            // changed from the default — a plain `--quick` run is the
+            // expected fast path, not a surprise.
+            if scenario.stream_secs > QUICK_STREAM_SECS_CAP
+                && scenario.stream_secs != Scenario::default().stream_secs
+            {
+                eprintln!(
+                    "note: gateway caps stream_secs at {QUICK_STREAM_SECS_CAP} under quick scale (requested {}); use --paper for the full stream",
+                    scenario.stream_secs
+                );
+            }
+            scenario.stream_secs.min(QUICK_STREAM_SECS_CAP)
+        } else {
+            scenario.stream_secs
+        };
+        let mut sizes: Vec<usize> = GATEWAY_SIZES
+            .into_iter()
+            .filter(|&n| n <= scenario.devices)
+            .collect();
+        if sizes.last() != Some(&scenario.devices) {
+            sizes.push(scenario.devices);
+        }
+        let mc = scenario.monte_carlo();
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        result.scenario.stream_secs = stream_secs;
+        let mut t = Table::new(
+            "stream",
+            &[
+                ("devices", ""),
+                ("rounds_offered", ""),
+                ("rounds_decoded", ""),
+                ("false_alarms", ""),
+                ("delivery_frac", ""),
+                ("ber", ""),
+                ("msamples_per_sec", "Msps"),
+                ("real_time_factor", ""),
+            ],
+        );
+        let mut last: Option<GatewayOutcome> = None;
+        for &n in &sizes {
+            let outcome = run_gateway_stream(
+                &dep,
+                n,
+                &model,
+                scenario,
+                stream_secs,
+                mc.derive(n as u64).seed,
+            );
+            t.push_row(vec![
+                n as f64,
+                outcome.rounds_offered as f64,
+                outcome.rounds_decoded as f64,
+                outcome.false_alarms as f64,
+                outcome.delivery_frac,
+                outcome.ber,
+                outcome.msamples_per_sec,
+                outcome.real_time_factor,
+            ]);
+            last = Some(outcome);
+        }
+        result.tables.push(t);
+        let last = last.expect("at least one network size");
+        result.scalars.push(("stream_secs".into(), stream_secs));
+        result
+            .scalars
+            .push(("msamples_per_sec".into(), last.msamples_per_sec));
+        result
+            .scalars
+            .push(("real_time_factor".into(), last.real_time_factor));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = format!(
+            "Streaming gateway ({} synthesis, {:.2} s stream, {} rounds/s arrivals)\n  N     offered  decoded  false  delivered  BER      Msamples/s  real-time\n",
+            fidelity_tag(result.scenario.fidelity),
+            result.scalar("stream_secs").unwrap_or(f64::NAN),
+            result.scenario.arrival_rate,
+        );
+        let t = result.table("stream").expect("stream table");
+        for row in &t.rows {
+            let _ = writeln!(
+                out,
+                "  {:4.0}  {:7.0}  {:7.0}  {:5.0}  {:9.3}  {:7.5}  {:10.2}  {:8.2}x",
+                row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
+            );
+        }
+        let last_n = t.rows.last().map(|r| r[0]).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "throughput at {:.0} devices: {:.2} Msamples/s = {:.2}x real time",
+            last_n,
+            result.scalar("msamples_per_sec").expect("scalar"),
+            result.scalar("real_time_factor").expect("scalar")
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Perf snapshot
 
 /// Payload symbols per round timed by the perf snapshot.
@@ -1247,7 +1538,41 @@ impl Experiment for Perf {
             ]);
         }
 
-        // 4. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and
+        // 4. Streaming-gateway throughput: the full producer → ring →
+        //    detector → worker pipeline over a sample-level office stream,
+        //    at {16, 64, 256} devices. Msamples/s and the real-time factor
+        //    land in BENCH_stream.json.
+        let stream_scenario = Scenario::builder()
+            .seed(scenario.seed)
+            .arrival_rate(10.0)
+            .stream_secs(0.2)
+            .build();
+        let stream_model = ChannelModel::office();
+        let mut stream = Table::new(
+            "stream",
+            &[
+                ("devices", ""),
+                ("msamples_per_sec", "Msps"),
+                ("real_time_factor", ""),
+            ],
+        );
+        for n_devices in GATEWAY_SIZES {
+            let outcome = run_gateway_stream(
+                &dep,
+                n_devices,
+                &stream_model,
+                &stream_scenario,
+                stream_scenario.stream_secs,
+                scenario.seed ^ n_devices as u64,
+            );
+            stream.push_row(vec![
+                n_devices as f64,
+                outcome.msamples_per_sec,
+                outcome.real_time_factor,
+            ]);
+        }
+
+        // 5. Quick-mode sweep wall-times: the Fig. 15b Monte-Carlo sweep and
         //    the Fig. 17 network sweep, both through the sharded/parallel
         //    layer.
         let t = Instant::now();
@@ -1261,6 +1586,7 @@ impl Experiment for Perf {
         let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
         result.tables.push(decode);
         result.tables.push(network);
+        result.tables.push(stream);
         result.scalars.push((
             "payload_symbols_per_round".into(),
             PERF_PAYLOAD_SYMBOLS as f64,
@@ -1294,6 +1620,13 @@ impl Experiment for Perf {
                 row[0], row[1], row[2]
             );
         }
+        for row in &result.table("stream").expect("stream table").rows {
+            let _ = writeln!(
+                out,
+                "  gateway[{:>3.0} devices]: {:.2} Msamples/s = {:.2}x real time",
+                row[0], row[1], row[2]
+            );
+        }
         let _ = writeln!(
             out,
             "  fig15b quick sweep: {:.0} ms",
@@ -1308,11 +1641,14 @@ impl Experiment for Perf {
     }
 }
 
-/// Splits a [`Perf`] result into the two CI artifacts — `BENCH_decode`
-/// (decode pipeline + sweep wall-times) and `BENCH_network` (sample-level
-/// round throughput) — each a self-contained schema-versioned
+/// Splits a [`Perf`] result into the three CI artifacts — `BENCH_decode`
+/// (decode pipeline + sweep wall-times), `BENCH_network` (sample-level
+/// round throughput) and `BENCH_stream` (streaming-gateway throughput and
+/// real-time factor) — each a self-contained schema-versioned
 /// [`ExperimentResult`] for the JSON sink.
-pub fn perf_bench_results(perf: &ExperimentResult) -> (ExperimentResult, ExperimentResult) {
+pub fn perf_bench_results(
+    perf: &ExperimentResult,
+) -> (ExperimentResult, ExperimentResult, ExperimentResult) {
     let mut decode = ExperimentResult::new(
         "bench_decode",
         "Decode-pipeline perf snapshot (BENCH_decode)",
@@ -1345,7 +1681,16 @@ pub fn perf_bench_results(perf: &ExperimentResult) -> (ExperimentResult, Experim
         "payload_symbols_per_round".into(),
         perf.scalar("payload_symbols_per_round").expect("scalar"),
     ));
-    (decode, network)
+    let mut stream = ExperimentResult::new(
+        "bench_stream",
+        "Streaming-gateway perf snapshot (BENCH_stream)",
+        &perf.scenario,
+    );
+    stream.source.clone_from(&perf.source);
+    stream
+        .tables
+        .push(perf.table("stream").expect("stream table").clone());
+    (decode, network, stream)
 }
 
 // ---------------------------------------------------------------------------
@@ -1499,7 +1844,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_fourteen_former_drivers() {
+    fn registry_covers_all_former_drivers_plus_the_gateway() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
@@ -1517,6 +1862,7 @@ mod tests {
                 "fig19",
                 "analysis_choir",
                 "analysis_capacity",
+                "gateway",
                 "perf",
             ]
         );
@@ -1567,6 +1913,59 @@ mod tests {
         // the link-layer rate must move.
         let rate = |r: &ExperimentResult| r.table("link_rate").unwrap().rows[1][3];
         assert!(rate(&long) > rate(&short));
+    }
+
+    #[test]
+    fn gateway_experiment_decodes_an_analytical_stream() {
+        // Analytical fidelity: ideal radios, no noise — every offered round
+        // must come back decoded with zero bit errors, and the structured
+        // result must carry the throughput columns BENCH_stream consumes.
+        let scenario = Scenario::builder()
+            .scale(Scale::Quick)
+            .devices(16)
+            .payload_bits(8)
+            .stream_secs(0.2)
+            .arrival_rate(20.0)
+            .seed(5)
+            .build();
+        let result = Gateway.run(&scenario);
+        let t = result.table("stream").expect("stream table");
+        assert_eq!(t.rows.len(), 1, "16-device scenario has one size row");
+        let offered = t.column("rounds_offered").unwrap()[0];
+        let decoded = t.column("rounds_decoded").unwrap()[0];
+        assert!(offered >= 1.0, "stream offered no rounds");
+        assert_eq!(offered, decoded, "every ideal round decodes");
+        assert_eq!(t.column("ber").unwrap()[0], 0.0);
+        assert_eq!(t.column("delivery_frac").unwrap()[0], 1.0);
+        assert!(t.column("msamples_per_sec").unwrap()[0] > 0.0);
+        assert!(result.scalar("real_time_factor").unwrap() > 0.0);
+        let text = Gateway.render_text(&result);
+        assert!(text.contains("real time"), "{text}");
+    }
+
+    #[test]
+    fn gateway_experiment_survives_the_sample_level_channel() {
+        // Sample-level office synthesis at a small population: the gateway
+        // must find most rounds through multipath/fading/CFO/noise.
+        let scenario = Scenario::builder()
+            .scale(Scale::Quick)
+            .devices(16)
+            .payload_bits(8)
+            .stream_secs(0.25)
+            .arrival_rate(20.0)
+            .fidelity(Fidelity::SampleLevel)
+            .seed(7)
+            .build();
+        let result = Gateway.run(&scenario);
+        let t = result.table("stream").expect("stream table");
+        let offered = t.column("rounds_offered").unwrap()[0];
+        let decoded = t.column("rounds_decoded").unwrap()[0];
+        assert!(offered >= 1.0);
+        assert!(
+            decoded >= (offered * 0.5).floor(),
+            "gateway missed most rounds: {decoded}/{offered}"
+        );
+        assert!(t.column("delivery_frac").unwrap()[0] > 0.3);
     }
 
     #[test]

@@ -370,14 +370,36 @@ impl FullRoundNetwork {
         &self.bins
     }
 
-    /// Simulates one complete round — query reception, power adjustment,
-    /// waveform synthesis and superposition, AWGN, and the real
-    /// [`ConcurrentReceiver`] decode — and returns the per-device truth.
+    /// The detection floor fraction this simulator's receiver runs with
+    /// (the post-FFT SNR test when noise is modeled; the receiver default
+    /// otherwise). The streaming gateway mirrors it so streaming and batch
+    /// decode score identically.
+    pub fn detection_floor_fraction(&self) -> f64 {
+        self.receiver.detection_floor_fraction
+    }
+
+    /// Whether the channel model adds AWGN at the thermal floor.
+    pub fn noise_enabled(&self) -> bool {
+        self.model.noise
+    }
+
+    /// The duration of one round's waveform in seconds (preamble plus
+    /// `payload_bits` payload symbols at the profile's symbol rate).
+    pub fn round_duration_s(&self, payload_bits: usize) -> f64 {
+        (PREAMBLE_SYMBOLS + payload_bits) as f64 * self.profile.modulation.symbol_duration_s()
+    }
+
+    /// Synthesizes the next round's superposed waveform into the internal
+    /// buffer — query reception, power adjustment, per-device channel
+    /// realization and chirp synthesis — *without* AWGN or decoding, and
+    /// returns what every device put on the air (`None` for devices that
+    /// skipped or re-associated). The waveform is available through
+    /// [`Self::round_waveform`] until the next synthesis.
     ///
-    /// Every scheduled device draws `payload_bits` random payload bits; a
-    /// device is *delivered* when the receiver detected it and decoded all
-    /// of its bits correctly.
-    pub fn simulate_round(&mut self, payload_bits: usize) -> RoundTruth {
+    /// [`Self::simulate_round`] builds on this; the streaming gateway's
+    /// round synthesizer calls it directly to splice rounds into a
+    /// continuous stream.
+    pub fn synthesize_round(&mut self, payload_bits: usize) -> Vec<Option<Vec<bool>>> {
         let n = self.profile.modulation.num_bins();
         let num_devices = self.devices.len();
         let total = (PREAMBLE_SYMBOLS + payload_bits) * n;
@@ -418,6 +440,25 @@ impl FullRoundNetwork {
             self.superpose_device(i, timing_offset_s, freq_offset_hz, gain_c, &bits, n);
             sent.push(Some(bits));
         }
+        sent
+    }
+
+    /// The waveform of the most recent [`Self::synthesize_round`] (noise
+    /// free; AWGN is the caller's concern when splicing into a stream).
+    pub fn round_waveform(&self) -> &[Complex64] {
+        &self.stream
+    }
+
+    /// Simulates one complete round — query reception, power adjustment,
+    /// waveform synthesis and superposition, AWGN, and the real
+    /// [`ConcurrentReceiver`] decode — and returns the per-device truth.
+    ///
+    /// Every scheduled device draws `payload_bits` random payload bits; a
+    /// device is *delivered* when the receiver detected it and decoded all
+    /// of its bits correctly.
+    pub fn simulate_round(&mut self, payload_bits: usize) -> RoundTruth {
+        let num_devices = self.devices.len();
+        let sent = self.synthesize_round(payload_bits);
         if self.model.noise {
             AwgnChannel::with_noise_power(1.0).apply(&mut self.rng, &mut self.stream);
         }

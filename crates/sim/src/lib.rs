@@ -28,6 +28,11 @@
 //!   structured serde-serializable
 //!   [`ExperimentResult`](experiment::ExperimentResult) (schema-versioned
 //!   tables + scalars) and the text/JSON/CSV sinks.
+//! * [`stream`] — the live stream synthesizer feeding the streaming
+//!   gateway (`netscatter_gateway`): rounds from the sample-level simulator
+//!   replayed as a continuous baseband stream with Poisson arrivals,
+//!   recharge dead time between rounds, and thermal noise over the idle
+//!   gaps.
 //! * [`experiments`] — the registered drivers, one per table/figure of the
 //!   paper plus the CI perf snapshot. The `netscatter` CLI binary and the
 //!   per-figure shim binaries in `src/bin/` are thin wrappers around
@@ -48,6 +53,7 @@ pub mod fullround;
 pub mod montecarlo;
 pub mod network;
 pub mod scenario;
+pub mod stream;
 pub mod workloads;
 
 pub use deployment::{Deployment, DeploymentConfig, DeviceLink};
@@ -56,3 +62,4 @@ pub use fullround::{ChannelModel, ChannelRealizer, FullRoundNetwork, RoundChanne
 pub use montecarlo::MonteCarlo;
 pub use network::{netscatter_metrics, netscatter_metrics_with, Fidelity, NetScatterVariant};
 pub use scenario::{ChannelProfile, Placement, Scale, Scenario, ScenarioBuilder, Scheme};
+pub use stream::{ArrivalConfig, RoundArrivalSource, StreamRoundTruth, StreamTruth};

@@ -48,11 +48,16 @@ impl MonteCarlo {
         }
     }
 
-    /// A runner with an explicit worker-thread bound.
+    /// A runner with an explicit worker-thread bound; 0 resolves to the
+    /// available parallelism (never passed through literally).
     pub fn with_threads(seed: u64, threads: usize) -> Self {
         Self {
             seed,
-            threads: threads.max(1),
+            threads: if threads == 0 {
+                available_threads()
+            } else {
+                threads
+            },
         }
     }
 

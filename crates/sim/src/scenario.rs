@@ -167,10 +167,18 @@ pub struct Scenario {
     pub scale: Scale,
     /// Monte-Carlo base seed.
     pub seed: u64,
-    /// Worker-thread bound (results are bit-identical at any value).
+    /// Worker-thread bound (results are bit-identical at any value; 0
+    /// resolves to the available parallelism).
     pub threads: usize,
     /// Payload bits each device delivers per round.
     pub payload_bits: usize,
+    /// Round arrival rate (rounds/s) of the streaming-gateway experiment's
+    /// Poisson arrival process.
+    pub arrival_rate: f64,
+    /// Stream duration in seconds for the streaming-gateway experiment.
+    pub stream_secs: f64,
+    /// Producer chunk size in samples for the streaming gateway.
+    pub chunk_samples: usize,
 }
 
 impl Default for Scenario {
@@ -185,13 +193,25 @@ impl Default for Scenario {
             seed: 42,
             threads: available_threads(),
             payload_bits: 40,
+            arrival_rate: 10.0,
+            stream_secs: 1.0,
+            chunk_samples: 4096,
         }
     }
 }
 
+/// Valid domain of the gateway stream parameters, enforced identically by
+/// [`Scenario::set_field`] and the builder: durations in
+/// `[1 ms, 1 hour]`, arrival rates in `[1e-3, 1e6]` rounds/s.
+const MIN_STREAM_PARAM: f64 = 1e-3;
+/// Upper bound of [`Scenario::stream_secs`].
+const MAX_STREAM_SECS: f64 = 3600.0;
+/// Upper bound of [`Scenario::arrival_rate`].
+const MAX_ARRIVAL_RATE_HZ: f64 = 1e6;
+
 /// The names of every settable [`Scenario`] field, in canonical order —
 /// the vocabulary of `netscatter sweep` and [`Scenario::set_field`].
-pub const SCENARIO_FIELDS: [&str; 9] = [
+pub const SCENARIO_FIELDS: [&str; 12] = [
     "devices",
     "placement",
     "channel",
@@ -201,6 +221,9 @@ pub const SCENARIO_FIELDS: [&str; 9] = [
     "seed",
     "threads",
     "payload_bits",
+    "arrival_rate",
+    "stream_secs",
+    "chunk_samples",
 ];
 
 impl Scenario {
@@ -230,16 +253,31 @@ impl Scenario {
             ("seed", self.seed.to_string()),
             ("threads", self.threads.to_string()),
             ("payload_bits", self.payload_bits.to_string()),
+            ("arrival_rate", self.arrival_rate.to_string()),
+            ("stream_secs", self.stream_secs.to_string()),
+            ("chunk_samples", self.chunk_samples.to_string()),
         ]
     }
 
     /// Sets one field from its CLI string form. Unknown fields and
-    /// unparsable values return a usage-quality error message.
+    /// unparsable values return a usage-quality error message. Enum-valued
+    /// fields (`placement`, `channel`, `fidelity`, `scheme`, `scale`)
+    /// accept any capitalization — both the flag and `--set` sweep paths
+    /// go through here.
     pub fn set_field(&mut self, name: &str, value: &str) -> Result<(), String> {
         fn int<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
             value
                 .parse()
                 .map_err(|_| format!("{name} expects an integer, got {value:?}"))
+        }
+        fn positive_f64(name: &str, value: &str) -> Result<f64, String> {
+            let v: f64 = value
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {value:?}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} expects a positive number, got {value:?}"));
+            }
+            Ok(v)
         }
         match name {
             "devices" => {
@@ -253,11 +291,31 @@ impl Scenario {
             }
             "seed" => self.seed = int(name, value)?,
             "threads" => {
-                self.threads = int::<usize>(name, value)?.max(1);
+                // 0 is the documented "use every core" value, resolved here
+                // so no layer below ever sees a zero thread bound.
+                self.threads = match int::<usize>(name, value)? {
+                    0 => available_threads(),
+                    n => n,
+                };
             }
             "payload_bits" => self.payload_bits = int(name, value)?,
+            "arrival_rate" => {
+                self.arrival_rate =
+                    positive_f64(name, value)?.clamp(MIN_STREAM_PARAM, MAX_ARRIVAL_RATE_HZ);
+            }
+            "stream_secs" => {
+                self.stream_secs =
+                    positive_f64(name, value)?.clamp(MIN_STREAM_PARAM, MAX_STREAM_SECS);
+            }
+            "chunk_samples" => {
+                let chunk = int::<usize>(name, value)?;
+                if chunk == 0 {
+                    return Err("chunk_samples expects a positive integer, got \"0\"".into());
+                }
+                self.chunk_samples = chunk;
+            }
             "placement" => {
-                self.placement = match value {
+                self.placement = match value.to_lowercase().as_str() {
                     "office" => Placement::Office,
                     "hall" => Placement::Hall,
                     _ => {
@@ -268,7 +326,7 @@ impl Scenario {
                 }
             }
             "channel" => {
-                self.channel = match value {
+                self.channel = match value.to_lowercase().as_str() {
                     "office" => ChannelProfile::Office,
                     "outdoor" => ChannelProfile::Outdoor,
                     "pristine" => ChannelProfile::Pristine,
@@ -280,7 +338,7 @@ impl Scenario {
                 }
             }
             "fidelity" => {
-                self.fidelity = match value {
+                self.fidelity = match value.to_lowercase().as_str() {
                     "analytical" => Fidelity::Analytical,
                     "sample" => Fidelity::SampleLevel,
                     _ => {
@@ -291,16 +349,17 @@ impl Scenario {
                 }
             }
             "scheme" => {
+                let lower = value.to_lowercase();
                 self.scheme = Scheme::ALL
                     .into_iter()
-                    .find(|s| s.name() == value)
+                    .find(|s| s.name() == lower)
                     .ok_or_else(|| {
                         let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
                         format!("scheme expects one of {}, got {value:?}", names.join("/"))
                     })?;
             }
             "scale" => {
-                self.scale = match value {
+                self.scale = match value.to_lowercase().as_str() {
                     "quick" => Scale::Quick,
                     "paper" | "full" => Scale::Full,
                     _ => return Err(format!("scale expects 'quick' or 'paper', got {value:?}")),
@@ -416,15 +475,49 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Worker-thread bound (clamped to ≥ 1).
+    /// Worker-thread bound; 0 resolves to the available parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.0.threads = threads.max(1);
+        self.0.threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
         self
     }
 
     /// Payload bits per device per round.
     pub fn payload_bits(mut self, payload_bits: usize) -> Self {
         self.0.payload_bits = payload_bits;
+        self
+    }
+
+    /// Round arrival rate (rounds/s) of the streaming-gateway experiment,
+    /// clamped to the shared valid domain (NaN maps to the minimum).
+    pub fn arrival_rate(mut self, arrival_rate: f64) -> Self {
+        let rate = if arrival_rate.is_nan() {
+            MIN_STREAM_PARAM
+        } else {
+            arrival_rate
+        };
+        self.0.arrival_rate = rate.clamp(MIN_STREAM_PARAM, MAX_ARRIVAL_RATE_HZ);
+        self
+    }
+
+    /// Stream duration (seconds) of the streaming-gateway experiment,
+    /// clamped to the shared valid domain (NaN maps to the minimum).
+    pub fn stream_secs(mut self, stream_secs: f64) -> Self {
+        let secs = if stream_secs.is_nan() {
+            MIN_STREAM_PARAM
+        } else {
+            stream_secs
+        };
+        self.0.stream_secs = secs.clamp(MIN_STREAM_PARAM, MAX_STREAM_SECS);
+        self
+    }
+
+    /// Producer chunk size (samples) of the streaming gateway.
+    pub fn chunk_samples(mut self, chunk_samples: usize) -> Self {
+        self.0.chunk_samples = chunk_samples.max(1);
         self
     }
 
@@ -449,6 +542,9 @@ mod tests {
             .seed(7)
             .threads(0)
             .payload_bits(8)
+            .arrival_rate(25.0)
+            .stream_secs(0.5)
+            .chunk_samples(2048)
             .build();
         assert_eq!(s.devices, 64);
         assert_eq!(
@@ -461,8 +557,15 @@ mod tests {
         assert_eq!(s.fidelity, Fidelity::SampleLevel);
         assert_eq!(s.scale, Scale::Quick);
         assert_eq!(s.seed, 7);
-        assert_eq!(s.threads, 1, "threads clamp to >= 1");
+        assert_eq!(
+            s.threads,
+            available_threads(),
+            "threads 0 resolves to every available core"
+        );
         assert_eq!(s.payload_bits, 8);
+        assert_eq!(s.arrival_rate, 25.0);
+        assert_eq!(s.stream_secs, 0.5);
+        assert_eq!(s.chunk_samples, 2048);
     }
 
     #[test]
@@ -480,6 +583,9 @@ mod tests {
             ("seed", "9"),
             ("threads", "2"),
             ("payload_bits", "16"),
+            ("arrival_rate", "2.5"),
+            ("stream_secs", "0.75"),
+            ("chunk_samples", "512"),
         ] {
             s.set_field(name, value).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -495,9 +601,45 @@ mod tests {
             "9",
             "2",
             "16",
+            "2.5",
+            "0.75",
+            "512",
         ]) {
             assert_eq!(got, want, "field {name}");
         }
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_stream_parameters() {
+        // The CLI path rejects these with an error; the builder clamps
+        // into the valid domain so library users can never construct a
+        // silently empty stream.
+        let s = Scenario::builder()
+            .arrival_rate(0.0)
+            .stream_secs(-5.0)
+            .build();
+        assert!(s.arrival_rate > 0.0);
+        assert!(s.stream_secs > 0.0);
+        let s = Scenario::builder()
+            .arrival_rate(f64::NAN)
+            .stream_secs(f64::INFINITY)
+            .build();
+        assert!(s.arrival_rate.is_finite() && s.arrival_rate > 0.0);
+        assert!(s.stream_secs.is_finite() && s.stream_secs > 0.0);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let mut s = Scenario::default();
+        s.set_field("threads", "0").unwrap();
+        assert_eq!(s.threads, available_threads());
+        assert!(s.threads >= 1);
+        // The Monte-Carlo layer resolves 0 identically.
+        assert_eq!(
+            MonteCarlo::with_threads(1, 0).threads,
+            available_threads(),
+            "MonteCarlo::with_threads(_, 0) uses every core"
+        );
     }
 
     #[test]
@@ -516,6 +658,16 @@ mod tests {
             .set_field("scheme", "aloha")
             .unwrap_err()
             .contains("netscatter"));
+        for (field, bad) in [
+            ("arrival_rate", "0"),
+            ("arrival_rate", "fast"),
+            ("stream_secs", "-1"),
+            ("stream_secs", "inf"),
+            ("chunk_samples", "0"),
+            ("chunk_samples", "big"),
+        ] {
+            assert!(s.set_field(field, bad).is_err(), "{field}={bad}");
+        }
         // Failed sets leave the scenario untouched.
         assert_eq!(s, Scenario::default());
     }

@@ -102,6 +102,7 @@ fn netscatter_list_enumerates_all_former_drivers() {
         "fig19",
         "analysis_choir",
         "analysis_capacity",
+        "gateway",
         "perf",
     ] {
         assert!(listing.contains(id), "list is missing {id}:\n{listing}");
@@ -129,6 +130,7 @@ fn netscatter_run_emits_schema_versioned_json_for_every_driver() {
         "fig19",
         "analysis_choir",
         "analysis_capacity",
+        "gateway",
     ] {
         let stdout = run(exe, &["run", id, "--quick", "--format", "json"]);
         let doc = Json::parse(&stdout).unwrap_or_else(|e| panic!("{id}: invalid JSON: {e}"));
@@ -212,8 +214,10 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
     use netscatter::json::Json;
     let out = std::env::temp_dir().join("netscatter_perf_snapshot_test.json");
     let net_out = std::env::temp_dir().join("netscatter_perf_snapshot_net_test.json");
+    let stream_out = std::env::temp_dir().join("netscatter_perf_snapshot_stream_test.json");
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&net_out);
+    let _ = std::fs::remove_file(&stream_out);
     run(
         env!("CARGO_BIN_EXE_perf_snapshot"),
         &[
@@ -221,6 +225,8 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
             out.to_str().unwrap(),
             "--network-out",
             net_out.to_str().unwrap(),
+            "--stream-out",
+            stream_out.to_str().unwrap(),
         ],
     );
     for (path, experiment, table, rate_column) in [
@@ -231,6 +237,7 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
             "network",
             "device_symbols_per_sec",
         ),
+        (&stream_out, "bench_stream", "stream", "msamples_per_sec"),
     ] {
         let text = std::fs::read_to_string(path).expect("snapshot file written");
         let doc = Json::parse(&text).expect("BENCH artifact is valid JSON");
@@ -262,4 +269,106 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
     assert!(String::from_utf8_lossy(&bad.stderr).contains("--format"));
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&net_out);
+    let _ = std::fs::remove_file(&stream_out);
+}
+
+#[test]
+fn gateway_runs_at_both_fidelities_and_sweeps() {
+    use netscatter::json::Json;
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    // Both fidelities through the real CLI, values deliberately
+    // mixed-case (the enum-valued flags are case-insensitive). Small
+    // stream/population so the smoke stays fast.
+    for fidelity in ["Analytical", "SAMPLE"] {
+        let stdout = run(
+            exe,
+            &[
+                "run",
+                "gateway",
+                "--quick",
+                "--devices",
+                "16",
+                "--payload-bits",
+                "8",
+                "--stream-secs",
+                "0.1",
+                "--arrival-rate",
+                "30",
+                "--fidelity",
+                fidelity,
+                "--format",
+                "JSON",
+            ],
+        );
+        let doc = Json::parse(&stdout).expect("gateway JSON parses");
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some("gateway")
+        );
+    }
+    // A sweep over chunk sizes: one result per grid point, and the decoded
+    // payload statistics must be chunk-size invariant even though the
+    // timing columns are not.
+    let stdout = run(
+        exe,
+        &[
+            "sweep",
+            "gateway",
+            "--quick",
+            "--devices",
+            "16",
+            "--payload-bits",
+            "8",
+            "--stream-secs",
+            "0.1",
+            "--arrival-rate",
+            "30",
+            "--set",
+            "chunk_samples=500,4096",
+            "--format",
+            "json",
+        ],
+    );
+    let doc = Json::parse(&stdout).expect("sweep JSON parses");
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert_eq!(results.len(), 2);
+    let decoded: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let tables = r.get("tables").and_then(Json::as_array).expect("tables");
+            let rows = tables[0]
+                .get("rows")
+                .and_then(Json::as_array)
+                .expect("rows");
+            // devices, offered, decoded, false alarms, delivery, ber —
+            // everything except the two trailing timing columns.
+            rows.iter()
+                .map(|row| {
+                    let cells = row.as_array().expect("row");
+                    format!("{:?}", &cells[..cells.len() - 2])
+                })
+                .collect::<Vec<_>>()
+                .join(";")
+        })
+        .collect();
+    assert_eq!(
+        decoded[0], decoded[1],
+        "decode statistics must not depend on the chunk size"
+    );
+}
+
+#[test]
+fn netscatter_run_suggests_the_nearest_experiment_id() {
+    let exe = env!("CARGO_BIN_EXE_netscatter");
+    let out = spawn(exe, &["run", "gatway", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean \"gateway\"?"),
+        "missing suggestion:\n{stderr}"
+    );
 }

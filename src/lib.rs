@@ -3,5 +3,6 @@ pub use netscatter;
 pub use netscatter_baselines as baselines;
 pub use netscatter_channel as channel;
 pub use netscatter_dsp as dsp;
+pub use netscatter_gateway as gateway;
 pub use netscatter_phy as phy;
 pub use netscatter_sim as sim;
