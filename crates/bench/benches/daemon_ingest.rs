@@ -1,0 +1,87 @@
+//! netscatterd serving-path benchmarks.
+//!
+//! * `daemon_ingest/tcp_stream` — one complete ingest connection end to
+//!   end: header line + cf32le bytes over a loopback socket at wire speed
+//!   into a running daemon (engine spawn, chunked decode, NDJSON frames,
+//!   end record). Dividing the stream's 36 k samples by the median gives
+//!   the serving overhead on top of the raw pipeline throughput that
+//!   `stream_throughput/pipeline` measures.
+//! * `daemon_ingest/cf32_decode` — the byte → `Complex64` wire decode
+//!   alone (the per-connection hot loop the socket reader runs).
+//!
+//! The ring is sized to hold the whole benchmark stream so drop-oldest
+//! backpressure never fires and every iteration decodes the same frames.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netscatter_daemon::client::{self, Pace};
+use netscatter_daemon::protocol::{self, Cf32Decoder, StreamHeader};
+use netscatter_daemon::{Daemon, DaemonConfig, GatewayConfig};
+use netscatter_dsp::Complex64;
+use netscatter_phy::distributed::OnOffModulator;
+use netscatter_phy::params::PhyProfile;
+use netscatter_phy::preamble::PreambleBuilder;
+use std::hint::black_box;
+
+/// A clean multi-packet stream from the bin-64 device, f32-quantized.
+fn wire_stream(count: usize) -> Vec<Complex64> {
+    let bits = [true, false, true, true, false, false, true, true];
+    let params = PhyProfile::default().modulation.chirp();
+    let mut pkt = PreambleBuilder::new(params, 64).build(0.0, 0.0, 1.0);
+    pkt.extend(OnOffModulator::new(params, 64).modulate_payload(&bits, 0.0, 0.0, 1.0));
+    let mut stream = Vec::new();
+    for i in 0..count {
+        stream.extend(vec![Complex64::ZERO; 500 + 211 * i]);
+        stream.extend(&pkt);
+    }
+    stream.extend(vec![Complex64::ZERO; 300]);
+    protocol::quantize_cf32(&stream)
+}
+
+fn daemon_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daemon_ingest");
+    group.sample_size(10);
+
+    let samples = wire_stream(4);
+    let config = GatewayConfig {
+        chunk_samples: 2048,
+        ring_slots: 256,
+        workers: 2,
+        ..GatewayConfig::new(PhyProfile::default(), vec![64, 192], 8)
+    };
+    let mut dconfig = DaemonConfig::new(config);
+    dconfig.metrics = None;
+    let daemon = Daemon::start(dconfig).expect("daemon starts");
+    let header = StreamHeader {
+        name: "bench".to_string(),
+        sample_rate_hz: Some(500e3),
+        bins: Some(vec![64, 192]),
+        payload_bits: Some(8),
+        detection_floor: None,
+    };
+    group.bench_function("tcp_stream", |b| {
+        b.iter(|| {
+            let lines =
+                client::stream_samples(daemon.ingest_addr(), &header, &samples, Pace::Unlimited)
+                    .expect("ingest round trip");
+            black_box(lines.len())
+        })
+    });
+
+    let bytes = protocol::encode_cf32le(&samples);
+    group.bench_function("cf32_decode", |b| {
+        b.iter(|| {
+            let mut decoder = Cf32Decoder::new();
+            let mut out = Vec::with_capacity(samples.len());
+            // The socket reader's shape: 16 KiB pieces through the carry.
+            for piece in bytes.chunks(1 << 14) {
+                decoder.push(piece, &mut out);
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+    daemon.shutdown();
+}
+
+criterion_group!(benches, daemon_ingest);
+criterion_main!(benches);

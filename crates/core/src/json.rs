@@ -88,6 +88,45 @@ impl Json {
         out
     }
 
+    /// Serializes on one line with no whitespace and no trailing newline —
+    /// the NDJSON record form the serving daemon writes decoded frames in.
+    pub fn to_string_line(&self) -> String {
+        let mut out = String::new();
+        self.write_line(&mut out);
+        out
+    }
+
+    fn write_line(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_line(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_line(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -451,6 +490,27 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn line_form_is_single_line_and_round_trips() {
+        let doc = Json::object(vec![
+            ("type", Json::Str("frame".into())),
+            ("index", Json::Num(3.0)),
+            ("note", Json::Str("a\nb".into())),
+            (
+                "devices",
+                Json::Array(vec![Json::Num(1.0), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty", Json::object(vec![])),
+        ]);
+        let line = doc.to_string_line();
+        assert!(!line.contains('\n'), "NDJSON records must be one line");
+        assert_eq!(
+            line,
+            r#"{"type":"frame","index":3,"note":"a\nb","devices":[1,null,true],"empty":{}}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+    }
 
     #[test]
     fn print_and_parse_round_trip() {

@@ -1,0 +1,6 @@
+//! The `netscatterd` binary: see `netscatterd --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(netscatter_daemon::cli::serve_main(&args));
+}

@@ -1,0 +1,383 @@
+//! Command-line front end shared by the `netscatterd` binary and the
+//! `netscatter serve` subcommand.
+
+use crate::client;
+use crate::protocol::StreamHeader;
+use crate::serve::{Daemon, DaemonConfig};
+use crate::signals;
+use netscatter_gateway::GatewayConfig;
+use netscatter_phy::params::PhyProfile;
+use std::path::PathBuf;
+
+/// A CLI failure: message for stderr plus the process exit code (0 for
+/// `--help`, whose message goes to stdout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliUsage {
+    /// Human-readable error or help text.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliUsage {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+/// The `--help` text.
+pub fn usage() -> String {
+    "netscatterd — NetScatter multi-stream serving daemon
+
+USAGE:
+  netscatterd [flags]
+
+Accepts any number of concurrent ingest streams over TCP. Each connection
+sends one JSON header line ({\"stream\":\"name\",...}) followed by raw
+cf32le samples, and receives decoded frames back as NDJSON. A connection
+to the metrics port gets a plain-text metrics snapshot.
+
+FLAGS:
+  --listen <ADDR>         ingest address (default 127.0.0.1:7470; port 0 = ephemeral)
+  --metrics <ADDR|off>    metrics address (default 127.0.0.1:7471)
+  --bins <B1,B2,...>      default cyclic-shift assignment for headers without one
+  --payload-bits <N>      default payload bits per packet (default 8)
+  --sample-rate <HZ>      default ingest sample rate (default 500000)
+  --chunk-samples <N>     ring chunk size in samples (default 4096)
+  --ring-slots <N>        per-stream ring capacity in chunks (default 64,
+                          ~0.5 s of real-time ingest)
+  --workers <N>           decode workers per stream (default 0 = all cores)
+  --detection-floor <F>   receiver detection-floor fraction override
+  --energy-gate-db <DB>   energy gate over the noise floor (default 6)
+  --replay <FILE[@NAME]>  feed this .cf32 capture to the daemon's own ingest
+                          port (repeatable; NAME defaults to the file stem)
+  --pace <F>              replay upload speed as a multiple of the sample
+                          rate (default 1 = real time; 0 = wire speed —
+                          expect counted ring drops)
+  --once                  exit after the --replay feeders finish
+  --quiet                 do not echo feeder NDJSON records to stdout
+  --help                  this text
+
+Without --once the daemon runs until SIGINT/SIGTERM, then shuts down
+gracefully (streams drained, end records written, threads joined)."
+        .to_string()
+}
+
+/// Parsed `netscatterd` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Ingest listen address.
+    pub listen: String,
+    /// Metrics listen address (`None` = disabled).
+    pub metrics: Option<String>,
+    /// Default bins for headers that do not carry their own.
+    pub bins: Vec<usize>,
+    /// Default payload bits.
+    pub payload_bits: usize,
+    /// Default sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Ring chunk size in samples.
+    pub chunk_samples: usize,
+    /// Ring capacity in chunks.
+    pub ring_slots: usize,
+    /// Decode workers per stream (0 = auto).
+    pub workers: usize,
+    /// Detection-floor fraction override.
+    pub detection_floor: Option<f64>,
+    /// Energy gate in dB over the noise floor.
+    pub energy_gate_db: f64,
+    /// Replay feeders: capture path plus stream name.
+    pub replays: Vec<(PathBuf, String)>,
+    /// Replay upload speed as a multiple of the sample rate (0 = wire
+    /// speed).
+    pub pace: f64,
+    /// Exit once the feeders finish.
+    pub once: bool,
+    /// Suppress feeder record echo.
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:7470".to_string(),
+            metrics: Some("127.0.0.1:7471".to_string()),
+            bins: Vec::new(),
+            payload_bits: 8,
+            sample_rate_hz: 500e3,
+            chunk_samples: 4096,
+            // A serving default, deliberately deeper than the in-process
+            // pipeline's 8: 64 × 4096 samples is ~0.5 s of real-time ingest
+            // per stream, so drop-oldest only fires on sustained overload,
+            // not on scheduler jitter when many streams share few cores.
+            ring_slots: 64,
+            workers: 0,
+            detection_floor: None,
+            energy_gate_db: 6.0,
+            replays: Vec::new(),
+            pace: 1.0,
+            once: false,
+            quiet: false,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The daemon configuration these options describe.
+    pub fn daemon_config(&self) -> DaemonConfig {
+        let mut base =
+            GatewayConfig::new(PhyProfile::default(), self.bins.clone(), self.payload_bits);
+        base.chunk_samples = self.chunk_samples;
+        base.ring_slots = self.ring_slots;
+        base.workers = self.workers;
+        base.energy_gate_db = self.energy_gate_db;
+        base.detection_floor_fraction = self.detection_floor;
+        DaemonConfig {
+            listen: self.listen.clone(),
+            metrics: self.metrics.clone(),
+            base,
+            default_sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+}
+
+/// Parses the `netscatterd` flag set.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliUsage> {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliUsage> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliUsage::usage(format!("{flag} requires a value")))
+    };
+    fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliUsage> {
+        v.parse()
+            .map_err(|_| CliUsage::usage(format!("{flag}: cannot parse {v:?}")))
+    }
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--listen" => opts.listen = value(&mut i, arg)?,
+            "--metrics" => {
+                let v = value(&mut i, arg)?;
+                opts.metrics = (v != "off").then_some(v);
+            }
+            "--bins" => {
+                let v = value(&mut i, arg)?;
+                opts.bins = v
+                    .split(',')
+                    .map(|b| num::<usize>(arg, b.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--payload-bits" => {
+                opts.payload_bits = num(arg, &value(&mut i, arg)?)?;
+                if opts.payload_bits == 0 {
+                    return Err(CliUsage::usage("--payload-bits must be positive"));
+                }
+            }
+            "--sample-rate" => {
+                opts.sample_rate_hz = num(arg, &value(&mut i, arg)?)?;
+                if opts.sample_rate_hz.is_nan() || opts.sample_rate_hz <= 0.0 {
+                    return Err(CliUsage::usage("--sample-rate must be positive"));
+                }
+            }
+            "--chunk-samples" => opts.chunk_samples = num(arg, &value(&mut i, arg)?)?,
+            "--ring-slots" => opts.ring_slots = num(arg, &value(&mut i, arg)?)?,
+            "--workers" => opts.workers = num(arg, &value(&mut i, arg)?)?,
+            "--detection-floor" => opts.detection_floor = Some(num(arg, &value(&mut i, arg)?)?),
+            "--energy-gate-db" => opts.energy_gate_db = num(arg, &value(&mut i, arg)?)?,
+            "--replay" => {
+                let v = value(&mut i, arg)?;
+                let (path, name) = match v.split_once('@') {
+                    Some((p, n)) if !n.is_empty() => (PathBuf::from(p), n.to_string()),
+                    _ => {
+                        let p = PathBuf::from(&v);
+                        let name = p
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| "replay".to_string());
+                        (p, name)
+                    }
+                };
+                opts.replays.push((path, name));
+            }
+            "--pace" => {
+                opts.pace = num(arg, &value(&mut i, arg)?)?;
+                if opts.pace.is_nan() || opts.pace < 0.0 {
+                    return Err(CliUsage::usage("--pace must be non-negative"));
+                }
+            }
+            "--once" => opts.once = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err(CliUsage {
+                    message: usage(),
+                    code: 0,
+                })
+            }
+            other => return Err(CliUsage::usage(format!("unknown argument: {other}"))),
+        }
+        i += 1;
+    }
+    if opts.once && opts.replays.is_empty() {
+        return Err(CliUsage::usage(
+            "--once without --replay would exit immediately",
+        ));
+    }
+    Ok(opts)
+}
+
+/// Runs the daemon for `opts` until its stop condition. Factored apart
+/// from [`serve_main`] so tests can drive it with a custom stop.
+fn run_daemon(opts: &ServeOptions) -> Result<(), String> {
+    let daemon = Daemon::start(opts.daemon_config()).map_err(|e| format!("bind failed: {e}"))?;
+    println!("netscatterd ingest {}", daemon.ingest_addr());
+    if let Some(addr) = daemon.metrics_addr() {
+        println!("netscatterd metrics {addr}");
+    }
+
+    let ingest = daemon.ingest_addr();
+    let rate = opts.sample_rate_hz;
+    let quiet = opts.quiet;
+    let pace = if opts.pace > 0.0 {
+        client::Pace::SamplesPerSec(rate * opts.pace)
+    } else {
+        client::Pace::Unlimited
+    };
+    let feeders: Vec<_> = opts
+        .replays
+        .iter()
+        .cloned()
+        .map(|(path, name)| {
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut header = StreamHeader::named(&name);
+                header.sample_rate_hz = Some(rate);
+                let lines = client::stream_file(ingest, &header, &path, pace)
+                    .map_err(|e| format!("replay {}: {e}", path.display()))?;
+                if !quiet {
+                    for line in &lines {
+                        println!("{line}");
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    if opts.once {
+        for f in feeders {
+            if let Err(e) = f.join().expect("feeder thread panicked") {
+                failures.push(e);
+            }
+        }
+    } else {
+        signals::install();
+        while !signals::signaled() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        eprintln!("netscatterd: shutdown signal received");
+        for f in feeders {
+            if let Err(e) = f.join().expect("feeder thread panicked") {
+                failures.push(e);
+            }
+        }
+    }
+    daemon.shutdown();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+/// Entry point shared by the `netscatterd` binary and `netscatter serve`:
+/// parses flags, runs the daemon, returns the process exit code.
+pub fn serve_main(args: &[String]) -> i32 {
+    let opts = match parse_serve_args(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            if e.code == 0 {
+                println!("{}", e.message);
+            } else {
+                eprintln!("{}", e.message);
+                eprintln!("run `netscatterd --help` for usage");
+            }
+            return e.code;
+        }
+    };
+    match run_daemon(&opts) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_assemble_serve_options() {
+        let opts = parse_serve_args(&args(&[
+            "--listen",
+            "0.0.0.0:9000",
+            "--metrics",
+            "off",
+            "--bins",
+            "64, 192",
+            "--payload-bits",
+            "16",
+            "--sample-rate",
+            "250000",
+            "--workers",
+            "2",
+            "--replay",
+            "/tmp/cap.cf32@door",
+            "--replay",
+            "/tmp/other.cf32",
+            "--quiet",
+        ]))
+        .expect("flags parse");
+        assert_eq!(opts.listen, "0.0.0.0:9000");
+        assert_eq!(opts.metrics, None);
+        assert_eq!(opts.bins, vec![64, 192]);
+        assert_eq!(opts.payload_bits, 16);
+        assert_eq!(opts.sample_rate_hz, 250e3);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.replays[0].1, "door");
+        assert_eq!(opts.replays[1].1, "other");
+        assert!(opts.quiet && !opts.once);
+        // The gateway config the options resolve to.
+        let cfg = opts.daemon_config();
+        assert_eq!(cfg.base.assigned_bins, vec![64, 192]);
+        assert_eq!(cfg.base.payload_symbols, 16);
+        assert_eq!(cfg.default_sample_rate_hz, 250e3);
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        for bad in [
+            vec!["--frobnicate"],
+            vec!["--bins"],
+            vec!["--bins", "a,b"],
+            vec!["--payload-bits", "0"],
+            vec!["--sample-rate", "-1"],
+            vec!["--once"], // nothing to replay: would exit immediately
+        ] {
+            let err = parse_serve_args(&args(&bad)).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+        }
+        assert_eq!(parse_serve_args(&args(&["--help"])).unwrap_err().code, 0);
+    }
+}

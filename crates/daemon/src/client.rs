@@ -1,0 +1,140 @@
+//! Minimal ingest and metrics clients for netscatterd.
+//!
+//! These are what the stress harness, the replay feeders and the smoke
+//! tests speak to the daemon with: open a TCP connection, send the JSON
+//! header line plus raw `cf32le` bytes, half-close the write side, and
+//! collect the NDJSON records the daemon sends back. A reader thread
+//! drains the response concurrently with the upload so neither side can
+//! stall on a full socket buffer.
+
+use crate::protocol::{encode_cf32le, StreamHeader, SAMPLE_BYTES};
+use netscatter_dsp::Complex64;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Instant;
+
+/// Upload pacing: a real radio delivers samples at its sample rate, but a
+/// replayed capture arrives at wire speed — far faster than any decoder —
+/// so an unpaced replay *will* trip the daemon's drop-oldest backpressure.
+/// `Pace::RealTime` throttles the upload to the stream's sample rate
+/// (what a live SDR front-end would produce); `Unlimited` sends at wire
+/// speed and accepts counted ring drops as the honest outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pace {
+    /// Throttle to `factor ×` the stream's sample rate (1.0 = real time).
+    RealTime,
+    /// Throttle to this many samples per second.
+    SamplesPerSec(f64),
+    /// No throttle: wire speed.
+    Unlimited,
+}
+
+impl Pace {
+    fn max_bytes_per_sec(self, sample_rate_hz: f64) -> Option<f64> {
+        match self {
+            Pace::RealTime => Some(sample_rate_hz * SAMPLE_BYTES as f64),
+            Pace::SamplesPerSec(sps) => Some(sps * SAMPLE_BYTES as f64),
+            Pace::Unlimited => None,
+        }
+    }
+}
+
+/// Streams `samples` to the daemon at `addr` under `header` and returns
+/// every NDJSON line the daemon answered with (ready, frames, end).
+pub fn stream_samples(
+    addr: impl ToSocketAddrs,
+    header: &StreamHeader,
+    samples: &[Complex64],
+    pace: Pace,
+) -> std::io::Result<Vec<String>> {
+    stream_bytes(addr, header, &encode_cf32le(samples), pace)
+}
+
+/// Streams a `.cf32` capture file to the daemon at `addr` — the replay
+/// path: the file is read through a [`BufReader`] in 64 KiB pieces, never
+/// loaded whole.
+pub fn stream_file(
+    addr: impl ToSocketAddrs,
+    header: &StreamHeader,
+    path: &Path,
+    pace: Pace,
+) -> std::io::Result<Vec<String>> {
+    let file = std::fs::File::open(path)?;
+    stream_reader(
+        addr,
+        header,
+        &mut BufReader::with_capacity(1 << 16, file),
+        pace,
+    )
+}
+
+/// Streams raw `cf32le` bytes to the daemon at `addr`.
+pub fn stream_bytes(
+    addr: impl ToSocketAddrs,
+    header: &StreamHeader,
+    bytes: &[u8],
+    pace: Pace,
+) -> std::io::Result<Vec<String>> {
+    stream_reader(addr, header, &mut &bytes[..], pace)
+}
+
+fn stream_reader(
+    addr: impl ToSocketAddrs,
+    header: &StreamHeader,
+    body: &mut dyn Read,
+    pace: Pace,
+) -> std::io::Result<Vec<String>> {
+    let mut sock = TcpStream::connect(addr)?;
+    let _ = sock.set_nodelay(true);
+
+    // Drain the daemon's records concurrently with the upload: the daemon
+    // publishes frames while the stream is still flowing, and a one-sided
+    // writer would eventually deadlock against a full socket buffer.
+    let response = sock.try_clone()?;
+    let reader = std::thread::spawn(move || -> std::io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        for line in BufReader::new(response).lines() {
+            lines.push(line?);
+        }
+        Ok(lines)
+    });
+
+    let mut line = header.to_json_line();
+    line.push('\n');
+    sock.write_all(line.as_bytes())?;
+    // Pacing picks the default sample rate when the header names none.
+    let rate = header.sample_rate_hz.unwrap_or(500e3);
+    let max_bps = pace.max_bytes_per_sec(rate);
+    // Small pieces under pacing so throttle sleeps stay fine-grained
+    // (16 KiB = 2048 samples ≈ 4 ms of stream at 500 ksps).
+    let mut buf = vec![0u8; if max_bps.is_some() { 1 << 14 } else { 1 << 16 }];
+    let started = Instant::now();
+    let mut sent = 0u64;
+    loop {
+        let n = body.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        sock.write_all(&buf[..n])?;
+        sent += n as u64;
+        if let Some(bps) = max_bps {
+            let due = sent as f64 / bps;
+            let elapsed = started.elapsed().as_secs_f64();
+            if due > elapsed {
+                std::thread::sleep(std::time::Duration::from_secs_f64(due - elapsed));
+            }
+        }
+    }
+    // Half-close: end of stream for the daemon, response still readable.
+    sock.shutdown(Shutdown::Write)?;
+    reader.join().expect("response reader panicked")
+}
+
+/// Fetches one metrics document from the daemon's metrics endpoint.
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let mut sock = TcpStream::connect(addr)?;
+    let mut doc = String::new();
+    sock.read_to_string(&mut doc)?;
+    Ok(doc)
+}

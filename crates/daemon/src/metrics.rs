@@ -1,0 +1,144 @@
+//! The plain-text metrics endpoint.
+//!
+//! A connection to the metrics port gets one UTF-8 text document and an
+//! immediate close — the exposition-format idiom (`name{label="v"} value`
+//! lines) without requiring any HTTP machinery on either side:
+//!
+//! ```text
+//! # netscatterd metrics v1
+//! netscatterd_uptime_seconds 4.2
+//! netscatterd_streams_active 2
+//! netscatterd_streams_total 3
+//! netscatterd_rounds_decoded_total 40
+//! netscatterd_false_alarms_total 0
+//! netscatterd_ring_dropped_total 0
+//! netscatterd_stream_active{stream="door-ap"} 1
+//! netscatterd_stream_samples_total{stream="door-ap"} 500000
+//! netscatterd_stream_msamples_per_sec{stream="door-ap"} 11.92
+//! netscatterd_stream_real_time_factor{stream="door-ap"} 23.84
+//! netscatterd_stream_rounds_decoded{stream="door-ap"} 14
+//! netscatterd_stream_false_alarms{stream="door-ap"} 0
+//! netscatterd_stream_ring_dropped{stream="door-ap"} 0
+//! ```
+//!
+//! The per-stream block repeats for every stream ever registered;
+//! `netscatterd_stream_active` distinguishes live connections from
+//! finished ones.
+
+use crate::registry::StreamRegistry;
+
+/// The version line heading every metrics document.
+pub const METRICS_HEADER: &str = "# netscatterd metrics v1";
+
+/// Renders the full metrics document for the registry's current state.
+pub fn render(registry: &StreamRegistry, uptime_seconds: f64) -> String {
+    use std::fmt::Write as _;
+    let streams = registry.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(out, "{METRICS_HEADER}");
+    let _ = writeln!(out, "netscatterd_uptime_seconds {uptime_seconds:.3}");
+    let _ = writeln!(
+        out,
+        "netscatterd_streams_active {}",
+        streams.iter().filter(|s| s.active).count()
+    );
+    let _ = writeln!(out, "netscatterd_streams_total {}", streams.len());
+    let rounds: u64 = streams.iter().map(|s| s.rounds).sum();
+    let false_alarms: u64 = streams.iter().map(|s| s.false_alarms).sum();
+    let dropped: u64 = streams.iter().map(|s| s.ring_dropped).sum();
+    let _ = writeln!(out, "netscatterd_rounds_decoded_total {rounds}");
+    let _ = writeln!(out, "netscatterd_false_alarms_total {false_alarms}");
+    let _ = writeln!(out, "netscatterd_ring_dropped_total {dropped}");
+    for s in &streams {
+        let label = escape_label(&s.name);
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_active{{stream=\"{label}\"}} {}",
+            u8::from(s.active)
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_samples_total{{stream=\"{label}\"}} {}",
+            s.samples_in
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_msamples_per_sec{{stream=\"{label}\"}} {:.4}",
+            s.samples_per_sec / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_real_time_factor{{stream=\"{label}\"}} {:.4}",
+            s.real_time_factor
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_rounds_decoded{{stream=\"{label}\"}} {}",
+            s.rounds
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_false_alarms{{stream=\"{label}\"}} {}",
+            s.false_alarms
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_ring_dropped{{stream=\"{label}\"}} {}",
+            s.ring_dropped
+        );
+    }
+    out
+}
+
+/// Escapes a stream name for use inside a `stream="…"` label.
+fn escape_label(name: &str) -> String {
+    name.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_carries_totals_and_a_block_per_stream() {
+        let reg = StreamRegistry::new();
+        let a = reg.register("a");
+        a.record_ingest(1_000_000, 2);
+        a.record_frame(3);
+        a.record_rates(5e6, 10.0);
+        let b = reg.register("b");
+        b.record_frame(0);
+        b.set_inactive();
+
+        let doc = render(&reg, 1.25);
+        assert!(doc.starts_with(METRICS_HEADER));
+        assert!(doc.contains("netscatterd_uptime_seconds 1.250"));
+        assert!(doc.contains("netscatterd_streams_active 1"));
+        assert!(doc.contains("netscatterd_streams_total 2"));
+        assert!(doc.contains("netscatterd_rounds_decoded_total 1"));
+        assert!(doc.contains("netscatterd_false_alarms_total 1"));
+        assert!(doc.contains("netscatterd_ring_dropped_total 2"));
+        assert!(doc.contains("netscatterd_stream_active{stream=\"a\"} 1"));
+        assert!(doc.contains("netscatterd_stream_active{stream=\"b\"} 0"));
+        assert!(doc.contains("netscatterd_stream_samples_total{stream=\"a\"} 1000000"));
+        assert!(doc.contains("netscatterd_stream_msamples_per_sec{stream=\"a\"} 5.0000"));
+        assert!(doc.contains("netscatterd_stream_real_time_factor{stream=\"a\"} 10.0000"));
+        // Every line is `name value` or `name{label} value`.
+        for line in doc.lines().skip(1) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
+            assert!(parts.next().is_some(), "no metric name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_stream_names_stay_inside_their_label() {
+        let reg = StreamRegistry::new();
+        reg.register("a\"b\\c");
+        let doc = render(&reg, 0.0);
+        assert!(doc.contains("{stream=\"a\\\"b\\\\c\"}"));
+    }
+}

@@ -1,0 +1,370 @@
+//! The netscatterd wire protocol.
+//!
+//! **Ingest** (one TCP connection per stream): the client sends a single
+//! JSON header line naming the stream and (optionally) its decode
+//! parameters, then raw interleaved little-endian `f32` I/Q bytes
+//! (`cf32le`, the same layout as the `.cf32` replay files) until it
+//! half-closes the write side. The daemon answers on the same socket with
+//! newline-delimited JSON: a `ready` acknowledgement, one `frame` record
+//! per decoded packet (in stream order), and a final `end` summary.
+//!
+//! ```text
+//! client → {"stream":"door-ap","sample_rate_hz":500000,"bins":[64,192],"payload_bits":8}
+//! client → <raw cf32le bytes …>                      (then shutdown(Write))
+//! daemon → {"type":"ready","stream":"door-ap"}
+//! daemon → {"type":"frame","stream":"door-ap","index":0,…}
+//! daemon → {"type":"end","stream":"door-ap","complete":true,…}
+//! ```
+//!
+//! Decode parameters omitted from the header fall back to the daemon's
+//! command-line defaults, so a bare `{"stream":"x"}` header is valid
+//! against a daemon started with `--bins`/`--payload-bits`.
+
+use netscatter::json::Json;
+use netscatter_dsp::Complex64;
+use netscatter_gateway::{DecodedPacket, GatewayReport};
+
+/// The only ingest sample format this daemon speaks.
+pub const FORMAT_CF32LE: &str = "cf32le";
+
+/// Bytes per complex sample on the wire (two little-endian `f32`s).
+pub const SAMPLE_BYTES: usize = 8;
+
+/// The JSON header line that opens an ingest connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamHeader {
+    /// Client-chosen stream name (the registry uniquifies collisions).
+    pub name: String,
+    /// Sample rate of the stream in Hz; `None` uses the daemon default.
+    pub sample_rate_hz: Option<f64>,
+    /// Cyclic-shift assignment to decode against; `None` uses the daemon
+    /// default (`--bins`).
+    pub bins: Option<Vec<usize>>,
+    /// Payload bits per packet; `None` uses the daemon default.
+    pub payload_bits: Option<usize>,
+    /// Detection-floor override for the receiver's presence test.
+    pub detection_floor: Option<f64>,
+}
+
+impl StreamHeader {
+    /// A header carrying only the stream name — every decode parameter
+    /// falls back to the daemon's defaults.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            sample_rate_hz: None,
+            bins: None,
+            payload_bits: None,
+            detection_floor: None,
+        }
+    }
+
+    /// Parses the header line a client opened its connection with.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let doc = Json::parse(line).map_err(|e| format!("malformed header: {e}"))?;
+        let name = doc
+            .get("stream")
+            .and_then(Json::as_str)
+            .ok_or("header is missing the \"stream\" name")?
+            .to_string();
+        if name.is_empty() {
+            return Err("header \"stream\" name is empty".to_string());
+        }
+        if let Some(format) = doc.get("format").and_then(Json::as_str) {
+            if format != FORMAT_CF32LE {
+                return Err(format!(
+                    "unsupported format {format:?}; this daemon speaks {FORMAT_CF32LE:?}"
+                ));
+            }
+        }
+        let sample_rate_hz = doc.get("sample_rate_hz").and_then(Json::as_f64);
+        if sample_rate_hz.is_some_and(|r| r.is_nan() || r <= 0.0) {
+            return Err("header sample_rate_hz must be positive".to_string());
+        }
+        let bins = match doc.get("bins") {
+            None => None,
+            Some(value) => {
+                let items = value.as_array().ok_or("header \"bins\" must be an array")?;
+                let bins: Option<Vec<usize>> = items
+                    .iter()
+                    .map(|b| b.as_u64().map(|b| b as usize))
+                    .collect();
+                Some(bins.ok_or("header \"bins\" must hold non-negative integers")?)
+            }
+        };
+        let payload_bits = match doc.get("payload_bits") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_u64()
+                    .filter(|&b| b > 0)
+                    .ok_or("header payload_bits must be a positive integer")?
+                    as usize,
+            ),
+        };
+        let detection_floor = doc.get("detection_floor").and_then(Json::as_f64);
+        Ok(Self {
+            name,
+            sample_rate_hz,
+            bins,
+            payload_bits,
+            detection_floor,
+        })
+    }
+
+    /// Serializes the header as the one-line JSON record a client sends.
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![
+            ("stream", Json::Str(self.name.clone())),
+            ("format", Json::Str(FORMAT_CF32LE.to_string())),
+        ];
+        if let Some(rate) = self.sample_rate_hz {
+            fields.push(("sample_rate_hz", Json::Num(rate)));
+        }
+        if let Some(bins) = &self.bins {
+            fields.push((
+                "bins",
+                Json::Array(bins.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ));
+        }
+        if let Some(bits) = self.payload_bits {
+            fields.push(("payload_bits", Json::Num(bits as f64)));
+        }
+        if let Some(floor) = self.detection_floor {
+            fields.push(("detection_floor", Json::Num(floor)));
+        }
+        Json::object(fields).to_string_line()
+    }
+}
+
+/// Incremental `cf32le` byte-to-sample decoder: carries a partial trailing
+/// sample between socket reads, so chunk boundaries never split a sample.
+#[derive(Debug, Default)]
+pub struct Cf32Decoder {
+    carry: [u8; SAMPLE_BYTES],
+    carry_len: usize,
+}
+
+impl Cf32Decoder {
+    /// A decoder with an empty carry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes `bytes` into `out`, holding back any trailing partial
+    /// sample for the next call.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<Complex64>) {
+        let mut cursor = 0;
+        if self.carry_len > 0 {
+            let need = SAMPLE_BYTES - self.carry_len;
+            let take = need.min(bytes.len());
+            self.carry[self.carry_len..self.carry_len + take].copy_from_slice(&bytes[..take]);
+            self.carry_len += take;
+            cursor = take;
+            if self.carry_len < SAMPLE_BYTES {
+                return;
+            }
+            out.push(sample_from(&self.carry));
+            self.carry_len = 0;
+        }
+        let rest = &bytes[cursor..];
+        for chunk in rest.chunks_exact(SAMPLE_BYTES) {
+            out.push(sample_from(chunk));
+        }
+        let rem = rest.len() % SAMPLE_BYTES;
+        self.carry[..rem].copy_from_slice(&rest[rest.len() - rem..]);
+        self.carry_len = rem;
+    }
+
+    /// Bytes of an incomplete trailing sample still held back.
+    pub fn pending_bytes(&self) -> usize {
+        self.carry_len
+    }
+}
+
+fn sample_from(bytes: &[u8]) -> Complex64 {
+    let re = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64;
+    let im = f32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as f64;
+    Complex64::new(re, im)
+}
+
+/// Encodes samples into the wire's `cf32le` byte layout.
+pub fn encode_cf32le(samples: &[Complex64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(samples.len() * SAMPLE_BYTES);
+    for s in samples {
+        bytes.extend_from_slice(&(s.re as f32).to_le_bytes());
+        bytes.extend_from_slice(&(s.im as f32).to_le_bytes());
+    }
+    bytes
+}
+
+/// Quantizes samples through the wire's `f32` precision — what a receiver
+/// on the far end of the socket will decode. Batch references must compare
+/// against *these* samples for bit-identical frames.
+pub fn quantize_cf32(samples: &[Complex64]) -> Vec<Complex64> {
+    samples
+        .iter()
+        .map(|s| Complex64::new(s.re as f32 as f64, s.im as f32 as f64))
+        .collect()
+}
+
+/// Renders payload bits as the compact `"0101…"` record form.
+pub fn bits_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// The `ready` acknowledgement sent once the stream is registered (the
+/// echoed name is the registry-uniquified one metrics will report under).
+pub fn ready_json(stream: &str) -> Json {
+    Json::object(vec![
+        ("type", Json::Str("ready".to_string())),
+        ("stream", Json::Str(stream.to_string())),
+    ])
+}
+
+/// One decoded packet as an NDJSON `frame` record.
+pub fn frame_json(stream: &str, packet: &DecodedPacket) -> Json {
+    Json::object(vec![
+        ("type", Json::Str("frame".to_string())),
+        ("stream", Json::Str(stream.to_string())),
+        ("index", Json::Num(packet.index as f64)),
+        ("start_sample", Json::Num(packet.start_sample as f64)),
+        (
+            "devices",
+            Json::Array(
+                packet
+                    .round
+                    .devices
+                    .iter()
+                    .map(|d| {
+                        Json::object(vec![
+                            ("bin", Json::Num(d.chirp_bin as f64)),
+                            ("power", Json::Num(d.preamble_power)),
+                            ("bits", Json::Str(bits_string(&d.bits))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The final `end` summary of an ingest connection. `frames`, `rounds` and
+/// `false_alarms` are the connection's running totals (the report only
+/// carries packets not already published); `complete` is `false` when the
+/// daemon shut down mid-stream.
+pub fn end_json(
+    stream: &str,
+    frames: u64,
+    rounds: u64,
+    false_alarms: u64,
+    report: &GatewayReport,
+    complete: bool,
+) -> Json {
+    Json::object(vec![
+        ("type", Json::Str("end".to_string())),
+        ("stream", Json::Str(stream.to_string())),
+        ("complete", Json::Bool(complete)),
+        ("frames", Json::Num(frames as f64)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("false_alarms", Json::Num(false_alarms as f64)),
+        ("samples_in", Json::Num(report.samples_in as f64)),
+        ("truncated", Json::Num(report.truncated as f64)),
+        ("ring_dropped", Json::Num(report.ring_dropped as f64)),
+        ("samples_per_sec", Json::Num(report.samples_per_sec)),
+        ("real_time_factor", Json::Num(report.real_time_factor)),
+    ])
+}
+
+/// An `error` record: the stream is being torn down and `message` says why.
+pub fn error_json(stream: &str, message: &str) -> Json {
+    Json::object(vec![
+        ("type", Json::Str("error".to_string())),
+        ("stream", Json::Str(stream.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_round_trip_through_their_json_line() {
+        let full = StreamHeader {
+            name: "door-ap".to_string(),
+            sample_rate_hz: Some(500e3),
+            bins: Some(vec![64, 192]),
+            payload_bits: Some(8),
+            detection_floor: Some(0.05),
+        };
+        assert_eq!(StreamHeader::parse(&full.to_json_line()).unwrap(), full);
+        let bare = StreamHeader::named("x");
+        assert_eq!(StreamHeader::parse(&bare.to_json_line()).unwrap(), bare);
+    }
+
+    #[test]
+    fn bad_headers_are_rejected_with_a_reason() {
+        for (line, needle) in [
+            ("not json", "malformed"),
+            ("{}", "stream"),
+            (r#"{"stream":""}"#, "empty"),
+            (r#"{"stream":"x","format":"wav"}"#, "unsupported format"),
+            (r#"{"stream":"x","sample_rate_hz":0}"#, "positive"),
+            (r#"{"stream":"x","bins":7}"#, "array"),
+            (r#"{"stream":"x","bins":[-1]}"#, "non-negative"),
+            (r#"{"stream":"x","payload_bits":0}"#, "payload_bits"),
+        ] {
+            let err = StreamHeader::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn cf32_decoder_survives_arbitrary_split_points() {
+        let samples: Vec<Complex64> = (0..50)
+            .map(|i| Complex64::new(i as f64 / 7.0, -(i as f64) / 13.0))
+            .collect();
+        let quantized = quantize_cf32(&samples);
+        let bytes = encode_cf32le(&samples);
+        // Every split stride, including ones that slice mid-sample.
+        for stride in [1, 3, 7, 8, 13, 64] {
+            let mut decoder = Cf32Decoder::new();
+            let mut out = Vec::new();
+            for chunk in bytes.chunks(stride) {
+                decoder.push(chunk, &mut out);
+            }
+            assert_eq!(out, quantized, "stride {stride}");
+            assert_eq!(decoder.pending_bytes(), 0);
+        }
+        // A truncated tail stays pending and emits nothing bogus.
+        let mut decoder = Cf32Decoder::new();
+        let mut out = Vec::new();
+        decoder.push(&bytes[..19], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(decoder.pending_bytes(), 3);
+    }
+
+    #[test]
+    fn records_are_single_line_json() {
+        use netscatter::receiver::{DecodedDevice, DecodedRound};
+        let packet = DecodedPacket {
+            index: 2,
+            start_sample: 4096,
+            round: DecodedRound {
+                devices: vec![DecodedDevice {
+                    chirp_bin: 64,
+                    preamble_power: 1.5,
+                    bits: vec![true, false, true],
+                }],
+            },
+        };
+        let line = frame_json("s0", &packet).to_string_line();
+        assert!(!line.contains('\n'));
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("type").and_then(Json::as_str), Some("frame"));
+        assert_eq!(doc.get("index").and_then(Json::as_u64), Some(2));
+        let devices = doc.get("devices").and_then(Json::as_array).unwrap();
+        assert_eq!(devices[0].get("bits").and_then(Json::as_str), Some("101"));
+    }
+}

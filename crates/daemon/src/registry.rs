@@ -1,0 +1,230 @@
+//! The stream registry: one stats block per ingest stream, shared between
+//! the serving threads (writers) and the metrics endpoint (reader).
+//!
+//! All counters are atomics so the metrics endpoint never takes a lock a
+//! serving thread holds while decoding; the registry's own mutex guards
+//! only the stream list (taken on register and on snapshot).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Live counters of one ingest stream. Rates are stored as `f64` bit
+/// patterns so the whole block stays lock-free.
+#[derive(Debug)]
+pub struct StreamStats {
+    name: String,
+    active: AtomicBool,
+    samples_in: AtomicU64,
+    frames: AtomicU64,
+    rounds: AtomicU64,
+    false_alarms: AtomicU64,
+    truncated: AtomicU64,
+    ring_dropped: AtomicU64,
+    samples_per_sec: AtomicU64,
+    real_time_factor: AtomicU64,
+}
+
+impl StreamStats {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            active: AtomicBool::new(true),
+            samples_in: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            false_alarms: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            ring_dropped: AtomicU64::new(0),
+            samples_per_sec: AtomicU64::new(0f64.to_bits()),
+            real_time_factor: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The registry-uniquified stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Marks the stream finished (its counters stay visible in metrics).
+    pub fn set_inactive(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Whether the stream's connection is still being served.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Updates the ingest totals (absolute values, not increments — the
+    /// serving loop reads them off its engine).
+    pub fn record_ingest(&self, samples_in: u64, ring_dropped: u64) {
+        self.samples_in.store(samples_in, Ordering::Relaxed);
+        self.ring_dropped.store(ring_dropped, Ordering::Relaxed);
+    }
+
+    /// Counts one published frame; a decode with zero detected devices is
+    /// a false alarm of the energy gate, not a round.
+    pub fn record_frame(&self, devices_detected: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        if devices_detected > 0 {
+            self.rounds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.false_alarms.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records packets lost to the stream ending mid-packet.
+    pub fn record_truncated(&self, truncated: u64) {
+        self.truncated.store(truncated, Ordering::Relaxed);
+    }
+
+    /// Updates the measured processing rates.
+    pub fn record_rates(&self, samples_per_sec: f64, real_time_factor: f64) {
+        self.samples_per_sec
+            .store(samples_per_sec.to_bits(), Ordering::Relaxed);
+        self.real_time_factor
+            .store(real_time_factor.to_bits(), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            name: self.name.clone(),
+            active: self.is_active(),
+            samples_in: self.samples_in.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            false_alarms: self.false_alarms.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            ring_dropped: self.ring_dropped.load(Ordering::Relaxed),
+            samples_per_sec: f64::from_bits(self.samples_per_sec.load(Ordering::Relaxed)),
+            real_time_factor: f64::from_bits(self.real_time_factor.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one stream's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// Registry-uniquified stream name.
+    pub name: String,
+    /// Whether the connection is still being served.
+    pub active: bool,
+    /// Samples accepted from the socket so far.
+    pub samples_in: u64,
+    /// NDJSON frame records published.
+    pub frames: u64,
+    /// Frames that decoded at least one device.
+    pub rounds: u64,
+    /// Frames that decoded zero devices (energy-gate false alarms).
+    pub false_alarms: u64,
+    /// Packets lost to the stream ending mid-packet.
+    pub truncated: u64,
+    /// Chunks displaced by the ring's drop-oldest backpressure.
+    pub ring_dropped: u64,
+    /// Measured processing throughput, samples per second.
+    pub samples_per_sec: f64,
+    /// Throughput over the stream's sample rate (≥ 1 = keeping up).
+    pub real_time_factor: f64,
+}
+
+/// The daemon-wide stream table.
+#[derive(Debug, Default)]
+pub struct StreamRegistry {
+    streams: Mutex<Vec<Arc<StreamStats>>>,
+}
+
+impl StreamRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a stream under `name`, uniquifying collisions as
+    /// `name#2`, `name#3`, … so metrics lines stay unambiguous.
+    pub fn register(&self, name: &str) -> Arc<StreamStats> {
+        let mut streams = self.streams.lock().expect("registry lock");
+        let mut unique = name.to_string();
+        let mut n = 1usize;
+        while streams.iter().any(|s| s.name() == unique) {
+            n += 1;
+            unique = format!("{name}#{n}");
+        }
+        let stats = Arc::new(StreamStats::new(unique));
+        streams.push(stats.clone());
+        stats
+    }
+
+    /// Snapshots every stream, in registration order.
+    pub fn snapshot(&self) -> Vec<StreamSnapshot> {
+        self.streams
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|s| s.snapshot())
+            .collect()
+    }
+
+    /// Streams whose connections are currently being served.
+    pub fn active_streams(&self) -> usize {
+        self.streams
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .filter(|s| s.is_active())
+            .count()
+    }
+
+    /// Streams ever registered.
+    pub fn total_streams(&self) -> usize {
+        self.streams.lock().expect("registry lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colliding_names_are_uniquified() {
+        let reg = StreamRegistry::new();
+        let a = reg.register("cap");
+        let b = reg.register("cap");
+        let c = reg.register("cap");
+        assert_eq!(a.name(), "cap");
+        assert_eq!(b.name(), "cap#2");
+        assert_eq!(c.name(), "cap#3");
+        assert_eq!(reg.total_streams(), 3);
+        assert_eq!(reg.active_streams(), 3);
+        b.set_inactive();
+        assert_eq!(reg.active_streams(), 2);
+    }
+
+    #[test]
+    fn snapshots_reflect_recorded_counters() {
+        let reg = StreamRegistry::new();
+        let s = reg.register("x");
+        s.record_ingest(1000, 3);
+        s.record_frame(2);
+        s.record_frame(0);
+        s.record_truncated(1);
+        s.record_rates(2e6, 4.0);
+        s.set_inactive();
+        let snap = &reg.snapshot()[0];
+        assert_eq!(
+            *snap,
+            StreamSnapshot {
+                name: "x".to_string(),
+                active: false,
+                samples_in: 1000,
+                frames: 2,
+                rounds: 1,
+                false_alarms: 1,
+                truncated: 1,
+                ring_dropped: 3,
+                samples_per_sec: 2e6,
+                real_time_factor: 4.0,
+            }
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! The serving daemon: ingest accept loop, per-stream serving threads, and
+//! the metrics endpoint.
+//!
+//! [`Daemon::start`] binds the ingest listener (and optionally the metrics
+//! listener), then returns a handle; all serving happens on background
+//! threads. Each accepted ingest connection gets its own thread running
+//! one [`StreamEngine`] with the drop-oldest overflow policy — the socket
+//! reader is never blocked by a slow decode; overload displaces the oldest
+//! queued chunk and counts it into the stream's `ring_dropped` metric.
+//!
+//! Shutdown is graceful and complete: [`Daemon::request_shutdown`] (or
+//! dropping the handle) stops the accept loops, every serving thread
+//! notices within its read-timeout tick, shuts its engine down (joining
+//! the detection thread and decode workers — no detached threads), writes
+//! its `end` record with `"complete":false`, and exits; the daemon's own
+//! threads are then joined.
+
+use crate::protocol::{self, Cf32Decoder, StreamHeader, SAMPLE_BYTES};
+use crate::registry::{StreamRegistry, StreamStats};
+use crate::{metrics, DecodedPacket};
+use netscatter::json::Json;
+use netscatter_gateway::{GatewayConfig, OverflowPolicy, StreamEngine};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocked accepts/reads sleep before re-checking the shutdown
+/// flag — the bound on shutdown latency.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Ingest listen address (`host:port`; port 0 picks one).
+    pub listen: String,
+    /// Metrics listen address; `None` disables the endpoint.
+    pub metrics: Option<String>,
+    /// Default gateway parameters; a stream's header may override the
+    /// bins, payload size and detection floor. The overflow policy is
+    /// always forced to drop-oldest for socket ingest.
+    pub base: GatewayConfig,
+    /// Sample rate assumed for headers that do not declare one.
+    pub default_sample_rate_hz: f64,
+}
+
+impl DaemonConfig {
+    /// Loopback listeners on ephemeral ports around `base`.
+    pub fn new(base: GatewayConfig) -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            metrics: Some("127.0.0.1:0".to_string()),
+            base,
+            default_sample_rate_hz: 500e3,
+        }
+    }
+}
+
+/// A running netscatterd instance. Dropping the handle shuts it down.
+pub struct Daemon {
+    ingest_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<StreamRegistry>,
+    accept: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listeners and starts serving on background threads.
+    pub fn start(config: DaemonConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let ingest_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(StreamRegistry::new());
+        let started = Instant::now();
+
+        let (metrics_thread, metrics_addr) = match &config.metrics {
+            Some(addr) => {
+                let ml = TcpListener::bind(addr)?;
+                ml.set_nonblocking(true)?;
+                let maddr = ml.local_addr()?;
+                let reg = registry.clone();
+                let stop = shutdown.clone();
+                let handle = std::thread::spawn(move || metrics_loop(ml, reg, stop, started));
+                (Some(handle), Some(maddr))
+            }
+            None => (None, None),
+        };
+
+        let base = config.base;
+        let rate = config.default_sample_rate_hz;
+        let reg = registry.clone();
+        let stop = shutdown.clone();
+        let accept = std::thread::spawn(move || accept_loop(listener, base, rate, reg, stop));
+
+        Ok(Self {
+            ingest_addr,
+            metrics_addr,
+            shutdown,
+            registry,
+            accept: Some(accept),
+            metrics_thread: Some(metrics_thread).flatten(),
+        })
+    }
+
+    /// The bound ingest address (resolves port 0 to the real port).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound metrics address, when the endpoint is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The live stream table (shared with the serving threads).
+    pub fn registry(&self) -> Arc<StreamRegistry> {
+        self.registry.clone()
+    }
+
+    /// Flags every serving loop to wind down; returns immediately. Safe to
+    /// call from a signal-watching loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Requests shutdown and joins every daemon thread. In-flight streams
+    /// finish their engine shutdown and write `"complete":false` end
+    /// records first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts ingest connections until shutdown, then joins every serving
+/// thread it spawned.
+fn accept_loop(
+    listener: TcpListener,
+    base: GatewayConfig,
+    default_rate: f64,
+    registry: Arc<StreamRegistry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                // Reap finished serving threads so the vector stays small
+                // on long-lived daemons.
+                conns = conns
+                    .into_iter()
+                    .filter_map(|h| {
+                        if h.is_finished() {
+                            let _ = h.join();
+                            None
+                        } else {
+                            Some(h)
+                        }
+                    })
+                    .collect();
+                let base = base.clone();
+                let reg = registry.clone();
+                let stop = shutdown.clone();
+                conns.push(std::thread::spawn(move || {
+                    // Connection-level I/O errors end that stream only.
+                    let _ = serve_connection(sock, base, default_rate, &reg, &stop);
+                }));
+            }
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Serves metrics documents until shutdown: one rendered snapshot per
+/// connection, then close.
+fn metrics_loop(
+    listener: TcpListener,
+    registry: Arc<StreamRegistry>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut sock, _)) => {
+                let doc = metrics::render(&registry, started.elapsed().as_secs_f64());
+                let _ = sock.write_all(doc.as_bytes());
+            }
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Whether a read error means "nothing available yet" on a socket with a
+/// read timeout.
+fn is_retriable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Writes one NDJSON record line.
+fn write_record(sock: &mut TcpStream, record: &Json) -> std::io::Result<()> {
+    let mut line = record.to_string_line();
+    line.push('\n');
+    sock.write_all(line.as_bytes())
+}
+
+/// Reads the header line, polling the shutdown flag on every timeout.
+/// `Ok(None)` means the connection (or the daemon) went away first.
+fn read_header_line(
+    reader: &mut BufReader<TcpStream>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match reader.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) if byte[0] == b'\n' => {
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+            }
+            Ok(_) => {
+                line.push(byte[0]);
+                if line.len() > 1 << 16 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "ingest header line exceeds 64 KiB",
+                    ));
+                }
+            }
+            Err(e) if is_retriable(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One ingest connection end to end: header, engine, sample loop, report.
+fn serve_connection(
+    mut sock: TcpStream,
+    base: GatewayConfig,
+    default_rate: f64,
+    registry: &StreamRegistry,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    sock.set_read_timeout(Some(POLL_TICK))?;
+    let _ = sock.set_nodelay(true);
+    let mut reader = BufReader::with_capacity(1 << 16, sock.try_clone()?);
+    let Some(line) = read_header_line(&mut reader, shutdown)? else {
+        return Ok(());
+    };
+    let header = match StreamHeader::parse(&line) {
+        Ok(h) => h,
+        Err(msg) => {
+            write_record(&mut sock, &protocol::error_json("", &msg))?;
+            return Ok(());
+        }
+    };
+    let mut cfg = base;
+    // The socket reader must never block on a slow decode: live ingest
+    // always runs drop-oldest, whatever the base config says.
+    cfg.overflow = OverflowPolicy::DropOldest;
+    if let Some(bins) = header.bins {
+        cfg.assigned_bins = bins;
+    }
+    if let Some(bits) = header.payload_bits {
+        cfg.payload_symbols = bits;
+    }
+    if let Some(floor) = header.detection_floor {
+        cfg.detection_floor_fraction = Some(floor);
+    }
+    if cfg.assigned_bins.is_empty() {
+        write_record(
+            &mut sock,
+            &protocol::error_json(
+                &header.name,
+                "no bins to decode: set them in the header or start the daemon with --bins",
+            ),
+        )?;
+        return Ok(());
+    }
+    let rate = header.sample_rate_hz.unwrap_or(default_rate);
+    let stats = registry.register(&header.name);
+    let result = serve_stream(&mut sock, &mut reader, &cfg, rate, &stats, shutdown);
+    stats.set_inactive();
+    result
+}
+
+/// Running frame tallies of one connection.
+#[derive(Default)]
+struct Tally {
+    frames: u64,
+    rounds: u64,
+    false_alarms: u64,
+}
+
+/// Publishes decoded packets as `frame` records and counts them.
+fn publish(
+    sock: &mut TcpStream,
+    name: &str,
+    packets: Vec<DecodedPacket>,
+    stats: &StreamStats,
+    tally: &mut Tally,
+) -> std::io::Result<()> {
+    for packet in packets {
+        let devices = packet.round.devices.len();
+        stats.record_frame(devices);
+        tally.frames += 1;
+        if devices > 0 {
+            tally.rounds += 1;
+        } else {
+            tally.false_alarms += 1;
+        }
+        write_record(sock, &protocol::frame_json(name, &packet))?;
+    }
+    Ok(())
+}
+
+/// The sample loop: socket bytes → cf32 decode → engine feed → frame
+/// publish, then the engine shutdown and the `end` record.
+fn serve_stream(
+    sock: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    cfg: &GatewayConfig,
+    rate: f64,
+    stats: &StreamStats,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let name = stats.name().to_string();
+    let mut engine = match StreamEngine::spawn(cfg, rate) {
+        Ok(engine) => engine,
+        Err(e) => {
+            write_record(sock, &protocol::error_json(&name, &e.to_string()))?;
+            return Ok(());
+        }
+    };
+    write_record(sock, &protocol::ready_json(&name))?;
+
+    let started = Instant::now();
+    let mut decoder = Cf32Decoder::new();
+    let mut buf = vec![0u8; cfg.chunk_samples.max(1) * SAMPLE_BYTES];
+    let mut samples: Vec<netscatter_dsp::Complex64> = Vec::with_capacity(cfg.chunk_samples.max(1));
+    let mut tally = Tally::default();
+    let mut complete = false;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => {
+                complete = true;
+                break;
+            }
+            Ok(n) => {
+                samples.clear();
+                decoder.push(&buf[..n], &mut samples);
+                if engine.feed(&samples).is_err() {
+                    break;
+                }
+            }
+            Err(e) if is_retriable(&e) => {}
+            // Peer reset mid-stream: report what was decoded so far.
+            Err(_) => break,
+        }
+        stats.record_ingest(engine.samples_fed(), engine.ring_dropped());
+        let sps = engine.samples_processed() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        stats.record_rates(sps, sps / rate);
+        publish(sock, &name, engine.drain(), stats, &mut tally)?;
+    }
+
+    let samples_fed = engine.samples_fed();
+    match engine.shutdown() {
+        Ok(mut report) => {
+            publish(
+                sock,
+                &name,
+                std::mem::take(&mut report.packets),
+                stats,
+                &mut tally,
+            )?;
+            stats.record_ingest(samples_fed, report.ring_dropped);
+            stats.record_truncated(report.truncated as u64);
+            stats.record_rates(report.samples_per_sec, report.real_time_factor);
+            write_record(
+                sock,
+                &protocol::end_json(
+                    &name,
+                    tally.frames,
+                    tally.rounds,
+                    tally.false_alarms,
+                    &report,
+                    complete,
+                ),
+            )?;
+        }
+        Err(e) => {
+            write_record(sock, &protocol::error_json(&name, &e.to_string()))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! SIGINT/SIGTERM hook for graceful daemon shutdown.
+//!
+//! The workspace carries no libc crate, so the handler binds the C
+//! library's `signal(2)` directly — the only unsafe code in this crate.
+//! The handler just flips a process-global flag; the daemon's main loop
+//! polls [`signaled`] and runs its normal graceful shutdown path (engines
+//! drained, end records written, threads joined).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+
+/// SIGTERM (polite kill).
+pub const SIGTERM: i32 = 15;
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// The async-signal-safe handler: a single atomic store.
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    /// C library `signal(2)`. The return value (the previous handler) is
+    /// opaque pointer-sized data this module never dereferences.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM. Process-wide;
+/// call once from the binary's main.
+pub fn install() {
+    // SAFETY: `on_signal` is async-signal-safe (one atomic store, no
+    // allocation, no locks), and `signal` is only given valid signal
+    // numbers and a live `extern "C"` function.
+    #[allow(unsafe_code)]
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Whether a shutdown signal has arrived since [`install`].
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}

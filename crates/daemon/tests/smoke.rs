@@ -1,0 +1,267 @@
+//! End-to-end daemon smoke: concurrent TCP ingest must reproduce the
+//! batch pipeline bit for bit, metrics must report every stream, and
+//! shutdown must be graceful mid-stream.
+
+use netscatter::json::Json;
+use netscatter_daemon::client::{self, Pace};
+use netscatter_daemon::protocol::{self, StreamHeader};
+use netscatter_daemon::{Daemon, DaemonConfig};
+use netscatter_dsp::Complex64;
+use netscatter_gateway::{GatewayConfig, StreamGateway};
+use netscatter_phy::distributed::OnOffModulator;
+use netscatter_phy::params::PhyProfile;
+use netscatter_phy::preamble::PreambleBuilder;
+use std::io::Write;
+
+const RATE: f64 = 500e3;
+const BINS: [usize; 2] = [64, 192];
+const BITS: [bool; 8] = [true, false, true, true, false, false, true, true];
+
+/// A noise-free stream of `count` ideal packets from the bin-64 device,
+/// quantized through the wire's f32 precision — exactly what the daemon's
+/// cf32 decode will hand its engine.
+fn wire_stream(count: usize) -> Vec<Complex64> {
+    let params = PhyProfile::default().modulation.chirp();
+    let mut pkt = PreambleBuilder::new(params, BINS[0]).build(0.0, 0.0, 1.0);
+    pkt.extend(OnOffModulator::new(params, BINS[0]).modulate_payload(&BITS, 0.0, 0.0, 1.0));
+    let mut stream = Vec::new();
+    for i in 0..count {
+        stream.extend(vec![Complex64::ZERO; 500 + 211 * i]);
+        stream.extend(&pkt);
+    }
+    stream.extend(vec![Complex64::ZERO; 300]);
+    protocol::quantize_cf32(&stream)
+}
+
+fn gateway_config() -> GatewayConfig {
+    GatewayConfig {
+        chunk_samples: 2048,
+        workers: 2,
+        // Large enough that every chunk of the longest test stream fits the
+        // ring at once: bit-identity must hold even when an unoptimized test
+        // build decodes slower than the paced 500 ksps ingest, and drop-oldest
+        // can only stay silent if the ring never fills.
+        ring_slots: 256,
+        ..GatewayConfig::new(PhyProfile::default(), BINS.to_vec(), BITS.len())
+    }
+}
+
+/// The batch pipeline's frame records for `samples` under `name` — the
+/// reference the daemon's NDJSON must match byte for byte.
+fn batch_frames(name: &str, samples: &[Complex64]) -> Vec<String> {
+    let cfg = gateway_config();
+    let mut gw = StreamGateway::new(&cfg).unwrap();
+    let mut frames = Vec::new();
+    for chunk in samples.chunks(cfg.chunk_samples) {
+        for packet in gw.feed(chunk).unwrap() {
+            frames.push(protocol::frame_json(name, &packet).to_string_line());
+        }
+    }
+    assert_eq!(gw.finish(), 0, "reference stream must not truncate");
+    frames
+}
+
+fn header_for(name: &str) -> StreamHeader {
+    StreamHeader {
+        name: name.to_string(),
+        sample_rate_hz: Some(RATE),
+        bins: Some(BINS.to_vec()),
+        payload_bits: Some(BITS.len()),
+        detection_floor: None,
+    }
+}
+
+fn lines_of_type<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String> {
+    lines
+        .iter()
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|d| d.get("type").and_then(Json::as_str).map(String::from))
+                .as_deref()
+                == Some(kind)
+        })
+        .collect()
+}
+
+#[test]
+fn four_concurrent_tcp_streams_decode_bit_identically_to_batch() {
+    let daemon = Daemon::start(DaemonConfig::new(gateway_config())).unwrap();
+    let ingest = daemon.ingest_addr();
+
+    // Four different stream lengths so the connections genuinely overlap
+    // and finish out of lockstep.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let name = format!("s{i}");
+                let samples = wire_stream(3 + i);
+                let lines =
+                    client::stream_samples(ingest, &header_for(&name), &samples, Pace::RealTime)
+                        .unwrap();
+                (name, samples, lines)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (name, samples, lines) = h.join().unwrap();
+        let expected = batch_frames(&name, &samples);
+        assert!(!expected.is_empty(), "{name}: reference decoded nothing");
+        let frames: Vec<String> = lines_of_type(&lines, "frame")
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(frames, expected, "{name}: daemon frames differ from batch");
+
+        let ends = lines_of_type(&lines, "end");
+        assert_eq!(ends.len(), 1, "{name}: exactly one end record");
+        let end = Json::parse(ends[0]).unwrap();
+        assert_eq!(end.get("complete"), Some(&Json::Bool(true)));
+        assert_eq!(
+            end.get("frames").and_then(Json::as_u64),
+            Some(expected.len() as u64)
+        );
+        assert_eq!(end.get("ring_dropped").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            end.get("samples_in").and_then(Json::as_u64),
+            Some(samples.len() as u64)
+        );
+    }
+
+    // Metrics: every stream present with a positive throughput, schema
+    // `name value` / `name{stream="…"} value` throughout.
+    let doc = client::fetch_metrics(daemon.metrics_addr().unwrap()).unwrap();
+    assert!(doc.starts_with(netscatter_daemon::metrics::METRICS_HEADER));
+    assert!(doc.contains("netscatterd_streams_total 4"));
+    assert!(doc.contains("netscatterd_ring_dropped_total 0"));
+    for i in 0..4 {
+        let line = doc
+            .lines()
+            .find(|l| {
+                l.starts_with(&format!(
+                    "netscatterd_stream_msamples_per_sec{{stream=\"s{i}\"}} "
+                ))
+            })
+            .unwrap_or_else(|| panic!("metrics lack stream s{i}:\n{doc}"));
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value > 0.0, "s{i} throughput not positive: {line}");
+    }
+    for line in doc.lines().skip(1) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparsable metrics line {line:?}"
+        );
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
+fn replayed_cf32_file_over_tcp_matches_batch() {
+    let samples = wire_stream(4);
+    let path = std::env::temp_dir().join("netscatterd_smoke_replay.cf32");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&protocol::encode_cf32le(&samples)).unwrap();
+    }
+    let daemon = Daemon::start(DaemonConfig::new(gateway_config())).unwrap();
+    let lines = client::stream_file(
+        daemon.ingest_addr(),
+        &header_for("replay"),
+        &path,
+        Pace::RealTime,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let frames: Vec<String> = lines_of_type(&lines, "frame")
+        .into_iter()
+        .cloned()
+        .collect();
+    assert_eq!(frames, batch_frames("replay", &samples));
+    daemon.shutdown();
+}
+
+#[test]
+fn header_defaults_fall_back_to_the_daemon_config() {
+    // A bare `{"stream":"x"}` header decodes with the daemon's --bins and
+    // --payload-bits defaults.
+    let daemon = Daemon::start(DaemonConfig::new(gateway_config())).unwrap();
+    let samples = wire_stream(2);
+    let lines = client::stream_samples(
+        daemon.ingest_addr(),
+        &StreamHeader::named("bare"),
+        &samples,
+        Pace::RealTime,
+    )
+    .unwrap();
+    let frames: Vec<String> = lines_of_type(&lines, "frame")
+        .into_iter()
+        .cloned()
+        .collect();
+    assert_eq!(frames, batch_frames("bare", &samples));
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_mid_stream_writes_an_incomplete_end_record() {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    let daemon = Daemon::start(DaemonConfig::new(gateway_config())).unwrap();
+    let mut sock = TcpStream::connect(daemon.ingest_addr()).unwrap();
+    let mut header = header_for("cut").to_json_line();
+    header.push('\n');
+    sock.write_all(header.as_bytes()).unwrap();
+    // One full packet's worth of samples, then the client goes quiet
+    // without closing — only a daemon shutdown can end this stream.
+    let samples = wire_stream(1);
+    sock.write_all(&protocol::encode_cf32le(&samples)).unwrap();
+
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"ready\""),
+        "expected ready record, got {line}"
+    );
+
+    daemon.shutdown(); // joins the serving thread: the end record is already written
+    let mut lines = Vec::new();
+    for l in reader.lines() {
+        lines.push(l.unwrap());
+    }
+    let ends = lines_of_type(&lines, "end");
+    assert_eq!(ends.len(), 1, "graceful shutdown must write an end record");
+    let end = Json::parse(ends[0]).unwrap();
+    assert_eq!(end.get("complete"), Some(&Json::Bool(false)));
+    // The one fully-fed packet was decoded, not lost, on the way down.
+    assert_eq!(lines_of_type(&lines, "frame").len(), 1);
+}
+
+#[test]
+fn malformed_headers_get_an_error_record() {
+    let daemon = Daemon::start(DaemonConfig::new(gateway_config())).unwrap();
+    let lines = client::stream_bytes(
+        daemon.ingest_addr(),
+        &StreamHeader::named("x"),
+        b"not samples",
+        Pace::Unlimited,
+    )
+    .unwrap();
+    // Valid header, 11 stray bytes: one incomplete sample, zero frames.
+    assert_eq!(lines_of_type(&lines, "frame").len(), 0);
+    assert_eq!(lines_of_type(&lines, "end").len(), 1);
+
+    use std::io::{BufRead, BufReader};
+    use std::net::{Shutdown, TcpStream};
+    let mut sock = TcpStream::connect(daemon.ingest_addr()).unwrap();
+    sock.write_all(b"this is not json\n").unwrap();
+    sock.shutdown(Shutdown::Write).unwrap();
+    let lines: Vec<String> = BufReader::new(sock).lines().map(|l| l.unwrap()).collect();
+    let errors = lines_of_type(&lines, "error");
+    assert_eq!(errors.len(), 1, "bad header must produce an error record");
+    daemon.shutdown();
+}

@@ -102,6 +102,10 @@ pub struct GatewayConfig {
     pub ring_slots: usize,
     /// Decode worker threads (0 resolves to the available parallelism).
     pub workers: usize,
+    /// What the feed side does when the ring is full: block (lossless
+    /// replay) or displace the oldest queued chunk with a counted drop
+    /// (live socket ingest — never stall the reader).
+    pub overflow: crate::ring::OverflowPolicy,
     /// Energy gate in dB over the running noise-floor estimate.
     pub energy_gate_db: f64,
     /// Override for the receiver's detection floor fraction (`None` keeps
@@ -121,6 +125,7 @@ impl GatewayConfig {
             chunk_samples: 4096,
             ring_slots: 8,
             workers: 0,
+            overflow: crate::ring::OverflowPolicy::Block,
             energy_gate_db: 6.0,
             detection_floor_fraction: None,
         }

@@ -1,0 +1,449 @@
+//! The reusable per-stream pipeline engine.
+//!
+//! [`StreamEngine`] is the threaded detection/decode topology of the
+//! gateway, factored out of the one-shot [`crate::pipeline::run_stream`]
+//! session so a long-lived daemon can run one engine per ingest stream with
+//! an explicit lifecycle:
+//!
+//! * **spawn** — [`StreamEngine::spawn`] starts the detection thread (pops
+//!   the ring, runs the [`crate::detect::StreamDetector`] in stream order,
+//!   deals completed spans round-robin) and the decode worker pool (each
+//!   worker owns a receiver clone and reuses the batch
+//!   `ConcurrentReceiver::decode_round` path);
+//! * **feed** — [`StreamEngine::feed`] copies a chunk of samples into the
+//!   lock-free ring. Backpressure follows the configured
+//!   [`OverflowPolicy`]: `Block` spins until the detector frees a slot
+//!   (lossless replay), `DropOldest` displaces the oldest queued chunk and
+//!   counts it (the daemon's socket ingest — the TCP reader is never
+//!   blocked);
+//! * **drain** — [`StreamEngine::drain`] collects decoded packets *in
+//!   stream order* without blocking, so a serving loop can publish frames
+//!   while the stream is still flowing;
+//! * **shutdown** — [`StreamEngine::shutdown`] closes the ring, joins the
+//!   detection thread and every worker (no detached threads, no lost
+//!   in-flight rounds), and returns the final [`GatewayReport`] carrying
+//!   whatever packets were not already drained plus the session counters
+//!   (samples, truncated packets, ring drops, throughput).
+//!
+//! Dropping an engine without calling `shutdown` performs the same join —
+//! worker threads are never leaked past the producer's lifetime.
+
+use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
+use crate::pipeline::{decode_span, DecodedPacket, GatewayReport};
+use crate::ring::{spsc_ring, RingConsumer, RingProducer};
+use netscatter_dsp::fft::FftError;
+use netscatter_dsp::Complex64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+pub use crate::ring::OverflowPolicy;
+
+/// A chunk in flight between the feeder and the detector.
+struct Chunk {
+    samples: Vec<Complex64>,
+}
+
+/// Counters shared between the engine handle and its detection thread.
+#[derive(Debug, Default)]
+struct EngineStats {
+    /// Samples the detector has consumed from the ring.
+    samples_processed: AtomicU64,
+}
+
+/// What the detection thread hands back when it exits.
+struct DetectorExit {
+    truncated: usize,
+}
+
+/// The engine died before the feed could be accepted — its detection thread
+/// is gone (shutdown already started, or a decode panic tore it down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed;
+
+impl std::fmt::Display for EngineClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream engine is shut down")
+    }
+}
+
+impl std::error::Error for EngineClosed {}
+
+/// One live per-stream pipeline: ring → detector thread → decode worker
+/// pool → in-order reassembly. See the module docs for the lifecycle.
+pub struct StreamEngine {
+    producer: Option<RingProducer<Chunk>>,
+    detector: Option<JoinHandle<DetectorExit>>,
+    workers: Vec<JoinHandle<()>>,
+    results: mpsc::Receiver<Result<DecodedPacket, FftError>>,
+    stats: Arc<EngineStats>,
+    policy: OverflowPolicy,
+    sample_rate_hz: f64,
+    started: Instant,
+    /// Samples accepted by `feed` (dropped chunks included).
+    samples_fed: u64,
+    /// Out-of-order decoded packets waiting for their predecessors.
+    reorder: Vec<DecodedPacket>,
+    /// Sequence number the next in-order packet must carry.
+    next_emit: usize,
+    /// First decode error observed (reported at shutdown).
+    error: Option<FftError>,
+    /// Detector-exit data once joined.
+    truncated: usize,
+    /// Ring-drop total cached when the producer handle is released.
+    final_dropped: u64,
+}
+
+impl StreamEngine {
+    /// Spawns the detection thread and decode worker pool for `config`.
+    /// `sample_rate_hz` is the ingest stream's sample rate, used for the
+    /// report's real-time factor.
+    pub fn spawn(config: &GatewayConfig, sample_rate_hz: f64) -> Result<Self, FftError> {
+        Self::spawn_inner(config, sample_rate_hz, None)
+    }
+
+    /// As [`StreamEngine::spawn`], with an optional gate the detection
+    /// thread spins on before its first pop — lets tests stall the consumer
+    /// deterministically to exercise the overflow policy.
+    fn spawn_inner(
+        config: &GatewayConfig,
+        sample_rate_hz: f64,
+        hold: Option<Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Result<Self, FftError> {
+        let detector = StreamDetector::new(config)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let (ring_tx, ring_rx) = spsc_ring::<Chunk>(config.ring_slots.max(1));
+        let (result_tx, result_rx) = mpsc::channel::<Result<DecodedPacket, FftError>>();
+        let stats = Arc::new(EngineStats::default());
+
+        // Decode workers: each owns a receiver clone and drains its private
+        // job queue; spans are dealt round-robin by sequence number.
+        let mut job_txs: Vec<mpsc::Sender<PacketSpan>> = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<PacketSpan>();
+            job_txs.push(job_tx);
+            let result_tx = result_tx.clone();
+            let receiver = detector.receiver().clone();
+            let bins = config.assigned_bins.clone();
+            let payload_symbols = config.payload_symbols;
+            worker_handles.push(std::thread::spawn(move || {
+                while let Ok(span) = job_rx.recv() {
+                    let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
+                    if result_tx.send(decoded).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(result_tx);
+
+        let det_stats = stats.clone();
+        let detector_handle =
+            std::thread::spawn(move || detection_loop(detector, ring_rx, job_txs, det_stats, hold));
+
+        Ok(Self {
+            producer: Some(ring_tx),
+            detector: Some(detector_handle),
+            workers: worker_handles,
+            results: result_rx,
+            stats,
+            policy: config.overflow,
+            sample_rate_hz,
+            started: Instant::now(),
+            samples_fed: 0,
+            reorder: Vec::new(),
+            next_emit: 0,
+            error: None,
+            truncated: 0,
+            final_dropped: 0,
+        })
+    }
+
+    /// The ingest stream's sample rate the engine was spawned with.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Samples accepted by [`StreamEngine::feed`] so far (samples inside
+    /// chunks later displaced by the overflow policy included).
+    pub fn samples_fed(&self) -> u64 {
+        self.samples_fed
+    }
+
+    /// Samples the detection thread has consumed from the ring so far.
+    pub fn samples_processed(&self) -> u64 {
+        self.stats.samples_processed.load(Ordering::Relaxed)
+    }
+
+    /// Chunks displaced by the drop-oldest overflow policy so far.
+    pub fn ring_dropped(&self) -> u64 {
+        self.producer
+            .as_ref()
+            .map_or(self.final_dropped, |p| p.dropped())
+    }
+
+    /// Copies `samples` into the ring as one chunk, applying the overflow
+    /// policy. Returns how many chunks the push displaced (always 0 under
+    /// [`OverflowPolicy::Block`]).
+    pub fn feed(&mut self, samples: &[Complex64]) -> Result<u64, EngineClosed> {
+        if samples.is_empty() {
+            return Ok(0);
+        }
+        let producer = self.producer.as_ref().ok_or(EngineClosed)?;
+        self.samples_fed += samples.len() as u64;
+        let chunk = Chunk {
+            samples: samples.to_vec(),
+        };
+        match self.policy {
+            OverflowPolicy::Block => producer.push(chunk).map(|()| 0).map_err(|_| EngineClosed),
+            OverflowPolicy::DropOldest => Ok(producer.force_push(chunk)),
+        }
+    }
+
+    /// Collects every packet decoded so far, in stream order, without
+    /// blocking. Packets whose predecessors are still in flight are held
+    /// back until the gap fills.
+    pub fn drain(&mut self) -> Vec<DecodedPacket> {
+        while let Ok(decoded) = self.results.try_recv() {
+            self.stash(decoded);
+        }
+        self.emit_ready()
+    }
+
+    /// Ends the stream: closes the ring, joins the detection thread and the
+    /// worker pool, drains the in-flight remainder and returns the final
+    /// report. `packets` carries only what was not already handed out by
+    /// [`StreamEngine::drain`].
+    pub fn shutdown(mut self) -> Result<GatewayReport, FftError> {
+        self.teardown();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let elapsed_s = self.started.elapsed().as_secs_f64().max(1e-12);
+        let samples_in = self.samples_processed();
+        let samples_per_sec = samples_in as f64 / elapsed_s;
+        let packets = self.emit_ready();
+        Ok(GatewayReport {
+            packets,
+            samples_in,
+            truncated: self.truncated,
+            elapsed_s,
+            samples_per_sec,
+            real_time_factor: samples_per_sec / self.sample_rate_hz,
+            ring_dropped: self.final_dropped,
+        })
+    }
+
+    /// Closes the ring and joins every thread, folding the remaining decode
+    /// results into the reorder buffer. Idempotent.
+    fn teardown(&mut self) {
+        if let Some(producer) = self.producer.take() {
+            self.final_dropped = producer.dropped();
+            drop(producer); // closes the ring; the detector drains and exits
+        }
+        if let Some(detector) = self.detector.take() {
+            match detector.join() {
+                Ok(exit) => self.truncated = exit.truncated,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        for worker in self.workers.drain(..) {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        // All senders are gone: drain the channel to the end.
+        while let Ok(decoded) = self.results.try_recv() {
+            self.stash(decoded);
+        }
+    }
+
+    /// Buffers one decode result, recording the first error.
+    fn stash(&mut self, decoded: Result<DecodedPacket, FftError>) {
+        match decoded {
+            Ok(packet) => self.reorder.push(packet),
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Moves the in-order prefix out of the reorder buffer: packets
+    /// `next_emit, next_emit + 1, …` up to the first gap.
+    fn emit_ready(&mut self) -> Vec<DecodedPacket> {
+        self.reorder.sort_by_key(|p| p.index);
+        let ready = self
+            .reorder
+            .iter()
+            .enumerate()
+            .take_while(|(i, p)| p.index == self.next_emit + i)
+            .count();
+        self.next_emit += ready;
+        self.reorder.drain(..ready).collect()
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// The detection thread: pops chunks in stream order, advances the state
+/// machine, deals completed spans to the workers round-robin.
+fn detection_loop(
+    mut detector: StreamDetector,
+    ring: RingConsumer<Chunk>,
+    job_txs: Vec<mpsc::Sender<PacketSpan>>,
+    stats: Arc<EngineStats>,
+    hold: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> DetectorExit {
+    if let Some(gate) = hold {
+        while gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }
+    let workers = job_txs.len();
+    let mut spans = Vec::new();
+    while let Some(chunk) = ring.pop() {
+        stats
+            .samples_processed
+            .fetch_add(chunk.samples.len() as u64, Ordering::Relaxed);
+        detector.push(&chunk.samples, &mut spans);
+        for span in spans.drain(..) {
+            let worker = span.index % workers;
+            job_txs[worker]
+                .send(span)
+                .expect("decode workers outlive detection");
+        }
+    }
+    detector.finish();
+    DetectorExit {
+        truncated: detector.truncated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netscatter_phy::distributed::OnOffModulator;
+    use netscatter_phy::params::PhyProfile;
+    use netscatter_phy::preamble::PreambleBuilder;
+    use std::sync::atomic::AtomicBool;
+
+    /// A stream with `count` ideal single-device packets at varying gaps.
+    fn stream_with_packets(bin: usize, bits: &[bool], count: usize) -> Vec<Complex64> {
+        let params = PhyProfile::default().modulation.chirp();
+        let mut pkt = PreambleBuilder::new(params, bin).build(0.0, 0.0, 1.0);
+        pkt.extend(OnOffModulator::new(params, bin).modulate_payload(bits, 0.0, 0.0, 1.0));
+        let mut stream = Vec::new();
+        for i in 0..count {
+            stream.extend(vec![Complex64::ZERO; 400 + 137 * i]);
+            stream.extend(&pkt);
+        }
+        stream.extend(vec![Complex64::ZERO; 200]);
+        stream
+    }
+
+    #[test]
+    fn shutdown_drains_every_in_flight_round() {
+        // Feed the whole stream and shut down immediately: every packet the
+        // detector saw must come back in the report — joined workers, no
+        // lost in-flight rounds.
+        let bits = vec![true, false, true, true, false, true];
+        let cfg = GatewayConfig {
+            workers: 3,
+            ..GatewayConfig::new(PhyProfile::default(), vec![128], bits.len())
+        };
+        let stream = stream_with_packets(128, &bits, 5);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        for chunk in stream.chunks(1000) {
+            engine.feed(chunk).unwrap();
+        }
+        let report = engine.shutdown().unwrap();
+        assert_eq!(report.packets.len(), 5);
+        assert_eq!(report.truncated, 0);
+        assert_eq!(report.ring_dropped, 0);
+        assert_eq!(report.samples_in, stream.len() as u64);
+        for (i, p) in report.packets.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.round.bits_for(128).unwrap(), &bits[..]);
+        }
+    }
+
+    #[test]
+    fn drain_hands_out_packets_in_stream_order() {
+        let bits = vec![true, true, false, true];
+        let cfg = GatewayConfig {
+            workers: 2,
+            ..GatewayConfig::new(PhyProfile::default(), vec![64], bits.len())
+        };
+        let stream = stream_with_packets(64, &bits, 4);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        let mut drained = Vec::new();
+        for chunk in stream.chunks(777) {
+            engine.feed(chunk).unwrap();
+            drained.extend(engine.drain());
+        }
+        // Whatever was still in flight at the end arrives with the report.
+        let report = engine.shutdown().unwrap();
+        drained.extend(report.packets);
+        assert_eq!(drained.len(), 4);
+        for (i, p) in drained.iter().enumerate() {
+            assert_eq!(p.index, i, "drain must preserve stream order");
+        }
+    }
+
+    #[test]
+    fn stalled_consumer_overflow_drops_surface_in_the_report() {
+        // Deterministic overflow: the detection thread is gated before its
+        // first pop, so every chunk beyond the ring capacity must displace
+        // the oldest queued one. The drop count surfaces in the
+        // GatewayReport, and only the surviving chunks are processed.
+        let cfg = GatewayConfig {
+            ring_slots: 2,
+            workers: 1,
+            overflow: OverflowPolicy::DropOldest,
+            ..GatewayConfig::new(PhyProfile::default(), vec![0], 4)
+        };
+        let hold = Arc::new(AtomicBool::new(true));
+        let mut engine = StreamEngine::spawn_inner(&cfg, 500e3, Some(hold.clone())).unwrap();
+        let chunk = vec![Complex64::ZERO; 256];
+        for _ in 0..10 {
+            engine.feed(&chunk).unwrap();
+        }
+        assert_eq!(engine.ring_dropped(), 8, "2 of 10 chunks fit a 2-slot ring");
+        assert_eq!(engine.samples_fed(), 10 * 256);
+        hold.store(false, Ordering::Release);
+        let report = engine.shutdown().unwrap();
+        assert_eq!(report.ring_dropped, 8);
+        assert_eq!(
+            report.samples_in,
+            2 * 256,
+            "only surviving chunks reach the detector"
+        );
+        assert!(report.packets.is_empty());
+    }
+
+    #[test]
+    fn feed_after_shutdown_is_rejected_cleanly() {
+        let cfg = GatewayConfig::new(PhyProfile::default(), vec![0], 4);
+        let engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        // Drop without shutdown: the Drop impl joins every thread.
+        drop(engine);
+
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        engine.teardown();
+        assert_eq!(engine.feed(&[Complex64::ZERO]), Err(EngineClosed));
+    }
+}

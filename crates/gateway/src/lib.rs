@@ -8,14 +8,19 @@
 //! * [`source`] — the [`source::StreamSource`] abstraction the gateway
 //!   consumes (deterministic replay here; the live Poisson round
 //!   synthesizer lives in `netscatter_sim::stream`);
-//! * [`ring`] — the lock-free SPSC ring buffer carrying sample chunks from
-//!   the producer thread into the detector;
+//! * [`ring`] — the lock-free sequence-ticket ring buffer carrying sample
+//!   chunks from the producer thread into the detector, with a drop-oldest
+//!   overflow mode ([`ring::OverflowPolicy`]) for live ingest;
 //! * [`detect`] — the online detection state machine (energy gate →
 //!   preamble cross-correlation sync → payload handoff) with overlap-save
 //!   chunk stitching, making the decode chunk-size invariant;
+//! * [`engine`] — the reusable per-stream [`engine::StreamEngine`]
+//!   (spawn / feed / drain / shutdown lifecycle) the `netscatterd` daemon
+//!   runs one of per ingest stream;
 //! * [`pipeline`] — the synchronous [`pipeline::StreamGateway`] facade and
-//!   the threaded [`pipeline::run_stream`] session with N decode workers,
-//!   reporting measured throughput and the real-time factor.
+//!   the threaded [`pipeline::run_stream`] session (a run-to-completion
+//!   engine lifecycle) with N decode workers, reporting measured
+//!   throughput and the real-time factor.
 //!
 //! The gate needs at least one full noise-only gate window
 //! ([`detect::GATE_WINDOW`] samples) at the head of the stream to calibrate
@@ -23,10 +28,12 @@
 //! stream synthesizer) starts with an idle gap.
 
 pub mod detect;
+pub mod engine;
 pub mod pipeline;
 pub mod ring;
 pub mod source;
 
 pub use detect::{GatewayConfig, PacketSpan, StreamDetector};
+pub use engine::{EngineClosed, OverflowPolicy, StreamEngine};
 pub use pipeline::{run_stream, DecodedPacket, GatewayReport, StreamGateway};
-pub use source::{ReplaySource, StreamSource};
+pub use source::{Cf32FileSource, ReplaySource, StreamSource};

@@ -5,14 +5,15 @@
 //! * [`StreamGateway`] — the synchronous, single-threaded facade: feed
 //!   chunks, get decoded packets back. This is the deterministic core the
 //!   equivalence tests pin against the batch receiver.
-//! * [`run_stream`] — the real-time topology: a producer thread pulls
-//!   chunks from a [`StreamSource`] and pushes them through the lock-free
-//!   SPSC ring; the calling thread runs detection and hands completed
-//!   [`PacketSpan`]s to `workers` decode threads round-robin; results are
-//!   reassembled in packet order. The report carries the measured
-//!   throughput and the real-time factor (throughput over the source's
-//!   sample rate) — the number that says whether this gateway keeps up
-//!   with the radio.
+//! * [`run_stream`] — the real-time topology, a run-to-completion session
+//!   over the reusable [`crate::engine::StreamEngine`]: the calling thread
+//!   pulls chunks from a [`StreamSource`] and feeds them through the
+//!   lock-free ring; the engine's detection thread locates packets in
+//!   stream order and `workers` decode threads handle them round-robin;
+//!   results are reassembled in packet order. The report carries the
+//!   measured throughput and the real-time factor (throughput over the
+//!   source's sample rate) — the number that says whether this gateway
+//!   keeps up with the radio.
 //!
 //! Packet decode reuses the existing batch path unchanged
 //! ([`ConcurrentReceiver::decode_round`] → `DemodWorkspace` → pruned
@@ -20,13 +21,11 @@
 //! path carries over to the streaming receiver.
 
 use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
-use crate::ring::spsc_ring;
+use crate::engine::StreamEngine;
 use crate::source::StreamSource;
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::Complex64;
-use std::sync::mpsc;
-use std::time::Instant;
 
 /// One decoded packet of the stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +55,10 @@ pub struct GatewayReport {
     /// `samples_per_sec` over the source's sample rate: ≥ 1 means the
     /// gateway keeps up with the radio in real time.
     pub real_time_factor: f64,
+    /// Chunks displaced by the ring's drop-oldest overflow policy (always 0
+    /// under [`crate::engine::OverflowPolicy::Block`], the `run_stream`
+    /// default).
+    pub ring_dropped: u64,
 }
 
 impl GatewayReport {
@@ -122,8 +125,9 @@ impl StreamGateway {
     }
 }
 
-/// Decodes one located span through the batch receiver path.
-fn decode_span(
+/// Decodes one located span through the batch receiver path. Shared by the
+/// synchronous facade here and the engine's decode workers.
+pub(crate) fn decode_span(
     receiver: &ConcurrentReceiver,
     span: &PacketSpan,
     assigned_bins: &[usize],
@@ -137,108 +141,32 @@ fn decode_span(
     })
 }
 
-/// A chunk in flight between the producer and the detector.
-struct Chunk {
-    samples: Vec<Complex64>,
-}
-
 /// Runs the full threaded pipeline over `source` until it is exhausted and
-/// returns the report. Deterministic for a deterministic source: detection
-/// runs in stream order on the calling thread, and decoded packets are
-/// reassembled by sequence number regardless of worker scheduling.
+/// returns the report. Deterministic for a deterministic source: the
+/// engine's detection thread runs in stream order, and decoded packets are
+/// reassembled by sequence number regardless of worker scheduling. The
+/// configured overflow policy applies; under the default
+/// [`crate::engine::OverflowPolicy::Block`] the session is lossless.
 pub fn run_stream(
     source: &mut dyn StreamSource,
     config: &GatewayConfig,
 ) -> Result<GatewayReport, FftError> {
-    let sample_rate = source.sample_rate_hz();
-    let mut detector = StreamDetector::new(config)?;
-    let workers = if config.workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.workers
-    };
+    let mut engine = StreamEngine::spawn(config, source.sample_rate_hz())?;
     let chunk_samples = config.chunk_samples.max(1);
-    let (ring_tx, ring_rx) = spsc_ring::<Chunk>(config.ring_slots.max(1));
-
-    let started = Instant::now();
-    let mut packets: Vec<DecodedPacket> = Vec::new();
-    let mut samples_in = 0u64;
-    std::thread::scope(|scope| -> Result<(), FftError> {
-        // Producer: pull chunks from the source into the ring until the
-        // source runs dry.
-        scope.spawn(move || {
-            loop {
-                let mut buf = vec![Complex64::ZERO; chunk_samples];
-                let got = source.fill(&mut buf);
-                if got == 0 {
-                    break;
-                }
-                buf.truncate(got);
-                if ring_tx.push(Chunk { samples: buf }).is_err() {
-                    break; // detector gone
-                }
-                if got < chunk_samples {
-                    break; // short read = end of stream
-                }
-            }
-            // ring_tx drops here, closing the ring.
-        });
-
-        // Decode workers: each owns a receiver clone and drains its private
-        // job queue; spans are dealt round-robin by sequence number.
-        let (result_tx, result_rx) = mpsc::channel::<Result<DecodedPacket, FftError>>();
-        let mut job_txs: Vec<mpsc::Sender<PacketSpan>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (job_tx, job_rx) = mpsc::channel::<PacketSpan>();
-            job_txs.push(job_tx);
-            let result_tx = result_tx.clone();
-            let receiver = detector.receiver().clone();
-            let bins = config.assigned_bins.clone();
-            let payload_symbols = config.payload_symbols;
-            scope.spawn(move || {
-                while let Ok(span) = job_rx.recv() {
-                    let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
-                    if result_tx.send(decoded).is_err() {
-                        break;
-                    }
-                }
-            });
+    let mut buf = vec![Complex64::ZERO; chunk_samples];
+    loop {
+        let got = source.fill(&mut buf);
+        if got == 0 {
+            break;
         }
-        drop(result_tx);
-
-        // Detection on this thread, in stream order.
-        let mut spans = Vec::new();
-        while let Some(chunk) = ring_rx.pop() {
-            samples_in += chunk.samples.len() as u64;
-            detector.push(&chunk.samples, &mut spans);
-            for span in spans.drain(..) {
-                let worker = span.index % workers;
-                job_txs[worker]
-                    .send(span)
-                    .expect("decode workers outlive detection");
-            }
+        if engine.feed(&buf[..got]).is_err() {
+            break; // engine torn down under us; shutdown() reports why
         }
-        detector.finish();
-        drop(job_txs);
-        for decoded in result_rx {
-            packets.push(decoded?);
+        if got < chunk_samples {
+            break; // short read = end of stream
         }
-        Ok(())
-    })?;
-    let elapsed_s = started.elapsed().as_secs_f64().max(1e-12);
-    packets.sort_by_key(|p| p.index);
-
-    let samples_per_sec = samples_in as f64 / elapsed_s;
-    Ok(GatewayReport {
-        packets,
-        samples_in,
-        truncated: detector.truncated(),
-        elapsed_s,
-        samples_per_sec,
-        real_time_factor: samples_per_sec / sample_rate,
-    })
+    }
+    engine.shutdown()
 }
 
 #[cfg(test)]

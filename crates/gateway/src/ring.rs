@@ -1,48 +1,151 @@
-//! A lock-free single-producer/single-consumer ring buffer.
+//! A bounded lock-free ring buffer with per-slot sequence tickets.
 //!
 //! The gateway pipeline moves sample chunks from the producer thread (which
-//! owns the [`crate::source::StreamSource`]) to the detector without taking
-//! a lock on the hot path: the ring is a fixed array of slots indexed by two
-//! monotonically increasing counters, `tail` (written only by the producer)
-//! and `head` (written only by the consumer). Each side reads the other's
-//! counter with `Acquire` ordering and publishes its own with `Release`, so
-//! a slot is only ever touched by the side that provably owns it:
+//! owns the [`crate::source::StreamSource`] or the daemon's socket reader)
+//! to the detector without taking a lock on the hot path. The ring is a
+//! fixed array of slots, each carrying an atomic *sequence ticket*, plus two
+//! monotonically increasing counters, `tail` (push tickets) and `head` (pop
+//! tickets):
 //!
-//! * the producer may write slot `tail % capacity` iff `tail - head <
-//!   capacity` (the ring is not full);
-//! * the consumer may read slot `head % capacity` iff `head < tail` (the
-//!   ring is not empty).
+//! * slot `i % capacity` with `seq == i` is **free** and may be claimed by a
+//!   pusher holding ticket `i`; after writing the item the pusher publishes
+//!   `seq = i + 1`;
+//! * slot `i % capacity` with `seq == i + 1` is **published** and may be
+//!   claimed by a popper holding ticket `i`; after taking the item the
+//!   popper recycles the slot with `seq = i + capacity`.
 //!
-//! Those two invariants are the entire safety argument for the two `unsafe`
-//! blocks below. When its counterpart is not ready, a side spins with
+//! Tickets are claimed by compare-and-swap on `tail`/`head`, so a slot is
+//! only ever touched by the one thread that won its ticket — that is the
+//! entire safety argument for the two `unsafe` blocks below. Relative to a
+//! plain two-counter SPSC ring, the tickets buy one crucial extra freedom:
+//! **the producer may also pop**. That is what implements the gateway's
+//! drop-oldest backpressure policy ([`RingProducer::force_push`]): when the
+//! ring is full, the producer dequeues (and drops) the oldest chunk instead
+//! of blocking the socket reader, and the displacement is counted in a drop
+//! metric both halves can read. The consumer's pop CAS makes the concurrent
+//! producer-side displacement race-free.
+//!
+//! When its counterpart is not ready, a blocking side spins with
 //! [`std::thread::yield_now`] — the ring carries multi-kilobyte sample
 //! chunks, so the handoff rate is a few thousand per second and the spin is
 //! never hot. Dropping the producer closes the ring; the consumer drains
 //! whatever was already published and then observes the end of stream.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Shared state of one SPSC ring.
+/// What the producer does when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Spin until the consumer frees a slot (lossless; backpressure
+    /// propagates to the producer). The policy of [`crate::pipeline::run_stream`],
+    /// where the producer owns a replayable source and may simply wait.
+    #[default]
+    Block,
+    /// Displace the oldest queued item and count it as dropped (lossy;
+    /// the producer never blocks). The policy of the daemon's socket
+    /// ingest, where blocking the reader would stall the TCP peer and
+    /// blow the kernel socket buffer instead.
+    DropOldest,
+}
+
+/// One slot: the sequence ticket that encodes whose turn it is, plus the
+/// item storage it guards.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// Shared state of one ring.
 struct RingInner<T> {
-    /// Slot storage; `Option` so drops of undrained items are handled by the
-    /// normal `Drop` of the `Box` without any unsafe bookkeeping.
-    slots: Box<[UnsafeCell<Option<T>>]>,
-    /// Index of the next item to pop. Written only by the consumer.
+    slots: Box<[Slot<T>]>,
+    /// Next pop ticket. Claimed by CAS (consumer, or producer displacing).
     head: AtomicUsize,
-    /// Index of the next free slot to push into. Written only by the
-    /// producer.
+    /// Next push ticket. Claimed by CAS.
     tail: AtomicUsize,
     /// Set when the producer is dropped or closes the stream explicitly.
     closed: AtomicBool,
+    /// Items displaced by [`RingProducer::force_push`] since creation.
+    dropped: AtomicU64,
 }
 
-// SAFETY: the head/tail ownership protocol documented on the module ensures
-// a slot is never accessed by both sides at once, so sharing the ring across
-// the two threads is sound whenever the items themselves may cross threads.
+// SAFETY: the ticket protocol documented on the module ensures a slot is
+// never accessed by two threads at once, so sharing the ring across threads
+// is sound whenever the items themselves may cross threads.
 unsafe impl<T: Send> Sync for RingInner<T> {}
 unsafe impl<T: Send> Send for RingInner<T> {}
+
+impl<T> RingInner<T> {
+    /// Claims a push ticket and stores `item`; gives `item` back when the
+    /// ring is full at the moment of the attempt.
+    fn try_enqueue(&self, item: T) -> Result<(), T> {
+        let cap = self.slots.len();
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(tail) as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: this thread won ticket `tail`, so until the
+                        // Release store below publishes `seq = tail + 1` no
+                        // other thread may touch this slot.
+                        unsafe { *slot.value.get() = Some(item) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if dif < 0 {
+                // The slot still holds the item from one lap ago: full.
+                return Err(item);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Claims a pop ticket and takes the item; `None` when the ring is
+    /// empty at the moment of the attempt.
+    fn try_dequeue(&self) -> Option<T> {
+        let cap = self.slots.len();
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(head.wrapping_add(1)) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: this thread won ticket `head`, so it has
+                        // exclusive access to this published slot until the
+                        // Release store below recycles it for the producer.
+                        let item = unsafe { (*slot.value.get()).take() };
+                        slot.seq.store(head.wrapping_add(cap), Ordering::Release);
+                        return Some(item.expect("published slot holds an item"));
+                    }
+                    Err(h) => head = h,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
 
 /// The producing half of a ring created by [`spsc_ring`].
 pub struct RingProducer<T> {
@@ -54,46 +157,84 @@ pub struct RingConsumer<T> {
     ring: Arc<RingInner<T>>,
 }
 
-/// Creates a bounded lock-free SPSC ring with `capacity` slots (≥ 1).
+/// Creates a bounded lock-free ring with `capacity` slots (clamped to ≥ 2:
+/// with a single slot the push ticket `t + 1` would collide with the
+/// published ticket `t + 1` of the same slot and a full ring would look
+/// free). The two halves are a single-producer/single-consumer pair in
+/// ordinary use; the ticket protocol additionally lets the producer
+/// displace the oldest item on overflow ([`RingProducer::force_push`]).
 pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
-    let capacity = capacity.max(1);
-    let slots: Box<[UnsafeCell<Option<T>>]> =
-        (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let capacity = capacity.max(2);
+    let slots: Box<[Slot<T>]> = (0..capacity)
+        .map(|i| Slot {
+            seq: AtomicUsize::new(i),
+            value: UnsafeCell::new(None),
+        })
+        .collect();
     let ring = Arc::new(RingInner {
         slots,
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
+        dropped: AtomicU64::new(0),
     });
     (RingProducer { ring: ring.clone() }, RingConsumer { ring })
 }
 
 impl<T: Send> RingProducer<T> {
     /// Pushes `item`, spinning while the ring is full. Returns the item back
-    /// if the consumer is gone (both counters frozen and the consumer handle
-    /// dropped is indistinguishable from a slow consumer, so the producer
-    /// instead detects closure via [`RingConsumer`] dropping its `Arc`).
+    /// if the consumer handle has been dropped (nobody will ever drain us).
     pub fn push(&self, item: T) -> Result<(), T> {
-        let ring = &*self.ring;
-        let tail = ring.tail.load(Ordering::Relaxed);
+        let mut item = item;
         loop {
-            let head = ring.head.load(Ordering::Acquire);
-            if tail.wrapping_sub(head) < ring.slots.len() {
-                let slot = &ring.slots[tail % ring.slots.len()];
-                // SAFETY: `tail - head < capacity`, so the consumer cannot
-                // be reading this slot (it only reads indices < tail), and
-                // this thread is the only producer. Exclusive access holds
-                // until the Release store below publishes the slot.
-                unsafe { *slot.get() = Some(item) };
-                ring.tail.store(tail.wrapping_add(1), Ordering::Release);
-                return Ok(());
+            match self.ring.try_enqueue(item) {
+                Ok(()) => return Ok(()),
+                Err(back) => item = back,
             }
             if Arc::strong_count(&self.ring) == 1 {
-                // Consumer dropped its handle: nobody will ever drain us.
                 return Err(item);
             }
             std::thread::yield_now();
         }
+    }
+
+    /// Pushes without blocking; gives the item back inside [`RingFull`] when
+    /// no slot is free.
+    pub fn try_push(&self, item: T) -> Result<(), RingFull<T>> {
+        self.ring.try_enqueue(item).map_err(RingFull)
+    }
+
+    /// Pushes `item`, displacing (and dropping) the oldest queued items as
+    /// needed instead of blocking — the ring's drop-oldest overflow policy.
+    /// Returns how many items were displaced (0 when a slot was free); the
+    /// same count accumulates in [`RingProducer::dropped`].
+    pub fn force_push(&self, item: T) -> u64 {
+        let mut displaced = 0u64;
+        let mut item = item;
+        loop {
+            match self.ring.try_enqueue(item) {
+                Ok(()) => {
+                    if displaced > 0 {
+                        self.ring.dropped.fetch_add(displaced, Ordering::Relaxed);
+                    }
+                    return displaced;
+                }
+                Err(back) => {
+                    item = back;
+                    // Dequeue-and-drop the oldest item; the consumer may win
+                    // the race and drain it first, in which case a slot is
+                    // now free anyway and the retry succeeds.
+                    if self.ring.try_dequeue().is_some() {
+                        displaced += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Items displaced by [`RingProducer::force_push`] since creation.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped.load(Ordering::Relaxed)
     }
 
     /// Marks the stream as finished. Also done implicitly on drop.
@@ -113,26 +254,15 @@ impl<T: Send> RingConsumer<T> {
     /// once the producer has closed the ring *and* every published item has
     /// been drained.
     pub fn pop(&self) -> Option<T> {
-        let ring = &*self.ring;
-        let head = ring.head.load(Ordering::Relaxed);
         loop {
-            let tail = ring.tail.load(Ordering::Acquire);
-            if head != tail {
-                let slot = &ring.slots[head % ring.slots.len()];
-                // SAFETY: `head < tail`, so the producer has published this
-                // slot and will not touch it again until the Release store
-                // below hands it back; this thread is the only consumer.
-                let item = unsafe { (*slot.get()).take() };
-                ring.head.store(head.wrapping_add(1), Ordering::Release);
-                return Some(item.expect("published slot holds an item"));
+            if let Some(item) = self.ring.try_dequeue() {
+                return Some(item);
             }
-            if ring.closed.load(Ordering::Acquire) {
+            if self.ring.closed.load(Ordering::Acquire) {
                 // Re-check emptiness after observing the close flag: the
-                // producer publishes items before closing.
-                if ring.tail.load(Ordering::Acquire) == head {
-                    return None;
-                }
-                continue;
+                // producer publishes items before closing, and the Acquire
+                // load above synchronizes with that publication order.
+                return self.ring.try_dequeue();
             }
             std::thread::yield_now();
         }
@@ -141,21 +271,18 @@ impl<T: Send> RingConsumer<T> {
     /// Pops without blocking: `Ok(Some)` on an item, `Ok(None)` when closed
     /// and drained, `Err(RingEmpty)` when currently empty but still open.
     pub fn try_pop(&self) -> Result<Option<T>, RingEmpty> {
-        let ring = &*self.ring;
-        let head = ring.head.load(Ordering::Relaxed);
-        let tail = ring.tail.load(Ordering::Acquire);
-        if head != tail {
-            let slot = &ring.slots[head % ring.slots.len()];
-            // SAFETY: as in `pop` — `head < tail` grants the consumer
-            // exclusive access to this published slot.
-            let item = unsafe { (*slot.get()).take() };
-            ring.head.store(head.wrapping_add(1), Ordering::Release);
-            return Ok(Some(item.expect("published slot holds an item")));
+        if let Some(item) = self.ring.try_dequeue() {
+            return Ok(Some(item));
         }
-        if ring.closed.load(Ordering::Acquire) && ring.tail.load(Ordering::Acquire) == head {
-            return Ok(None);
+        if self.ring.closed.load(Ordering::Acquire) {
+            return Ok(self.ring.try_dequeue());
         }
         Err(RingEmpty)
+    }
+
+    /// Items displaced by [`RingProducer::force_push`] since creation.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -163,6 +290,11 @@ impl<T: Send> RingConsumer<T> {
 /// the producer is still live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingEmpty;
+
+/// The ring had no free slot at the moment of a [`RingProducer::try_push`];
+/// carries the rejected item back to the caller.
+#[derive(Debug)]
+pub struct RingFull<T>(pub T);
 
 #[cfg(test)]
 mod tests {
@@ -218,10 +350,77 @@ mod tests {
 
     #[test]
     fn push_fails_once_the_consumer_is_gone() {
-        let (tx, rx) = spsc_ring::<usize>(1);
+        let (tx, rx) = spsc_ring::<usize>(2);
         tx.push(1).unwrap();
+        tx.push(2).unwrap();
         drop(rx);
-        assert_eq!(tx.push(2), Err(2));
+        assert_eq!(tx.push(3), Err(3));
+    }
+
+    #[test]
+    fn try_push_reports_a_full_ring_without_blocking() {
+        let (tx, rx) = spsc_ring::<usize>(2);
+        tx.try_push(0).unwrap();
+        tx.try_push(1).unwrap();
+        let RingFull(back) = tx.try_push(2).unwrap_err();
+        assert_eq!(back, 2);
+        assert_eq!(rx.pop(), Some(0));
+        tx.try_push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn force_push_displaces_the_oldest_and_counts_the_drops() {
+        // The full-ring producer: with every slot taken, force_push drops
+        // the *oldest* queued item (never the incoming one), and the
+        // displacement is counted on both halves.
+        let (tx, rx) = spsc_ring::<usize>(3);
+        for i in 0..3 {
+            assert_eq!(tx.force_push(i), 0, "room left, nothing displaced");
+        }
+        assert_eq!(tx.force_push(3), 1, "full ring displaces one");
+        assert_eq!(tx.force_push(4), 1);
+        assert_eq!(tx.dropped(), 2);
+        assert_eq!(rx.dropped(), 2);
+        drop(tx);
+        // The two oldest items (0, 1) are gone; the newest survive in order.
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), Some(4));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn force_push_races_a_draining_consumer_without_loss_or_dup() {
+        // Producer force-pushing into a tiny ring while the consumer drains
+        // flat out: every popped value must be strictly increasing (no
+        // duplicates, no reordering), and pops + drops must account for
+        // every push exactly once.
+        let (tx, rx) = spsc_ring::<u64>(2);
+        let producer = std::thread::spawn(move || {
+            let mut displaced = 0u64;
+            for i in 0..50_000u64 {
+                displaced += tx.force_push(i);
+            }
+            displaced
+        });
+        let mut got = 0u64;
+        let mut last: Option<u64> = None;
+        while let Some(v) = rx.pop() {
+            if let Some(prev) = last {
+                assert!(v > prev, "out of order: {v} after {prev}");
+            }
+            last = Some(v);
+            got += 1;
+        }
+        let displaced = producer.join().unwrap();
+        assert_eq!(
+            got + displaced,
+            50_000,
+            "pops + drops must cover every push"
+        );
+        assert_eq!(rx.dropped(), displaced);
     }
 
     #[test]
@@ -231,6 +430,18 @@ mod tests {
         let (tx, rx) = spsc_ring::<Arc<i32>>(4);
         tx.push(payload.clone()).unwrap();
         tx.push(payload.clone()).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn displaced_items_are_dropped_cleanly() {
+        let payload = Arc::new(7);
+        let (tx, rx) = spsc_ring::<Arc<i32>>(2);
+        tx.push(payload.clone()).unwrap();
+        tx.push(payload.clone()).unwrap();
+        assert_eq!(tx.force_push(payload.clone()), 1);
         drop(tx);
         drop(rx);
         assert_eq!(Arc::strong_count(&payload), 1);

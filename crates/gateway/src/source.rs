@@ -2,15 +2,29 @@
 //!
 //! A [`StreamSource`] produces the continuous complex-baseband stream the
 //! gateway consumes — the role the SDR front-end plays for the paper's AP.
-//! Two families of implementations exist:
+//! Three families of implementations exist:
 //!
 //! * [`ReplaySource`] (here) — a deterministic in-memory / file replay used
 //!   by the equivalence tests and benches;
+//! * [`Cf32FileSource`] (here) — a buffered streaming reader over a `.cf32`
+//!   capture that never loads the file whole, so the daemon can replay
+//!   captures much larger than memory;
 //! * the live round synthesizer in the simulator crate
 //!   (`netscatter_sim::stream`), which replays channel-realized rounds as an
 //!   asynchronous stream with Poisson arrivals.
 
 use netscatter_dsp::Complex64;
+use std::io::{BufReader, Read};
+
+/// Bytes per complex sample in the `.cf32` layout (two little-endian f32s).
+const CF32_SAMPLE_BYTES: usize = 8;
+
+/// Decodes one interleaved little-endian `f32` I/Q sample.
+fn cf32_sample(bytes: &[u8]) -> Complex64 {
+    let re = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64;
+    let im = f32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as f64;
+    Complex64::new(re, im)
+}
 
 /// A pull-based source of contiguous baseband samples.
 ///
@@ -49,16 +63,25 @@ impl ReplaySource {
     /// Reads an interleaved little-endian `f32` I/Q capture (the common SDR
     /// `.cf32` layout) and replays it at `sample_rate_hz`. Trailing partial
     /// samples (a truncated capture) are ignored.
+    ///
+    /// The file is streamed through [`Cf32FileSource`]'s [`BufReader`] and
+    /// converted incrementally — peak memory is the sample vector alone,
+    /// not the sample vector plus a second full byte copy as with a
+    /// whole-file read (a 50% overhead on top of the f32→f64 widening for
+    /// large captures).
     pub fn read_cf32le(path: &std::path::Path, sample_rate_hz: f64) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        let samples = bytes
-            .chunks_exact(8)
-            .map(|c| {
-                let re = f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64;
-                let im = f32::from_le_bytes([c[4], c[5], c[6], c[7]]) as f64;
-                Complex64::new(re, im)
-            })
-            .collect();
+        let mut file = Cf32FileSource::open(path, sample_rate_hz)?;
+        let expected = file.expected_samples();
+        let mut samples = Vec::with_capacity(expected);
+        let mut buf = vec![Complex64::ZERO; 1 << 14];
+        loop {
+            let got = file.fill(&mut buf);
+            samples.extend_from_slice(&buf[..got]);
+            if got < buf.len() {
+                break;
+            }
+        }
+        file.take_error().map_or(Ok(()), Err)?;
         Ok(Self::from_samples(samples, sample_rate_hz))
     }
 
@@ -97,6 +120,102 @@ impl StreamSource for ReplaySource {
     }
 }
 
+/// A streaming `.cf32` file source: reads lazily through a [`BufReader`]
+/// during [`StreamSource::fill`], so replaying a capture costs constant
+/// memory regardless of the file size. The daemon's replay feeders use this
+/// to push arbitrarily large captures over TCP.
+#[derive(Debug)]
+pub struct Cf32FileSource {
+    reader: BufReader<std::fs::File>,
+    sample_rate_hz: f64,
+    /// Samples implied by the file length at open time (informational).
+    expected_samples: usize,
+    /// Byte scratch a fill reads into before converting.
+    scratch: Vec<u8>,
+    /// Carry of a partial trailing sample between fills.
+    carry: [u8; CF32_SAMPLE_BYTES],
+    carry_len: usize,
+    /// Set at EOF or on the first I/O error (fills return 0 from then on).
+    done: bool,
+    /// The I/O error that ended the stream early, if any.
+    error: Option<std::io::Error>,
+}
+
+impl Cf32FileSource {
+    /// Opens `path` for streaming replay at `sample_rate_hz`.
+    pub fn open(path: &std::path::Path, sample_rate_hz: f64) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let expected_samples = file
+            .metadata()
+            .map(|m| m.len() as usize / CF32_SAMPLE_BYTES)
+            .unwrap_or(0);
+        Ok(Self {
+            reader: BufReader::with_capacity(1 << 16, file),
+            sample_rate_hz,
+            expected_samples,
+            scratch: Vec::new(),
+            carry: [0u8; CF32_SAMPLE_BYTES],
+            carry_len: 0,
+            done: false,
+            error: None,
+        })
+    }
+
+    /// Samples implied by the file length when the source was opened.
+    pub fn expected_samples(&self) -> usize {
+        self.expected_samples
+    }
+
+    /// Takes the I/O error that ended the stream early, if one occurred
+    /// ([`StreamSource::fill`] has no error channel, so a read failure is
+    /// surfaced as end-of-stream plus this flag).
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+}
+
+impl StreamSource for Cf32FileSource {
+    fn fill(&mut self, out: &mut [Complex64]) -> usize {
+        if self.done || out.is_empty() {
+            return 0;
+        }
+        let want = out.len() * CF32_SAMPLE_BYTES;
+        self.scratch.resize(want, 0);
+        self.scratch[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
+        let mut have = self.carry_len;
+        while have < want {
+            match self.reader.read(&mut self.scratch[have..want]) {
+                Ok(0) => {
+                    self.done = true;
+                    break;
+                }
+                Ok(n) => have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        let samples = have / CF32_SAMPLE_BYTES;
+        for (slot, bytes) in out[..samples]
+            .iter_mut()
+            .zip(self.scratch[..samples * CF32_SAMPLE_BYTES].chunks_exact(CF32_SAMPLE_BYTES))
+        {
+            *slot = cf32_sample(bytes);
+        }
+        let rem = have - samples * CF32_SAMPLE_BYTES;
+        self.carry[..rem].copy_from_slice(&self.scratch[samples * CF32_SAMPLE_BYTES..have]);
+        self.carry_len = rem;
+        samples
+    }
+
+    fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +235,48 @@ mod tests {
         assert_eq!(buf[..2], samples[8..]);
         assert_eq!(src.fill(&mut buf), 0);
         assert_eq!(src.sample_rate_hz(), 500e3);
+    }
+
+    #[test]
+    fn cf32_file_source_streams_large_files_identically_to_replay() {
+        // A "large" capture relative to every internal buffer: ~1.5M
+        // samples (12 MB) with a truncated trailing partial sample, read
+        // through fill sizes that are never a multiple of the 64 KiB
+        // BufReader capacity, so carries and buffer refills all trigger.
+        let n = 1_500_000usize;
+        let samples: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i % 8191) as f64 / 8191.0, -((i % 127) as f64) / 127.0))
+            .collect();
+        let path = std::env::temp_dir().join("netscatter_gateway_cf32_large_test.cf32");
+        ReplaySource::write_cf32le(&path, &samples).unwrap();
+        // Truncate mid-sample: append 5 stray bytes.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        }
+
+        let whole = ReplaySource::read_cf32le(&path, 500e3).unwrap();
+        let mut streaming = Cf32FileSource::open(&path, 500e3).unwrap();
+        assert_eq!(streaming.expected_samples(), n); // 5 stray bytes < one sample
+        let mut got = Vec::new();
+        let mut buf = vec![Complex64::ZERO; 4097];
+        loop {
+            let k = streaming.fill(&mut buf);
+            got.extend_from_slice(&buf[..k]);
+            if k < buf.len() {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        assert!(streaming.take_error().is_none());
+        assert_eq!(got.len(), n);
+        assert_eq!(whole.len(), n);
+        assert_eq!(got, whole.samples);
+        assert_eq!(streaming.fill(&mut buf), 0, "done source stays done");
     }
 
     #[test]

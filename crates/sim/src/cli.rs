@@ -9,6 +9,10 @@
 //! * `netscatter sweep <id> --set field=v1,v2,… [--set …]` — the cartesian
 //!   parameter grid over any [`Scenario`] field, one structured result per
 //!   grid point.
+//! * `netscatter serve [flags]` — run the `netscatterd` multi-stream
+//!   serving daemon (same flags as the standalone binary).
+//! * `netscatter stress [flags]` — the multi-stream daemon stress harness
+//!   (see [`crate::stress`]).
 //!
 //! Every experiment accepts the same universal flags (`--quick`/`--paper`,
 //! `--seed`, `--threads`, `--fidelity`, `--devices`, `--placement`,
@@ -59,6 +63,8 @@ USAGE:
   netscatter list
   netscatter run <id> [flags]
   netscatter sweep <id> --set <field>=<v1,v2,...> [--set ...] [flags]
+  netscatter serve [flags]     # the netscatterd daemon (serve --help)
+  netscatter stress [flags]    # multi-stream daemon stress (stress --help)
 
 FLAGS (run & sweep):
   --quick | --paper           trial-count scale (default: paper)
@@ -409,12 +415,16 @@ pub fn main_with_args(args: &[String]) -> i32 {
             Some(id) => sweep(id, &args[2..]),
             None => Err(CliError::usage("sweep requires an experiment id")),
         },
+        // The daemon and its stress harness keep their own flag sets; their
+        // entry points already print usage and return exit codes directly.
+        Some("serve") => return netscatter_daemon::cli::serve_main(&args[1..]),
+        Some("stress") => return crate::stress::stress_main(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             println!("{}", usage());
             Ok(())
         }
         Some(other) => Err(CliError::usage(format!(
-            "unknown subcommand {other:?}; expected list, run or sweep"
+            "unknown subcommand {other:?}; expected list, run, sweep, serve or stress"
         ))),
     };
     match outcome {

@@ -37,9 +37,14 @@
 //!   paper plus the CI perf snapshot. The `netscatter` CLI binary and the
 //!   per-figure shim binaries in `src/bin/` are thin wrappers around
 //!   [`experiments::registry`].
+//! * [`stress`] — the `netscatter stress` harness: N simultaneous
+//!   synthesized TCP ingest streams driven at a `netscatterd` daemon
+//!   (in-process or `--connect`), scored for bit identity against the
+//!   batch pipeline, zero ring drops at real-time pace, and a complete
+//!   metrics document.
 //! * [`cli`] — the unified `netscatter` command-line interface
-//!   (`list` / `run` / `sweep`) and the shared flag parsing the shim
-//!   binaries reuse.
+//!   (`list` / `run` / `sweep` / `serve` / `stress`) and the shared flag
+//!   parsing the shim binaries reuse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +59,7 @@ pub mod montecarlo;
 pub mod network;
 pub mod scenario;
 pub mod stream;
+pub mod stress;
 pub mod workloads;
 
 pub use deployment::{Deployment, DeploymentConfig, DeviceLink};

@@ -1,0 +1,741 @@
+//! The netscatterd stress harness: `netscatter stress`.
+//!
+//! Drives N simultaneous synthesized ingest streams at a running daemon
+//! over real TCP sockets and scores what comes back three ways:
+//!
+//! 1. **bit identity** — every stream's NDJSON `frame` records must equal,
+//!    byte for byte, what the synchronous batch pipeline
+//!    ([`netscatter_gateway::StreamGateway`]) decodes from the same
+//!    (f32-quantized) samples;
+//! 2. **backpressure** — at the default real-time pacing the drop-oldest
+//!    ring must not drop a single chunk (`ring_dropped == 0` in every end
+//!    record);
+//! 3. **metrics** — the daemon's metrics endpoint must report every
+//!    stream with a positive `Msamples/s`, every line parsing as
+//!    `name value` / `name{stream="…"} value`.
+//!
+//! Each stream is an independent [`crate::stream::RoundArrivalSource`]
+//! replay (Poisson round arrivals from the sample-level simulator), so the
+//! harness also scores the decode against the recorded ground truth:
+//! rounds found, rounds missed, payload bit errors. Truth scoring is
+//! reported but does not gate the exit code — channel noise may cost bits
+//! legitimately; a daemon that diverges from its own batch pipeline or
+//! drops chunks at real-time pace may not.
+//!
+//! By default the harness spins up an in-process [`Daemon`]; `--connect`
+//! points it at an external `netscatterd` instead (CI runs the smoke this
+//! way), with `--metrics-addr` naming that daemon's metrics port.
+
+use crate::cli::{parse_flags, CliError};
+use crate::deployment::{Deployment, DeploymentConfig};
+use crate::fullround::ChannelModel;
+use crate::stream::{ArrivalConfig, RoundArrivalSource, StreamRoundTruth};
+use netscatter::json::Json;
+use netscatter_daemon::client::{self, Pace};
+use netscatter_daemon::protocol::{self, StreamHeader};
+use netscatter_daemon::{Daemon, DaemonConfig};
+use netscatter_dsp::Complex64;
+use netscatter_gateway::{DecodedPacket, GatewayConfig, StreamGateway, StreamSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deployment placement seed: every stress stream shares one office
+/// deployment (and therefore one bin assignment); the per-stream trial
+/// seed varies the channel and the arrival process instead.
+const DEPLOYMENT_SEED: u64 = 17;
+
+/// The `netscatter stress --help` text.
+pub fn usage() -> String {
+    "netscatter stress — multi-stream daemon stress harness
+
+USAGE:
+  netscatter stress [flags]
+
+Synthesizes N concurrent round-arrival streams (the sample-level
+simulator replayed as continuous baseband), drives them at a netscatterd
+ingest port over TCP in parallel, and fails unless every stream's frames
+are bit-identical to the batch pipeline's decode of the same samples,
+no ring chunk was dropped, and the metrics endpoint reports every stream.
+
+STRESS FLAGS:
+  --streams <N>           concurrent ingest connections (default 4)
+  --connect <ADDR>        use a running daemon instead of an in-process one
+  --metrics-addr <ADDR>   metrics port of the --connect daemon
+  --pace <F>              upload speed as a multiple of the sample rate
+                          (default 1 = real time; 0 = wire speed)
+  --ring-slots <N>        in-process daemon ring capacity (default 64)
+  --cf32-dir <DIR>        write each stream to DIR/<name>.cf32 and upload
+                          through the .cf32 replay-file path
+  --quiet                 suppress the per-stream report lines
+
+SHARED FLAGS (the experiment parser):
+  --seed <N>              base trial seed (stream i uses seed+i; default 42)
+  --devices <N>           concurrent devices per round (default 8)
+  --payload-bits <N>      payload bits per device (default 8)
+  --arrival-rate <R>      round arrivals per second (default 10)
+  --stream-secs <S>       per-stream duration in seconds (default 0.5)
+  --chunk-samples <N>     ring chunk size in samples (default 4096)
+  --threads <N>           decode workers per stream (default 0 = all cores)
+  --help                  this text"
+        .to_string()
+}
+
+/// Parsed `netscatter stress` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressOptions {
+    /// Number of concurrent ingest connections.
+    pub streams: usize,
+    /// External daemon ingest address (`None` = in-process daemon).
+    pub connect: Option<String>,
+    /// External daemon metrics address.
+    pub metrics_addr: Option<String>,
+    /// Upload pace as a multiple of the sample rate (0 = wire speed).
+    pub pace: f64,
+    /// In-process daemon ring capacity, in chunks.
+    pub ring_slots: usize,
+    /// Write each stream to `<dir>/<name>.cf32` and upload through the
+    /// replay-file path instead of from memory.
+    pub cf32_dir: Option<String>,
+    /// Suppress per-stream report lines.
+    pub quiet: bool,
+    /// Base trial seed (stream `i` is seeded `seed + i`).
+    pub seed: u64,
+    /// Devices per round.
+    pub devices: usize,
+    /// Payload bits per device per round.
+    pub payload_bits: usize,
+    /// Round arrival rate in rounds per second.
+    pub rate_hz: f64,
+    /// Stream duration in seconds.
+    pub stream_secs: f64,
+    /// Ring chunk size in samples.
+    pub chunk_samples: usize,
+    /// Decode workers per stream (0 = all cores).
+    pub workers: usize,
+}
+
+/// Splits the stress-specific flags out of `args`, then runs the remainder
+/// through the shared experiment flag parser ([`crate::cli::parse_flags`])
+/// so `--seed`, `--devices`, `--arrival-rate`, … mean exactly what they
+/// mean everywhere else in the CLI.
+pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
+    let mut streams = 4usize;
+    let mut connect = None;
+    let mut metrics_addr = None;
+    let mut pace = 1.0f64;
+    let mut ring_slots = 64usize;
+    let mut cf32_dir = None;
+    let mut quiet = false;
+    // Stress defaults first, the user's flags after: a later flag wins in
+    // the shared parser, so the user can still override any of these.
+    let mut shared: Vec<String> = [
+        "--devices",
+        "8",
+        "--payload-bits",
+        "8",
+        "--stream-secs",
+        "0.5",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| CliError {
+            message: format!("{flag} requires a value"),
+            code: 2,
+        })
+    };
+    let bad = |flag: &str, v: &str| CliError {
+        message: format!("{flag} expects a number, got {v:?}"),
+        code: 2,
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--streams" => {
+                let v = value(&mut i, arg)?;
+                streams = v.parse().map_err(|_| bad(arg, &v))?;
+                if streams == 0 {
+                    return Err(CliError {
+                        message: "--streams must be at least 1".into(),
+                        code: 2,
+                    });
+                }
+            }
+            "--connect" => connect = Some(value(&mut i, arg)?),
+            "--metrics-addr" => metrics_addr = Some(value(&mut i, arg)?),
+            "--pace" => {
+                let v = value(&mut i, arg)?;
+                pace = v.parse().map_err(|_| bad(arg, &v))?;
+                if pace.is_nan() || pace < 0.0 {
+                    return Err(bad(arg, &v));
+                }
+            }
+            "--ring-slots" => {
+                let v = value(&mut i, arg)?;
+                ring_slots = v.parse().map_err(|_| bad(arg, &v))?;
+            }
+            "--cf32-dir" => cf32_dir = Some(value(&mut i, arg)?),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                return Err(CliError {
+                    message: usage(),
+                    code: 0,
+                })
+            }
+            other => {
+                shared.push(other.to_string());
+                if matches!(
+                    other,
+                    "--seed"
+                        | "--devices"
+                        | "--payload-bits"
+                        | "--arrival-rate"
+                        | "--stream-secs"
+                        | "--chunk-samples"
+                        | "--threads"
+                ) {
+                    shared.push(value(&mut i, other)?);
+                }
+            }
+        }
+        i += 1;
+    }
+    let opts = parse_flags(&shared, false)?;
+    let s = opts.scenario;
+    Ok(StressOptions {
+        streams,
+        connect,
+        metrics_addr,
+        pace,
+        ring_slots,
+        cf32_dir,
+        quiet,
+        seed: s.seed,
+        devices: s.devices,
+        payload_bits: s.payload_bits,
+        rate_hz: s.arrival_rate,
+        stream_secs: s.stream_secs,
+        chunk_samples: s.chunk_samples,
+        workers: s.threads,
+    })
+}
+
+/// One synthesized ingest stream plus everything needed to score it.
+struct SynthStream {
+    name: String,
+    header: StreamHeader,
+    /// The f32-quantized samples — exactly what crosses the wire.
+    samples: Vec<Complex64>,
+    truth: Vec<StreamRoundTruth>,
+    bins: Vec<usize>,
+    round_samples: u64,
+}
+
+/// Synthesizes stream `i`: drains a [`RoundArrivalSource`] seeded
+/// `seed + i` into a buffer and quantizes it through the wire's f32
+/// precision, so the batch reference decodes the same numbers the daemon
+/// receives.
+fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize) -> SynthStream {
+    let model = ChannelModel::pristine();
+    let mut source = RoundArrivalSource::new(
+        deployment,
+        opts.devices,
+        &model,
+        ArrivalConfig {
+            rate_hz: opts.rate_hz,
+            stream_secs: opts.stream_secs,
+            payload_bits: opts.payload_bits,
+        },
+        opts.seed + i as u64,
+    );
+    let truth = source.truth();
+    let bins = source.assigned_bins().to_vec();
+    let floor = source.detection_floor_fraction();
+    let rate = source.sample_rate_hz();
+    let round_samples = source.round_samples();
+    let mut samples = Vec::with_capacity(source.total_samples() as usize);
+    let mut buf = vec![Complex64::ZERO; opts.chunk_samples.max(1)];
+    loop {
+        let got = source.fill(&mut buf);
+        samples.extend_from_slice(&buf[..got]);
+        if got < buf.len() {
+            break;
+        }
+    }
+    let name = format!("stress{i}");
+    let truth = truth.lock().expect("truth lock").clone();
+    SynthStream {
+        header: StreamHeader {
+            name: name.clone(),
+            sample_rate_hz: Some(rate),
+            bins: Some(bins.clone()),
+            payload_bits: Some(opts.payload_bits),
+            detection_floor: Some(floor),
+        },
+        name,
+        samples: protocol::quantize_cf32(&samples),
+        truth,
+        bins,
+        round_samples,
+    }
+}
+
+/// The per-stream gateway configuration — identical between the batch
+/// reference here and what the daemon assembles from the stream's header.
+fn stream_config(
+    deployment: &Deployment,
+    stream: &SynthStream,
+    opts: &StressOptions,
+) -> GatewayConfig {
+    let mut cfg = GatewayConfig::new(
+        deployment.config.profile,
+        stream.bins.clone(),
+        opts.payload_bits,
+    );
+    cfg.chunk_samples = opts.chunk_samples;
+    cfg.ring_slots = opts.ring_slots;
+    cfg.workers = opts.workers;
+    cfg.detection_floor_fraction = stream.header.detection_floor;
+    cfg
+}
+
+/// Batch-decodes `stream` through the synchronous pipeline and returns the
+/// packets plus their `frame` records (the daemon-comparison reference).
+/// `frame_name` is the daemon-assigned stream name the records must carry —
+/// a long-lived daemon uniquifies colliding names (`stress0#2`, …), so the
+/// reference is rendered under whatever name the `ready` record announced.
+fn batch_reference(
+    deployment: &Deployment,
+    stream: &SynthStream,
+    opts: &StressOptions,
+    frame_name: &str,
+) -> Result<(Vec<DecodedPacket>, Vec<String>), String> {
+    let cfg = stream_config(deployment, stream, opts);
+    let mut gw = StreamGateway::new(&cfg).map_err(|e| e.to_string())?;
+    let mut packets = Vec::new();
+    for chunk in stream.samples.chunks(cfg.chunk_samples) {
+        packets.extend(gw.feed(chunk).map_err(|e| e.to_string())?);
+    }
+    gw.finish();
+    let frames = packets
+        .iter()
+        .map(|p| protocol::frame_json(frame_name, p).to_string_line())
+        .collect();
+    Ok((packets, frames))
+}
+
+/// The daemon-assigned stream name from a transcript's `ready` record,
+/// falling back to the requested name.
+fn assigned_name(lines: &[String], requested: &str) -> String {
+    records_of(lines, "ready")
+        .first()
+        .and_then(|l| Json::parse(l).ok())
+        .and_then(|d| d.get("stream").and_then(Json::as_str).map(String::from))
+        .unwrap_or_else(|| requested.to_string())
+}
+
+/// Ground-truth score of one stream's decode.
+#[derive(Debug, Default)]
+struct TruthScore {
+    rounds_sent: usize,
+    rounds_found: usize,
+    bits_sent: usize,
+    bit_errors: usize,
+}
+
+/// Scores decoded packets against the recorded round truth: a round is
+/// found when a packet starts within half a round of its true start; its
+/// payload is then compared device by device on the assigned bins.
+fn score_truth(stream: &SynthStream, packets: &[DecodedPacket]) -> TruthScore {
+    let mut score = TruthScore {
+        rounds_sent: stream.truth.len(),
+        ..TruthScore::default()
+    };
+    let tolerance = (stream.round_samples / 2).max(1);
+    for round in &stream.truth {
+        let hit = packets
+            .iter()
+            .min_by_key(|p| (p.start_sample as i64 - round.start_sample as i64).unsigned_abs());
+        let Some(packet) = hit.filter(|p| {
+            (p.start_sample as i64 - round.start_sample as i64).unsigned_abs() < tolerance
+        }) else {
+            // A missed round: every bit it carried counts against us.
+            score.bits_sent += round.sent.iter().flatten().map(Vec::len).sum::<usize>();
+            score.bit_errors += round.sent.iter().flatten().map(Vec::len).sum::<usize>();
+            continue;
+        };
+        score.rounds_found += 1;
+        for (device, sent) in round.sent.iter().enumerate() {
+            let Some(sent) = sent else { continue };
+            score.bits_sent += sent.len();
+            match packet.round.bits_for(stream.bins[device]) {
+                Some(decoded) => {
+                    score.bit_errors += sent.iter().zip(decoded).filter(|(a, b)| a != b).count()
+                        + sent.len().saturating_sub(decoded.len());
+                }
+                None => score.bit_errors += sent.len(),
+            }
+        }
+    }
+    score
+}
+
+/// Extracts the records of `kind` from a stream's NDJSON transcript.
+fn records_of<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String> {
+    lines
+        .iter()
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|d| d.get("type").and_then(Json::as_str).map(String::from))
+                .as_deref()
+                == Some(kind)
+        })
+        .collect()
+}
+
+/// Validates the metrics document: header line, every line `name value` /
+/// `name{stream="…"} value`, and a positive `msamples_per_sec` for every
+/// stream in `names`. Returns the failures.
+fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !doc.starts_with(netscatter_daemon::metrics::METRICS_HEADER) {
+        failures.push("metrics document lacks the schema header".to_string());
+    }
+    for line in doc.lines().skip(1) {
+        let Some(value) = line.rsplit(' ').next() else {
+            continue;
+        };
+        if value.parse::<f64>().is_err() {
+            failures.push(format!("unparsable metrics line {line:?}"));
+        }
+    }
+    for name in names {
+        let prefix = format!("netscatterd_stream_msamples_per_sec{{stream=\"{name}\"}} ");
+        match doc.lines().find(|l| l.starts_with(&prefix)) {
+            Some(line) => {
+                let v: f64 = line
+                    .rsplit(' ')
+                    .next()
+                    .unwrap_or("x")
+                    .parse()
+                    .unwrap_or(-1.0);
+                if v <= 0.0 {
+                    failures.push(format!("stream {name}: non-positive Msamples/s ({line})"));
+                }
+            }
+            None => failures.push(format!("metrics lack stream {name}")),
+        }
+    }
+    failures
+}
+
+/// Runs the stress harness; returns the process exit code (0 = pass).
+pub fn run_stress(opts: &StressOptions) -> i32 {
+    let deployment = Deployment::generate(
+        DeploymentConfig::office(opts.devices.max(16)),
+        &mut StdRng::seed_from_u64(DEPLOYMENT_SEED),
+    );
+
+    // Synthesis is deterministic per (seed, i): do it up front so the TCP
+    // phase measures the daemon, not the simulator.
+    let streams: Vec<SynthStream> = (0..opts.streams)
+        .map(|i| synthesize(&deployment, opts, i))
+        .collect();
+
+    // One daemon for every stream. The in-process one takes its defaults
+    // from stream 0's shape, but every header carries its own parameters.
+    let local = if opts.connect.is_none() {
+        let base = stream_config(&deployment, &streams[0], opts);
+        let rate = streams[0].header.sample_rate_hz.unwrap_or(500e3);
+        let mut config = DaemonConfig::new(base);
+        config.default_sample_rate_hz = rate;
+        match Daemon::start(config) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                eprintln!("stress: failed to start in-process daemon: {e}");
+                return 1;
+            }
+        }
+    } else {
+        None
+    };
+    let ingest = match (&opts.connect, &local) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(d)) => d.ingest_addr().to_string(),
+        (None, None) => unreachable!("no daemon"),
+    };
+
+    // With --cf32-dir, write each stream to a capture file first and
+    // upload through the replay-file path — CI uses this to exercise
+    // `.cf32` ingest over TCP with the real binaries.
+    let captures: Vec<Option<std::path::PathBuf>> = match &opts.cf32_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("stress: cannot create {}: {e}", dir.display());
+                return 1;
+            }
+            let mut paths = Vec::new();
+            for s in &streams {
+                let path = dir.join(format!("{}.cf32", s.name));
+                if let Err(e) = std::fs::write(&path, protocol::encode_cf32le(&s.samples)) {
+                    eprintln!("stress: cannot write {}: {e}", path.display());
+                    return 1;
+                }
+                paths.push(Some(path));
+            }
+            paths
+        }
+        None => vec![None; streams.len()],
+    };
+
+    // Drive every stream concurrently over real sockets.
+    let uploads: Vec<_> = streams
+        .iter()
+        .zip(captures)
+        .map(|(s, capture)| {
+            let addr = ingest.clone();
+            let header = s.header.clone();
+            let samples = s.samples.clone();
+            let pace = if opts.pace == 0.0 {
+                Pace::Unlimited
+            } else {
+                Pace::SamplesPerSec(opts.pace * header.sample_rate_hz.unwrap_or(500e3))
+            };
+            std::thread::spawn(move || match capture {
+                Some(path) => client::stream_file(addr, &header, &path, pace),
+                None => client::stream_samples(addr, &header, &samples, pace),
+            })
+        })
+        .collect();
+    let transcripts: Vec<std::io::Result<Vec<String>>> = uploads
+        .into_iter()
+        .map(|h| h.join().expect("upload thread"))
+        .collect();
+
+    // Score each stream: bit identity, drops, truth.
+    let mut failures: Vec<String> = Vec::new();
+    let mut served_names: Vec<String> = Vec::new();
+    for (stream, transcript) in streams.iter().zip(&transcripts) {
+        let name = &stream.name;
+        let lines = match transcript {
+            Ok(lines) => lines,
+            Err(e) => {
+                failures.push(format!("stream {name}: transport failed: {e}"));
+                continue;
+            }
+        };
+        let served = assigned_name(lines, name);
+        served_names.push(served.clone());
+        let (packets, expected) = match batch_reference(&deployment, stream, opts, &served) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("stream {name}: batch reference failed: {e}"));
+                continue;
+            }
+        };
+        let got: Vec<String> = records_of(lines, "frame").into_iter().cloned().collect();
+        if got != expected {
+            failures.push(format!(
+                "stream {name}: daemon frames diverge from batch decode ({} vs {} frames)",
+                got.len(),
+                expected.len()
+            ));
+        }
+        let ends = records_of(lines, "end");
+        let (mut dropped, mut complete) = (u64::MAX, false);
+        if let Some(end) = ends.first().and_then(|l| Json::parse(l).ok()) {
+            dropped = end
+                .get("ring_dropped")
+                .and_then(Json::as_u64)
+                .unwrap_or(u64::MAX);
+            complete = end.get("complete") == Some(&Json::Bool(true));
+        }
+        if ends.len() != 1 || !complete {
+            failures.push(format!("stream {name}: missing or incomplete end record"));
+        }
+        if dropped != 0 {
+            failures.push(format!("stream {name}: {dropped} ring chunks dropped"));
+        }
+        let score = score_truth(stream, &packets);
+        if !opts.quiet {
+            println!(
+                "stream {name}: {} samples, {} frames, rounds {}/{}, bit errors {}/{}, ring drops {}",
+                stream.samples.len(),
+                got.len(),
+                score.rounds_found,
+                score.rounds_sent,
+                score.bit_errors,
+                score.bits_sent,
+                if dropped == u64::MAX { "?".to_string() } else { dropped.to_string() },
+            );
+        }
+    }
+
+    // Metrics: the in-process daemon's port, or --metrics-addr.
+    let metrics_addr = match (&local, &opts.metrics_addr) {
+        (_, Some(addr)) => Some(addr.clone()),
+        (Some(d), None) => d.metrics_addr().map(|a| a.to_string()),
+        (None, None) => None,
+    };
+    match metrics_addr {
+        Some(addr) => match client::fetch_metrics(&addr) {
+            Ok(doc) => {
+                // Metrics lines carry the daemon-assigned names too.
+                failures.extend(check_metrics(&doc, &served_names));
+            }
+            Err(e) => failures.push(format!("metrics fetch from {addr} failed: {e}")),
+        },
+        None => {
+            if !opts.quiet {
+                println!("stress: no metrics address known; skipping the metrics check");
+            }
+        }
+    }
+
+    if let Some(daemon) = local {
+        daemon.shutdown();
+    }
+    if failures.is_empty() {
+        println!(
+            "stress PASS: {} streams bit-identical to batch decode, zero ring drops",
+            streams.len()
+        );
+        0
+    } else {
+        for f in &failures {
+            eprintln!("stress FAIL: {f}");
+        }
+        1
+    }
+}
+
+/// Entry point for `netscatter stress`: parses flags and runs the harness.
+pub fn stress_main(args: &[String]) -> i32 {
+    match parse_stress_args(args) {
+        Ok(opts) => run_stress(&opts),
+        Err(e) => {
+            if e.code == 0 {
+                println!("{}", e.message);
+            } else {
+                eprintln!("{}", e.message);
+                eprintln!("run `netscatter stress --help` for usage");
+            }
+            e.code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stress_flags_parse_with_shared_experiment_semantics() {
+        let opts = parse_stress_args(&args(&[
+            "--streams",
+            "6",
+            "--seed",
+            "7",
+            "--arrival-rate",
+            "25",
+            "--pace",
+            "0",
+            "--quiet",
+        ]))
+        .expect("flags parse");
+        assert_eq!(opts.streams, 6);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.rate_hz, 25.0);
+        assert_eq!(opts.pace, 0.0);
+        assert!(opts.quiet);
+        // Stress defaults override the Scenario defaults…
+        assert_eq!(opts.devices, 8);
+        assert_eq!(opts.payload_bits, 8);
+        assert_eq!(opts.stream_secs, 0.5);
+        // …and the user's flags override the stress defaults.
+        let opts = parse_stress_args(&args(&["--devices", "4"])).unwrap();
+        assert_eq!(opts.devices, 4);
+    }
+
+    #[test]
+    fn stress_rejects_bad_flags_like_the_shared_parser() {
+        for bad in [
+            vec!["--streams", "0"],
+            vec!["--streams", "many"],
+            vec!["--pace", "-1"],
+            vec!["--arrival-rate", "0"],
+            vec!["--frobnicate"],
+        ] {
+            let err = parse_stress_args(&args(&bad)).unwrap_err();
+            assert_eq!(err.code, 2, "{bad:?}");
+        }
+        assert_eq!(parse_stress_args(&args(&["--help"])).unwrap_err().code, 0);
+    }
+
+    #[test]
+    fn truth_scoring_counts_found_rounds_and_missed_bits() {
+        let stream = SynthStream {
+            name: "t".into(),
+            header: StreamHeader::named("t"),
+            samples: Vec::new(),
+            truth: vec![
+                StreamRoundTruth {
+                    start_sample: 1000,
+                    sent: vec![Some(vec![true, false]), None],
+                },
+                StreamRoundTruth {
+                    start_sample: 50_000,
+                    sent: vec![Some(vec![true, true]), None],
+                },
+            ],
+            bins: vec![3, 9],
+            round_samples: 400,
+        };
+        // One packet near the first round, nothing near the second.
+        let round = netscatter::receiver::DecodedRound {
+            devices: vec![netscatter::receiver::DecodedDevice {
+                chirp_bin: 3,
+                preamble_power: 1.0,
+                bits: vec![true, true],
+            }],
+        };
+        let packets = vec![DecodedPacket {
+            index: 0,
+            start_sample: 1010,
+            round,
+        }];
+        let score = score_truth(&stream, &packets);
+        assert_eq!(score.rounds_sent, 2);
+        assert_eq!(score.rounds_found, 1);
+        assert_eq!(score.bits_sent, 4);
+        // One bit wrong in the found round, both bits of the missed round.
+        assert_eq!(score.bit_errors, 3);
+    }
+
+    #[test]
+    fn metrics_checker_flags_missing_streams_and_garbage_lines() {
+        let doc = format!(
+            "{}\nnetscatterd_streams_total 1\nnetscatterd_stream_msamples_per_sec{{stream=\"a\"}} 1.5\n",
+            netscatter_daemon::metrics::METRICS_HEADER
+        );
+        assert!(check_metrics(&doc, &["a".to_string()]).is_empty());
+        let fails = check_metrics(&doc, &["a".to_string(), "b".to_string()]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("lack stream b"));
+        let garbage = format!(
+            "{}\nwhat even is this\n",
+            netscatter_daemon::metrics::METRICS_HEADER
+        );
+        assert!(!check_metrics(&garbage, &[]).is_empty());
+    }
+}
