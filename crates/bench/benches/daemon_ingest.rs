@@ -57,6 +57,7 @@ fn daemon_ingest(c: &mut Criterion) {
         bins: Some(vec![64, 192]),
         payload_bits: Some(8),
         detection_floor: None,
+        fault_panic_span: None,
     };
     group.bench_function("tcp_stream", |b| {
         b.iter(|| {

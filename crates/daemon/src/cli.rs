@@ -52,6 +52,18 @@ FLAGS:
   --workers <N>           decode workers per stream (default 0 = all cores)
   --detection-floor <F>   receiver detection-floor fraction override
   --energy-gate-db <DB>   energy gate over the noise floor (default 6)
+  --max-conns <N>         cap on concurrent ingest connections; over-cap
+                          connections get an immediate {\"code\":\"overloaded\"}
+                          error record (default 0 = unlimited)
+  --header-timeout <SECS> cut connections whose header line does not arrive
+                          in time, with code \"header_timeout\"
+                          (default 10; 0 = wait forever)
+  --idle-timeout <SECS>   end streams whose ingest stalls this long, with
+                          an end record coded \"idle_timeout\" — everything
+                          received is still decoded (default 30; 0 = off)
+  --enable-fault-injection
+                          honor header-carried fault_panic_span chaos
+                          hooks (tests only; off by default)
   --replay <FILE[@NAME]>  feed this .cf32 capture to the daemon's own ingest
                           port (repeatable; NAME defaults to the file stem)
   --pace <F>              replay upload speed as a multiple of the sample
@@ -89,6 +101,14 @@ pub struct ServeOptions {
     pub detection_floor: Option<f64>,
     /// Energy gate in dB over the noise floor.
     pub energy_gate_db: f64,
+    /// Concurrent-connection cap (0 = unlimited).
+    pub max_conns: usize,
+    /// Header deadline in seconds (0 = wait forever).
+    pub header_timeout_secs: f64,
+    /// Idle-ingest deadline in seconds (0 = wait forever).
+    pub idle_timeout_secs: f64,
+    /// Honor header-carried fault-injection hooks (tests only).
+    pub enable_fault_injection: bool,
     /// Replay feeders: capture path plus stream name.
     pub replays: Vec<(PathBuf, String)>,
     /// Replay upload speed as a multiple of the sample rate (0 = wire
@@ -117,6 +137,10 @@ impl Default for ServeOptions {
             workers: 0,
             detection_floor: None,
             energy_gate_db: 6.0,
+            max_conns: 0,
+            header_timeout_secs: 10.0,
+            idle_timeout_secs: 30.0,
+            enable_fault_injection: false,
             replays: Vec::new(),
             pace: 1.0,
             once: false,
@@ -135,11 +159,16 @@ impl ServeOptions {
         base.workers = self.workers;
         base.energy_gate_db = self.energy_gate_db;
         base.detection_floor_fraction = self.detection_floor;
+        let deadline = |secs: f64| (secs > 0.0).then(|| std::time::Duration::from_secs_f64(secs));
         DaemonConfig {
             listen: self.listen.clone(),
             metrics: self.metrics.clone(),
             base,
             default_sample_rate_hz: self.sample_rate_hz,
+            max_conns: self.max_conns,
+            header_deadline: deadline(self.header_timeout_secs),
+            idle_deadline: deadline(self.idle_timeout_secs),
+            allow_fault_injection: self.enable_fault_injection,
         }
     }
 }
@@ -190,6 +219,20 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliUsage> {
             "--workers" => opts.workers = num(arg, &value(&mut i, arg)?)?,
             "--detection-floor" => opts.detection_floor = Some(num(arg, &value(&mut i, arg)?)?),
             "--energy-gate-db" => opts.energy_gate_db = num(arg, &value(&mut i, arg)?)?,
+            "--max-conns" => opts.max_conns = num(arg, &value(&mut i, arg)?)?,
+            "--header-timeout" => {
+                opts.header_timeout_secs = num(arg, &value(&mut i, arg)?)?;
+                if opts.header_timeout_secs.is_nan() || opts.header_timeout_secs < 0.0 {
+                    return Err(CliUsage::usage("--header-timeout must be non-negative"));
+                }
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout_secs = num(arg, &value(&mut i, arg)?)?;
+                if opts.idle_timeout_secs.is_nan() || opts.idle_timeout_secs < 0.0 {
+                    return Err(CliUsage::usage("--idle-timeout must be non-negative"));
+                }
+            }
+            "--enable-fault-injection" => opts.enable_fault_injection = true,
             "--replay" => {
                 let v = value(&mut i, arg)?;
                 let (path, name) = match v.split_once('@') {
@@ -342,6 +385,13 @@ mod tests {
             "250000",
             "--workers",
             "2",
+            "--max-conns",
+            "4",
+            "--header-timeout",
+            "0.5",
+            "--idle-timeout",
+            "0",
+            "--enable-fault-injection",
             "--replay",
             "/tmp/cap.cf32@door",
             "--replay",
@@ -358,11 +408,19 @@ mod tests {
         assert_eq!(opts.replays[0].1, "door");
         assert_eq!(opts.replays[1].1, "other");
         assert!(opts.quiet && !opts.once);
+        assert_eq!(opts.max_conns, 4);
         // The gateway config the options resolve to.
         let cfg = opts.daemon_config();
         assert_eq!(cfg.base.assigned_bins, vec![64, 192]);
         assert_eq!(cfg.base.payload_symbols, 16);
         assert_eq!(cfg.default_sample_rate_hz, 250e3);
+        assert_eq!(cfg.max_conns, 4);
+        assert_eq!(
+            cfg.header_deadline,
+            Some(std::time::Duration::from_millis(500))
+        );
+        assert_eq!(cfg.idle_deadline, None); // 0 disables the deadline
+        assert!(cfg.allow_fault_injection);
     }
 
     #[test]
@@ -373,6 +431,8 @@ mod tests {
             vec!["--bins", "a,b"],
             vec!["--payload-bits", "0"],
             vec!["--sample-rate", "-1"],
+            vec!["--header-timeout", "-1"],
+            vec!["--idle-timeout", "nope"],
             vec!["--once"], // nothing to replay: would exit immediately
         ] {
             let err = parse_serve_args(&args(&bad)).unwrap_err();

@@ -12,7 +12,103 @@ use netscatter_dsp::Complex64;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Reconnect policy for transient connect failures: capped exponential
+/// backoff with deterministic jitter derived from the stream's seed, so a
+/// fleet of clients retrying after a daemon restart de-synchronizes
+/// reproducibly instead of stampeding in lockstep.
+///
+/// Only the *connect* is retried — once the header is on the wire the
+/// stream has state on the daemon side, and replaying it would duplicate
+/// data; mid-stream failures surface as errors for the caller to decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connect attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Jitter seed (use the stream's seed for reproducible schedules).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A single attempt: fail straight through, never sleep.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// `max_attempts` tries with 50 ms base and 2 s cap, jittered by
+    /// `seed`.
+    pub fn new(max_attempts: u32, seed: u64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed,
+        }
+    }
+
+    /// The backoff slept after failed attempt number `attempt` (1-based):
+    /// `base · 2^(attempt−1)` capped at `max_delay`, then scaled into
+    /// `[50%, 100%]` by a deterministic hash of `(seed, attempt)`. Pure —
+    /// the whole schedule is fixed by the policy.
+    pub fn delay_before_retry(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(32);
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_delay);
+        // splitmix-style hash: good avalanche, no state, zero-seed safe.
+        let mut x = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// Whether a connect error is worth retrying — the daemon may be booting,
+/// restarting, or momentarily over its accept backlog.
+fn is_transient_connect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Connects to `addr`, retrying transient failures per `policy`. Returns
+/// the last error once attempts are exhausted (or immediately for
+/// non-transient failures such as unresolvable addresses).
+pub fn connect_with_retry(
+    addr: impl ToSocketAddrs,
+    policy: &RetryPolicy,
+) -> std::io::Result<TcpStream> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match TcpStream::connect(&addr) {
+            Ok(sock) => return Ok(sock),
+            Err(e) if attempt < policy.max_attempts && is_transient_connect(&e) => {
+                std::thread::sleep(policy.delay_before_retry(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
 
 /// Upload pacing: a real radio delivers samples at its sample rate, but a
 /// replayed capture arrives at wire speed — far faster than any decoder —
@@ -51,6 +147,17 @@ pub fn stream_samples(
     stream_bytes(addr, header, &encode_cf32le(samples), pace)
 }
 
+/// [`stream_samples`] with connect retries per `policy`.
+pub fn stream_samples_with_retry(
+    addr: impl ToSocketAddrs,
+    header: &StreamHeader,
+    samples: &[Complex64],
+    pace: Pace,
+    policy: &RetryPolicy,
+) -> std::io::Result<Vec<String>> {
+    stream_reader(addr, header, &mut &encode_cf32le(samples)[..], pace, policy)
+}
+
 /// Streams a `.cf32` capture file to the daemon at `addr` — the replay
 /// path: the file is read through a [`BufReader`] in 64 KiB pieces, never
 /// loaded whole.
@@ -66,6 +173,7 @@ pub fn stream_file(
         header,
         &mut BufReader::with_capacity(1 << 16, file),
         pace,
+        &RetryPolicy::none(),
     )
 }
 
@@ -76,7 +184,7 @@ pub fn stream_bytes(
     bytes: &[u8],
     pace: Pace,
 ) -> std::io::Result<Vec<String>> {
-    stream_reader(addr, header, &mut &bytes[..], pace)
+    stream_reader(addr, header, &mut &bytes[..], pace, &RetryPolicy::none())
 }
 
 fn stream_reader(
@@ -84,8 +192,9 @@ fn stream_reader(
     header: &StreamHeader,
     body: &mut dyn Read,
     pace: Pace,
+    policy: &RetryPolicy,
 ) -> std::io::Result<Vec<String>> {
-    let mut sock = TcpStream::connect(addr)?;
+    let mut sock = connect_with_retry(addr, policy)?;
     let _ = sock.set_nodelay(true);
 
     // Drain the daemon's records concurrently with the upload: the daemon
@@ -137,4 +246,61 @@ pub fn fetch_metrics(addr: impl ToSocketAddrs) -> std::io::Result<String> {
     let mut doc = String::new();
     sock.read_to_string(&mut doc)?;
     Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy::new(8, 42);
+        let a: Vec<_> = (1..8).map(|i| p.delay_before_retry(i)).collect();
+        let b: Vec<_> = (1..8).map(|i| p.delay_before_retry(i)).collect();
+        assert_eq!(a, b, "schedule must be a pure function of the policy");
+        for (i, d) in a.iter().enumerate() {
+            let exp = p
+                .base_delay
+                .saturating_mul(1 << (i as u32))
+                .min(p.max_delay);
+            assert!(
+                *d >= exp.mul_f64(0.5),
+                "retry {i}: {d:?} under jitter floor"
+            );
+            assert!(*d <= exp, "retry {i}: {d:?} over the uncapped bound");
+        }
+        assert!(
+            a.iter().all(|d| *d <= p.max_delay),
+            "backoff must respect the cap"
+        );
+        // Different stream seeds de-synchronize the fleet.
+        let q = RetryPolicy::new(8, 43);
+        assert!((1..8).any(|i| q.delay_before_retry(i) != p.delay_before_retry(i)));
+        // Huge attempt numbers must not overflow.
+        let _ = p.delay_before_retry(u32::MAX);
+    }
+
+    #[test]
+    fn refused_connects_retry_then_surface_the_error() {
+        // Bind then drop: the kernel refuses connects to the dead port.
+        let addr = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            seed: 7,
+        };
+        let err = connect_with_retry(addr, &policy).unwrap_err();
+        assert!(is_transient_connect(&err), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn live_listeners_connect_on_the_first_attempt() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        connect_with_retry(addr, &RetryPolicy::none()).expect("connect");
+    }
 }

@@ -25,15 +25,16 @@
 //! `netscatterd_stream_active` distinguishes live connections from
 //! finished ones.
 
-use crate::registry::StreamRegistry;
+use crate::registry::{DaemonHealth, StreamRegistry};
 
 /// The version line heading every metrics document.
 pub const METRICS_HEADER: &str = "# netscatterd metrics v1";
 
 /// Renders the full metrics document for the registry's current state.
-pub fn render(registry: &StreamRegistry, uptime_seconds: f64) -> String {
+pub fn render(registry: &StreamRegistry, health: &DaemonHealth, uptime_seconds: f64) -> String {
     use std::fmt::Write as _;
     let streams = registry.snapshot();
+    let h = health.snapshot();
     let mut out = String::new();
     let _ = writeln!(out, "{METRICS_HEADER}");
     let _ = writeln!(out, "netscatterd_uptime_seconds {uptime_seconds:.3}");
@@ -49,6 +50,15 @@ pub fn render(registry: &StreamRegistry, uptime_seconds: f64) -> String {
     let _ = writeln!(out, "netscatterd_rounds_decoded_total {rounds}");
     let _ = writeln!(out, "netscatterd_false_alarms_total {false_alarms}");
     let _ = writeln!(out, "netscatterd_ring_dropped_total {dropped}");
+    let _ = writeln!(out, "netscatterd_conns_rejected_total {}", h.conns_rejected);
+    let _ = writeln!(
+        out,
+        "netscatterd_header_timeouts_total {}",
+        h.header_timeouts
+    );
+    let _ = writeln!(out, "netscatterd_idle_timeouts_total {}", h.idle_timeouts);
+    let _ = writeln!(out, "netscatterd_serve_panics_total {}", h.serve_panics);
+    let _ = writeln!(out, "netscatterd_worker_panics_total {}", h.worker_panics);
     for s in &streams {
         let label = escape_label(&s.name);
         let _ = writeln!(
@@ -111,8 +121,11 @@ mod tests {
         let b = reg.register("b");
         b.record_frame(0);
         b.set_inactive();
+        let health = DaemonHealth::new();
+        DaemonHealth::bump(&health.conns_rejected);
+        DaemonHealth::bump(&health.worker_panics);
 
-        let doc = render(&reg, 1.25);
+        let doc = render(&reg, &health, 1.25);
         assert!(doc.starts_with(METRICS_HEADER));
         assert!(doc.contains("netscatterd_uptime_seconds 1.250"));
         assert!(doc.contains("netscatterd_streams_active 1"));
@@ -120,6 +133,11 @@ mod tests {
         assert!(doc.contains("netscatterd_rounds_decoded_total 1"));
         assert!(doc.contains("netscatterd_false_alarms_total 1"));
         assert!(doc.contains("netscatterd_ring_dropped_total 2"));
+        assert!(doc.contains("netscatterd_conns_rejected_total 1"));
+        assert!(doc.contains("netscatterd_header_timeouts_total 0"));
+        assert!(doc.contains("netscatterd_idle_timeouts_total 0"));
+        assert!(doc.contains("netscatterd_serve_panics_total 0"));
+        assert!(doc.contains("netscatterd_worker_panics_total 1"));
         assert!(doc.contains("netscatterd_stream_active{stream=\"a\"} 1"));
         assert!(doc.contains("netscatterd_stream_active{stream=\"b\"} 0"));
         assert!(doc.contains("netscatterd_stream_samples_total{stream=\"a\"} 1000000"));
@@ -138,7 +156,7 @@ mod tests {
     fn hostile_stream_names_stay_inside_their_label() {
         let reg = StreamRegistry::new();
         reg.register("a\"b\\c");
-        let doc = render(&reg, 0.0);
+        let doc = render(&reg, &DaemonHealth::new(), 0.0);
         assert!(doc.contains("{stream=\"a\\\"b\\\\c\"}"));
     }
 }

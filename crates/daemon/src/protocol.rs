@@ -27,6 +27,48 @@ use netscatter_gateway::{DecodedPacket, GatewayReport};
 /// The only ingest sample format this daemon speaks.
 pub const FORMAT_CF32LE: &str = "cf32le";
 
+/// Machine-readable `code` values carried by `end` and `error` records —
+/// the daemon's failure-model vocabulary (see DESIGN.md "Failure model").
+/// Clients should branch on these, never on the human-readable `message`.
+pub mod code {
+    /// `end`: the client half-closed its write side; the stream is whole.
+    pub const EOF: &str = "eof";
+    /// `end`: the daemon was shut down mid-stream (`complete:false`).
+    pub const SHUTDOWN: &str = "shutdown";
+    /// `end`: ingest went silent past the idle deadline; everything
+    /// received up to the stall was decoded and reported.
+    pub const IDLE_TIMEOUT: &str = "idle_timeout";
+    /// `end`: the transport failed mid-stream (connection reset);
+    /// everything received before the failure was decoded and reported
+    /// (the record write itself is best-effort — the peer may be gone).
+    pub const PEER_RESET: &str = "peer_reset";
+    /// `error`: the header line did not parse or failed validation.
+    pub const BAD_HEADER: &str = "bad_header";
+    /// `error`: the connection closed mid-header-line.
+    pub const HEADER_TRUNCATED: &str = "header_truncated";
+    /// `error`: the header line did not arrive within the header deadline.
+    pub const HEADER_TIMEOUT: &str = "header_timeout";
+    /// `error`: the header line exceeded the 64 KiB bound.
+    pub const HEADER_TOO_LARGE: &str = "header_too_large";
+    /// `error`: no bins in the header and no `--bins` daemon default.
+    pub const NO_BINS: &str = "no_bins";
+    /// `error`: the `--max-conns` admission cap rejected the connection.
+    pub const OVERLOADED: &str = "overloaded";
+    /// `error`: the header asked for fault injection but the daemon was
+    /// not started with `--enable-fault-injection`.
+    pub const FAULT_INJECTION_DISABLED: &str = "fault_injection_disabled";
+    /// `error`: the stream's engine could not be spawned.
+    pub const ENGINE_SPAWN: &str = "engine_spawn";
+    /// `error`: the decode path failed (FFT error).
+    pub const DECODE_ERROR: &str = "decode_error";
+    /// `error`: an engine thread panicked; supervision tore the stream
+    /// down cleanly and the daemon kept serving.
+    pub const WORKER_PANIC: &str = "worker_panic";
+    /// `error`: the serving thread itself panicked (caught at the thread
+    /// root; the daemon kept serving).
+    pub const INTERNAL_PANIC: &str = "internal_panic";
+}
+
 /// Bytes per complex sample on the wire (two little-endian `f32`s).
 pub const SAMPLE_BYTES: usize = 8;
 
@@ -44,6 +86,11 @@ pub struct StreamHeader {
     pub payload_bits: Option<usize>,
     /// Detection-floor override for the receiver's presence test.
     pub detection_floor: Option<f64>,
+    /// Chaos hook: ask the engine's decode worker to panic on this span
+    /// index. Honored only when the daemon runs with
+    /// `--enable-fault-injection`; rejected with
+    /// [`code::FAULT_INJECTION_DISABLED`] otherwise.
+    pub fault_panic_span: Option<usize>,
 }
 
 impl StreamHeader {
@@ -56,6 +103,7 @@ impl StreamHeader {
             bins: None,
             payload_bits: None,
             detection_floor: None,
+            fault_panic_span: None,
         }
     }
 
@@ -103,12 +151,22 @@ impl StreamHeader {
             ),
         };
         let detection_floor = doc.get("detection_floor").and_then(Json::as_f64);
+        let fault_panic_span = match doc.get("fault_panic_span") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_u64()
+                    .ok_or("header fault_panic_span must be a non-negative integer")?
+                    as usize,
+            ),
+        };
         Ok(Self {
             name,
             sample_rate_hz,
             bins,
             payload_bits,
             detection_floor,
+            fault_panic_span,
         })
     }
 
@@ -132,6 +190,9 @@ impl StreamHeader {
         }
         if let Some(floor) = self.detection_floor {
             fields.push(("detection_floor", Json::Num(floor)));
+        }
+        if let Some(span) = self.fault_panic_span {
+            fields.push(("fault_panic_span", Json::Num(span as f64)));
         }
         Json::object(fields).to_string_line()
     }
@@ -251,36 +312,46 @@ pub fn frame_json(stream: &str, packet: &DecodedPacket) -> Json {
 
 /// The final `end` summary of an ingest connection. `frames`, `rounds` and
 /// `false_alarms` are the connection's running totals (the report only
-/// carries packets not already published); `complete` is `false` when the
-/// daemon shut down mid-stream.
+/// carries packets not already published). `code` says how the stream
+/// ended ([`code::EOF`], [`code::SHUTDOWN`] or [`code::IDLE_TIMEOUT`]);
+/// `complete` is `true` only for a clean [`code::EOF`]. `trailing_bytes`
+/// counts the bytes of a dangling partial cf32 sample the stream ended on
+/// — a client that splits writes off sample boundaries and dies mid-sample
+/// sees its leftover counted here, never silently dropped.
 pub fn end_json(
     stream: &str,
     frames: u64,
     rounds: u64,
     false_alarms: u64,
     report: &GatewayReport,
-    complete: bool,
+    end_code: &str,
+    trailing_bytes: usize,
 ) -> Json {
     Json::object(vec![
         ("type", Json::Str("end".to_string())),
         ("stream", Json::Str(stream.to_string())),
-        ("complete", Json::Bool(complete)),
+        ("code", Json::Str(end_code.to_string())),
+        ("complete", Json::Bool(end_code == code::EOF)),
         ("frames", Json::Num(frames as f64)),
         ("rounds", Json::Num(rounds as f64)),
         ("false_alarms", Json::Num(false_alarms as f64)),
         ("samples_in", Json::Num(report.samples_in as f64)),
         ("truncated", Json::Num(report.truncated as f64)),
+        ("trailing_bytes", Json::Num(trailing_bytes as f64)),
         ("ring_dropped", Json::Num(report.ring_dropped as f64)),
         ("samples_per_sec", Json::Num(report.samples_per_sec)),
         ("real_time_factor", Json::Num(report.real_time_factor)),
     ])
 }
 
-/// An `error` record: the stream is being torn down and `message` says why.
-pub fn error_json(stream: &str, message: &str) -> Json {
+/// An `error` record: the stream is being torn down; `code` is the
+/// machine-readable reason (one of [`code`]'s constants) and `message` the
+/// human-readable detail.
+pub fn error_json(stream: &str, error_code: &str, message: &str) -> Json {
     Json::object(vec![
         ("type", Json::Str("error".to_string())),
         ("stream", Json::Str(stream.to_string())),
+        ("code", Json::Str(error_code.to_string())),
         ("message", Json::Str(message.to_string())),
     ])
 }
@@ -297,6 +368,7 @@ mod tests {
             bins: Some(vec![64, 192]),
             payload_bits: Some(8),
             detection_floor: Some(0.05),
+            fault_panic_span: Some(3),
         };
         assert_eq!(StreamHeader::parse(&full.to_json_line()).unwrap(), full);
         let bare = StreamHeader::named("x");
@@ -314,6 +386,10 @@ mod tests {
             (r#"{"stream":"x","bins":7}"#, "array"),
             (r#"{"stream":"x","bins":[-1]}"#, "non-negative"),
             (r#"{"stream":"x","payload_bits":0}"#, "payload_bits"),
+            (
+                r#"{"stream":"x","fault_panic_span":-1}"#,
+                "fault_panic_span",
+            ),
         ] {
             let err = StreamHeader::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");

@@ -128,6 +128,61 @@ pub struct StreamSnapshot {
     pub real_time_factor: f64,
 }
 
+/// Daemon-wide fault and admission counters, shared between the accept
+/// loop, the serving threads and the metrics endpoint. All monotonic —
+/// they never reset while the daemon lives.
+#[derive(Debug, Default)]
+pub struct DaemonHealth {
+    /// Connections refused by the `--max-conns` admission cap.
+    pub conns_rejected: AtomicU64,
+    /// Connections cut because the header did not arrive in time.
+    pub header_timeouts: AtomicU64,
+    /// Streams ended because ingest went idle past the deadline.
+    pub idle_timeouts: AtomicU64,
+    /// Serving threads that panicked (caught; the daemon kept running).
+    pub serve_panics: AtomicU64,
+    /// Engine worker/detector panics supervised into clean stream errors.
+    pub worker_panics: AtomicU64,
+}
+
+impl DaemonHealth {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps `counter` by one (convenience for call sites).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            header_timeouts: self.header_timeouts.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            serve_panics: self.serve_panics.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the daemon's fault/admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSnapshot {
+    /// Connections refused by the admission cap.
+    pub conns_rejected: u64,
+    /// Header-deadline expirations.
+    pub header_timeouts: u64,
+    /// Idle-ingest-deadline expirations.
+    pub idle_timeouts: u64,
+    /// Caught serving-thread panics.
+    pub serve_panics: u64,
+    /// Supervised engine panics.
+    pub worker_panics: u64,
+}
+
 /// The daemon-wide stream table.
 #[derive(Debug, Default)]
 pub struct StreamRegistry {

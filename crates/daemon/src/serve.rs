@@ -8,22 +8,45 @@
 //! reader is never blocked by a slow decode; overload displaces the oldest
 //! queued chunk and counts it into the stream's `ring_dropped` metric.
 //!
+//! # Failure model
+//!
+//! The daemon assumes every client misbehaves eventually and bounds the
+//! damage each one can do (full vocabulary in DESIGN.md "Failure model"):
+//!
+//! * **Admission** — `--max-conns` caps concurrent serving threads; a
+//!   connection over the cap gets an immediate `error` record with
+//!   `code:"overloaded"` and is closed, never queued.
+//! * **Header deadline** — a connect-and-say-nothing client is cut after
+//!   [`DaemonConfig::header_deadline`] with `code:"header_timeout"`; a
+//!   header over 64 KiB gets `code:"header_too_large"`; a connection that
+//!   closes mid-header gets `code:"header_truncated"`.
+//! * **Idle deadline** — a stream whose ingest stalls past
+//!   [`DaemonConfig::idle_deadline`] is drained and ended with an `end`
+//!   record carrying `code:"idle_timeout"` — everything received up to the
+//!   stall is decoded and reported, nothing hangs.
+//! * **Panic isolation** — each serving thread runs under `catch_unwind`;
+//!   a panic ends that connection with `code:"internal_panic"` and bumps a
+//!   counter, and the accept loop keeps accepting. Engine-thread panics
+//!   are supervised by the engine itself and surface as
+//!   `code:"worker_panic"` error records with the partial decode
+//!   published first.
+//!
 //! Shutdown is graceful and complete: [`Daemon::request_shutdown`] (or
 //! dropping the handle) stops the accept loops, every serving thread
 //! notices within its read-timeout tick, shuts its engine down (joining
 //! the detection thread and decode workers — no detached threads), writes
-//! its `end` record with `"complete":false`, and exits; the daemon's own
+//! its `end` record with `code:"shutdown"`, and exits; the daemon's own
 //! threads are then joined.
 
-use crate::protocol::{self, Cf32Decoder, StreamHeader, SAMPLE_BYTES};
-use crate::registry::{StreamRegistry, StreamStats};
+use crate::protocol::{self, code, Cf32Decoder, StreamHeader, SAMPLE_BYTES};
+use crate::registry::{DaemonHealth, StreamRegistry, StreamStats};
 use crate::{metrics, DecodedPacket};
 use netscatter::json::Json;
-use netscatter_gateway::{GatewayConfig, OverflowPolicy, StreamEngine};
+use netscatter_gateway::{EngineError, GatewayConfig, OverflowPolicy, StreamEngine};
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,16 +67,38 @@ pub struct DaemonConfig {
     pub base: GatewayConfig,
     /// Sample rate assumed for headers that do not declare one.
     pub default_sample_rate_hz: f64,
+    /// Admission cap: maximum concurrent serving threads (0 = unlimited).
+    /// A connection over the cap is rejected immediately with an `error`
+    /// record (`code:"overloaded"`).
+    pub max_conns: usize,
+    /// How long a fresh connection may take to deliver its header line
+    /// before being cut with `code:"header_timeout"` (`None` = forever —
+    /// not recommended outside tests).
+    pub header_deadline: Option<Duration>,
+    /// How long a stream's ingest may go silent before the daemon drains
+    /// the engine and ends it with `code:"idle_timeout"` (`None` = wait
+    /// forever).
+    pub idle_deadline: Option<Duration>,
+    /// Honor header-carried fault-injection requests (`fault_panic_span`).
+    /// Off in production; the chaos harness turns it on to prove the
+    /// supervision path end to end.
+    pub allow_fault_injection: bool,
 }
 
 impl DaemonConfig {
-    /// Loopback listeners on ephemeral ports around `base`.
+    /// Loopback listeners on ephemeral ports around `base`, production
+    /// deadlines (10 s header, 30 s idle), no admission cap, fault
+    /// injection off.
     pub fn new(base: GatewayConfig) -> Self {
         Self {
             listen: "127.0.0.1:0".to_string(),
             metrics: Some("127.0.0.1:0".to_string()),
             base,
             default_sample_rate_hz: 500e3,
+            max_conns: 0,
+            header_deadline: Some(Duration::from_secs(10)),
+            idle_deadline: Some(Duration::from_secs(30)),
+            allow_fault_injection: false,
         }
     }
 }
@@ -64,6 +109,7 @@ pub struct Daemon {
     metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     registry: Arc<StreamRegistry>,
+    health: Arc<DaemonHealth>,
     accept: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
 }
@@ -76,6 +122,7 @@ impl Daemon {
         let ingest_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(StreamRegistry::new());
+        let health = Arc::new(DaemonHealth::new());
         let started = Instant::now();
 
         let (metrics_thread, metrics_addr) = match &config.metrics {
@@ -84,24 +131,25 @@ impl Daemon {
                 ml.set_nonblocking(true)?;
                 let maddr = ml.local_addr()?;
                 let reg = registry.clone();
+                let hlt = health.clone();
                 let stop = shutdown.clone();
-                let handle = std::thread::spawn(move || metrics_loop(ml, reg, stop, started));
+                let handle = std::thread::spawn(move || metrics_loop(ml, reg, hlt, stop, started));
                 (Some(handle), Some(maddr))
             }
             None => (None, None),
         };
 
-        let base = config.base;
-        let rate = config.default_sample_rate_hz;
         let reg = registry.clone();
+        let hlt = health.clone();
         let stop = shutdown.clone();
-        let accept = std::thread::spawn(move || accept_loop(listener, base, rate, reg, stop));
+        let accept = std::thread::spawn(move || accept_loop(listener, config, reg, hlt, stop));
 
         Ok(Self {
             ingest_addr,
             metrics_addr,
             shutdown,
             registry,
+            health,
             accept: Some(accept),
             metrics_thread: Some(metrics_thread).flatten(),
         })
@@ -122,6 +170,11 @@ impl Daemon {
         self.registry.clone()
     }
 
+    /// The daemon-wide fault/admission counters.
+    pub fn health(&self) -> Arc<DaemonHealth> {
+        self.health.clone()
+    }
+
     /// Flags every serving loop to wind down; returns immediately. Safe to
     /// call from a signal-watching loop.
     pub fn request_shutdown(&self) {
@@ -129,7 +182,7 @@ impl Daemon {
     }
 
     /// Requests shutdown and joins every daemon thread. In-flight streams
-    /// finish their engine shutdown and write `"complete":false` end
+    /// finish their engine shutdown and write `code:"shutdown"` end
     /// records first.
     pub fn shutdown(mut self) {
         self.stop();
@@ -152,38 +205,64 @@ impl Drop for Daemon {
     }
 }
 
+/// Joins finished serving threads and drops their handles, returning the
+/// still-running remainder.
+fn reap_finished(conns: Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
+    conns
+        .into_iter()
+        .filter_map(|h| {
+            if h.is_finished() {
+                let _ = h.join();
+                None
+            } else {
+                Some(h)
+            }
+        })
+        .collect()
+}
+
+/// Writes the `code:"overloaded"` rejection and closes the connection.
+/// Bounded: the write gets a short timeout so a client that never reads
+/// cannot stall the accept loop.
+fn reject_connection(mut sock: TcpStream, max_conns: usize) {
+    let _ = sock.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_record(
+        &mut sock,
+        &protocol::error_json(
+            "",
+            code::OVERLOADED,
+            &format!("daemon is at its --max-conns={max_conns} capacity; retry later"),
+        ),
+    );
+}
+
 /// Accepts ingest connections until shutdown, then joins every serving
-/// thread it spawned.
+/// thread it spawned. Finished threads are reaped on every loop iteration
+/// — including idle poll ticks — so a quiet daemon holds no dead handles.
 fn accept_loop(
     listener: TcpListener,
-    base: GatewayConfig,
-    default_rate: f64,
+    config: DaemonConfig,
     registry: Arc<StreamRegistry>,
+    health: Arc<DaemonHealth>,
     shutdown: Arc<AtomicBool>,
 ) {
+    let config = Arc::new(config);
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::Acquire) {
+        conns = reap_finished(conns);
         match listener.accept() {
             Ok((sock, _)) => {
-                // Reap finished serving threads so the vector stays small
-                // on long-lived daemons.
-                conns = conns
-                    .into_iter()
-                    .filter_map(|h| {
-                        if h.is_finished() {
-                            let _ = h.join();
-                            None
-                        } else {
-                            Some(h)
-                        }
-                    })
-                    .collect();
-                let base = base.clone();
+                if config.max_conns > 0 && conns.len() >= config.max_conns {
+                    DaemonHealth::bump(&health.conns_rejected);
+                    reject_connection(sock, config.max_conns);
+                    continue;
+                }
+                let config = config.clone();
                 let reg = registry.clone();
+                let hlt = health.clone();
                 let stop = shutdown.clone();
                 conns.push(std::thread::spawn(move || {
-                    // Connection-level I/O errors end that stream only.
-                    let _ = serve_connection(sock, base, default_rate, &reg, &stop);
+                    serve_isolated(sock, &config, &reg, &hlt, &stop);
                 }));
             }
             Err(_) => std::thread::sleep(POLL_TICK),
@@ -194,18 +273,66 @@ fn accept_loop(
     }
 }
 
+/// One serving thread's root: runs [`serve_connection`] under
+/// `catch_unwind` so no connection — however hostile its input — can take
+/// down the accept loop or leak an "active" registry entry. A caught panic
+/// bumps `serve_panics`, marks the stream inactive, and makes a
+/// best-effort attempt to tell the client why its connection died.
+fn serve_isolated(
+    sock: TcpStream,
+    config: &DaemonConfig,
+    registry: &StreamRegistry,
+    health: &DaemonHealth,
+    shutdown: &AtomicBool,
+) {
+    // A duplicate handle for the post-panic error record: the original
+    // socket is consumed by serve_connection.
+    let rescue = sock.try_clone().ok();
+    // Where serve_connection parks its registry entry, so the supervisor
+    // can mark it inactive if the serving thread dies mid-stream.
+    let slot: Mutex<Option<Arc<StreamStats>>> = Mutex::new(None);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Connection-level I/O errors end that stream only.
+        let _ = serve_connection(sock, config, registry, health, shutdown, &slot);
+    }));
+    if result.is_err() {
+        DaemonHealth::bump(&health.serve_panics);
+        let name = slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .map(|stats| {
+                stats.set_inactive();
+                stats.name().to_string()
+            })
+            .unwrap_or_default();
+        if let Some(mut sock) = rescue {
+            let _ = sock.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = write_record(
+                &mut sock,
+                &protocol::error_json(
+                    &name,
+                    code::INTERNAL_PANIC,
+                    "serving thread panicked; the connection is closed (the daemon keeps running)",
+                ),
+            );
+        }
+    }
+}
+
 /// Serves metrics documents until shutdown: one rendered snapshot per
 /// connection, then close.
 fn metrics_loop(
     listener: TcpListener,
     registry: Arc<StreamRegistry>,
+    health: Arc<DaemonHealth>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
 ) {
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut sock, _)) => {
-                let doc = metrics::render(&registry, started.elapsed().as_secs_f64());
+                let doc = metrics::render(&registry, &health, started.elapsed().as_secs_f64());
                 let _ = sock.write_all(doc.as_bytes());
             }
             Err(_) => std::thread::sleep(POLL_TICK),
@@ -231,60 +358,134 @@ fn write_record(sock: &mut TcpStream, record: &Json) -> std::io::Result<()> {
     sock.write_all(line.as_bytes())
 }
 
-/// Reads the header line, polling the shutdown flag on every timeout.
-/// `Ok(None)` means the connection (or the daemon) went away first.
+/// How an attempt to read the header line ended.
+enum HeaderRead {
+    /// A complete header line (without the newline).
+    Line(String),
+    /// The connection closed first; `partial` says whether any header
+    /// bytes had arrived (a truncated header vs. a silent probe).
+    Eof { partial: bool },
+    /// The daemon is shutting down.
+    Shutdown,
+    /// The header deadline expired before the newline arrived.
+    TimedOut,
+    /// The line exceeded the 64 KiB header bound.
+    TooLong,
+    /// A non-retriable transport error.
+    Io(std::io::Error),
+}
+
+/// Reads the header line, polling the shutdown flag on every timeout and
+/// enforcing `deadline` — a connect-and-say-nothing client is cut with
+/// [`HeaderRead::TimedOut`] instead of pinning this thread forever.
 fn read_header_line(
     reader: &mut BufReader<TcpStream>,
     shutdown: &AtomicBool,
-) -> std::io::Result<Option<String>> {
+    deadline: Option<Instant>,
+) -> HeaderRead {
     let mut line = Vec::new();
     let mut byte = [0u8; 1];
     loop {
         if shutdown.load(Ordering::Acquire) {
-            return Ok(None);
+            return HeaderRead::Shutdown;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return HeaderRead::TimedOut;
         }
         match reader.read(&mut byte) {
-            Ok(0) => return Ok(None),
+            Ok(0) => {
+                return HeaderRead::Eof {
+                    partial: !line.is_empty(),
+                }
+            }
             Ok(_) if byte[0] == b'\n' => {
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+                return HeaderRead::Line(String::from_utf8_lossy(&line).into_owned())
             }
             Ok(_) => {
                 line.push(byte[0]);
                 if line.len() > 1 << 16 {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "ingest header line exceeds 64 KiB",
-                    ));
+                    return HeaderRead::TooLong;
                 }
             }
             Err(e) if is_retriable(&e) => continue,
-            Err(e) => return Err(e),
+            Err(e) => return HeaderRead::Io(e),
         }
     }
 }
 
 /// One ingest connection end to end: header, engine, sample loop, report.
+/// `slot` receives the registry entry as soon as the stream is registered,
+/// so the panic supervisor can mark it inactive if this thread dies.
 fn serve_connection(
     mut sock: TcpStream,
-    base: GatewayConfig,
-    default_rate: f64,
+    config: &DaemonConfig,
     registry: &StreamRegistry,
+    health: &DaemonHealth,
     shutdown: &AtomicBool,
+    slot: &Mutex<Option<Arc<StreamStats>>>,
 ) -> std::io::Result<()> {
     sock.set_read_timeout(Some(POLL_TICK))?;
     let _ = sock.set_nodelay(true);
     let mut reader = BufReader::with_capacity(1 << 16, sock.try_clone()?);
-    let Some(line) = read_header_line(&mut reader, shutdown)? else {
-        return Ok(());
+    let header_deadline = config.header_deadline.map(|d| Instant::now() + d);
+    let line = match read_header_line(&mut reader, shutdown, header_deadline) {
+        HeaderRead::Line(line) => line,
+        HeaderRead::Shutdown | HeaderRead::Eof { partial: false } => return Ok(()),
+        HeaderRead::Eof { partial: true } => {
+            write_record(
+                &mut sock,
+                &protocol::error_json(
+                    "",
+                    code::HEADER_TRUNCATED,
+                    "connection closed before the header line completed",
+                ),
+            )?;
+            return Ok(());
+        }
+        HeaderRead::TimedOut => {
+            DaemonHealth::bump(&health.header_timeouts);
+            write_record(
+                &mut sock,
+                &protocol::error_json(
+                    "",
+                    code::HEADER_TIMEOUT,
+                    "no header line within the header deadline",
+                ),
+            )?;
+            return Ok(());
+        }
+        HeaderRead::TooLong => {
+            write_record(
+                &mut sock,
+                &protocol::error_json(
+                    "",
+                    code::HEADER_TOO_LARGE,
+                    "ingest header line exceeds 64 KiB",
+                ),
+            )?;
+            return Ok(());
+        }
+        HeaderRead::Io(e) => return Err(e),
     };
     let header = match StreamHeader::parse(&line) {
         Ok(h) => h,
         Err(msg) => {
-            write_record(&mut sock, &protocol::error_json("", &msg))?;
+            write_record(&mut sock, &protocol::error_json("", code::BAD_HEADER, &msg))?;
             return Ok(());
         }
     };
-    let mut cfg = base;
+    if header.fault_panic_span.is_some() && !config.allow_fault_injection {
+        write_record(
+            &mut sock,
+            &protocol::error_json(
+                &header.name,
+                code::FAULT_INJECTION_DISABLED,
+                "fault_panic_span requires a daemon started with --enable-fault-injection",
+            ),
+        )?;
+        return Ok(());
+    }
+    let mut cfg = config.base.clone();
     // The socket reader must never block on a slow decode: live ingest
     // always runs drop-oldest, whatever the base config says.
     cfg.overflow = OverflowPolicy::DropOldest;
@@ -297,19 +498,33 @@ fn serve_connection(
     if let Some(floor) = header.detection_floor {
         cfg.detection_floor_fraction = Some(floor);
     }
+    cfg.fault_panic_span = header.fault_panic_span;
     if cfg.assigned_bins.is_empty() {
         write_record(
             &mut sock,
             &protocol::error_json(
                 &header.name,
+                code::NO_BINS,
                 "no bins to decode: set them in the header or start the daemon with --bins",
             ),
         )?;
         return Ok(());
     }
-    let rate = header.sample_rate_hz.unwrap_or(default_rate);
+    let rate = header
+        .sample_rate_hz
+        .unwrap_or(config.default_sample_rate_hz);
     let stats = registry.register(&header.name);
-    let result = serve_stream(&mut sock, &mut reader, &cfg, rate, &stats, shutdown);
+    *slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(stats.clone());
+    let result = serve_stream(
+        &mut sock,
+        &mut reader,
+        &cfg,
+        rate,
+        &stats,
+        shutdown,
+        config.idle_deadline,
+        health,
+    );
     stats.set_inactive();
     result
 }
@@ -345,7 +560,10 @@ fn publish(
 }
 
 /// The sample loop: socket bytes → cf32 decode → engine feed → frame
-/// publish, then the engine shutdown and the `end` record.
+/// publish, then the engine shutdown and the terminal `end`/`error`
+/// record. Every exit path writes exactly one terminal record (unless the
+/// transport itself is gone).
+#[allow(clippy::too_many_arguments)]
 fn serve_stream(
     sock: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
@@ -353,42 +571,79 @@ fn serve_stream(
     rate: f64,
     stats: &StreamStats,
     shutdown: &AtomicBool,
+    idle_deadline: Option<Duration>,
+    health: &DaemonHealth,
 ) -> std::io::Result<()> {
     let name = stats.name().to_string();
     let mut engine = match StreamEngine::spawn(cfg, rate) {
         Ok(engine) => engine,
         Err(e) => {
-            write_record(sock, &protocol::error_json(&name, &e.to_string()))?;
+            write_record(
+                sock,
+                &protocol::error_json(&name, code::ENGINE_SPAWN, &e.to_string()),
+            )?;
             return Ok(());
         }
     };
     write_record(sock, &protocol::ready_json(&name))?;
 
     let started = Instant::now();
+    let chunk = cfg.chunk_samples.max(1);
     let mut decoder = Cf32Decoder::new();
-    let mut buf = vec![0u8; cfg.chunk_samples.max(1) * SAMPLE_BYTES];
-    let mut samples: Vec<netscatter_dsp::Complex64> = Vec::with_capacity(cfg.chunk_samples.max(1));
+    let mut buf = vec![0u8; chunk * SAMPLE_BYTES];
+    // Coalescing buffer: socket reads can be arbitrarily small (a hostile
+    // client may write byte by byte), but a ring slot costs the same
+    // whatever it holds — feeding per-read would let tiny segments flood
+    // the ring and trip drop-oldest. Samples accumulate here and are fed
+    // in full chunks; the sub-chunk tail is flushed at end of stream.
+    let mut pending: Vec<netscatter_dsp::Complex64> = Vec::with_capacity(2 * chunk);
     let mut tally = Tally::default();
-    let mut complete = false;
+    let mut end_code = code::SHUTDOWN;
+    let mut last_data = Instant::now();
     loop {
         if shutdown.load(Ordering::Acquire) {
-            break;
+            break; // end_code stays code::SHUTDOWN
         }
         match reader.read(&mut buf) {
             Ok(0) => {
-                complete = true;
+                end_code = code::EOF;
                 break;
             }
             Ok(n) => {
-                samples.clear();
-                decoder.push(&buf[..n], &mut samples);
-                if engine.feed(&samples).is_err() {
+                last_data = Instant::now();
+                decoder.push(&buf[..n], &mut pending);
+                let mut fed = 0;
+                let mut closed = false;
+                while pending.len() - fed >= chunk {
+                    if engine.feed(&pending[fed..fed + chunk]).is_err() {
+                        // The engine died under us (a supervised panic
+                        // tore it down); shutdown() below reports why.
+                        closed = true;
+                        break;
+                    }
+                    fed += chunk;
+                }
+                pending.drain(..fed);
+                if closed {
+                    end_code = code::SHUTDOWN;
                     break;
                 }
             }
-            Err(e) if is_retriable(&e) => {}
-            // Peer reset mid-stream: report what was decoded so far.
-            Err(_) => break,
+            Err(e) if is_retriable(&e) => {
+                // Idle-ingest deadline: a stalled (but open) connection is
+                // drained and ended rather than parked forever.
+                if idle_deadline.is_some_and(|d| last_data.elapsed() >= d) {
+                    DaemonHealth::bump(&health.idle_timeouts);
+                    end_code = code::IDLE_TIMEOUT;
+                    break;
+                }
+            }
+            // Peer reset mid-stream: report what was decoded so far (the
+            // record write is best-effort — the peer may be gone).
+            Err(_) => {
+                end_code = code::PEER_RESET;
+                break;
+            }
         }
         stats.record_ingest(engine.samples_fed(), engine.ring_dropped());
         let sps = engine.samples_processed() as f64 / started.elapsed().as_secs_f64().max(1e-9);
@@ -396,6 +651,10 @@ fn serve_stream(
         publish(sock, &name, engine.drain(), stats, &mut tally)?;
     }
 
+    // Flush the sub-chunk tail so everything received is decoded, however
+    // the stream ended (a dead engine rejects the feed; shutdown() below
+    // explains why).
+    let _ = engine.feed(&pending);
     let samples_fed = engine.samples_fed();
     match engine.shutdown() {
         Ok(mut report) => {
@@ -417,12 +676,39 @@ fn serve_stream(
                     tally.rounds,
                     tally.false_alarms,
                     &report,
-                    complete,
+                    end_code,
+                    decoder.pending_bytes(),
                 ),
             )?;
         }
-        Err(e) => {
-            write_record(sock, &protocol::error_json(&name, &e.to_string()))?;
+        Err(EngineError::WorkerPanic(panic)) => {
+            // Supervised engine panic: publish everything decoded before
+            // the failure, then the typed error record. The daemon and its
+            // other streams keep running.
+            DaemonHealth::bump(&health.worker_panics);
+            let mut report = panic.report;
+            publish(
+                sock,
+                &name,
+                std::mem::take(&mut report.packets),
+                stats,
+                &mut tally,
+            )?;
+            stats.record_ingest(samples_fed, report.ring_dropped);
+            write_record(
+                sock,
+                &protocol::error_json(
+                    &name,
+                    code::WORKER_PANIC,
+                    &format!("{} thread panicked: {}", panic.role, panic.message),
+                ),
+            )?;
+        }
+        Err(e @ EngineError::Fft(_)) => {
+            write_record(
+                sock,
+                &protocol::error_json(&name, code::DECODE_ERROR, &e.to_string()),
+            )?;
         }
     }
     Ok(())

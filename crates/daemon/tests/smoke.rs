@@ -68,6 +68,7 @@ fn header_for(name: &str) -> StreamHeader {
         bins: Some(BINS.to_vec()),
         payload_bits: Some(BITS.len()),
         detection_floor: None,
+        fault_panic_span: None,
     }
 }
 

@@ -111,6 +111,12 @@ pub struct GatewayConfig {
     /// Override for the receiver's detection floor fraction (`None` keeps
     /// the [`ConcurrentReceiver`] default).
     pub detection_floor_fraction: Option<f64>,
+    /// Chaos/test hook: a decode worker panics when handed the span with
+    /// this sequence number, exercising the engine's panic supervision
+    /// (`EngineError::WorkerPanic`). Always `None` in production; the
+    /// daemon only honors a header-carried value when started with
+    /// `--enable-fault-injection`.
+    pub fault_panic_span: Option<usize>,
 }
 
 impl GatewayConfig {
@@ -128,6 +134,7 @@ impl GatewayConfig {
             overflow: crate::ring::OverflowPolicy::Block,
             energy_gate_db: 6.0,
             detection_floor_fraction: None,
+            fault_panic_span: None,
         }
     }
 

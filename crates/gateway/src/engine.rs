@@ -27,6 +27,18 @@
 //!
 //! Dropping an engine without calling `shutdown` performs the same join —
 //! worker threads are never leaked past the producer's lifetime.
+//!
+//! # Supervision
+//!
+//! The detection thread and every decode worker run under
+//! [`std::panic::catch_unwind`] at their thread roots. A panic anywhere in
+//! the decode path therefore cannot wedge the engine: the panicking
+//! thread's channel endpoints drop (disconnecting its peers), the
+//! detection loop stops cleanly when a worker's job queue goes away, and
+//! `shutdown` joins every remaining thread before converting the recorded
+//! panic into a typed [`EngineError::WorkerPanic`] carrying the partial
+//! [`GatewayReport`] — everything decoded before the failure is preserved,
+//! and no caller ever re-panics on `join`.
 
 use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
 use crate::pipeline::{decode_span, DecodedPacket, GatewayReport};
@@ -55,6 +67,63 @@ struct EngineStats {
 /// What the detection thread hands back when it exits.
 struct DetectorExit {
     truncated: usize,
+    /// Panic message when the detection loop died instead of draining.
+    panic: Option<String>,
+}
+
+/// Renders a caught panic payload as a message (panics carry `&str` or
+/// `String` payloads in practice; anything else is labeled as opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why a supervised engine failed: a decode error, or a panic in one of
+/// its threads (converted by the supervision layer — never re-raised).
+#[derive(Debug)]
+pub enum EngineError {
+    /// The decode path reported an FFT error.
+    Fft(FftError),
+    /// A supervised thread panicked; the engine was torn down cleanly
+    /// (every other thread joined) and the partial report preserved.
+    WorkerPanic(Box<PanicReport>),
+}
+
+/// The details of a supervised panic, including everything the engine had
+/// decoded before the failing thread died.
+#[derive(Debug)]
+pub struct PanicReport {
+    /// Which thread died: `"detector"` or `"decode-worker"`.
+    pub role: &'static str,
+    /// The panic payload, rendered as text.
+    pub message: String,
+    /// The partial session report: packets decoded before the panic,
+    /// counters up to teardown.
+    pub report: GatewayReport,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Fft(e) => write!(f, "{e}"),
+            EngineError::WorkerPanic(p) => {
+                write!(f, "{} thread panicked: {}", p.role, p.message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<FftError> for EngineError {
+    fn from(e: FftError) -> Self {
+        EngineError::Fft(e)
+    }
 }
 
 /// The engine died before the feed could be accepted — its detection thread
@@ -75,7 +144,7 @@ impl std::error::Error for EngineClosed {}
 pub struct StreamEngine {
     producer: Option<RingProducer<Chunk>>,
     detector: Option<JoinHandle<DetectorExit>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<Option<String>>>,
     results: mpsc::Receiver<Result<DecodedPacket, FftError>>,
     stats: Arc<EngineStats>,
     policy: OverflowPolicy,
@@ -89,6 +158,8 @@ pub struct StreamEngine {
     next_emit: usize,
     /// First decode error observed (reported at shutdown).
     error: Option<FftError>,
+    /// First supervised panic observed at join time (role, message).
+    panic: Option<(&'static str, String)>,
     /// Detector-exit data once joined.
     truncated: usize,
     /// Ring-drop total cached when the producer handle is released.
@@ -134,20 +205,41 @@ impl StreamEngine {
             let receiver = detector.receiver().clone();
             let bins = config.assigned_bins.clone();
             let payload_symbols = config.payload_symbols;
-            worker_handles.push(std::thread::spawn(move || {
-                while let Ok(span) = job_rx.recv() {
-                    let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
-                    if result_tx.send(decoded).is_err() {
-                        break;
+            let fault_span = config.fault_panic_span;
+            // Supervised thread root: a panic in the decode path unwinds to
+            // here, drops the worker's channel endpoints (disconnecting the
+            // detector and the reassembly side cleanly) and is handed back
+            // as a message for join-time conversion into EngineError.
+            worker_handles.push(std::thread::spawn(move || -> Option<String> {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    while let Ok(span) = job_rx.recv() {
+                        if fault_span == Some(span.index) {
+                            panic!("injected decode fault (chaos): span {}", span.index);
+                        }
+                        let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
+                        if result_tx.send(decoded).is_err() {
+                            break;
+                        }
                     }
-                }
+                }))
+                .err()
+                .map(|p| panic_message(p.as_ref()))
             }));
         }
         drop(result_tx);
 
         let det_stats = stats.clone();
-        let detector_handle =
-            std::thread::spawn(move || detection_loop(detector, ring_rx, job_txs, det_stats, hold));
+        let detector_handle = std::thread::spawn(move || {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                detection_loop(detector, ring_rx, job_txs, det_stats, hold)
+            })) {
+                Ok(exit) => exit,
+                Err(p) => DetectorExit {
+                    truncated: 0,
+                    panic: Some(panic_message(p.as_ref())),
+                },
+            }
+        });
 
         Ok(Self {
             producer: Some(ring_tx),
@@ -162,6 +254,7 @@ impl StreamEngine {
             reorder: Vec::new(),
             next_emit: 0,
             error: None,
+            panic: None,
             truncated: 0,
             final_dropped: 0,
         })
@@ -221,17 +314,17 @@ impl StreamEngine {
     /// Ends the stream: closes the ring, joins the detection thread and the
     /// worker pool, drains the in-flight remainder and returns the final
     /// report. `packets` carries only what was not already handed out by
-    /// [`StreamEngine::drain`].
-    pub fn shutdown(mut self) -> Result<GatewayReport, FftError> {
+    /// [`StreamEngine::drain`]. A supervised panic comes back as
+    /// [`EngineError::WorkerPanic`] *after* every remaining thread has been
+    /// joined, with the partial report inside — shutdown never hangs and
+    /// never re-panics.
+    pub fn shutdown(mut self) -> Result<GatewayReport, EngineError> {
         self.teardown();
-        if let Some(e) = self.error.take() {
-            return Err(e);
-        }
         let elapsed_s = self.started.elapsed().as_secs_f64().max(1e-12);
         let samples_in = self.samples_processed();
         let samples_per_sec = samples_in as f64 / elapsed_s;
         let packets = self.emit_ready();
-        Ok(GatewayReport {
+        let report = GatewayReport {
             packets,
             samples_in,
             truncated: self.truncated,
@@ -239,11 +332,23 @@ impl StreamEngine {
             samples_per_sec,
             real_time_factor: samples_per_sec / self.sample_rate_hz,
             ring_dropped: self.final_dropped,
-        })
+        };
+        if let Some((role, message)) = self.panic.take() {
+            return Err(EngineError::WorkerPanic(Box::new(PanicReport {
+                role,
+                message,
+                report,
+            })));
+        }
+        if let Some(e) = self.error.take() {
+            return Err(EngineError::Fft(e));
+        }
+        Ok(report)
     }
 
     /// Closes the ring and joins every thread, folding the remaining decode
-    /// results into the reorder buffer. Idempotent.
+    /// results into the reorder buffer and recording (not re-raising) any
+    /// panic a supervised thread died with. Idempotent.
     fn teardown(&mut self) {
         if let Some(producer) = self.producer.take() {
             self.final_dropped = producer.dropped();
@@ -251,18 +356,35 @@ impl StreamEngine {
         }
         if let Some(detector) = self.detector.take() {
             match detector.join() {
-                Ok(exit) => self.truncated = exit.truncated,
-                Err(panic) => std::panic::resume_unwind(panic),
+                Ok(exit) => {
+                    self.truncated = exit.truncated;
+                    if let Some(message) = exit.panic {
+                        self.note_panic("detector", message);
+                    }
+                }
+                // The catch_unwind root makes this unreachable in practice;
+                // record it rather than re-panic if it ever happens.
+                Err(p) => self.note_panic("detector", panic_message(p.as_ref())),
             }
         }
-        for worker in self.workers.drain(..) {
-            if let Err(panic) = worker.join() {
-                std::panic::resume_unwind(panic);
+        for worker in std::mem::take(&mut self.workers) {
+            match worker.join() {
+                Ok(Some(message)) => self.note_panic("decode-worker", message),
+                Ok(None) => {}
+                Err(p) => self.note_panic("decode-worker", panic_message(p.as_ref())),
             }
         }
         // All senders are gone: drain the channel to the end.
         while let Ok(decoded) = self.results.try_recv() {
             self.stash(decoded);
+        }
+    }
+
+    /// Records the first supervised panic; later ones are redundant (one
+    /// dead thread disconnects its peers, which then exit cleanly).
+    fn note_panic(&mut self, role: &'static str, message: String) {
+        if self.panic.is_none() {
+            self.panic = Some((role, message));
         }
     }
 
@@ -315,21 +437,25 @@ fn detection_loop(
     }
     let workers = job_txs.len();
     let mut spans = Vec::new();
-    while let Some(chunk) = ring.pop() {
+    'stream: while let Some(chunk) = ring.pop() {
         stats
             .samples_processed
             .fetch_add(chunk.samples.len() as u64, Ordering::Relaxed);
         detector.push(&chunk.samples, &mut spans);
         for span in spans.drain(..) {
             let worker = span.index % workers;
-            job_txs[worker]
-                .send(span)
-                .expect("decode workers outlive detection");
+            if job_txs[worker].send(span).is_err() {
+                // That worker died (panicked): stop consuming — dropping
+                // the ring consumer unblocks the feeder, and teardown will
+                // surface the worker's panic as EngineError::WorkerPanic.
+                break 'stream;
+            }
         }
     }
     detector.finish();
     DetectorExit {
         truncated: detector.truncated(),
+        panic: None,
     }
 }
 
@@ -433,6 +559,61 @@ mod tests {
             "only surviving chunks reach the detector"
         );
         assert!(report.packets.is_empty());
+    }
+
+    #[test]
+    fn injected_worker_panic_tears_down_cleanly_with_a_partial_report() {
+        // Span 2 detonates its decode worker. The engine must neither hang
+        // nor re-panic: shutdown joins every thread and returns a typed
+        // WorkerPanic carrying whatever was decoded before the failure.
+        let bits = vec![true, false, true, true];
+        let cfg = GatewayConfig {
+            workers: 2,
+            fault_panic_span: Some(2),
+            ..GatewayConfig::new(PhyProfile::default(), vec![128], bits.len())
+        };
+        let stream = stream_with_packets(128, &bits, 5);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        for chunk in stream.chunks(1000) {
+            // Feeding may start failing once the dead worker disconnects
+            // the detection loop — that is the clean refusal, not a hang.
+            if engine.feed(chunk).is_err() {
+                break;
+            }
+        }
+        match engine.shutdown() {
+            Err(EngineError::WorkerPanic(p)) => {
+                assert_eq!(p.role, "decode-worker");
+                assert!(p.message.contains("injected decode fault"), "{}", p.message);
+                // Everything decoded before the panic is preserved, in
+                // stream order, and none of it is the poisoned span.
+                for packet in &p.report.packets {
+                    assert_ne!(packet.index, 2);
+                    assert_eq!(packet.round.bits_for(128).unwrap(), &bits[..]);
+                }
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicked_engine_drop_does_not_repanic() {
+        // Drop (no shutdown call) after an injected panic: teardown must
+        // swallow the recorded panic — a Drop that re-panics would abort.
+        let cfg = GatewayConfig {
+            workers: 1,
+            fault_panic_span: Some(0),
+            ..GatewayConfig::new(PhyProfile::default(), vec![64], 4)
+        };
+        let bits = vec![true, false, true, false];
+        let stream = stream_with_packets(64, &bits, 2);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        for chunk in stream.chunks(500) {
+            if engine.feed(chunk).is_err() {
+                break;
+            }
+        }
+        drop(engine); // must not propagate the worker's panic
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod ring;
 pub mod source;
 
 pub use detect::{GatewayConfig, PacketSpan, StreamDetector};
-pub use engine::{EngineClosed, OverflowPolicy, StreamEngine};
+pub use engine::{EngineClosed, EngineError, OverflowPolicy, PanicReport, StreamEngine};
 pub use pipeline::{run_stream, DecodedPacket, GatewayReport, StreamGateway};
 pub use source::{Cf32FileSource, ReplaySource, StreamSource};

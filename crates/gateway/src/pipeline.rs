@@ -21,7 +21,7 @@
 //! path carries over to the streaming receiver.
 
 use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
-use crate::engine::StreamEngine;
+use crate::engine::{EngineError, StreamEngine};
 use crate::source::StreamSource;
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
 use netscatter_dsp::fft::FftError;
@@ -150,7 +150,7 @@ pub(crate) fn decode_span(
 pub fn run_stream(
     source: &mut dyn StreamSource,
     config: &GatewayConfig,
-) -> Result<GatewayReport, FftError> {
+) -> Result<GatewayReport, EngineError> {
     let mut engine = StreamEngine::spawn(config, source.sample_rate_hz())?;
     let chunk_samples = config.chunk_samples.max(1);
     let mut buf = vec![Complex64::ZERO; chunk_samples];

@@ -42,6 +42,13 @@
 //!   (in-process or `--connect`), scored for bit identity against the
 //!   batch pipeline, zero ring drops at real-time pace, and a complete
 //!   metrics document.
+//! * [`chaos`] — the `netscatter stress --chaos` fault matrix: a healthy
+//!   fleet plus seed-deterministic misbehaving connections (truncated /
+//!   garbage / oversized / slowloris headers, mid-stream stalls and
+//!   disconnects, ragged cf32 write splits, kill-mid-round, an injected
+//!   decode-worker panic), verified against the daemon's failure model —
+//!   terminal records with machine-readable codes, bit-identical healthy
+//!   decodes, admission rejects, no leaked serving threads.
 //! * [`cli`] — the unified `netscatter` command-line interface
 //!   (`list` / `run` / `sweep` / `serve` / `stress`) and the shared flag
 //!   parsing the shim binaries reuse.
@@ -50,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod chaos;
 pub mod cli;
 pub mod deployment;
 pub mod experiment;

@@ -42,7 +42,7 @@ use rand::SeedableRng;
 /// Deployment placement seed: every stress stream shares one office
 /// deployment (and therefore one bin assignment); the per-stream trial
 /// seed varies the channel and the arrival process instead.
-const DEPLOYMENT_SEED: u64 = 17;
+pub(crate) const DEPLOYMENT_SEED: u64 = 17;
 
 /// The `netscatter stress --help` text.
 pub fn usage() -> String {
@@ -66,6 +66,20 @@ STRESS FLAGS:
   --ring-slots <N>        in-process daemon ring capacity (default 64)
   --cf32-dir <DIR>        write each stream to DIR/<name>.cf32 and upload
                           through the .cf32 replay-file path
+  --chaos                 run the fault-injection matrix alongside the
+                          healthy fleet: truncated/garbage/oversized/slow
+                          headers, mid-stream disconnects and stalls,
+                          ragged cf32 write splits, kill-mid-round, and an
+                          injected decode-worker panic; fails unless the
+                          daemon survives with every stream terminated
+                          cleanly (in-process daemons get chaos deadlines
+                          and fault injection automatically; a --connect
+                          daemon needs --enable-fault-injection and short
+                          --header-timeout/--idle-timeout)
+  --expect-max-conns <N>  with --chaos --connect: the daemon's --max-conns
+                          value, so the harness can verify admission
+                          rejects (0 = skip; in-process chaos always
+                          checks admission on a side daemon)
   --quiet                 suppress the per-stream report lines
 
 SHARED FLAGS (the experiment parser):
@@ -96,6 +110,12 @@ pub struct StressOptions {
     /// Write each stream to `<dir>/<name>.cf32` and upload through the
     /// replay-file path instead of from memory.
     pub cf32_dir: Option<String>,
+    /// Run the deterministic fault-injection matrix alongside the healthy
+    /// fleet.
+    pub chaos: bool,
+    /// `--max-conns` of a `--connect` daemon, for the chaos admission
+    /// check (0 = skip the check against external daemons).
+    pub expect_max_conns: usize,
     /// Suppress per-stream report lines.
     pub quiet: bool,
     /// Base trial seed (stream `i` is seeded `seed + i`).
@@ -125,6 +145,8 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
     let mut pace = 1.0f64;
     let mut ring_slots = 64usize;
     let mut cf32_dir = None;
+    let mut chaos = false;
+    let mut expect_max_conns = 0usize;
     let mut quiet = false;
     // Stress defaults first, the user's flags after: a later flag wins in
     // the shared parser, so the user can still override any of these.
@@ -179,6 +201,11 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
                 ring_slots = v.parse().map_err(|_| bad(arg, &v))?;
             }
             "--cf32-dir" => cf32_dir = Some(value(&mut i, arg)?),
+            "--chaos" => chaos = true,
+            "--expect-max-conns" => {
+                let v = value(&mut i, arg)?;
+                expect_max_conns = v.parse().map_err(|_| bad(arg, &v))?;
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 return Err(CliError {
@@ -213,6 +240,8 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
         pace,
         ring_slots,
         cf32_dir,
+        chaos,
+        expect_max_conns,
         quiet,
         seed: s.seed,
         devices: s.devices,
@@ -225,21 +254,21 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
 }
 
 /// One synthesized ingest stream plus everything needed to score it.
-struct SynthStream {
-    name: String,
-    header: StreamHeader,
+pub(crate) struct SynthStream {
+    pub(crate) name: String,
+    pub(crate) header: StreamHeader,
     /// The f32-quantized samples — exactly what crosses the wire.
-    samples: Vec<Complex64>,
-    truth: Vec<StreamRoundTruth>,
-    bins: Vec<usize>,
-    round_samples: u64,
+    pub(crate) samples: Vec<Complex64>,
+    pub(crate) truth: Vec<StreamRoundTruth>,
+    pub(crate) bins: Vec<usize>,
+    pub(crate) round_samples: u64,
 }
 
 /// Synthesizes stream `i`: drains a [`RoundArrivalSource`] seeded
 /// `seed + i` into a buffer and quantizes it through the wire's f32
 /// precision, so the batch reference decodes the same numbers the daemon
 /// receives.
-fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize) -> SynthStream {
+pub(crate) fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize) -> SynthStream {
     let model = ChannelModel::pristine();
     let mut source = RoundArrivalSource::new(
         deployment,
@@ -275,6 +304,7 @@ fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize) -> SynthS
             bins: Some(bins.clone()),
             payload_bits: Some(opts.payload_bits),
             detection_floor: Some(floor),
+            fault_panic_span: None,
         },
         name,
         samples: protocol::quantize_cf32(&samples),
@@ -286,7 +316,7 @@ fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize) -> SynthS
 
 /// The per-stream gateway configuration — identical between the batch
 /// reference here and what the daemon assembles from the stream's header.
-fn stream_config(
+pub(crate) fn stream_config(
     deployment: &Deployment,
     stream: &SynthStream,
     opts: &StressOptions,
@@ -308,7 +338,7 @@ fn stream_config(
 /// `frame_name` is the daemon-assigned stream name the records must carry —
 /// a long-lived daemon uniquifies colliding names (`stress0#2`, …), so the
 /// reference is rendered under whatever name the `ready` record announced.
-fn batch_reference(
+pub(crate) fn batch_reference(
     deployment: &Deployment,
     stream: &SynthStream,
     opts: &StressOptions,
@@ -330,7 +360,7 @@ fn batch_reference(
 
 /// The daemon-assigned stream name from a transcript's `ready` record,
 /// falling back to the requested name.
-fn assigned_name(lines: &[String], requested: &str) -> String {
+pub(crate) fn assigned_name(lines: &[String], requested: &str) -> String {
     records_of(lines, "ready")
         .first()
         .and_then(|l| Json::parse(l).ok())
@@ -385,7 +415,7 @@ fn score_truth(stream: &SynthStream, packets: &[DecodedPacket]) -> TruthScore {
 }
 
 /// Extracts the records of `kind` from a stream's NDJSON transcript.
-fn records_of<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String> {
+pub(crate) fn records_of<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String> {
     lines
         .iter()
         .filter(|l| {
@@ -401,7 +431,7 @@ fn records_of<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String> {
 /// Validates the metrics document: header line, every line `name value` /
 /// `name{stream="…"} value`, and a positive `msamples_per_sec` for every
 /// stream in `names`. Returns the failures.
-fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
+pub(crate) fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
     let mut failures = Vec::new();
     if !doc.starts_with(netscatter_daemon::metrics::METRICS_HEADER) {
         failures.push("metrics document lacks the schema header".to_string());
@@ -434,8 +464,89 @@ fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
     failures
 }
 
+/// What scoring one healthy stream's transcript concluded.
+pub(crate) struct HealthyScore {
+    /// Everything that disqualifies the stream (empty = pass).
+    pub(crate) failures: Vec<String>,
+    /// The daemon-assigned (uniquified) stream name.
+    pub(crate) served_name: String,
+    /// The human per-stream report line.
+    pub(crate) report_line: String,
+}
+
+/// Scores one healthy stream's transcript: `frame` records bit-identical
+/// to the batch pipeline's decode of the same samples, exactly one
+/// complete `end` record, zero ring drops. Shared between the plain
+/// stress fleet and the chaos harness's healthy/ragged streams.
+pub(crate) fn score_healthy(
+    deployment: &Deployment,
+    stream: &SynthStream,
+    opts: &StressOptions,
+    lines: &[String],
+) -> HealthyScore {
+    let name = &stream.name;
+    let mut failures = Vec::new();
+    let served = assigned_name(lines, name);
+    let (packets, expected) = match batch_reference(deployment, stream, opts, &served) {
+        Ok(r) => r,
+        Err(e) => {
+            return HealthyScore {
+                failures: vec![format!("stream {name}: batch reference failed: {e}")],
+                served_name: served,
+                report_line: String::new(),
+            }
+        }
+    };
+    let got: Vec<String> = records_of(lines, "frame").into_iter().cloned().collect();
+    if got != expected {
+        failures.push(format!(
+            "stream {name}: daemon frames diverge from batch decode ({} vs {} frames)",
+            got.len(),
+            expected.len()
+        ));
+    }
+    let ends = records_of(lines, "end");
+    let (mut dropped, mut complete) = (u64::MAX, false);
+    if let Some(end) = ends.first().and_then(|l| Json::parse(l).ok()) {
+        dropped = end
+            .get("ring_dropped")
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        complete = end.get("complete") == Some(&Json::Bool(true));
+    }
+    if ends.len() != 1 || !complete {
+        failures.push(format!("stream {name}: missing or incomplete end record"));
+    }
+    if dropped != 0 {
+        failures.push(format!("stream {name}: {dropped} ring chunks dropped"));
+    }
+    let score = score_truth(stream, &packets);
+    let report_line = format!(
+        "stream {name}: {} samples, {} frames, rounds {}/{}, bit errors {}/{}, ring drops {}",
+        stream.samples.len(),
+        got.len(),
+        score.rounds_found,
+        score.rounds_sent,
+        score.bit_errors,
+        score.bits_sent,
+        if dropped == u64::MAX {
+            "?".to_string()
+        } else {
+            dropped.to_string()
+        },
+    );
+    HealthyScore {
+        failures,
+        served_name: served,
+        report_line,
+    }
+}
+
 /// Runs the stress harness; returns the process exit code (0 = pass).
 pub fn run_stress(opts: &StressOptions) -> i32 {
+    if opts.chaos {
+        return crate::chaos::run_chaos(opts);
+    }
     let deployment = Deployment::generate(
         DeploymentConfig::office(opts.devices.max(16)),
         &mut StdRng::seed_from_u64(DEPLOYMENT_SEED),
@@ -522,58 +633,18 @@ pub fn run_stress(opts: &StressOptions) -> i32 {
     let mut failures: Vec<String> = Vec::new();
     let mut served_names: Vec<String> = Vec::new();
     for (stream, transcript) in streams.iter().zip(&transcripts) {
-        let name = &stream.name;
         let lines = match transcript {
             Ok(lines) => lines,
             Err(e) => {
-                failures.push(format!("stream {name}: transport failed: {e}"));
+                failures.push(format!("stream {}: transport failed: {e}", stream.name));
                 continue;
             }
         };
-        let served = assigned_name(lines, name);
-        served_names.push(served.clone());
-        let (packets, expected) = match batch_reference(&deployment, stream, opts, &served) {
-            Ok(r) => r,
-            Err(e) => {
-                failures.push(format!("stream {name}: batch reference failed: {e}"));
-                continue;
-            }
-        };
-        let got: Vec<String> = records_of(lines, "frame").into_iter().cloned().collect();
-        if got != expected {
-            failures.push(format!(
-                "stream {name}: daemon frames diverge from batch decode ({} vs {} frames)",
-                got.len(),
-                expected.len()
-            ));
-        }
-        let ends = records_of(lines, "end");
-        let (mut dropped, mut complete) = (u64::MAX, false);
-        if let Some(end) = ends.first().and_then(|l| Json::parse(l).ok()) {
-            dropped = end
-                .get("ring_dropped")
-                .and_then(Json::as_u64)
-                .unwrap_or(u64::MAX);
-            complete = end.get("complete") == Some(&Json::Bool(true));
-        }
-        if ends.len() != 1 || !complete {
-            failures.push(format!("stream {name}: missing or incomplete end record"));
-        }
-        if dropped != 0 {
-            failures.push(format!("stream {name}: {dropped} ring chunks dropped"));
-        }
-        let score = score_truth(stream, &packets);
+        let scored = score_healthy(&deployment, stream, opts, lines);
+        served_names.push(scored.served_name);
+        failures.extend(scored.failures);
         if !opts.quiet {
-            println!(
-                "stream {name}: {} samples, {} frames, rounds {}/{}, bit errors {}/{}, ring drops {}",
-                stream.samples.len(),
-                got.len(),
-                score.rounds_found,
-                score.rounds_sent,
-                score.bit_errors,
-                score.bits_sent,
-                if dropped == u64::MAX { "?".to_string() } else { dropped.to_string() },
-            );
+            println!("{}", scored.report_line);
         }
     }
 
@@ -665,6 +736,18 @@ mod tests {
         // …and the user's flags override the stress defaults.
         let opts = parse_stress_args(&args(&["--devices", "4"])).unwrap();
         assert_eq!(opts.devices, 4);
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let opts = parse_stress_args(&args(&["--streams", "2"])).unwrap();
+        assert!(!opts.chaos, "chaos must be opt-in");
+        assert_eq!(opts.expect_max_conns, 0);
+        let opts = parse_stress_args(&args(&["--chaos", "--expect-max-conns", "16"])).unwrap();
+        assert!(opts.chaos);
+        assert_eq!(opts.expect_max_conns, 16);
+        let err = parse_stress_args(&args(&["--expect-max-conns", "none"])).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]
