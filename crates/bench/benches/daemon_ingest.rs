@@ -11,6 +11,14 @@
 //!
 //! The ring is sized to hold the whole benchmark stream so drop-oldest
 //! backpressure never fires and every iteration decodes the same frames.
+//!
+//! Bound: with the serve loop's 1 ms poll tick, `tcp_stream`'s
+//! per-connection serving overhead (accept + header + ready + teardown,
+//! everything that is not decode) is a few milliseconds. The previous
+//! 20 ms tick put a 20.5 ms floor under every connection — ~1000× the
+//! decode cost of this stream; the daemon test suite now pins the setup
+//! path under 15 ms so a tick regression fails fast instead of showing up
+//! only in this bench's trend line.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netscatter_daemon::client::{self, Pace};
@@ -57,6 +65,7 @@ fn daemon_ingest(c: &mut Criterion) {
         bins: Some(vec![64, 192]),
         payload_bits: Some(8),
         detection_floor: None,
+        channel: None,
         fault_panic_span: None,
     };
     group.bench_function("tcp_stream", |b| {

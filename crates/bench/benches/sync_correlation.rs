@@ -1,0 +1,98 @@
+//! Preamble sync correlation: the overlap-save FFT correlator the stream
+//! detector anchors packets with, next to the time-domain sliding dot
+//! product it replaced.
+//!
+//! * `sync_correlation/overlap_save` — full "valid"-mode correlation of a
+//!   16 384-sample stream against one n = 512 chirp template through
+//!   `Correlator::correlate_into` (8n = 4096-point segments, the geometry
+//!   `StreamDetector` uses).
+//! * `sync_correlation/shared_segment_8_templates` — the detector's actual
+//!   inner pattern: one `load_segment` forward transform amortized across
+//!   the 8 preamble templates (6 up + 2 down) via
+//!   `correlate_loaded_into`.
+//! * `sync_correlation/time_domain` — the direct O(N·n) sliding dot
+//!   product over the same stream and template: the pre-refactor cost
+//!   model the overlap-save core displaced from the hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netscatter_dsp::correlator::shift_template;
+use netscatter_dsp::{ChirpSynthesizer, Complex64, Correlator};
+use netscatter_phy::params::PhyProfile;
+use std::hint::black_box;
+
+/// A deterministic busy-looking stream: repeated shifted chirps over a
+/// slow phase ramp, long enough for several overlap-save segments.
+fn stream(synth: &ChirpSynthesizer, len: usize) -> Vec<Complex64> {
+    let up = synth.baseline_upchirp();
+    (0..len)
+        .map(|i| {
+            let chirp = up[i % up.len()];
+            let ramp = Complex64::cis(2.0 * std::f64::consts::PI * 0.37 * (i as f64) / len as f64);
+            chirp * ramp
+        })
+        .collect()
+}
+
+fn sync_correlation(c: &mut Criterion) {
+    let params = PhyProfile::default().modulation.chirp();
+    let synth = ChirpSynthesizer::new(params);
+    let n = params.num_bins();
+    let signal = stream(&synth, 16_384);
+    let mut correlator = Correlator::new(n, n * 8).expect("detector geometry");
+    let taps = shift_template(&synth, 0, false);
+    let template = correlator.template(&taps).expect("template fits");
+    // The preamble comb: 6 upchirp and 2 downchirp templates (one pair per
+    // assigned bin in the detector; 8 here matches the comb length).
+    let comb: Vec<_> = (0..8)
+        .map(|i| {
+            let taps = shift_template(&synth, i * 64, i >= 6);
+            correlator.template(&taps).expect("template fits")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("sync_correlation");
+    group.bench_function("overlap_save", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            correlator
+                .correlate_into(black_box(&signal), &template, &mut out)
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+    group.bench_function("shared_segment_8_templates", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            correlator
+                .load_segment(black_box(&signal[..correlator.fft_size()]))
+                .unwrap();
+            let mut lags = 0usize;
+            for template in &comb {
+                correlator
+                    .correlate_loaded_into(template, &mut out)
+                    .unwrap();
+                lags += out.len();
+            }
+            black_box(lags)
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("time_domain", |b| {
+        let mut out = Vec::with_capacity(signal.len() - n + 1);
+        b.iter(|| {
+            out.clear();
+            for lag in 0..=(signal.len() - n) {
+                let mut acc = Complex64::ZERO;
+                for (s, t) in signal[lag..lag + n].iter().zip(&taps) {
+                    acc += *s * t.conj();
+                }
+                out.push(acc);
+            }
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sync_correlation);
+criterion_main!(benches);

@@ -12,7 +12,13 @@
 //! netscatterd_rounds_decoded_total 40
 //! netscatterd_false_alarms_total 0
 //! netscatterd_ring_dropped_total 0
+//! netscatterd_aggregate_msamples_per_sec 23.84
+//! netscatterd_channels_total 2
+//! netscatterd_channel_streams{channel="0"} 1
+//! netscatterd_channel_samples_total{channel="0"} 500000
+//! netscatterd_channel_msamples_per_sec{channel="0"} 11.92
 //! netscatterd_stream_active{stream="door-ap"} 1
+//! netscatterd_stream_channel{stream="door-ap"} 0
 //! netscatterd_stream_samples_total{stream="door-ap"} 500000
 //! netscatterd_stream_msamples_per_sec{stream="door-ap"} 11.92
 //! netscatterd_stream_real_time_factor{stream="door-ap"} 23.84
@@ -23,7 +29,12 @@
 //!
 //! The per-stream block repeats for every stream ever registered;
 //! `netscatterd_stream_active` distinguishes live connections from
-//! finished ones.
+//! finished ones. Streams tagged with an RF `channel` in their ingest
+//! header roll up into one `netscatterd_channel_*` block per channel
+//! (untagged streams land on channel 0), and
+//! `netscatterd_aggregate_msamples_per_sec` sums every stream's
+//! last-recorded decode throughput — the sharded gateway's whole-AP
+//! processing rate.
 
 use crate::registry::{DaemonHealth, StreamRegistry};
 
@@ -59,12 +70,49 @@ pub fn render(registry: &StreamRegistry, health: &DaemonHealth, uptime_seconds: 
     let _ = writeln!(out, "netscatterd_idle_timeouts_total {}", h.idle_timeouts);
     let _ = writeln!(out, "netscatterd_serve_panics_total {}", h.serve_panics);
     let _ = writeln!(out, "netscatterd_worker_panics_total {}", h.worker_panics);
+    // Channel rollups: one block per RF channel the sharded gateway has
+    // served, plus the aggregate rate across all shards. Rates are each
+    // stream's last-recorded throughput (live streams report their current
+    // rate, finished streams their final one).
+    let aggregate_sps: f64 = streams.iter().map(|s| s.samples_per_sec).sum();
+    let _ = writeln!(
+        out,
+        "netscatterd_aggregate_msamples_per_sec {:.4}",
+        aggregate_sps / 1e6
+    );
+    let mut channels: Vec<usize> = streams.iter().map(|s| s.channel).collect();
+    channels.sort_unstable();
+    channels.dedup();
+    let _ = writeln!(out, "netscatterd_channels_total {}", channels.len());
+    for &channel in &channels {
+        let on_channel = || streams.iter().filter(move |s| s.channel == channel);
+        let _ = writeln!(
+            out,
+            "netscatterd_channel_streams{{channel=\"{channel}\"}} {}",
+            on_channel().count()
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_channel_samples_total{{channel=\"{channel}\"}} {}",
+            on_channel().map(|s| s.samples_in).sum::<u64>()
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_channel_msamples_per_sec{{channel=\"{channel}\"}} {:.4}",
+            on_channel().map(|s| s.samples_per_sec).sum::<f64>() / 1e6
+        );
+    }
     for s in &streams {
         let label = escape_label(&s.name);
         let _ = writeln!(
             out,
             "netscatterd_stream_active{{stream=\"{label}\"}} {}",
             u8::from(s.active)
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_channel{{stream=\"{label}\"}} {}",
+            s.channel
         );
         let _ = writeln!(
             out,
@@ -118,8 +166,9 @@ mod tests {
         a.record_ingest(1_000_000, 2);
         a.record_frame(3);
         a.record_rates(5e6, 10.0);
-        let b = reg.register("b");
+        let b = reg.register_on("b", 1);
         b.record_frame(0);
+        b.record_rates(2e6, 4.0);
         b.set_inactive();
         let health = DaemonHealth::new();
         DaemonHealth::bump(&health.conns_rejected);
@@ -138,8 +187,19 @@ mod tests {
         assert!(doc.contains("netscatterd_idle_timeouts_total 0"));
         assert!(doc.contains("netscatterd_serve_panics_total 0"));
         assert!(doc.contains("netscatterd_worker_panics_total 1"));
+        // Shard rollups: the aggregate sums both streams' rates, and each
+        // channel block sums only its own.
+        assert!(doc.contains("netscatterd_aggregate_msamples_per_sec 7.0000"));
+        assert!(doc.contains("netscatterd_channels_total 2"));
+        assert!(doc.contains("netscatterd_channel_streams{channel=\"0\"} 1"));
+        assert!(doc.contains("netscatterd_channel_samples_total{channel=\"0\"} 1000000"));
+        assert!(doc.contains("netscatterd_channel_msamples_per_sec{channel=\"0\"} 5.0000"));
+        assert!(doc.contains("netscatterd_channel_streams{channel=\"1\"} 1"));
+        assert!(doc.contains("netscatterd_channel_msamples_per_sec{channel=\"1\"} 2.0000"));
         assert!(doc.contains("netscatterd_stream_active{stream=\"a\"} 1"));
         assert!(doc.contains("netscatterd_stream_active{stream=\"b\"} 0"));
+        assert!(doc.contains("netscatterd_stream_channel{stream=\"a\"} 0"));
+        assert!(doc.contains("netscatterd_stream_channel{stream=\"b\"} 1"));
         assert!(doc.contains("netscatterd_stream_samples_total{stream=\"a\"} 1000000"));
         assert!(doc.contains("netscatterd_stream_msamples_per_sec{stream=\"a\"} 5.0000"));
         assert!(doc.contains("netscatterd_stream_real_time_factor{stream=\"a\"} 10.0000"));

@@ -86,6 +86,11 @@ pub struct StreamHeader {
     pub payload_bits: Option<usize>,
     /// Detection-floor override for the receiver's presence test.
     pub detection_floor: Option<f64>,
+    /// Which 500 kHz RF channel of the sharded multi-channel gateway this
+    /// stream carries. A daemon front-ends one engine shard per tagged
+    /// connection; metrics roll the shards up per channel and in
+    /// aggregate. `None` lands on channel 0.
+    pub channel: Option<usize>,
     /// Chaos hook: ask the engine's decode worker to panic on this span
     /// index. Honored only when the daemon runs with
     /// `--enable-fault-injection`; rejected with
@@ -103,6 +108,7 @@ impl StreamHeader {
             bins: None,
             payload_bits: None,
             detection_floor: None,
+            channel: None,
             fault_panic_span: None,
         }
     }
@@ -151,6 +157,15 @@ impl StreamHeader {
             ),
         };
         let detection_floor = doc.get("detection_floor").and_then(Json::as_f64);
+        let channel = match doc.get("channel") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_u64()
+                    .ok_or("header channel must be a non-negative integer")?
+                    as usize,
+            ),
+        };
         let fault_panic_span = match doc.get("fault_panic_span") {
             None => None,
             Some(value) => Some(
@@ -166,6 +181,7 @@ impl StreamHeader {
             bins,
             payload_bits,
             detection_floor,
+            channel,
             fault_panic_span,
         })
     }
@@ -190,6 +206,9 @@ impl StreamHeader {
         }
         if let Some(floor) = self.detection_floor {
             fields.push(("detection_floor", Json::Num(floor)));
+        }
+        if let Some(channel) = self.channel {
+            fields.push(("channel", Json::Num(channel as f64)));
         }
         if let Some(span) = self.fault_panic_span {
             fields.push(("fault_panic_span", Json::Num(span as f64)));
@@ -368,6 +387,7 @@ mod tests {
             bins: Some(vec![64, 192]),
             payload_bits: Some(8),
             detection_floor: Some(0.05),
+            channel: Some(2),
             fault_panic_span: Some(3),
         };
         assert_eq!(StreamHeader::parse(&full.to_json_line()).unwrap(), full);
@@ -386,6 +406,8 @@ mod tests {
             (r#"{"stream":"x","bins":7}"#, "array"),
             (r#"{"stream":"x","bins":[-1]}"#, "non-negative"),
             (r#"{"stream":"x","payload_bits":0}"#, "payload_bits"),
+            (r#"{"stream":"x","channel":-1}"#, "channel"),
+            (r#"{"stream":"x","channel":"left"}"#, "channel"),
             (
                 r#"{"stream":"x","fault_panic_span":-1}"#,
                 "fault_panic_span",

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct StreamStats {
     name: String,
+    channel: usize,
     active: AtomicBool,
     samples_in: AtomicU64,
     frames: AtomicU64,
@@ -25,9 +26,10 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
-    fn new(name: String) -> Self {
+    fn new(name: String, channel: usize) -> Self {
         Self {
             name,
+            channel,
             active: AtomicBool::new(true),
             samples_in: AtomicU64::new(0),
             frames: AtomicU64::new(0),
@@ -43,6 +45,11 @@ impl StreamStats {
     /// The registry-uniquified stream name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The RF channel this stream's engine shard serves.
+    pub fn channel(&self) -> usize {
+        self.channel
     }
 
     /// Marks the stream finished (its counters stay visible in metrics).
@@ -90,6 +97,7 @@ impl StreamStats {
     pub fn snapshot(&self) -> StreamSnapshot {
         StreamSnapshot {
             name: self.name.clone(),
+            channel: self.channel,
             active: self.is_active(),
             samples_in: self.samples_in.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
@@ -108,6 +116,8 @@ impl StreamStats {
 pub struct StreamSnapshot {
     /// Registry-uniquified stream name.
     pub name: String,
+    /// RF channel the stream's engine shard serves.
+    pub channel: usize,
     /// Whether the connection is still being served.
     pub active: bool,
     /// Samples accepted from the socket so far.
@@ -195,9 +205,17 @@ impl StreamRegistry {
         Self::default()
     }
 
-    /// Registers a stream under `name`, uniquifying collisions as
-    /// `name#2`, `name#3`, … so metrics lines stay unambiguous.
+    /// Registers a stream under `name` on channel 0 (the untagged
+    /// single-channel default).
     pub fn register(&self, name: &str) -> Arc<StreamStats> {
+        self.register_on(name, 0)
+    }
+
+    /// Registers a stream under `name` on `channel`, uniquifying name
+    /// collisions as `name#2`, `name#3`, … so metrics lines stay
+    /// unambiguous. The channel tag groups the stream into the per-channel
+    /// metric rollups.
+    pub fn register_on(&self, name: &str, channel: usize) -> Arc<StreamStats> {
         let mut streams = self.streams.lock().expect("registry lock");
         let mut unique = name.to_string();
         let mut n = 1usize;
@@ -205,7 +223,7 @@ impl StreamRegistry {
             n += 1;
             unique = format!("{name}#{n}");
         }
-        let stats = Arc::new(StreamStats::new(unique));
+        let stats = Arc::new(StreamStats::new(unique, channel));
         streams.push(stats.clone());
         stats
     }
@@ -256,6 +274,17 @@ mod tests {
     }
 
     #[test]
+    fn channel_tags_survive_into_snapshots() {
+        let reg = StreamRegistry::new();
+        assert_eq!(reg.register("plain").channel(), 0);
+        let tagged = reg.register_on("tagged", 3);
+        assert_eq!(tagged.channel(), 3);
+        let snaps = reg.snapshot();
+        assert_eq!(snaps[0].channel, 0);
+        assert_eq!(snaps[1].channel, 3);
+    }
+
+    #[test]
     fn snapshots_reflect_recorded_counters() {
         let reg = StreamRegistry::new();
         let s = reg.register("x");
@@ -270,6 +299,7 @@ mod tests {
             *snap,
             StreamSnapshot {
                 name: "x".to_string(),
+                channel: 0,
                 active: false,
                 samples_in: 1000,
                 frames: 2,

@@ -19,6 +19,7 @@ fn full_header() -> StreamHeader {
         bins: Some(vec![16, 64, 192]),
         payload_bits: Some(16),
         detection_floor: Some(1e-6),
+        channel: Some(1),
         fault_panic_span: Some(3),
     }
 }

@@ -83,6 +83,40 @@ fn terminal(lines: &[String]) -> (String, String) {
     (field("type"), field("code"))
 }
 
+/// Regression bound for the serve loop's poll tick: connect → header →
+/// `ready` must complete in single-digit milliseconds. The old 20 ms
+/// accept/read tick put a 20.5 ms floor under every connection (~1000× the
+/// decode cost of a short stream, per the `daemon_ingest` bench); with the
+/// 1 ms tick the median setup latency sits well under the 15 ms asserted
+/// here, so a tick regression fails this test instead of only drifting the
+/// bench trend line. Median of 5 connections, so one scheduler hiccup on a
+/// loaded CI box cannot flake the bound.
+#[test]
+fn connection_setup_latency_stays_under_the_poll_tick_bound() {
+    let daemon = Daemon::start(test_config()).unwrap();
+    let mut setup_ms: Vec<f64> = (0..5)
+        .map(|i| {
+            let start = Instant::now();
+            let mut sock = TcpStream::connect(daemon.ingest_addr()).expect("connect");
+            let mut line = header_for(&format!("lat{i}")).to_json_line();
+            line.push('\n');
+            sock.write_all(line.as_bytes()).unwrap();
+            let mut reader = BufReader::new(sock);
+            let mut ready = String::new();
+            reader.read_line(&mut ready).unwrap();
+            assert!(ready.contains("\"ready\""), "expected ready, got {ready}");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    setup_ms.sort_by(f64::total_cmp);
+    let median = setup_ms[setup_ms.len() / 2];
+    assert!(
+        median < 15.0,
+        "connection setup median {median:.1} ms — poll tick regressed? ({setup_ms:?})"
+    );
+    daemon.shutdown();
+}
+
 /// Regression for the unbounded header wait: a connection that sends
 /// nothing must be cut at the header deadline with a machine-readable
 /// `header_timeout` error — before the fix it parked a serving thread

@@ -68,6 +68,7 @@ fn header_for(name: &str) -> StreamHeader {
         bins: Some(BINS.to_vec()),
         payload_bits: Some(BITS.len()),
         detection_floor: None,
+        channel: None,
         fault_panic_span: None,
     }
 }
@@ -97,9 +98,12 @@ fn four_concurrent_tcp_streams_decode_bit_identically_to_batch() {
             std::thread::spawn(move || {
                 let name = format!("s{i}");
                 let samples = wire_stream(3 + i);
+                // Two streams per RF channel, so the metrics rollup has
+                // something to aggregate on each shard.
+                let mut header = header_for(&name);
+                header.channel = Some(i % 2);
                 let lines =
-                    client::stream_samples(ingest, &header_for(&name), &samples, Pace::RealTime)
-                        .unwrap();
+                    client::stream_samples(ingest, &header, &samples, Pace::RealTime).unwrap();
                 (name, samples, lines)
             })
         })
@@ -147,7 +151,34 @@ fn four_concurrent_tcp_streams_decode_bit_identically_to_batch() {
             .unwrap_or_else(|| panic!("metrics lack stream s{i}:\n{doc}"));
         let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
         assert!(value > 0.0, "s{i} throughput not positive: {line}");
+        assert!(
+            doc.contains(&format!(
+                "netscatterd_stream_channel{{stream=\"s{i}\"}} {}",
+                i % 2
+            )),
+            "metrics lack s{i}'s channel tag:\n{doc}"
+        );
     }
+    // The header-carried channel tags roll up per shard and in aggregate.
+    assert!(doc.contains("netscatterd_channels_total 2"));
+    for channel in 0..2 {
+        let prefix = format!("netscatterd_channel_msamples_per_sec{{channel=\"{channel}\"}} ");
+        let line = doc
+            .lines()
+            .find(|l| l.starts_with(&prefix))
+            .unwrap_or_else(|| panic!("metrics lack channel {channel}:\n{doc}"));
+        let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value > 0.0, "channel {channel} rate not positive: {line}");
+        assert!(doc.contains(&format!(
+            "netscatterd_channel_streams{{channel=\"{channel}\"}} 2"
+        )));
+    }
+    let aggregate = doc
+        .lines()
+        .find(|l| l.starts_with("netscatterd_aggregate_msamples_per_sec "))
+        .unwrap_or_else(|| panic!("metrics lack the aggregate rate:\n{doc}"));
+    let value: f64 = aggregate.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(value > 0.0, "aggregate rate not positive: {aggregate}");
     for line in doc.lines().skip(1) {
         let value = line.rsplit(' ').next().unwrap();
         assert!(

@@ -11,11 +11,30 @@
 //! 2. **Preamble sync** (`Syncing`) — around the gated onset, the packet
 //!    start is located by cross-correlating candidate offsets against the
 //!    *assigned-bin comb over the up/down preamble structure*: each
-//!    candidate's six upchirps are dechirped with the upchirp reference
-//!    and sampled at every assigned cyclic shift, its two downchirps are
-//!    dechirped with the downchirp reference and sampled at each shift's
-//!    mirrored bin, and the candidate maximizing the summed *per-device
-//!    minimum* of the two measurements wins. Each ingredient kills one
+//!    candidate's six upchirps are correlated against every assigned
+//!    cyclic-shift upchirp template, its two downchirps against each
+//!    shift's mirrored downchirp template, and the candidate maximizing
+//!    the summed *per-device minimum* of the two measurements wins.
+//!
+//!    The comb is evaluated through the FFT correlator core in
+//!    `netscatter_dsp::correlator`, picking per sync whichever of its two
+//!    mathematically identical fast paths costs fewer butterflies:
+//!
+//!    * **chirp bank** (`ChirpBank`): dechirp each candidate symbol and
+//!      take one critically-sampled `n`-point FFT — bin `b` *is* the
+//!      correlation against the shift-`b` template, so one transform
+//!      scores every device at once. Cheapest for populated combs
+//!      (`pad×` smaller than the old per-candidate padded transform).
+//!    * **overlap-save** (`Correlator`): one shared forward transform of
+//!      the sync span per segment, then a pointwise-multiply/inverse per
+//!      device template yields that correlation at *every* candidate lag
+//!      simultaneously. Cheapest for sparse populations, whose template
+//!      count is small while the bank would still pay per candidate.
+//!
+//!    Both paths compute exactly the quantity the original padded-spectrum
+//!    comb measured (the integer assigned bins of the dechirped symbols),
+//!    so detection decisions are unchanged; a test pins all three
+//!    evaluations against each other. Each comb ingredient kills one
 //!    ambiguity a blind dechirp-sharpness metric cannot resolve:
 //!
 //!    * the preamble repeats identical upchirps, so any window offset into
@@ -59,9 +78,9 @@
 //! output to the batch receiver bit for bit under randomized chunk sizes.
 
 use netscatter::receiver::ConcurrentReceiver;
+use netscatter_dsp::correlator::{shift_template, ChirpBank, Correlator, Template};
 use netscatter_dsp::fft::FftError;
-use netscatter_dsp::Complex64;
-use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace};
+use netscatter_dsp::{kernels, ChirpSynthesizer, Complex64};
 use netscatter_phy::params::PhyProfile;
 use netscatter_phy::preamble::{PREAMBLE_DOWNCHIRPS, PREAMBLE_SYMBOLS, PREAMBLE_UPCHIRPS};
 
@@ -186,20 +205,38 @@ enum State {
 #[derive(Debug, Clone)]
 pub struct StreamDetector {
     receiver: ConcurrentReceiver,
-    /// Demodulator for the assigned-bin sync comb.
-    demod: ConcurrentDemodulator,
-    /// Scratch buffers for the sync spectra.
-    ws: DemodWorkspace,
+    /// All-shifts chirp correlation (dechirp + critically-sampled FFT) —
+    /// the populated-comb sync path.
+    bank: ChirpBank,
+    /// Overlap-save per-template correlator — the sparse-comb sync path.
+    correlator: Correlator,
+    /// Chirp synthesizer the shift templates are built from (kept so the
+    /// templates can be built lazily — dense populations never need them).
+    synth: ChirpSynthesizer,
+    /// Per-device upchirp shift templates, in `bins` order. Built on the
+    /// first overlap-save sync; empty until then.
+    up_templates: Vec<Template>,
+    /// Per-device mirrored downchirp shift templates, in `bins` order.
+    down_templates: Vec<Template>,
+    /// Bank-output scratch (one symbol's correlations against all shifts).
+    spec: Vec<Complex64>,
+    /// Overlap-save correlation scratch (one template's lags per segment).
+    corr: Vec<Complex64>,
+    /// Comb values per sync candidate (scratch).
+    combs: Vec<f64>,
     /// The assigned cyclic shifts the sync comb samples.
     bins: Vec<usize>,
-    /// Per-bin upchirp-comb accumulator (sync scratch).
+    /// Per-candidate-per-bin upchirp-comb accumulator (sync scratch).
     up_acc: Vec<f64>,
-    /// Per-bin downchirp-comb accumulator (sync scratch).
+    /// Per-candidate-per-bin downchirp-comb accumulator (sync scratch).
     down_acc: Vec<f64>,
     payload_symbols: usize,
     energy_gate_factor: f64,
     /// Rolling stream window; `window[0]` is absolute index `window_start`.
     window: Vec<Complex64>,
+    /// Per-sample `|x|²` aligned with `window` (gate/anchor scratch, kept
+    /// in f64 so gate decisions are bit-identical to the scalar loop).
+    powers: Vec<f64>,
     window_start: u64,
     /// Next absolute sample index the energy gate will examine.
     scan: u64,
@@ -236,19 +273,29 @@ impl StreamDetector {
         if let Some(floor) = config.detection_floor_fraction {
             receiver.detection_floor_fraction = floor;
         }
+        let params = config.profile.modulation.chirp();
+        let n = params.num_bins();
+        // The overlap-save segment size matches the receiver's padded
+        // transform (8n at the default zero padding): a comfortable
+        // lags-per-segment hop without outsized template spectra.
+        let correlator = Correlator::new(n, n * 8)?;
         Ok(Self {
             receiver,
-            demod: ConcurrentDemodulator::new(
-                config.profile.modulation.chirp(),
-                config.profile.zero_padding,
-            )?,
-            ws: DemodWorkspace::new(),
+            bank: ChirpBank::new(params)?,
+            correlator,
+            synth: ChirpSynthesizer::new(params),
+            up_templates: Vec::new(),
+            down_templates: Vec::new(),
+            spec: Vec::new(),
+            corr: Vec::new(),
+            combs: Vec::new(),
             bins: config.assigned_bins.clone(),
             up_acc: Vec::new(),
             down_acc: Vec::new(),
             payload_symbols: config.payload_symbols,
             energy_gate_factor: netscatter_dsp::units::db_to_linear(config.energy_gate_db),
             window: Vec::new(),
+            powers: Vec::new(),
             window_start: 0,
             scan: 0,
             sliding_sum: 0.0,
@@ -291,6 +338,10 @@ impl StreamDetector {
     /// as the stitched window allows, pushing completed packets into `out`.
     pub fn push(&mut self, chunk: &[Complex64], out: &mut Vec<PacketSpan>) {
         self.window.extend_from_slice(chunk);
+        // Keep the per-sample power buffer aligned with the window; the
+        // gate and anchor read from it instead of recomputing `norm_sqr`
+        // sample by sample (the values are bit-identical).
+        kernels::power_append(chunk, &mut self.powers);
         self.advance(out);
         self.trim();
     }
@@ -309,9 +360,10 @@ impl StreamDetector {
         self.window_start + self.window.len() as u64
     }
 
-    /// The sample at absolute index `abs` (must be within the window).
-    fn sample(&self, abs: u64) -> Complex64 {
-        self.window[(abs - self.window_start) as usize]
+    /// The power `|x|²` of the sample at absolute index `abs` (must be
+    /// within the window).
+    fn power(&self, abs: u64) -> f64 {
+        self.powers[(abs - self.window_start) as usize]
     }
 
     /// The current energy gate (linear power).
@@ -330,12 +382,11 @@ impl StreamDetector {
                 State::Hunting => {
                     let mut gated = false;
                     while self.scan < self.window_end() {
-                        let p = self.sample(self.scan).norm_sqr();
+                        let p = self.power(self.scan);
                         self.sliding_sum += p;
                         self.run_len += 1;
                         if self.run_len > GATE_WINDOW {
-                            self.sliding_sum -=
-                                self.sample(self.scan - GATE_WINDOW as u64).norm_sqr();
+                            self.sliding_sum -= self.power(self.scan - GATE_WINDOW as u64);
                             self.run_len = GATE_WINDOW;
                         }
                         self.scan += 1;
@@ -392,19 +443,14 @@ impl StreamDetector {
                     } else {
                         (lo, hi)
                     };
-                    let combs: Vec<f64> = (comb_lo..=comb_hi)
-                        .map(|candidate| {
-                            let at = (candidate - self.window_start) as usize;
-                            self.sync_metric(at, n)
-                        })
-                        .collect();
-                    let best_comb = combs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    self.compute_combs(comb_lo, comb_hi, n);
+                    let best_comb = self.combs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                     // Stage two: among the shortlisted (possibly
                     // lattice-ambiguous) candidates, the one nearest the
                     // anchor wins; ties keep the earliest offset.
                     let mut best = comb_lo;
                     let mut best_distance = u64::MAX;
-                    for (i, &comb) in combs.iter().enumerate() {
+                    for (i, &comb) in self.combs.iter().enumerate() {
                         if comb < best_comb * COMB_SHORTLIST_FRACTION {
                             continue;
                         }
@@ -441,41 +487,193 @@ impl StreamDetector {
         }
     }
 
-    /// The up/down consistency comb for one candidate packet start at
-    /// window index `at`: average assigned-bin power over the six
-    /// up-dechirped upchirps, average mirrored-bin power over the two
-    /// down-dechirped downchirps, summed per-device minimum of the two.
-    /// See the module docs for why both combs are needed.
-    fn sync_metric(&mut self, at: usize, n: usize) -> f64 {
+    /// Fills `self.combs` with the up/down consistency comb for every
+    /// candidate packet start in `comb_lo..=comb_hi`: average assigned-bin
+    /// correlation power over the six upchirps, average mirrored-bin power
+    /// over the two downchirps, summed per-device minimum of the two. See
+    /// the module docs for why both combs are needed.
+    ///
+    /// Picks whichever correlator path does less transform work for this
+    /// candidate count and population size (`size · log₂ size` butterfly
+    /// model); both compute identical quantities.
+    fn compute_combs(&mut self, comb_lo: u64, comb_hi: u64, n: usize) {
+        let candidates = (comb_hi - comb_lo + 1) as usize;
+        let devices = self.bins.len();
+        let m = self.correlator.fft_size();
+        let hop = self.correlator.lags_per_segment();
+        // Overlap-save needs every lag in [0, candidates + 7n); each
+        // segment costs one shared forward plus one inverse per template
+        // (up and down, hence 2 per device).
+        let total_lags = candidates + (PREAMBLE_SYMBOLS - 1) * n;
+        let segments = total_lags.div_ceil(hop);
+        let os_work = segments * (1 + 2 * devices) * m * m.trailing_zeros() as usize;
+        // The bank pays one n-point transform per candidate per preamble
+        // symbol, scoring all devices at once.
+        let bank_work = candidates * PREAMBLE_SYMBOLS * n * n.trailing_zeros() as usize;
+        if devices > 0 && os_work < bank_work {
+            self.build_templates();
+            self.combs_overlap_save(comb_lo, candidates, n);
+        } else {
+            self.combs_bank(comb_lo, candidates, n);
+        }
+    }
+
+    /// Builds the per-device shift templates on first overlap-save use
+    /// (dense populations always take the bank path and never pay for
+    /// them).
+    fn build_templates(&mut self) {
+        if self.up_templates.len() == self.bins.len() {
+            return;
+        }
+        let n = self.synth.params().num_bins();
+        self.up_templates.clear();
+        self.down_templates.clear();
+        for &bin in &self.bins {
+            let up = shift_template(&self.synth, bin, false);
+            // A shift-`a` downchirp dechirps to the mirrored bin
+            // `(n − a) mod n`, so the downchirp template carries that shift.
+            let down = shift_template(&self.synth, (n - bin % n) % n, true);
+            self.up_templates.push(
+                self.correlator
+                    .template(&up)
+                    .expect("shift templates match the correlator geometry"),
+            );
+            self.down_templates.push(
+                self.correlator
+                    .template(&down)
+                    .expect("shift templates match the correlator geometry"),
+            );
+        }
+    }
+
+    /// Chirp-bank comb evaluation: per candidate and preamble symbol, one
+    /// critically-sampled FFT of the dechirped symbol scores every assigned
+    /// shift at once.
+    fn combs_bank(&mut self, comb_lo: u64, candidates: usize, n: usize) {
+        let devices = self.bins.len();
+        self.combs.clear();
+        for c in 0..candidates {
+            let at = (comb_lo - self.window_start) as usize + c;
+            self.up_acc.clear();
+            self.up_acc.resize(devices, 0.0);
+            self.down_acc.clear();
+            self.down_acc.resize(devices, 0.0);
+            for s in 0..PREAMBLE_UPCHIRPS {
+                self.bank
+                    .upchirp_bank_into(&self.window[at + s * n..at + (s + 1) * n], &mut self.spec)
+                    .expect("sync window is one symbol long");
+                for (acc, &bin) in self.up_acc.iter_mut().zip(&self.bins) {
+                    *acc += self.spec[bin].norm_sqr();
+                }
+            }
+            for s in 0..PREAMBLE_DOWNCHIRPS {
+                let o = at + (PREAMBLE_UPCHIRPS + s) * n;
+                self.bank
+                    .downchirp_bank_into(&self.window[o..o + n], &mut self.spec)
+                    .expect("sync window is one symbol long");
+                for (acc, &bin) in self.down_acc.iter_mut().zip(&self.bins) {
+                    // A shift-`a` downchirp dechirps to the mirrored bin
+                    // `(n − a) mod n`.
+                    *acc += self.spec[(n - bin) % n].norm_sqr();
+                }
+            }
+            self.combs.push(Self::comb_of(&self.up_acc, &self.down_acc));
+        }
+    }
+
+    /// Overlap-save comb evaluation: one shared forward transform of the
+    /// sync span per segment, then each device's up/down template is
+    /// correlated across *all* candidate lags with a single
+    /// multiply-inverse pass.
+    fn combs_overlap_save(&mut self, comb_lo: u64, candidates: usize, n: usize) {
+        let devices = self.bins.len();
+        let at = (comb_lo - self.window_start) as usize;
+        let span = candidates - 1 + PREAMBLE_SYMBOLS * n;
+        let signal = &self.window[at..at + span];
+        let total_lags = span - n + 1;
+        let hop = self.correlator.lags_per_segment();
+        // Flat [candidate][device] accumulators.
         self.up_acc.clear();
-        self.up_acc.resize(self.bins.len(), 0.0);
+        self.up_acc.resize(candidates * devices, 0.0);
         self.down_acc.clear();
-        self.down_acc.resize(self.bins.len(), 0.0);
-        for s in 0..PREAMBLE_UPCHIRPS {
-            let spec = self
-                .demod
-                .padded_spectrum_into(&self.window[at + s * n..at + (s + 1) * n], &mut self.ws)
-                .expect("sync window is one symbol long");
-            for (acc, &bin) in self.up_acc.iter_mut().zip(&self.bins) {
-                *acc += self.demod.device_power_at(spec, bin as f64, 0.0).0;
+        self.down_acc.resize(candidates * devices, 0.0);
+        let mut produced = 0;
+        while produced < total_lags {
+            let seg_end = (produced + self.correlator.fft_size()).min(span);
+            self.correlator
+                .load_segment(&signal[produced..seg_end])
+                .expect("sync segment fits the correlator transform");
+            let lag_hi = (produced + hop).min(total_lags);
+            for (d, template) in self.up_templates.iter().enumerate() {
+                self.correlator
+                    .correlate_loaded_into(template, &mut self.corr)
+                    .expect("sync templates match the correlator geometry");
+                for s in 0..PREAMBLE_UPCHIRPS {
+                    Self::accumulate_lattice(
+                        &self.corr,
+                        &mut self.up_acc,
+                        s * n,
+                        produced,
+                        lag_hi,
+                        candidates,
+                        devices,
+                        d,
+                    );
+                }
             }
-        }
-        for s in 0..PREAMBLE_DOWNCHIRPS {
-            let o = at + (PREAMBLE_UPCHIRPS + s) * n;
-            let spec = self
-                .demod
-                .padded_spectrum_downchirp_into(&self.window[o..o + n], &mut self.ws)
-                .expect("sync window is one symbol long");
-            for (acc, &bin) in self.down_acc.iter_mut().zip(&self.bins) {
-                // A shift-`a` downchirp dechirps to the mirrored bin
-                // `(n − a) mod n`.
-                let mirrored = ((n - bin) % n) as f64;
-                *acc += self.demod.device_power_at(spec, mirrored, 0.0).0;
+            for (d, template) in self.down_templates.iter().enumerate() {
+                self.correlator
+                    .correlate_loaded_into(template, &mut self.corr)
+                    .expect("sync templates match the correlator geometry");
+                for s in 0..PREAMBLE_DOWNCHIRPS {
+                    Self::accumulate_lattice(
+                        &self.corr,
+                        &mut self.down_acc,
+                        (PREAMBLE_UPCHIRPS + s) * n,
+                        produced,
+                        lag_hi,
+                        candidates,
+                        devices,
+                        d,
+                    );
+                }
             }
+            produced = lag_hi;
         }
-        self.up_acc
-            .iter()
-            .zip(&self.down_acc)
+        self.combs.clear();
+        for c in 0..candidates {
+            self.combs.push(Self::comb_of(
+                &self.up_acc[c * devices..(c + 1) * devices],
+                &self.down_acc[c * devices..(c + 1) * devices],
+            ));
+        }
+    }
+
+    /// Adds `|corr[candidate + offset]|²` into `acc[candidate·devices + d]`
+    /// for every candidate whose lattice lag falls inside the current
+    /// segment's lag range `[seg_lo, seg_hi)`.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_lattice(
+        corr: &[Complex64],
+        acc: &mut [f64],
+        offset: usize,
+        seg_lo: usize,
+        seg_hi: usize,
+        candidates: usize,
+        devices: usize,
+        d: usize,
+    ) {
+        let first = seg_lo.saturating_sub(offset);
+        let last = seg_hi.saturating_sub(offset).min(candidates);
+        for c in first..last {
+            acc[c * devices + d] += corr[c + offset - seg_lo].norm_sqr();
+        }
+    }
+
+    /// The summed per-device minimum of the normalized up/down comb powers.
+    fn comb_of(up: &[f64], down: &[f64]) -> f64 {
+        up.iter()
+            .zip(down)
             .map(|(&up, &down)| {
                 (up / PREAMBLE_UPCHIRPS as f64).min(down / PREAMBLE_DOWNCHIRPS as f64)
             })
@@ -491,7 +689,7 @@ impl StreamDetector {
         let threshold = (self.noise_floor * netscatter_dsp::units::db_to_linear(EDGE_ANCHOR_DB))
             .max(GATE_EPSILON);
         (lo..=hi)
-            .find(|&abs| self.sample(abs).norm_sqr() > threshold)
+            .find(|&abs| self.power(abs) > threshold)
             .unwrap_or(hi)
     }
 
@@ -507,6 +705,7 @@ impl StreamDetector {
         if hold > self.window_start {
             let drop = (hold - self.window_start) as usize;
             self.window.drain(..drop);
+            self.powers.drain(..drop);
             self.window_start = hold;
         }
     }
@@ -602,6 +801,125 @@ mod tests {
             "window grew to {} samples",
             det.window.len()
         );
+    }
+
+    #[test]
+    fn sparse_population_takes_overlap_save_and_stays_sample_exact() {
+        // One device: the transform-work model must pick overlap-save, and
+        // detection must stay sample-exact on that path.
+        let bits = [true, false, true, true];
+        let cfg = config(vec![37], bits.len());
+        let mut det = StreamDetector::new(&cfg).unwrap();
+        // The anchored sync range holds 2·SYNC_SLACK + 1 candidates; one
+        // device correlates cheaper via overlap-save there.
+        let n = cfg.profile.modulation.num_bins();
+        let candidates = 2 * SYNC_SLACK + 1;
+        let hop = det.correlator.lags_per_segment();
+        let total_lags = candidates + (PREAMBLE_SYMBOLS - 1) * n;
+        let segments = total_lags.div_ceil(hop);
+        let m = det.correlator.fft_size();
+        let os_work = segments * 3 * m * m.trailing_zeros() as usize;
+        let bank_work = candidates * PREAMBLE_SYMBOLS * n * n.trailing_zeros() as usize;
+        assert!(
+            os_work < bank_work,
+            "one-device sync should favor overlap-save ({os_work} vs {bank_work})"
+        );
+        let mut stream = vec![Complex64::ZERO; 901];
+        stream.extend(packet(37, &bits));
+        stream.extend(vec![Complex64::ZERO; 200]);
+        let mut spans = Vec::new();
+        det.push(&stream, &mut spans);
+        det.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_sample, 901);
+    }
+
+    #[test]
+    fn fast_comb_paths_agree_with_padded_spectrum_reference() {
+        use netscatter_phy::distributed::{ConcurrentDemodulator, DemodWorkspace};
+
+        // Three devices, impaired superposed packet at a known offset: the
+        // bank path, the overlap-save path, and the original padded-
+        // spectrum comb must agree on every candidate within fp tolerance.
+        let profile = PhyProfile::default();
+        let params = profile.modulation.chirp();
+        let n = params.num_bins();
+        let bins = vec![100usize, 102, 250];
+        let cfg = config(bins.clone(), 4);
+        let mut det = StreamDetector::new(&cfg).unwrap();
+
+        let offset = 300usize;
+        let mut stream = vec![Complex64::ZERO; offset];
+        let mut body = vec![Complex64::ZERO; cfg.packet_samples()];
+        for (i, &bin) in bins.iter().enumerate() {
+            let pkt = PreambleBuilder::new(params, bin).build(
+                0.05 * i as f64,
+                30.0 * i as f64,
+                0.6 + 0.2 * i as f64,
+            );
+            for (acc, s) in body.iter_mut().zip(pkt.iter()) {
+                *acc += *s;
+            }
+        }
+        stream.extend_from_slice(&body);
+        stream.extend(vec![Complex64::ZERO; 64]);
+
+        // Load the stream as the detector's window directly.
+        det.window = stream.clone();
+        netscatter_dsp::kernels::power_into(&det.window, &mut det.powers);
+        det.window_start = 0;
+
+        let comb_lo = offset as u64 - 5;
+        let candidates = 11usize;
+        det.combs_bank(comb_lo, candidates, n);
+        let bank = det.combs.clone();
+        det.build_templates();
+        det.combs_overlap_save(comb_lo, candidates, n);
+        let os = det.combs.clone();
+
+        // Reference: the original per-candidate padded-spectrum comb.
+        let demod = ConcurrentDemodulator::new(params, profile.zero_padding).unwrap();
+        let mut ws = DemodWorkspace::new();
+        let mut reference = Vec::new();
+        for c in 0..candidates {
+            let at = comb_lo as usize + c;
+            let mut up = vec![0.0f64; bins.len()];
+            let mut down = vec![0.0f64; bins.len()];
+            for s in 0..PREAMBLE_UPCHIRPS {
+                let spec = demod
+                    .padded_spectrum_into(&stream[at + s * n..at + (s + 1) * n], &mut ws)
+                    .unwrap();
+                for (acc, &bin) in up.iter_mut().zip(&bins) {
+                    *acc += demod.device_power_at(spec, bin as f64, 0.0).0;
+                }
+            }
+            for s in 0..PREAMBLE_DOWNCHIRPS {
+                let o = at + (PREAMBLE_UPCHIRPS + s) * n;
+                let spec = demod
+                    .padded_spectrum_downchirp_into(&stream[o..o + n], &mut ws)
+                    .unwrap();
+                for (acc, &bin) in down.iter_mut().zip(&bins) {
+                    *acc += demod.device_power_at(spec, ((n - bin) % n) as f64, 0.0).0;
+                }
+            }
+            reference.push(StreamDetector::comb_of(&up, &down));
+        }
+
+        let scale = reference.iter().cloned().fold(0.0f64, f64::max);
+        for c in 0..candidates {
+            assert!(
+                (bank[c] - reference[c]).abs() < 1e-9 * scale,
+                "bank comb {c}: {} != {}",
+                bank[c],
+                reference[c]
+            );
+            assert!(
+                (os[c] - reference[c]).abs() < 1e-9 * scale,
+                "overlap-save comb {c}: {} != {}",
+                os[c],
+                reference[c]
+            );
+        }
     }
 
     #[test]

@@ -83,8 +83,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Why a supervised engine failed: a decode error, or a panic in one of
-/// its threads (converted by the supervision layer — never re-raised).
+/// Why a supervised engine failed: a decode error, a panic in one of its
+/// threads (converted by the supervision layer — never re-raised), or an
+/// invalid engine configuration.
 #[derive(Debug)]
 pub enum EngineError {
     /// The decode path reported an FFT error.
@@ -92,6 +93,8 @@ pub enum EngineError {
     /// A supervised thread panicked; the engine was torn down cleanly
     /// (every other thread joined) and the partial report preserved.
     WorkerPanic(Box<PanicReport>),
+    /// The engine configuration is invalid (e.g. zero channels).
+    Config(String),
 }
 
 /// The details of a supervised panic, including everything the engine had
@@ -114,6 +117,7 @@ impl std::fmt::Display for EngineError {
             EngineError::WorkerPanic(p) => {
                 write!(f, "{} thread panicked: {}", p.role, p.message)
             }
+            EngineError::Config(message) => write!(f, "invalid engine configuration: {message}"),
         }
     }
 }
@@ -459,6 +463,159 @@ fn detection_loop(
     }
 }
 
+/// A sharded gateway: `K` independent 500 kHz channels, each served by its
+/// own [`StreamEngine`] (one detector thread plus a private decode worker
+/// pool), under one shared thread budget.
+///
+/// NetScatter's gateway listens to several adjacent 500 kHz channels at
+/// once (§5: three channels triple the device population). The channels
+/// are fully independent at the PHY level — separate detectors, separate
+/// noise-floor estimates, separate packet sequence numbers — so the shard
+/// boundary is exactly the channel boundary and no cross-channel
+/// synchronization exists anywhere on the hot path.
+///
+/// **Thread budget.** `config.workers` is interpreted as the *total*
+/// decode-worker budget across all channels (`0` resolves to the available
+/// parallelism, as for a single engine). Each channel receives its fair
+/// share, never less than one worker; the first `budget % channels`
+/// channels absorb the remainder. Each channel additionally owns its
+/// detection thread, mirroring how a multi-channel SDR frontend dedicates
+/// a DDC per channel.
+///
+/// The lifecycle mirrors [`StreamEngine`]: `spawn` → `feed`/`drain` (now
+/// channel-indexed) → `shutdown`, which returns per-channel
+/// [`GatewayReport`]s plus aggregate counters via
+/// [`crate::pipeline::MultiChannelReport`].
+pub struct MultiChannelEngine {
+    engines: Vec<StreamEngine>,
+    sample_rate_hz: f64,
+    started: Instant,
+}
+
+impl MultiChannelEngine {
+    /// Spawns `channels` independent per-channel engines for `config`,
+    /// splitting the worker budget as described on the type.
+    ///
+    /// Returns [`EngineError::Config`] when `channels` is zero.
+    pub fn spawn(
+        config: &GatewayConfig,
+        channels: usize,
+        sample_rate_hz: f64,
+    ) -> Result<Self, EngineError> {
+        if channels == 0 {
+            return Err(EngineError::Config(
+                "channel count must be at least 1".to_string(),
+            ));
+        }
+        let budget = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let mut engines = Vec::with_capacity(channels);
+        for channel in 0..channels {
+            let mut per_channel = config.clone();
+            per_channel.workers =
+                (budget / channels + usize::from(channel < budget % channels)).max(1);
+            engines.push(StreamEngine::spawn(&per_channel, sample_rate_hz)?);
+        }
+        Ok(Self {
+            engines,
+            sample_rate_hz,
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of channels this engine was spawned with (≥ 1).
+    pub fn channels(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The per-channel ingest sample rate the engine was spawned with.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Decode workers serving `channel` (the shard's slice of the budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range; validate against
+    /// [`Self::channels`] when the index comes from the wire.
+    pub fn channel_workers(&self, channel: usize) -> usize {
+        self.engines[channel].workers.len()
+    }
+
+    /// Feeds one chunk into `channel`'s ring, applying that channel's
+    /// overflow policy. Returns how many chunks the push displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range; validate against
+    /// [`Self::channels`] when the index comes from the wire.
+    pub fn feed(&mut self, channel: usize, samples: &[Complex64]) -> Result<u64, EngineClosed> {
+        self.engines[channel].feed(samples)
+    }
+
+    /// Collects `channel`'s packets decoded so far, in that channel's
+    /// stream order, without blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn drain(&mut self, channel: usize) -> Vec<DecodedPacket> {
+        self.engines[channel].drain()
+    }
+
+    /// Drains every channel, tagging each packet with its channel index.
+    /// Within one channel the packets are in stream order.
+    pub fn drain_all(&mut self) -> Vec<(usize, DecodedPacket)> {
+        let mut out = Vec::new();
+        for (channel, engine) in self.engines.iter_mut().enumerate() {
+            out.extend(engine.drain().into_iter().map(|p| (channel, p)));
+        }
+        out
+    }
+
+    /// Total samples consumed from all channel rings so far.
+    pub fn samples_processed(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(StreamEngine::samples_processed)
+            .sum()
+    }
+
+    /// Shuts every channel down (closing rings, joining all detection and
+    /// worker threads) and returns the per-channel reports plus aggregate
+    /// counters. The first channel error — a supervised panic or decode
+    /// error — is returned after *all* channels are torn down, so no
+    /// thread outlives the call.
+    pub fn shutdown(self) -> Result<crate::pipeline::MultiChannelReport, EngineError> {
+        let mut reports = Vec::with_capacity(self.engines.len());
+        let mut first_error = None;
+        for engine in self.engines {
+            match engine.shutdown() {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(crate::pipeline::MultiChannelReport::new(
+            reports,
+            self.started.elapsed().as_secs_f64().max(1e-12),
+            self.sample_rate_hz,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,6 +771,103 @@ mod tests {
             }
         }
         drop(engine); // must not propagate the worker's panic
+    }
+
+    #[test]
+    fn multi_channel_rejects_zero_channels() {
+        let cfg = GatewayConfig::new(PhyProfile::default(), vec![0], 4);
+        match MultiChannelEngine::spawn(&cfg, 0, 500e3) {
+            Err(EngineError::Config(message)) => {
+                assert!(message.contains("at least 1"), "{message}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn multi_channel_splits_the_worker_budget_fairly() {
+        let cfg = GatewayConfig {
+            workers: 5,
+            ..GatewayConfig::new(PhyProfile::default(), vec![0], 4)
+        };
+        let engine = MultiChannelEngine::spawn(&cfg, 3, 500e3).unwrap();
+        // 5 workers over 3 channels: 2 + 2 + 1, never less than one.
+        assert_eq!(engine.channels(), 3);
+        let split: Vec<usize> = (0..3).map(|c| engine.channel_workers(c)).collect();
+        assert_eq!(split, vec![2, 2, 1]);
+        assert!(engine.shutdown().is_ok());
+
+        // More channels than budgeted workers: every channel still gets one.
+        let engine = MultiChannelEngine::spawn(&cfg, 8, 500e3).unwrap();
+        assert!((0..8).all(|c| engine.channel_workers(c) == 1));
+        assert!(engine.shutdown().is_ok());
+    }
+
+    #[test]
+    fn channels_are_independent_and_reports_stay_per_channel() {
+        // Different packet populations per channel: each channel's report
+        // must carry exactly its own packets with its own sequence numbers,
+        // with nothing leaking across the shard boundary.
+        let bits = vec![true, false, true, true];
+        let cfg = GatewayConfig {
+            workers: 2,
+            ..GatewayConfig::new(PhyProfile::default(), vec![64, 192], bits.len())
+        };
+        let ch0 = stream_with_packets(64, &bits, 3);
+        let ch1 = stream_with_packets(192, &bits, 1);
+        let mut engine = MultiChannelEngine::spawn(&cfg, 2, 500e3).unwrap();
+        for chunk in ch0.chunks(900) {
+            engine.feed(0, chunk).unwrap();
+        }
+        for chunk in ch1.chunks(700) {
+            engine.feed(1, chunk).unwrap();
+        }
+        let report = engine.shutdown().unwrap();
+        assert_eq!(report.channels.len(), 2);
+        assert_eq!(report.channels[0].packets.len(), 3);
+        assert_eq!(report.channels[1].packets.len(), 1);
+        for (i, p) in report.channels[0].packets.iter().enumerate() {
+            assert_eq!(p.index, i, "per-channel sequence numbers restart at 0");
+            assert_eq!(p.round.bits_for(64).unwrap(), &bits[..]);
+        }
+        assert_eq!(
+            report.channels[1].packets[0].round.bits_for(192).unwrap(),
+            &bits[..]
+        );
+        assert_eq!(
+            report.samples_in,
+            (ch0.len() + ch1.len()) as u64,
+            "aggregate counters sum the shards"
+        );
+        assert_eq!(report.total_packets(), 4);
+        assert!(report.aggregate_samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn multi_channel_worker_panic_still_tears_down_every_channel() {
+        // Channel 0's worker detonates on its first span; channel 1 is
+        // healthy. Shutdown must join *all* threads across *all* channels
+        // before surfacing the panic as a typed error.
+        let bits = vec![true, false, true, false];
+        let cfg = GatewayConfig {
+            workers: 2,
+            fault_panic_span: Some(0),
+            ..GatewayConfig::new(PhyProfile::default(), vec![64], bits.len())
+        };
+        let stream = stream_with_packets(64, &bits, 1);
+        let mut engine = MultiChannelEngine::spawn(&cfg, 2, 500e3).unwrap();
+        for chunk in stream.chunks(800) {
+            let _ = engine.feed(0, chunk);
+        }
+        // Channel 1 sees only silence (no span, so its fault hook never fires).
+        engine.feed(1, &vec![Complex64::ZERO; 4096]).unwrap();
+        match engine.shutdown() {
+            Err(EngineError::WorkerPanic(p)) => {
+                assert_eq!(p.role, "decode-worker");
+                assert!(p.message.contains("injected decode fault"), "{}", p.message);
+            }
+            other => panic!("expected WorkerPanic, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

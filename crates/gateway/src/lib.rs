@@ -34,6 +34,10 @@ pub mod ring;
 pub mod source;
 
 pub use detect::{GatewayConfig, PacketSpan, StreamDetector};
-pub use engine::{EngineClosed, EngineError, OverflowPolicy, PanicReport, StreamEngine};
-pub use pipeline::{run_stream, DecodedPacket, GatewayReport, StreamGateway};
-pub use source::{Cf32FileSource, ReplaySource, StreamSource};
+pub use engine::{
+    EngineClosed, EngineError, MultiChannelEngine, OverflowPolicy, PanicReport, StreamEngine,
+};
+pub use pipeline::{
+    run_multi_stream, run_stream, DecodedPacket, GatewayReport, MultiChannelReport, StreamGateway,
+};
+pub use source::{Cf32FileSource, PacedSource, ReplaySource, StreamSource};

@@ -21,7 +21,7 @@
 //! path carries over to the streaming receiver.
 
 use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
-use crate::engine::{EngineError, StreamEngine};
+use crate::engine::{EngineError, MultiChannelEngine, StreamEngine};
 use crate::source::StreamSource;
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
 use netscatter_dsp::fft::FftError;
@@ -69,6 +69,73 @@ impl GatewayReport {
             .iter()
             .filter(|p| !p.round.devices.is_empty())
             .count()
+    }
+}
+
+/// The outcome of one multi-channel session: per-channel reports plus the
+/// aggregate counters a capacity planner actually reads.
+///
+/// Produced by [`crate::engine::MultiChannelEngine::shutdown`] and
+/// [`run_multi_stream`]. The per-channel [`GatewayReport`]s keep their own
+/// packets, sequence numbers and throughput; the aggregate fields sum the
+/// shards over the *shared* wall-clock window, so
+/// [`MultiChannelReport::aggregate_samples_per_sec`] is the whole
+/// gateway's ingest capacity, not an average of the shards.
+#[derive(Debug, Clone)]
+pub struct MultiChannelReport {
+    /// Per-channel session reports, indexed by channel.
+    pub channels: Vec<GatewayReport>,
+    /// Wall-clock duration of the whole session in seconds (one shared
+    /// window — the channels ran concurrently).
+    pub elapsed_s: f64,
+    /// Total samples consumed across all channels.
+    pub samples_in: u64,
+    /// Total packets dropped mid-stream across all channels.
+    pub truncated: usize,
+    /// Total chunks displaced by drop-oldest overflow across all channels.
+    pub ring_dropped: u64,
+    /// Aggregate processing throughput: total samples over the shared
+    /// wall-clock window, in samples per second.
+    pub aggregate_samples_per_sec: f64,
+    /// `aggregate_samples_per_sec` over the *combined* radio rate
+    /// (`channels × sample_rate`): ≥ 1 means the sharded gateway keeps up
+    /// with every channel at once.
+    pub aggregate_real_time_factor: f64,
+}
+
+impl MultiChannelReport {
+    /// Assembles the aggregate view over per-channel reports measured in
+    /// one shared wall-clock window of `elapsed_s` seconds.
+    pub(crate) fn new(channels: Vec<GatewayReport>, elapsed_s: f64, sample_rate_hz: f64) -> Self {
+        let samples_in: u64 = channels.iter().map(|r| r.samples_in).sum();
+        let aggregate_samples_per_sec = samples_in as f64 / elapsed_s;
+        let combined_rate = sample_rate_hz * channels.len() as f64;
+        Self {
+            samples_in,
+            truncated: channels.iter().map(|r| r.truncated).sum(),
+            ring_dropped: channels.iter().map(|r| r.ring_dropped).sum(),
+            elapsed_s,
+            aggregate_samples_per_sec,
+            aggregate_real_time_factor: if combined_rate > 0.0 {
+                aggregate_samples_per_sec / combined_rate
+            } else {
+                0.0
+            },
+            channels,
+        }
+    }
+
+    /// Total decoded packets across all channels.
+    pub fn total_packets(&self) -> usize {
+        self.channels.iter().map(|r| r.packets.len()).sum()
+    }
+
+    /// Total packets that detected at least one device, across channels.
+    pub fn detected_rounds(&self) -> usize {
+        self.channels
+            .iter()
+            .map(GatewayReport::detected_rounds)
+            .sum()
     }
 }
 
@@ -169,6 +236,53 @@ pub fn run_stream(
     engine.shutdown()
 }
 
+/// Runs the sharded pipeline over one source per channel until every
+/// source is exhausted, then returns the per-channel and aggregate report.
+///
+/// Sources are served round-robin, one chunk per channel per lap, so no
+/// channel's ring starves while another replays — the feed order a
+/// multi-channel frontend's DMA would produce. Each channel keeps the
+/// determinism of [`run_stream`]: detection runs in that channel's stream
+/// order and packets reassemble by sequence number, so per-channel results
+/// are bit-identical to a single-channel session over the same samples.
+///
+/// The first source's sample rate is used for the aggregate real-time
+/// factor (NetScatter channels are homogeneous 500 kHz slices).
+/// Returns [`EngineError::Config`] when `sources` is empty.
+pub fn run_multi_stream(
+    sources: &mut [Box<dyn StreamSource>],
+    config: &GatewayConfig,
+) -> Result<MultiChannelReport, EngineError> {
+    let Some(first) = sources.first() else {
+        return Err(EngineError::Config(
+            "multi-channel session needs at least one source".to_string(),
+        ));
+    };
+    let sample_rate_hz = first.sample_rate_hz();
+    let mut engine = MultiChannelEngine::spawn(config, sources.len(), sample_rate_hz)?;
+    let chunk_samples = config.chunk_samples.max(1);
+    let mut buf = vec![Complex64::ZERO; chunk_samples];
+    let mut live = vec![true; sources.len()];
+    let mut remaining = sources.len();
+    while remaining > 0 {
+        for (channel, source) in sources.iter_mut().enumerate() {
+            if !live[channel] {
+                continue;
+            }
+            let got = source.fill(&mut buf);
+            let fed = got == 0 || engine.feed(channel, &buf[..got]).is_ok();
+            if got < chunk_samples || !fed {
+                // Short read = end of this channel's stream; a failed feed
+                // means that channel's engine was torn down (shutdown
+                // reports why). Either way the channel is done.
+                live[channel] = false;
+                remaining -= 1;
+            }
+        }
+    }
+    engine.shutdown()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +348,55 @@ mod tests {
         assert_eq!(report.detected_rounds(), 4);
         assert!(report.samples_per_sec > 0.0);
         assert!(report.real_time_factor > 0.0);
+    }
+
+    #[test]
+    fn multi_stream_channels_match_independent_single_channel_sessions() {
+        let bits = vec![true, false, false, true, true];
+        let cfg = GatewayConfig {
+            chunk_samples: 900,
+            workers: 2,
+            ..GatewayConfig::new(PhyProfile::default(), vec![32, 160], bits.len())
+        };
+        let ch0 = stream_with_packets(32, &bits, 3);
+        let ch1 = stream_with_packets(160, &bits, 2);
+
+        // Reference: each channel alone through the single-channel session.
+        let mut solo = Vec::new();
+        for stream in [&ch0, &ch1] {
+            let mut source = ReplaySource::from_samples(stream.clone(), 500e3);
+            solo.push(run_stream(&mut source, &cfg).unwrap());
+        }
+
+        let mut sources: Vec<Box<dyn StreamSource>> = vec![
+            Box::new(ReplaySource::from_samples(ch0.clone(), 500e3)),
+            Box::new(ReplaySource::from_samples(ch1.clone(), 500e3)),
+        ];
+        let report = run_multi_stream(&mut sources, &cfg).unwrap();
+        assert_eq!(report.channels.len(), 2);
+        for (channel, reference) in report.channels.iter().zip(solo.iter()) {
+            assert_eq!(
+                channel.packets, reference.packets,
+                "sharding must not change any channel's decode"
+            );
+            assert_eq!(channel.samples_in, reference.samples_in);
+            assert_eq!(channel.truncated, reference.truncated);
+        }
+        assert_eq!(report.samples_in, (ch0.len() + ch1.len()) as u64);
+        assert_eq!(report.total_packets(), 5);
+        assert_eq!(report.detected_rounds(), 5);
+        assert!(report.aggregate_samples_per_sec > 0.0);
+        assert!(report.aggregate_real_time_factor > 0.0);
+    }
+
+    #[test]
+    fn multi_stream_rejects_an_empty_source_list() {
+        let cfg = GatewayConfig::new(PhyProfile::default(), vec![0], 4);
+        let mut sources: Vec<Box<dyn StreamSource>> = Vec::new();
+        assert!(matches!(
+            run_multi_stream(&mut sources, &cfg),
+            Err(EngineError::Config(_))
+        ));
     }
 
     #[test]

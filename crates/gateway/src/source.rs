@@ -12,6 +12,9 @@
 //! * the live round synthesizer in the simulator crate
 //!   (`netscatter_sim::stream`), which replays channel-realized rounds as an
 //!   asynchronous stream with Poisson arrivals.
+//!
+//! [`PacedSource`] composes over any of them, throttling delivery to the
+//! source's sample rate so a replay behaves like a live radio.
 
 use netscatter_dsp::Complex64;
 use std::io::{BufReader, Read};
@@ -117,6 +120,56 @@ impl StreamSource for ReplaySource {
 
     fn sample_rate_hz(&self) -> f64 {
         self.sample_rate_hz
+    }
+}
+
+/// Wraps a source and paces delivery at its own sample rate, emulating a
+/// radio front-end that produces samples in real time: after handing out a
+/// chunk, [`StreamSource::fill`] sleeps until the wall clock reaches the
+/// instant the chunk's last sample would have arrived over the air.
+///
+/// Deadlines are absolute — anchored at the first fill — so sleep jitter
+/// never accumulates drift, and a consumer that falls behind real time
+/// simply stops sleeping until it catches back up. The multi-channel
+/// sustained-ingest measurements in the perf snapshot use this to ask the
+/// deployment question directly: how many 500 kHz channels does the
+/// sharded gateway keep up with at radio rate?
+#[derive(Debug)]
+pub struct PacedSource<S> {
+    inner: S,
+    delivered: u64,
+    started: Option<std::time::Instant>,
+}
+
+impl<S: StreamSource> PacedSource<S> {
+    /// Paces `inner` at its reported [`StreamSource::sample_rate_hz`].
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            delivered: 0,
+            started: None,
+        }
+    }
+}
+
+impl<S: StreamSource> StreamSource for PacedSource<S> {
+    fn fill(&mut self, out: &mut [Complex64]) -> usize {
+        let started = *self.started.get_or_insert_with(std::time::Instant::now);
+        let n = self.inner.fill(out);
+        self.delivered += n as u64;
+        let rate = self.inner.sample_rate_hz();
+        if n > 0 && rate > 0.0 {
+            let deadline = std::time::Duration::from_secs_f64(self.delivered as f64 / rate);
+            let elapsed = started.elapsed();
+            if deadline > elapsed {
+                std::thread::sleep(deadline - elapsed);
+            }
+        }
+        n
+    }
+
+    fn sample_rate_hz(&self) -> f64 {
+        self.inner.sample_rate_hz()
     }
 }
 
@@ -235,6 +288,33 @@ mod tests {
         assert_eq!(buf[..2], samples[8..]);
         assert_eq!(src.fill(&mut buf), 0);
         assert_eq!(src.sample_rate_hz(), 500e3);
+    }
+
+    #[test]
+    fn paced_source_holds_delivery_to_the_sample_rate() {
+        // 2000 samples at 100 kHz = 20 ms of air time: the paced wrapper
+        // must take at least that long and still deliver every sample in
+        // order, while the raw replay finishes effectively instantly.
+        let samples: Vec<Complex64> = (0..2000).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let mut src = PacedSource::new(ReplaySource::from_samples(samples.clone(), 100e3));
+        assert_eq!(src.sample_rate_hz(), 100e3);
+        let start = std::time::Instant::now();
+        let mut got = Vec::new();
+        let mut buf = vec![Complex64::ZERO; 512];
+        loop {
+            let n = src.fill(&mut buf);
+            got.extend_from_slice(&buf[..n]);
+            if n < buf.len() {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(20),
+            "paced replay ran faster than real time: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(got, samples);
+        assert_eq!(src.fill(&mut buf), 0, "exhausted source stays exhausted");
     }
 
     #[test]

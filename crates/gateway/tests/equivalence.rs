@@ -9,7 +9,9 @@
 
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
 use netscatter_dsp::Complex64;
-use netscatter_gateway::{run_stream, DecodedPacket, GatewayConfig, ReplaySource, StreamGateway};
+use netscatter_gateway::{
+    run_stream, DecodedPacket, GatewayConfig, MultiChannelEngine, ReplaySource, StreamGateway,
+};
 use netscatter_phy::distributed::OnOffModulator;
 use netscatter_phy::params::PhyProfile;
 use netscatter_phy::preamble::PreambleBuilder;
@@ -197,6 +199,79 @@ fn threaded_pipeline_is_bit_identical_to_batch_too() {
     let report = run_stream(&mut source, &cfg).expect("pipeline runs");
     assert_equivalent(&round, &report.packets, "threaded pipeline");
     assert_eq!(report.samples_in, round.stream.len() as u64);
+}
+
+#[test]
+fn multi_channel_path_is_bit_identical_to_batch_on_every_channel() {
+    // The sharded engine under *independently* randomized chunk schedules
+    // per channel: three channels carrying different rounds (different
+    // populations, offsets and impairments), each fed with its own
+    // one-sample-to-four-symbol chunk sizes, interleaved across channels.
+    // Every channel's anchors and frames must equal its own batch
+    // reference exactly — sharding adds no new numerics anywhere.
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+    // One payload length across channels (the deployment's round length is
+    // global); populations, offsets and impairments differ per channel.
+    let payload_bits = rng.gen_range(4..=12usize);
+    let rounds: Vec<Round> = (0..3)
+        .map(|i| {
+            let offset = rng.gen_range(64..1500usize);
+            build_round(&mut rng, 2 + i, offset, payload_bits)
+        })
+        .collect();
+    // One shared config: the union population (the shards share a profile
+    // and bin plan the way one gateway's channels share a deployment).
+    let mut bins: Vec<usize> = rounds.iter().flat_map(|r| r.bins.clone()).collect();
+    bins.sort_unstable();
+    bins.dedup();
+    // Per-round batch references must use the same union config.
+    let rx = ConcurrentReceiver::new(&PhyProfile::default()).unwrap();
+    let cfg = GatewayConfig {
+        workers: 3,
+        ..GatewayConfig::new(PhyProfile::default(), bins.clone(), payload_bits)
+    };
+    let mut engine = MultiChannelEngine::spawn(&cfg, rounds.len(), 500e3).unwrap();
+    let mut cursors = vec![0usize; rounds.len()];
+    let mut remaining = rounds.len();
+    while remaining > 0 {
+        for (channel, round) in rounds.iter().enumerate() {
+            let at = cursors[channel];
+            if at >= round.stream.len() {
+                continue;
+            }
+            let len = rng.gen_range(1..=2048usize).min(round.stream.len() - at);
+            engine
+                .feed(channel, &round.stream[at..at + len])
+                .expect("feed");
+            cursors[channel] += len;
+            if cursors[channel] >= round.stream.len() {
+                remaining -= 1;
+            }
+        }
+    }
+    let report = engine.shutdown().expect("clean shutdown");
+    assert_eq!(report.channels.len(), rounds.len());
+    for (channel, (chan_report, round)) in report.channels.iter().zip(rounds.iter()).enumerate() {
+        assert_eq!(
+            chan_report.packets.len(),
+            1,
+            "channel {channel}: exactly one packet"
+        );
+        let packet = &chan_report.packets[0];
+        assert_eq!(
+            packet.start_sample, round.offset as u64,
+            "channel {channel}: anchor must stay sample-exact under sharding"
+        );
+        let batch = rx
+            .decode_round(&round.stream, round.offset, &bins, payload_bits)
+            .expect("batch decode");
+        assert_eq!(
+            packet.round, batch,
+            "channel {channel}: sharded decode diverged from batch"
+        );
+        assert!(!batch.devices.is_empty());
+        assert_eq!(chan_report.samples_in, round.stream.len() as u64);
+    }
 }
 
 #[test]

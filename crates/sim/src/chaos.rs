@@ -684,12 +684,12 @@ pub fn run_chaos(opts: &StressOptions) -> i32 {
     };
 
     // Score the healthy fleet and the ragged stream for bit identity.
-    let mut served_names: Vec<String> = Vec::new();
+    let mut served_names: Vec<(String, usize)> = Vec::new();
     for (stream, upload) in healthy.iter().zip(healthy_uploads) {
         match upload.join().expect("healthy upload panicked") {
             Ok(lines) => {
                 let scored = score_healthy(&deployment, stream, opts, &lines);
-                served_names.push(scored.served_name);
+                served_names.push((scored.served_name, stream.header.channel.unwrap_or(0)));
                 failures.extend(scored.failures);
                 if !opts.quiet {
                     println!("{}", scored.report_line);
@@ -701,7 +701,7 @@ pub fn run_chaos(opts: &StressOptions) -> i32 {
     match ragged_transcript {
         Ok(lines) => {
             let scored = score_healthy(&deployment, &ragged, opts, &lines);
-            served_names.push(scored.served_name);
+            served_names.push((scored.served_name, ragged.header.channel.unwrap_or(0)));
             failures.extend(scored.failures);
             if !opts.quiet {
                 println!("{} [ragged splits]", scored.report_line);

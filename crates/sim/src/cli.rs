@@ -79,6 +79,7 @@ FLAGS (run & sweep):
   --arrival-rate <R>          gateway round arrivals per second (default: 10)
   --stream-secs <S>           gateway stream duration (default: 1.0)
   --chunk-samples <N>         gateway producer chunk size (default: 4096)
+  --channels <K>              gateway channels for the sharded engine (default: 1)
   --format <text|json|csv>    output sink (default: text)
   --out <PATH>                write output to PATH instead of stdout
 
@@ -148,7 +149,8 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
                     .set_field(&field, &v)
                     .map_err(CliError::usage)?;
             }
-            "--payload-bits" | "--arrival-rate" | "--stream-secs" | "--chunk-samples" => {
+            "--payload-bits" | "--arrival-rate" | "--stream-secs" | "--chunk-samples"
+            | "--channels" => {
                 let field = arg.trim_start_matches("--").replace('-', "_");
                 let v = value(&mut i, arg)?;
                 opts.scenario
@@ -575,6 +577,24 @@ mod tests {
         assert_eq!(opts.scenario.stream_secs, 0.5);
         assert_eq!(opts.scenario.chunk_samples, 1024);
         assert!(parse_flags(&args(&["--arrival-rate", "0"]), false).is_err());
+    }
+
+    #[test]
+    fn channels_flag_reaches_the_scenario_and_sweeps_as_a_grid_axis() {
+        let opts = parse_flags(&args(&["--channels", "4"]), false).expect("flags parse");
+        assert_eq!(opts.scenario.channels, 4);
+        // A zero-channel gateway is meaningless: rejected at parse time.
+        assert!(parse_flags(&args(&["--channels", "0"]), false).is_err());
+        // The sharding axis sweeps like any other scenario field.
+        let opts = parse_flags(&args(&["--set", "channels=1,2,4"]), true).expect("grid parses");
+        let combos = expand_grid(&opts.scenario, &opts.grid).expect("grid expands");
+        assert_eq!(combos.len(), 3);
+        assert_eq!(
+            combos.iter().map(|(_, s)| s.channels).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert_eq!(combos[1].0, "channels=2");
+        assert!(expand_grid(&opts.scenario, &[("channels".into(), vec!["0".into()])]).is_err());
     }
 
     #[test]

@@ -179,6 +179,9 @@ pub struct Scenario {
     pub stream_secs: f64,
     /// Producer chunk size in samples for the streaming gateway.
     pub chunk_samples: usize,
+    /// Independent 500 kHz gateway channels served by the sharded
+    /// multi-channel engine (§5: more channels, more concurrent devices).
+    pub channels: usize,
 }
 
 impl Default for Scenario {
@@ -196,6 +199,7 @@ impl Default for Scenario {
             arrival_rate: 10.0,
             stream_secs: 1.0,
             chunk_samples: 4096,
+            channels: 1,
         }
     }
 }
@@ -211,7 +215,7 @@ const MAX_ARRIVAL_RATE_HZ: f64 = 1e6;
 
 /// The names of every settable [`Scenario`] field, in canonical order —
 /// the vocabulary of `netscatter sweep` and [`Scenario::set_field`].
-pub const SCENARIO_FIELDS: [&str; 12] = [
+pub const SCENARIO_FIELDS: [&str; 13] = [
     "devices",
     "placement",
     "channel",
@@ -224,6 +228,7 @@ pub const SCENARIO_FIELDS: [&str; 12] = [
     "arrival_rate",
     "stream_secs",
     "chunk_samples",
+    "channels",
 ];
 
 impl Scenario {
@@ -256,6 +261,7 @@ impl Scenario {
             ("arrival_rate", self.arrival_rate.to_string()),
             ("stream_secs", self.stream_secs.to_string()),
             ("chunk_samples", self.chunk_samples.to_string()),
+            ("channels", self.channels.to_string()),
         ]
     }
 
@@ -313,6 +319,15 @@ impl Scenario {
                     return Err("chunk_samples expects a positive integer, got \"0\"".into());
                 }
                 self.chunk_samples = chunk;
+            }
+            "channels" => {
+                let channels = int::<usize>(name, value)?;
+                if channels == 0 {
+                    // A zero-channel gateway serves nothing; the sharded
+                    // engine rejects it too (EngineError::Config).
+                    return Err("channels expects a positive integer, got \"0\"".into());
+                }
+                self.channels = channels;
             }
             "placement" => {
                 self.placement = match value.to_lowercase().as_str() {
@@ -518,6 +533,12 @@ impl ScenarioBuilder {
     /// Producer chunk size (samples) of the streaming gateway.
     pub fn chunk_samples(mut self, chunk_samples: usize) -> Self {
         self.0.chunk_samples = chunk_samples.max(1);
+        self
+    }
+
+    /// Gateway channel count (clamped to ≥ 1).
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.0.channels = channels.max(1);
         self
     }
 

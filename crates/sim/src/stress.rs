@@ -89,6 +89,8 @@ SHARED FLAGS (the experiment parser):
   --arrival-rate <R>      round arrivals per second (default 10)
   --stream-secs <S>       per-stream duration in seconds (default 0.5)
   --chunk-samples <N>     ring chunk size in samples (default 4096)
+  --channels <K>          RF channels to spread the streams over
+                          (stream i tags channel i mod K; default 1)
   --threads <N>           decode workers per stream (default 0 = all cores)
   --help                  this text"
         .to_string()
@@ -130,6 +132,10 @@ pub struct StressOptions {
     pub stream_secs: f64,
     /// Ring chunk size in samples.
     pub chunk_samples: usize,
+    /// RF channels the fleet is spread over (stream `i` tags channel
+    /// `i % channels`); the metrics check then demands a schema-complete
+    /// per-channel rollup for every channel used.
+    pub channels: usize,
     /// Decode workers per stream (0 = all cores).
     pub workers: usize,
 }
@@ -223,6 +229,7 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
                         | "--arrival-rate"
                         | "--stream-secs"
                         | "--chunk-samples"
+                        | "--channels"
                         | "--threads"
                 ) {
                     shared.push(value(&mut i, other)?);
@@ -249,6 +256,7 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
         rate_hz: s.arrival_rate,
         stream_secs: s.stream_secs,
         chunk_samples: s.chunk_samples,
+        channels: s.channels,
         workers: s.threads,
     })
 }
@@ -304,6 +312,7 @@ pub(crate) fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize
             bins: Some(bins.clone()),
             payload_bits: Some(opts.payload_bits),
             detection_floor: Some(floor),
+            channel: Some(i % opts.channels.max(1)),
             fault_panic_span: None,
         },
         name,
@@ -428,10 +437,21 @@ pub(crate) fn records_of<'a>(lines: &'a [String], kind: &str) -> Vec<&'a String>
         .collect()
 }
 
+/// The value of the metrics line starting with `prefix`, if present.
+fn metric_value(doc: &str, prefix: &str) -> Option<f64> {
+    doc.lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
 /// Validates the metrics document: header line, every line `name value` /
-/// `name{stream="…"} value`, and a positive `msamples_per_sec` for every
-/// stream in `names`. Returns the failures.
-pub(crate) fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
+/// `name{label="…"} value`, a positive `msamples_per_sec` and the right
+/// channel tag for every `(name, channel)` stream in `streams`, and a
+/// schema-complete rollup (stream count, samples total, Msamples/s) for
+/// every channel the fleet used plus the whole-daemon aggregate rate.
+/// Returns the failures.
+pub(crate) fn check_metrics(doc: &str, streams: &[(String, usize)]) -> Vec<String> {
     let mut failures = Vec::new();
     if !doc.starts_with(netscatter_daemon::metrics::METRICS_HEADER) {
         failures.push("metrics document lacks the schema header".to_string());
@@ -444,21 +464,44 @@ pub(crate) fn check_metrics(doc: &str, names: &[String]) -> Vec<String> {
             failures.push(format!("unparsable metrics line {line:?}"));
         }
     }
-    for name in names {
+    for (name, channel) in streams {
         let prefix = format!("netscatterd_stream_msamples_per_sec{{stream=\"{name}\"}} ");
-        match doc.lines().find(|l| l.starts_with(&prefix)) {
-            Some(line) => {
-                let v: f64 = line
-                    .rsplit(' ')
-                    .next()
-                    .unwrap_or("x")
-                    .parse()
-                    .unwrap_or(-1.0);
-                if v <= 0.0 {
-                    failures.push(format!("stream {name}: non-positive Msamples/s ({line})"));
-                }
-            }
+        match metric_value(doc, &prefix) {
+            Some(v) if v > 0.0 => {}
+            Some(v) => failures.push(format!("stream {name}: non-positive Msamples/s ({v})")),
             None => failures.push(format!("metrics lack stream {name}")),
+        }
+        let prefix = format!("netscatterd_stream_channel{{stream=\"{name}\"}} ");
+        match metric_value(doc, &prefix) {
+            Some(tag) if tag == *channel as f64 => {}
+            Some(tag) => failures.push(format!(
+                "stream {name}: metrics report channel {tag}, header said {channel}"
+            )),
+            None => failures.push(format!("metrics lack a channel tag for stream {name}")),
+        }
+    }
+    let mut channels: Vec<usize> = streams.iter().map(|&(_, c)| c).collect();
+    channels.sort_unstable();
+    channels.dedup();
+    for channel in channels {
+        for metric in [
+            "netscatterd_channel_streams",
+            "netscatterd_channel_samples_total",
+            "netscatterd_channel_msamples_per_sec",
+        ] {
+            let prefix = format!("{metric}{{channel=\"{channel}\"}} ");
+            match metric_value(doc, &prefix) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => failures.push(format!("channel {channel}: non-positive {metric} ({v})")),
+                None => failures.push(format!("metrics lack {metric} for channel {channel}")),
+            }
+        }
+    }
+    if !streams.is_empty() {
+        match metric_value(doc, "netscatterd_aggregate_msamples_per_sec ") {
+            Some(v) if v > 0.0 => {}
+            Some(v) => failures.push(format!("non-positive aggregate Msamples/s ({v})")),
+            None => failures.push("metrics lack the aggregate Msamples/s".to_string()),
         }
     }
     failures
@@ -631,7 +674,7 @@ pub fn run_stress(opts: &StressOptions) -> i32 {
 
     // Score each stream: bit identity, drops, truth.
     let mut failures: Vec<String> = Vec::new();
-    let mut served_names: Vec<String> = Vec::new();
+    let mut served_names: Vec<(String, usize)> = Vec::new();
     for (stream, transcript) in streams.iter().zip(&transcripts) {
         let lines = match transcript {
             Ok(lines) => lines,
@@ -641,7 +684,7 @@ pub fn run_stress(opts: &StressOptions) -> i32 {
             }
         };
         let scored = score_healthy(&deployment, stream, opts, lines);
-        served_names.push(scored.served_name);
+        served_names.push((scored.served_name, stream.header.channel.unwrap_or(0)));
         failures.extend(scored.failures);
         if !opts.quiet {
             println!("{}", scored.report_line);
@@ -806,15 +849,54 @@ mod tests {
     }
 
     #[test]
+    fn channels_flag_spreads_the_fleet_over_shards() {
+        let opts = parse_stress_args(&args(&["--streams", "4", "--channels", "2"])).unwrap();
+        assert_eq!(opts.channels, 2);
+        let deployment = Deployment::generate(
+            DeploymentConfig::office(opts.devices.max(16)),
+            &mut StdRng::seed_from_u64(DEPLOYMENT_SEED),
+        );
+        let tags: Vec<usize> = (0..4)
+            .map(|i| synthesize(&deployment, &opts, i).header.channel.unwrap())
+            .collect();
+        assert_eq!(tags, vec![0, 1, 0, 1]);
+        // The shared parser's zero rejection applies.
+        let err = parse_stress_args(&args(&["--channels", "0"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
     fn metrics_checker_flags_missing_streams_and_garbage_lines() {
         let doc = format!(
-            "{}\nnetscatterd_streams_total 1\nnetscatterd_stream_msamples_per_sec{{stream=\"a\"}} 1.5\n",
+            "{}\nnetscatterd_streams_total 1\n\
+             netscatterd_aggregate_msamples_per_sec 1.5\n\
+             netscatterd_channel_streams{{channel=\"0\"}} 1\n\
+             netscatterd_channel_samples_total{{channel=\"0\"}} 4096\n\
+             netscatterd_channel_msamples_per_sec{{channel=\"0\"}} 1.5\n\
+             netscatterd_stream_msamples_per_sec{{stream=\"a\"}} 1.5\n\
+             netscatterd_stream_channel{{stream=\"a\"}} 0\n",
             netscatter_daemon::metrics::METRICS_HEADER
         );
-        assert!(check_metrics(&doc, &["a".to_string()]).is_empty());
-        let fails = check_metrics(&doc, &["a".to_string(), "b".to_string()]);
-        assert_eq!(fails.len(), 1);
+        assert!(check_metrics(&doc, &[("a".to_string(), 0)]).is_empty());
+        let fails = check_metrics(&doc, &[("a".to_string(), 0), ("b".to_string(), 0)]);
+        assert_eq!(fails.len(), 2, "{fails:?}");
         assert!(fails[0].contains("lack stream b"));
+        assert!(fails[1].contains("channel tag for stream b"));
+        // A stream tagged on a channel the document does not roll up.
+        let fails = check_metrics(&doc, &[("a".to_string(), 1)]);
+        assert!(fails.iter().any(|f| f.contains("channel 1")), "{fails:?}");
+        // A channel tag that contradicts the header.
+        let fails = check_metrics(
+            &doc.replace(
+                "netscatterd_stream_channel{stream=\"a\"} 0",
+                "netscatterd_stream_channel{stream=\"a\"} 2",
+            ),
+            &[("a".to_string(), 0)],
+        );
+        assert!(
+            fails.iter().any(|f| f.contains("header said 0")),
+            "{fails:?}"
+        );
         let garbage = format!(
             "{}\nwhat even is this\n",
             netscatter_daemon::metrics::METRICS_HEADER

@@ -259,6 +259,43 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
         let rows = t.get("rows").and_then(Json::as_array).expect("rows");
         assert_eq!(rows.len(), 3, "{experiment}: 16/64/256-device rows");
     }
+    // BENCH_stream additionally carries the multi-channel sharding table
+    // ({1, 2, 4} channels, saturated + real-time-paced aggregates) and the
+    // scaling/speedup scalars the CI gate reads.
+    {
+        let text = std::fs::read_to_string(&stream_out).expect("stream snapshot");
+        let doc = Json::parse(&text).expect("BENCH_stream is valid JSON");
+        let tables = doc.get("tables").and_then(Json::as_array).expect("tables");
+        let multi = &tables[1];
+        assert_eq!(
+            multi.get("name").and_then(Json::as_str),
+            Some("multi_channel")
+        );
+        let rows = multi.get("rows").and_then(Json::as_array).expect("rows");
+        assert_eq!(rows.len(), 3, "1/2/4-channel rows");
+        for (row, expected_k) in rows.iter().zip([1.0, 2.0, 4.0]) {
+            let row = row.as_array().expect("row array");
+            assert_eq!(row[0].as_f64(), Some(expected_k));
+            for cell in &row[1..] {
+                assert!(cell.as_f64().unwrap() > 0.0, "non-positive rate in {row:?}");
+            }
+        }
+        let scalars = doc.get("scalars").expect("scalars object");
+        let scalar = |name: &str| {
+            scalars
+                .get(name)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("BENCH_stream lacks scalar {name}"))
+        };
+        assert!(scalar("single_channel_msamples_per_sec") > 0.0);
+        assert!(scalar("speedup_vs_pre_refactor") > 0.0);
+        // Real-time-paced sources deliver at 500 ksps each, so doubling
+        // the channels must grow the sustained aggregate materially even
+        // on a single-core runner (the saturated counterpart may stay
+        // flat there — that one is recorded, not gated).
+        assert!(scalar("channel_scaling_1_to_2") > 1.5);
+        assert!(scalar("saturated_channel_scaling_1_to_2") > 0.0);
+    }
     // Unknown --format values are rejected with a usage error, not
     // silently defaulted.
     let bad = spawn(

@@ -10,13 +10,17 @@ fn args(list: &[&str]) -> Vec<String> {
 
 #[test]
 fn stress_harness_passes_with_concurrent_synthesized_streams() {
-    // Small and fast, but genuinely concurrent: 4 sockets, distinct seeds.
+    // Small and fast, but genuinely concurrent: 4 sockets, distinct seeds,
+    // spread over 2 RF channels so the metrics gate also demands the
+    // schema-complete per-channel rollup and the aggregate rate.
     // Wire speed plus a ring that holds each whole stream keeps the run
     // deterministic on unoptimized test builds (drop-oldest cannot fire),
     // while still exercising the full TCP → engine → NDJSON path.
     let opts = parse_stress_args(&args(&[
         "--streams",
         "4",
+        "--channels",
+        "2",
         "--devices",
         "4",
         "--stream-secs",
