@@ -66,6 +66,7 @@ fn daemon_ingest(c: &mut Criterion) {
         payload_bits: Some(8),
         detection_floor: None,
         channel: None,
+        coding: None,
         fault_panic_span: None,
     };
     group.bench_function("tcp_stream", |b| {

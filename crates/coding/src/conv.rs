@@ -1,0 +1,203 @@
+//! Convolutional K=7 rate-1/2 code with hard-decision Viterbi decoding.
+//!
+//! Generators 171/133 (octal) — the NASA-standard pair with free distance
+//! 10. Each frame is zero-flushed with 6 tail bits so the trellis starts and
+//! ends in state 0. The decoder keeps the full per-step survivor matrix
+//! (frames are a few hundred bits, so the trellis is tiny) and traces back
+//! from the flushed end state; the survivor layout is per-state, so
+//! soft-decision branch metrics can replace the Hamming metric later
+//! without touching the trellis structure.
+
+use crate::{Codec, Decoded};
+
+/// Constraint length (memory + 1).
+pub const CONSTRAINT: usize = 7;
+
+/// Zero tail bits flushed after the data to return the trellis to state 0.
+pub const TAIL_BITS: usize = CONSTRAINT - 1;
+
+/// Trellis states (2^(K-1)).
+const STATES: usize = 1 << TAIL_BITS;
+
+/// Generator polynomials, lowest bit = oldest register stage.
+const G1: u8 = 0o171;
+const G2: u8 = 0o133;
+
+/// Parity of the masked 7-bit register.
+fn parity7(x: u8) -> bool {
+    (x & 0x7f).count_ones() % 2 == 1
+}
+
+/// The two output bits for register contents `reg` = input bit ‖ state.
+fn branch_bits(reg: u8) -> (bool, bool) {
+    (parity7(reg & G1), parity7(reg & G2))
+}
+
+/// Convolutional K=7 rate-1/2 codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvCodec;
+
+impl Codec for ConvCodec {
+    fn name(&self) -> &'static str {
+        "conv"
+    }
+
+    fn data_granule(&self) -> usize {
+        1
+    }
+
+    fn encoded_len(&self, data_bits: usize) -> usize {
+        (data_bits + TAIL_BITS) * 2
+    }
+
+    fn data_len(&self, coded_bits: usize) -> Option<usize> {
+        if coded_bits % 2 != 0 {
+            return None;
+        }
+        (coded_bits / 2).checked_sub(TAIL_BITS).filter(|&d| d > 0)
+    }
+
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity((data.len() + TAIL_BITS) * 2);
+        let mut state = 0u8;
+        for &bit in data.iter().chain(std::iter::repeat(&false).take(TAIL_BITS)) {
+            let reg = ((bit as u8) << TAIL_BITS) | state;
+            let (a, b) = branch_bits(reg);
+            out.push(a);
+            out.push(b);
+            state = reg >> 1;
+        }
+        out
+    }
+
+    fn decode(&self, coded: &[bool]) -> Decoded {
+        let Some(data_bits) = self.data_len(coded.len()) else {
+            return Decoded {
+                bits: Vec::new(),
+                corrected: 0,
+                failed: true,
+            };
+        };
+        let steps = coded.len() / 2;
+        const INF: u32 = u32::MAX / 2;
+        let mut metric = [INF; STATES];
+        metric[0] = 0;
+        // survivors[t][next_state] = low bit of the winning predecessor.
+        let mut survivors = vec![[false; STATES]; steps];
+        for (t, decisions) in survivors.iter_mut().enumerate() {
+            let (r0, r1) = (coded[2 * t], coded[2 * t + 1]);
+            let mut next = [INF; STATES];
+            for (ns, slot) in next.iter_mut().enumerate() {
+                let input = (ns >> (TAIL_BITS - 1)) as u8;
+                let pred_base = (ns & (STATES / 2 - 1)) << 1;
+                let mut best = INF;
+                let mut best_low = false;
+                for low in [false, true] {
+                    let pred = pred_base | low as usize;
+                    if metric[pred] >= INF {
+                        continue;
+                    }
+                    let reg = (input << TAIL_BITS) | pred as u8;
+                    let (a, b) = branch_bits(reg);
+                    let cost = metric[pred] + (a != r0) as u32 + (b != r1) as u32;
+                    if cost < best {
+                        best = cost;
+                        best_low = low;
+                    }
+                }
+                *slot = best;
+                decisions[ns] = best_low;
+            }
+            metric = next;
+        }
+        // The zero flush pins the end state; if nothing reached it the
+        // stream is structurally broken.
+        if metric[0] >= INF {
+            return Decoded {
+                bits: Vec::new(),
+                corrected: 0,
+                failed: true,
+            };
+        }
+        let mut bits = vec![false; steps];
+        let mut state = 0usize;
+        for t in (0..steps).rev() {
+            bits[t] = state >> (TAIL_BITS - 1) == 1;
+            let low = survivors[t][state];
+            state = ((state & (STATES / 2 - 1)) << 1) | low as usize;
+        }
+        bits.truncate(data_bits);
+        Decoded {
+            corrected: metric[0] as usize,
+            bits,
+            failed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_round_trip() {
+        let codec = ConvCodec;
+        let data: Vec<bool> = (0..75).map(|i| i % 3 == 1).collect();
+        let coded = codec.encode(&data);
+        assert_eq!(coded.len(), codec.encoded_len(data.len()));
+        let decoded = codec.decode(&coded);
+        assert_eq!(decoded.bits, data);
+        assert_eq!(decoded.corrected, 0);
+        assert!(!decoded.failed);
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        // Free distance 10: any 4 errors spaced apart decode correctly.
+        let codec = ConvCodec;
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<bool> = (0..120).map(|_| rng.gen_bool(0.5)).collect();
+        let clean = codec.encode(&data);
+        for trial in 0..200 {
+            let mut noisy = clean.clone();
+            // Four isolated flips, each in its own 40-bit window.
+            for w in 0..4 {
+                let pos = w * 60 + rng.gen_range(0usize..40);
+                noisy[pos] = !noisy[pos];
+            }
+            let decoded = codec.decode(&noisy);
+            assert_eq!(decoded.bits, data, "trial {trial}");
+            assert_eq!(decoded.corrected, 4);
+        }
+    }
+
+    #[test]
+    fn one_percent_random_ber_decodes_clean() {
+        let codec = ConvCodec;
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<bool> = (0..200).map(|_| rng.gen_bool(0.5)).collect();
+        let clean = codec.encode(&data);
+        let mut exact = 0;
+        for _ in 0..100 {
+            let mut noisy = clean.clone();
+            for bit in noisy.iter_mut() {
+                if rng.gen_bool(0.01) {
+                    *bit = !*bit;
+                }
+            }
+            if codec.decode(&noisy).bits == data {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 97, "only {exact}/100 frames survived 1% BER");
+    }
+
+    #[test]
+    fn rejects_ragged_lengths() {
+        assert!(ConvCodec.decode(&[true; 13]).failed);
+        assert_eq!(ConvCodec.data_len(12), None); // would leave zero data bits
+        assert_eq!(ConvCodec.data_len(14), Some(1));
+    }
+}

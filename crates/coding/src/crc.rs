@@ -1,0 +1,56 @@
+//! CRC-16/CCITT-FALSE over bit slices.
+//!
+//! Frames are bit streams that need not be byte-aligned (Hamming frames
+//! carry 4-bit granules, convolutional frames arbitrary even lengths), so
+//! the CRC runs bit-serially over the exact header + data bits.
+
+/// CRC-16 polynomial x^16 + x^12 + x^5 + 1.
+pub const CRC16_POLY: u16 = 0x1021;
+
+/// CRC-16/CCITT-FALSE initial register value.
+pub const CRC16_INIT: u16 = 0xFFFF;
+
+/// Width of the CRC field appended to every frame.
+pub const CRC_BITS: usize = 16;
+
+/// Computes the CRC-16/CCITT-FALSE of a bit stream (bit-serial, MSB-first).
+pub fn crc16(bits: &[bool]) -> u16 {
+    let mut crc = CRC16_INIT;
+    for &bit in bits {
+        let feedback = ((crc >> 15) & 1 == 1) ^ bit;
+        crc <<= 1;
+        if feedback {
+            crc ^= CRC16_POLY;
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytes_to_bits;
+
+    #[test]
+    fn matches_the_ccitt_false_check_value() {
+        // The standard check: CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        let bits = bytes_to_bits(b"123456789");
+        assert_eq!(crc16(&bits), 0x29B1);
+    }
+
+    #[test]
+    fn detects_any_single_bit_flip() {
+        let bits = bytes_to_bits(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+        let clean = crc16(&bits);
+        for i in 0..bits.len() {
+            let mut corrupt = bits.clone();
+            corrupt[i] = !corrupt[i];
+            assert_ne!(crc16(&corrupt), clean, "flip at bit {i} undetected");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_the_init_value() {
+        assert_eq!(crc16(&[]), CRC16_INIT);
+    }
+}

@@ -1,0 +1,308 @@
+//! LT fountain coding for the lossy-dense broadcast mode.
+//!
+//! In a dense round, individual frames are erased (CRC failure) with
+//! non-trivial probability; a fountain turns those erasures into a simple
+//! "keep listening" story. The gateway treats every CRC-clean frame as one
+//! LT symbol whose neighbor set is derived *deterministically* from the
+//! symbol index — transmitter and receiver share only `(blocks, block_bits,
+//! seed)`, never a neighbor list. Degrees follow the ideal soliton
+//! distribution with a small degree-1 floor so peeling keeps a ripple alive
+//! at the small block counts a round carries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-index RNG salt: decouples neighbor-set streams from any other use of
+/// the same seed.
+const LT_SALT: u64 = 0x4c54_5f53_594d_424f;
+
+/// Probability floor for degree-1 symbols (keeps the peeling ripple alive).
+const DEGREE_ONE_FLOOR: f64 = 0.08;
+
+/// The shared transmitter/receiver parameters of one fountain session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LtConfig {
+    /// Source blocks the payload is split into.
+    pub blocks: usize,
+    /// Bits per source block (every symbol carries this many bits).
+    pub block_bits: usize,
+    /// Session seed; both ends derive neighbor sets from it.
+    pub seed: u64,
+}
+
+/// Samples the symbol degree: ideal soliton with a degree-1 floor.
+fn sample_degree(rng: &mut StdRng, blocks: usize) -> usize {
+    if blocks <= 1 {
+        return 1;
+    }
+    if rng.gen_bool(DEGREE_ONE_FLOOR) {
+        return 1;
+    }
+    let k = blocks as f64;
+    let v: f64 = rng.gen_range(0.0..1.0);
+    if v < 1.0 / k {
+        1
+    } else {
+        ((1.0 / (1.0 + 1.0 / k - v)).ceil() as usize).clamp(2, blocks)
+    }
+}
+
+/// The deterministic neighbor set of symbol `index` (sorted, distinct).
+pub fn neighbors(cfg: &LtConfig, index: u64) -> Vec<usize> {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ LT_SALT);
+    let degree = sample_degree(&mut rng, cfg.blocks);
+    let mut set = Vec::with_capacity(degree);
+    while set.len() < degree {
+        let pick = rng.gen_range(0..cfg.blocks);
+        if !set.contains(&pick) {
+            set.push(pick);
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Encodes symbol `index`: the XOR of its neighbor blocks.
+/// `source` must hold exactly `cfg.blocks` blocks of `cfg.block_bits` bits.
+pub fn encode_symbol(cfg: &LtConfig, source: &[Vec<bool>], index: u64) -> Vec<bool> {
+    assert_eq!(source.len(), cfg.blocks, "source block count mismatch");
+    let mut out = vec![false; cfg.block_bits];
+    for &n in &neighbors(cfg, index) {
+        assert_eq!(source[n].len(), cfg.block_bits, "block {n} width mismatch");
+        for (o, &b) in out.iter_mut().zip(&source[n]) {
+            *o ^= b;
+        }
+    }
+    out
+}
+
+/// Splits a payload into `blocks` zero-padded blocks for a fountain session.
+pub fn blocks_from_payload(payload: &[bool], blocks: usize, block_bits: usize) -> Vec<Vec<bool>> {
+    assert!(
+        blocks * block_bits >= payload.len(),
+        "payload overflows blocks"
+    );
+    (0..blocks)
+        .map(|i| {
+            let mut block = vec![false; block_bits];
+            let start = i * block_bits;
+            for (j, slot) in block.iter_mut().enumerate() {
+                if let Some(&bit) = payload.get(start + j) {
+                    *slot = bit;
+                }
+            }
+            block
+        })
+        .collect()
+}
+
+/// Peeling (belief-propagation) LT decoder: absorb CRC-clean symbols in any
+/// order; erased symbols are simply never absorbed.
+#[derive(Debug)]
+pub struct LtDecoder {
+    cfg: LtConfig,
+    recovered: Vec<Option<Vec<bool>>>,
+    num_recovered: usize,
+    /// Symbols still referencing ≥ 2 unrecovered blocks, kept reduced.
+    pending: Vec<(Vec<usize>, Vec<bool>)>,
+    symbols_absorbed: usize,
+}
+
+impl LtDecoder {
+    /// A fresh decoder for one session.
+    pub fn new(cfg: LtConfig) -> LtDecoder {
+        LtDecoder {
+            recovered: vec![None; cfg.blocks],
+            cfg,
+            num_recovered: 0,
+            pending: Vec::new(),
+            symbols_absorbed: 0,
+        }
+    }
+
+    /// The session parameters.
+    pub fn config(&self) -> &LtConfig {
+        &self.cfg
+    }
+
+    /// Source blocks recovered so far.
+    pub fn recovered_blocks(&self) -> usize {
+        self.num_recovered
+    }
+
+    /// Symbols absorbed so far (excluding erasures, which are never fed).
+    pub fn symbols_absorbed(&self) -> usize {
+        self.symbols_absorbed
+    }
+
+    /// True once every source block is recovered.
+    pub fn is_complete(&self) -> bool {
+        self.num_recovered == self.cfg.blocks
+    }
+
+    /// XORs every already-recovered neighbor out of `(set, data)`.
+    fn reduce(&self, set: &mut Vec<usize>, data: &mut [bool]) {
+        set.retain(|&n| {
+            if let Some(block) = &self.recovered[n] {
+                for (d, &b) in data.iter_mut().zip(block) {
+                    *d ^= b;
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Absorbs one CRC-clean symbol and runs the peeling ripple.
+    pub fn absorb(&mut self, index: u64, data: &[bool]) {
+        assert_eq!(data.len(), self.cfg.block_bits, "symbol width mismatch");
+        self.symbols_absorbed += 1;
+        let mut set = neighbors(&self.cfg, index);
+        let mut data = data.to_vec();
+        self.reduce(&mut set, &mut data);
+        match set.len() {
+            0 => {}
+            1 => self.recover(set[0], data),
+            _ => self.pending.push((set, data)),
+        }
+    }
+
+    /// Records a recovered block and peels everything it unlocks.
+    fn recover(&mut self, block: usize, data: Vec<bool>) {
+        if self.recovered[block].is_some() {
+            return;
+        }
+        self.recovered[block] = Some(data);
+        self.num_recovered += 1;
+        // Ripple: reduce pending symbols against the growing recovered set
+        // until a full pass makes no progress.
+        loop {
+            let mut progressed = false;
+            let work = std::mem::take(&mut self.pending);
+            for (mut set, mut data) in work {
+                self.reduce(&mut set, &mut data);
+                match set.len() {
+                    0 => progressed = true,
+                    1 => {
+                        let target = set[0];
+                        if self.recovered[target].is_none() {
+                            self.recovered[target] = Some(data);
+                            self.num_recovered += 1;
+                        }
+                        progressed = true;
+                    }
+                    _ => self.pending.push((set, data)),
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// One recovered block, if available.
+    pub fn block(&self, i: usize) -> Option<&[bool]> {
+        self.recovered.get(i).and_then(|b| b.as_deref())
+    }
+
+    /// The full reassembled payload once complete (blocks concatenated,
+    /// including any tail padding the encoder added).
+    pub fn payload(&self) -> Option<Vec<bool>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.cfg.blocks * self.cfg.block_bits);
+        for block in self.recovered.iter().flatten() {
+            out.extend_from_slice(block);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(seed: u64) -> (LtConfig, Vec<Vec<bool>>, Vec<bool>) {
+        let cfg = LtConfig {
+            blocks: 16,
+            block_bits: 24,
+            seed,
+        };
+        let payload: Vec<bool> = (0..cfg.blocks * cfg.block_bits)
+            .map(|i| (i * 31 + seed as usize) % 7 < 3)
+            .collect();
+        let source = blocks_from_payload(&payload, cfg.blocks, cfg.block_bits);
+        (cfg, source, payload)
+    }
+
+    #[test]
+    fn neighbor_sets_are_deterministic_and_in_range() {
+        let (cfg, _, _) = session(1);
+        for index in 0..200u64 {
+            let a = neighbors(&cfg, index);
+            let b = neighbors(&cfg, index);
+            assert_eq!(a, b);
+            assert!(!a.is_empty() && a.len() <= cfg.blocks);
+            assert!(a.iter().all(|&n| n < cfg.blocks));
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        }
+    }
+
+    #[test]
+    fn lossless_stream_decodes_with_modest_overhead() {
+        let (cfg, source, payload) = session(2);
+        let mut dec = LtDecoder::new(cfg);
+        let mut used = 0;
+        for index in 0..(cfg.blocks as u64 * 6) {
+            dec.absorb(index, &encode_symbol(&cfg, &source, index));
+            used = index + 1;
+            if dec.is_complete() {
+                break;
+            }
+        }
+        assert!(dec.is_complete(), "never completed");
+        assert_eq!(dec.payload().unwrap(), payload);
+        assert!(
+            used <= cfg.blocks as u64 * 4,
+            "needed {used} symbols for {} blocks",
+            cfg.blocks
+        );
+    }
+
+    #[test]
+    fn survives_heavy_erasures() {
+        let (cfg, source, payload) = session(3);
+        let mut dec = LtDecoder::new(cfg);
+        // Drop every third symbol (33% erasure — worse than any measured
+        // frame-loss operating point).
+        for index in 0..(cfg.blocks as u64 * 9) {
+            if index % 3 == 2 {
+                continue;
+            }
+            dec.absorb(index, &encode_symbol(&cfg, &source, index));
+            if dec.is_complete() {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.payload().unwrap(), payload);
+    }
+
+    #[test]
+    fn single_block_session_is_trivially_repetition() {
+        let cfg = LtConfig {
+            blocks: 1,
+            block_bits: 16,
+            seed: 9,
+        };
+        let payload: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let source = blocks_from_payload(&payload, 1, 16);
+        let mut dec = LtDecoder::new(cfg);
+        dec.absorb(0, &encode_symbol(&cfg, &source, 0));
+        assert!(dec.is_complete());
+        assert_eq!(dec.payload().unwrap(), payload);
+    }
+}

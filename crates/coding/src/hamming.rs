@@ -1,0 +1,125 @@
+//! Hamming(7,4): the lightest FEC in the stack, rate 4/7.
+//!
+//! Each 4-bit data granule becomes a 7-bit codeword that corrects any single
+//! bit error. Two errors in one codeword miscorrect (Hamming distance 3), so
+//! the codec never reports failure itself — the frame layer's CRC-16 is the
+//! backstop, exactly as on a real tag where the Hamming decode is a handful
+//! of XOR gates.
+
+use crate::{Codec, Decoded};
+
+/// Hamming(7,4) block codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HammingCodec;
+
+/// Encodes one data nibble `[d1, d2, d3, d4]` into a 7-bit codeword with
+/// parity bits at positions 1, 2, 4 (1-indexed).
+fn encode_nibble(d: [bool; 4]) -> [bool; 7] {
+    let p1 = d[0] ^ d[1] ^ d[3];
+    let p2 = d[0] ^ d[2] ^ d[3];
+    let p4 = d[1] ^ d[2] ^ d[3];
+    [p1, p2, d[0], p4, d[1], d[2], d[3]]
+}
+
+/// Decodes one 7-bit codeword; returns the data nibble and whether a bit was
+/// corrected.
+fn decode_word(c: &[bool]) -> ([bool; 4], bool) {
+    let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+    let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+    let s4 = c[3] ^ c[4] ^ c[5] ^ c[6];
+    let syndrome = s1 as usize + 2 * s2 as usize + 4 * s4 as usize;
+    let mut w = [c[0], c[1], c[2], c[3], c[4], c[5], c[6]];
+    let corrected = syndrome != 0;
+    if corrected {
+        w[syndrome - 1] = !w[syndrome - 1];
+    }
+    ([w[2], w[4], w[5], w[6]], corrected)
+}
+
+impl Codec for HammingCodec {
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+
+    fn data_granule(&self) -> usize {
+        4
+    }
+
+    fn encoded_len(&self, data_bits: usize) -> usize {
+        assert_eq!(data_bits % 4, 0, "hamming data must be nibble-aligned");
+        data_bits / 4 * 7
+    }
+
+    fn data_len(&self, coded_bits: usize) -> Option<usize> {
+        (coded_bits % 7 == 0).then_some(coded_bits / 7 * 4)
+    }
+
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len() % 4, 0, "hamming data must be nibble-aligned");
+        let mut out = Vec::with_capacity(data.len() / 4 * 7);
+        for chunk in data.chunks(4) {
+            out.extend_from_slice(&encode_nibble([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        out
+    }
+
+    fn decode(&self, coded: &[bool]) -> Decoded {
+        if coded.len() % 7 != 0 {
+            return Decoded {
+                bits: Vec::new(),
+                corrected: 0,
+                failed: true,
+            };
+        }
+        let mut bits = Vec::with_capacity(coded.len() / 7 * 4);
+        let mut corrected = 0;
+        for word in coded.chunks(7) {
+            let (nibble, fixed) = decode_word(word);
+            bits.extend_from_slice(&nibble);
+            corrected += fixed as usize;
+        }
+        Decoded {
+            bits,
+            corrected,
+            failed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_round_trip_all_nibbles() {
+        let codec = HammingCodec;
+        for value in 0u8..16 {
+            let data: Vec<bool> = (0..4).rev().map(|i| (value >> i) & 1 == 1).collect();
+            let decoded = codec.decode(&codec.encode(&data));
+            assert_eq!(decoded.bits, data, "nibble {value}");
+            assert_eq!(decoded.corrected, 0);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let codec = HammingCodec;
+        let data = vec![true, false, true, true, false, true, false, false];
+        let coded = codec.encode(&data);
+        for i in 0..coded.len() {
+            let mut noisy = coded.clone();
+            noisy[i] = !noisy[i];
+            let decoded = codec.decode(&noisy);
+            assert_eq!(decoded.bits, data, "error at bit {i} not corrected");
+            assert_eq!(decoded.corrected, 1);
+            assert!(!decoded.failed);
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_lengths() {
+        assert!(HammingCodec.decode(&[true; 6]).failed);
+        assert_eq!(HammingCodec.data_len(13), None);
+        assert_eq!(HammingCodec.data_len(14), Some(8));
+    }
+}

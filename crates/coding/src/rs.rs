@@ -1,0 +1,355 @@
+//! Shortened Reed-Solomon over GF(2^8) with 8 parity bytes (t = 4).
+//!
+//! Systematic encoding (message bytes followed by parity), Berlekamp-Massey
+//! error-locator synthesis, brute-force Chien search, and error magnitudes
+//! recovered by solving the syndrome system directly (a ≤ 4×4 Gaussian
+//! elimination over GF(256) — simpler than Forney at this parity size, and
+//! the decoder re-verifies every syndrome after correction so a
+//! beyond-capability pattern that slips past Berlekamp-Massey is still
+//! flagged rather than silently miscorrected).
+//!
+//! Shortening is implicit: any message length 1..=247 bytes is treated as
+//! the tail of the full RS(255, 247) codeword with zero-padded (absent)
+//! leading symbols.
+
+use crate::gf256::Gf256;
+use crate::{bits_to_bytes, bytes_to_bits, Codec, Decoded};
+
+/// Parity bytes appended to every codeword (2t; corrects t = 4 byte errors).
+pub const RS_PARITY_BYTES: usize = 8;
+
+/// Longest codeword (message + parity) the field supports.
+pub const RS_MAX_CODEWORD_BYTES: usize = 255;
+
+/// Byte-oriented shortened Reed-Solomon encoder/decoder.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    gf: Gf256,
+    /// Generator polynomial prod_{i=0}^{2t-1} (x - alpha^i), highest-degree
+    /// coefficient first.
+    gen: Vec<u8>,
+}
+
+impl Default for ReedSolomon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReedSolomon {
+    /// Builds the encoder/decoder for [`RS_PARITY_BYTES`] parity bytes.
+    pub fn new() -> Self {
+        let gf = Gf256::new();
+        let mut gen = vec![1u8];
+        for i in 0..RS_PARITY_BYTES as i64 {
+            gen = gf.poly_mul(&gen, &[1, gf.pow(i)]);
+        }
+        ReedSolomon { gf, gen }
+    }
+
+    /// Encodes `msg` (1..=247 bytes), returning message + parity.
+    pub fn encode(&self, msg: &[u8]) -> Vec<u8> {
+        assert!(
+            !msg.is_empty() && msg.len() + RS_PARITY_BYTES <= RS_MAX_CODEWORD_BYTES,
+            "RS message must be 1..=247 bytes, got {}",
+            msg.len()
+        );
+        // Polynomial long division of msg(x) * x^2t by gen(x); the
+        // remainder is the parity.
+        let mut work = msg.to_vec();
+        work.extend(std::iter::repeat(0u8).take(RS_PARITY_BYTES));
+        for i in 0..msg.len() {
+            let coef = work[i];
+            if coef != 0 {
+                for (j, &g) in self.gen.iter().enumerate().skip(1) {
+                    work[i + j] ^= self.gf.mul(g, coef);
+                }
+            }
+        }
+        let mut out = msg.to_vec();
+        out.extend_from_slice(&work[msg.len()..]);
+        out
+    }
+
+    /// Syndromes S_i = r(alpha^i) for i in 0..2t (all zero ⇔ valid codeword).
+    fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
+        (0..RS_PARITY_BYTES as i64)
+            .map(|i| self.gf.poly_eval(codeword, self.gf.pow(i)))
+            .collect()
+    }
+
+    /// Berlekamp-Massey: the error-locator polynomial (highest-degree
+    /// first), or `None` when the syndromes need more than t errors.
+    fn error_locator(&self, synd: &[u8]) -> Option<Vec<u8>> {
+        let mut err_loc = vec![1u8];
+        let mut old_loc = vec![1u8];
+        for i in 0..synd.len() {
+            old_loc.push(0);
+            let mut delta = synd[i];
+            for j in 1..err_loc.len() {
+                delta ^= self.gf.mul(err_loc[err_loc.len() - 1 - j], synd[i - j]);
+            }
+            if delta != 0 {
+                if old_loc.len() > err_loc.len() {
+                    let new_loc = self.gf.poly_scale(&old_loc, delta);
+                    old_loc = self.gf.poly_scale(&err_loc, self.gf.inv(delta));
+                    err_loc = new_loc;
+                }
+                let scaled = self.gf.poly_scale(&old_loc, delta);
+                err_loc = self.gf.poly_add(&err_loc, &scaled);
+            }
+        }
+        while err_loc.len() > 1 && err_loc[0] == 0 {
+            err_loc.remove(0);
+        }
+        let errs = err_loc.len() - 1;
+        (errs * 2 <= synd.len()).then_some(err_loc)
+    }
+
+    /// Chien search: byte positions (0 = first byte) whose locator roots the
+    /// polynomial contains. `None` unless the root count matches the
+    /// locator degree exactly.
+    fn error_positions(&self, err_loc: &[u8], n: usize) -> Option<Vec<usize>> {
+        let errs = err_loc.len() - 1;
+        // Berlekamp-Massey yields sigma with roots at X^-1; the reversed
+        // polynomial has roots at X = alpha^(degree weight), which maps
+        // straight to byte positions.
+        let reversed: Vec<u8> = err_loc.iter().rev().copied().collect();
+        let mut pos = Vec::with_capacity(errs);
+        for i in 0..n as i64 {
+            if self.gf.poly_eval(&reversed, self.gf.pow(i)) == 0 {
+                pos.push(n - 1 - i as usize);
+            }
+        }
+        (pos.len() == errs).then_some(pos)
+    }
+
+    /// Solves for the error magnitudes at `positions` from the first
+    /// `positions.len()` syndromes (Vandermonde system, Gaussian
+    /// elimination over GF(256)).
+    fn error_magnitudes(&self, synd: &[u8], positions: &[usize], n: usize) -> Option<Vec<u8>> {
+        let k = positions.len();
+        // A[i][j] = X_j^i with X_j = alpha^(degree weight of position j);
+        // augmented with S_i.
+        let mut a: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                let mut row: Vec<u8> = positions
+                    .iter()
+                    .map(|&p| self.gf.pow((n - 1 - p) as i64 * i as i64))
+                    .collect();
+                row.push(synd[i]);
+                row
+            })
+            .collect();
+        for col in 0..k {
+            let pivot = (col..k).find(|&r| a[r][col] != 0)?;
+            a.swap(col, pivot);
+            let inv = self.gf.inv(a[col][col]);
+            for cell in a[col].iter_mut().skip(col) {
+                *cell = self.gf.mul(*cell, inv);
+            }
+            let pivot_row = a[col].clone();
+            for (r, row) in a.iter_mut().enumerate() {
+                let factor = row[col];
+                if r != col && factor != 0 {
+                    for (cell, &p) in row.iter_mut().zip(&pivot_row).skip(col) {
+                        *cell ^= self.gf.mul(factor, p);
+                    }
+                }
+            }
+        }
+        Some((0..k).map(|r| a[r][k]).collect())
+    }
+
+    /// Decodes a codeword in place. Returns the number of corrected byte
+    /// errors, or `None` when the word is unrecoverable.
+    pub fn correct(&self, codeword: &mut [u8]) -> Option<usize> {
+        let n = codeword.len();
+        if n <= RS_PARITY_BYTES || n > RS_MAX_CODEWORD_BYTES {
+            return None;
+        }
+        let synd = self.syndromes(codeword);
+        if synd.iter().all(|&s| s == 0) {
+            return Some(0);
+        }
+        let err_loc = self.error_locator(&synd)?;
+        let positions = self.error_positions(&err_loc, n)?;
+        let magnitudes = self.error_magnitudes(&synd, &positions, n)?;
+        for (&p, &m) in positions.iter().zip(&magnitudes) {
+            codeword[p] ^= m;
+        }
+        // Beyond-capability patterns can fool Berlekamp-Massey into a
+        // low-degree locator; re-checking every syndrome catches that.
+        if self.syndromes(codeword).iter().any(|&s| s != 0) {
+            return None;
+        }
+        Some(positions.len())
+    }
+}
+
+/// Bit-level [`Codec`] adapter over the byte-oriented [`ReedSolomon`].
+#[derive(Debug, Clone)]
+pub struct RsCodec {
+    rs: ReedSolomon,
+}
+
+impl Default for RsCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RsCodec {
+    /// Builds the codec (allocates the GF tables once).
+    pub fn new() -> Self {
+        RsCodec {
+            rs: ReedSolomon::new(),
+        }
+    }
+}
+
+impl Codec for RsCodec {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn data_granule(&self) -> usize {
+        8
+    }
+
+    fn encoded_len(&self, data_bits: usize) -> usize {
+        assert_eq!(data_bits % 8, 0, "RS data must be byte-aligned");
+        data_bits + RS_PARITY_BYTES * 8
+    }
+
+    fn data_len(&self, coded_bits: usize) -> Option<usize> {
+        if coded_bits % 8 != 0 {
+            return None;
+        }
+        let n = coded_bits / 8;
+        (n > RS_PARITY_BYTES && n <= RS_MAX_CODEWORD_BYTES).then(|| (n - RS_PARITY_BYTES) * 8)
+    }
+
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        bytes_to_bits(&self.rs.encode(&bits_to_bytes(data)))
+    }
+
+    fn decode(&self, coded: &[bool]) -> Decoded {
+        let Some(data_bits) = self.data_len(coded.len()) else {
+            return Decoded {
+                bits: Vec::new(),
+                corrected: 0,
+                failed: true,
+            };
+        };
+        let mut codeword = bits_to_bytes(coded);
+        match self.rs.correct(&mut codeword) {
+            Some(corrected) => Decoded {
+                bits: bytes_to_bits(&codeword[..data_bits / 8]),
+                corrected,
+                failed: false,
+            },
+            // Unrecoverable: hand back the (uncorrected) message bytes so
+            // the frame CRC can report on them, but flag the failure.
+            None => Decoded {
+                bits: bytes_to_bits(&codeword[..data_bits / 8]),
+                corrected: 0,
+                failed: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_codewords_have_zero_syndromes() {
+        let rs = ReedSolomon::new();
+        let msg: Vec<u8> = (0u8..32).collect();
+        let mut codeword = rs.encode(&msg);
+        assert_eq!(rs.correct(&mut codeword), Some(0));
+        assert_eq!(&codeword[..32], &msg[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_four_byte_errors_anywhere() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let msg: Vec<u8> = (0..24).map(|_| rng.gen_range(0u8..=255)).collect();
+        let clean = rs.encode(&msg);
+        for errors in 1..=4usize {
+            for _ in 0..200 {
+                let mut noisy = clean.clone();
+                let mut hit = std::collections::HashSet::new();
+                while hit.len() < errors {
+                    hit.insert(rng.gen_range(0usize..noisy.len()));
+                }
+                for &p in &hit {
+                    noisy[p] ^= rng.gen_range(1u8..=255);
+                }
+                let fixed = rs.correct(&mut noisy);
+                assert_eq!(fixed, Some(errors), "{errors} errors at {hit:?}");
+                assert_eq!(&noisy[..msg.len()], &msg[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn five_errors_never_silently_corrupt() {
+        let rs = ReedSolomon::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let msg: Vec<u8> = (0..24).map(|_| rng.gen_range(0u8..=255)).collect();
+        let clean = rs.encode(&msg);
+        let mut flagged = 0;
+        for _ in 0..300 {
+            let mut noisy = clean.clone();
+            let mut hit = std::collections::HashSet::new();
+            while hit.len() < 5 {
+                hit.insert(rng.gen_range(0usize..noisy.len()));
+            }
+            for &p in &hit {
+                noisy[p] ^= rng.gen_range(1u8..=255);
+            }
+            match rs.correct(&mut noisy) {
+                // Whatever the decoder lands on must be a true codeword;
+                // miscorrection to a different codeword is possible beyond
+                // t but must still decode self-consistently.
+                Some(_) => assert!(rs.syndromes(&noisy).iter().all(|&s| s == 0)),
+                None => flagged += 1,
+            }
+        }
+        assert!(flagged > 250, "only {flagged}/300 5-error patterns flagged");
+    }
+
+    #[test]
+    fn shortened_lengths_round_trip() {
+        let rs = ReedSolomon::new();
+        for len in [1usize, 5, 13, 100, 247] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            let mut codeword = rs.encode(&msg);
+            codeword[len / 2] ^= 0x5a;
+            assert_eq!(rs.correct(&mut codeword), Some(1), "len {len}");
+            assert_eq!(&codeword[..len], &msg[..]);
+        }
+    }
+
+    #[test]
+    fn bit_level_codec_round_trips() {
+        let codec = RsCodec::new();
+        let data: Vec<bool> = (0..13 * 8).map(|i| i % 5 < 2).collect();
+        let mut coded = codec.encode(&data);
+        assert_eq!(coded.len(), codec.encoded_len(data.len()));
+        // Flip a whole byte worth of bits — one symbol error.
+        for b in &mut coded[16..24] {
+            *b = !*b;
+        }
+        let decoded = codec.decode(&coded);
+        assert_eq!(decoded.bits, data);
+        assert_eq!(decoded.corrected, 1);
+        assert!(!decoded.failed);
+    }
+}

@@ -24,6 +24,8 @@
 //! netscatterd_stream_real_time_factor{stream="door-ap"} 23.84
 //! netscatterd_stream_rounds_decoded{stream="door-ap"} 14
 //! netscatterd_stream_false_alarms{stream="door-ap"} 0
+//! netscatterd_stream_frames_ok{stream="door-ap"} 42
+//! netscatterd_stream_frames_failed_crc{stream="door-ap"} 1
 //! netscatterd_stream_ring_dropped{stream="door-ap"} 0
 //! ```
 //!
@@ -58,8 +60,12 @@ pub fn render(registry: &StreamRegistry, health: &DaemonHealth, uptime_seconds: 
     let rounds: u64 = streams.iter().map(|s| s.rounds).sum();
     let false_alarms: u64 = streams.iter().map(|s| s.false_alarms).sum();
     let dropped: u64 = streams.iter().map(|s| s.ring_dropped).sum();
+    let frames_ok: u64 = streams.iter().map(|s| s.frames_ok).sum();
+    let frames_failed: u64 = streams.iter().map(|s| s.frames_failed_crc).sum();
     let _ = writeln!(out, "netscatterd_rounds_decoded_total {rounds}");
     let _ = writeln!(out, "netscatterd_false_alarms_total {false_alarms}");
+    let _ = writeln!(out, "netscatterd_frames_ok_total {frames_ok}");
+    let _ = writeln!(out, "netscatterd_frames_failed_crc_total {frames_failed}");
     let _ = writeln!(out, "netscatterd_ring_dropped_total {dropped}");
     let _ = writeln!(out, "netscatterd_conns_rejected_total {}", h.conns_rejected);
     let _ = writeln!(
@@ -141,6 +147,16 @@ pub fn render(registry: &StreamRegistry, health: &DaemonHealth, uptime_seconds: 
         );
         let _ = writeln!(
             out,
+            "netscatterd_stream_frames_ok{{stream=\"{label}\"}} {}",
+            s.frames_ok
+        );
+        let _ = writeln!(
+            out,
+            "netscatterd_stream_frames_failed_crc{{stream=\"{label}\"}} {}",
+            s.frames_failed_crc
+        );
+        let _ = writeln!(
+            out,
             "netscatterd_stream_ring_dropped{{stream=\"{label}\"}} {}",
             s.ring_dropped
         );
@@ -168,6 +184,8 @@ mod tests {
         a.record_rates(5e6, 10.0);
         let b = reg.register_on("b", 1);
         b.record_frame(0);
+        b.record_link_frame(true);
+        b.record_link_frame(false);
         b.record_rates(2e6, 4.0);
         b.set_inactive();
         let health = DaemonHealth::new();
@@ -181,6 +199,8 @@ mod tests {
         assert!(doc.contains("netscatterd_streams_total 2"));
         assert!(doc.contains("netscatterd_rounds_decoded_total 1"));
         assert!(doc.contains("netscatterd_false_alarms_total 1"));
+        assert!(doc.contains("netscatterd_frames_ok_total 1"));
+        assert!(doc.contains("netscatterd_frames_failed_crc_total 1"));
         assert!(doc.contains("netscatterd_ring_dropped_total 2"));
         assert!(doc.contains("netscatterd_conns_rejected_total 1"));
         assert!(doc.contains("netscatterd_header_timeouts_total 0"));
@@ -203,6 +223,9 @@ mod tests {
         assert!(doc.contains("netscatterd_stream_samples_total{stream=\"a\"} 1000000"));
         assert!(doc.contains("netscatterd_stream_msamples_per_sec{stream=\"a\"} 5.0000"));
         assert!(doc.contains("netscatterd_stream_real_time_factor{stream=\"a\"} 10.0000"));
+        assert!(doc.contains("netscatterd_stream_frames_ok{stream=\"a\"} 0"));
+        assert!(doc.contains("netscatterd_stream_frames_ok{stream=\"b\"} 1"));
+        assert!(doc.contains("netscatterd_stream_frames_failed_crc{stream=\"b\"} 1"));
         // Every line is `name value` or `name{label} value`.
         for line in doc.lines().skip(1) {
             let mut parts = line.rsplitn(2, ' ');

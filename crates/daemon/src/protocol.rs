@@ -21,6 +21,8 @@
 //! against a daemon started with `--bins`/`--payload-bits`.
 
 use netscatter::json::Json;
+use netscatter_coding::frame::FrameOutcome;
+use netscatter_coding::CodingScheme;
 use netscatter_dsp::Complex64;
 use netscatter_gateway::{DecodedPacket, GatewayReport};
 
@@ -91,6 +93,12 @@ pub struct StreamHeader {
     /// connection; metrics roll the shards up per channel and in
     /// aggregate. `None` lands on channel 0.
     pub channel: Option<usize>,
+    /// Link-layer coding scheme the stream's payload bits carry. When set,
+    /// the daemon frame-decodes every device's bits (CRC-16 verdict plus
+    /// recovered data in each `frame` record, `frames_ok` /
+    /// `frames_failed_crc` counters in `end` records and metrics). `None`
+    /// is the seed behavior: raw bits, no framing.
+    pub coding: Option<CodingScheme>,
     /// Chaos hook: ask the engine's decode worker to panic on this span
     /// index. Honored only when the daemon runs with
     /// `--enable-fault-injection`; rejected with
@@ -109,6 +117,7 @@ impl StreamHeader {
             payload_bits: None,
             detection_floor: None,
             channel: None,
+            coding: None,
             fault_panic_span: None,
         }
     }
@@ -157,6 +166,18 @@ impl StreamHeader {
             ),
         };
         let detection_floor = doc.get("detection_floor").and_then(Json::as_f64);
+        let coding = match doc.get("coding") {
+            None => None,
+            Some(value) => {
+                let name = value
+                    .as_str()
+                    .ok_or("header coding must be a scheme name string")?;
+                let scheme =
+                    CodingScheme::parse(name).map_err(|e| format!("header coding: {e}"))?;
+                // "none" is the explicit spelling of the default.
+                (scheme != CodingScheme::None).then_some(scheme)
+            }
+        };
         let channel = match doc.get("channel") {
             None => None,
             Some(value) => Some(
@@ -182,6 +203,7 @@ impl StreamHeader {
             payload_bits,
             detection_floor,
             channel,
+            coding,
             fault_panic_span,
         })
     }
@@ -209,6 +231,9 @@ impl StreamHeader {
         }
         if let Some(channel) = self.channel {
             fields.push(("channel", Json::Num(channel as f64)));
+        }
+        if let Some(scheme) = self.coding {
+            fields.push(("coding", Json::Str(scheme.name().to_string())));
         }
         if let Some(span) = self.fault_panic_span {
             fields.push(("fault_panic_span", Json::Num(span as f64)));
@@ -302,8 +327,11 @@ pub fn ready_json(stream: &str) -> Json {
     ])
 }
 
-/// One decoded packet as an NDJSON `frame` record.
-pub fn frame_json(stream: &str, packet: &DecodedPacket) -> Json {
+/// One decoded packet as an NDJSON `frame` record. When the stream carries
+/// a link-layer code, `outcomes` holds the per-device frame decode (aligned
+/// with `packet.round.devices`) and each device object gains its CRC
+/// verdict, sequence number, and recovered data bits.
+pub fn frame_json(stream: &str, packet: &DecodedPacket, outcomes: Option<&[FrameOutcome]>) -> Json {
     Json::object(vec![
         ("type", Json::Str("frame".to_string())),
         ("stream", Json::Str(stream.to_string())),
@@ -316,12 +344,20 @@ pub fn frame_json(stream: &str, packet: &DecodedPacket) -> Json {
                     .round
                     .devices
                     .iter()
-                    .map(|d| {
-                        Json::object(vec![
+                    .enumerate()
+                    .map(|(i, d)| {
+                        let mut fields = vec![
                             ("bin", Json::Num(d.chirp_bin as f64)),
                             ("power", Json::Num(d.preamble_power)),
                             ("bits", Json::Str(bits_string(&d.bits))),
-                        ])
+                        ];
+                        if let Some(out) = outcomes.and_then(|o| o.get(i)) {
+                            fields.push(("crc_ok", Json::Bool(out.crc_ok)));
+                            fields.push(("seq", Json::Num(out.seq as f64)));
+                            fields.push(("corrected", Json::Num(out.corrected as f64)));
+                            fields.push(("data", Json::Str(bits_string(&out.data))));
+                        }
+                        Json::object(fields)
                     })
                     .collect(),
             ),
@@ -331,17 +367,22 @@ pub fn frame_json(stream: &str, packet: &DecodedPacket) -> Json {
 
 /// The final `end` summary of an ingest connection. `frames`, `rounds` and
 /// `false_alarms` are the connection's running totals (the report only
-/// carries packets not already published). `code` says how the stream
+/// carries packets not already published); `frames_ok` /
+/// `frames_failed_crc` are the link-layer CRC verdicts over every decoded
+/// device frame (both zero on uncoded streams). `code` says how the stream
 /// ended ([`code::EOF`], [`code::SHUTDOWN`] or [`code::IDLE_TIMEOUT`]);
 /// `complete` is `true` only for a clean [`code::EOF`]. `trailing_bytes`
 /// counts the bytes of a dangling partial cf32 sample the stream ended on
 /// — a client that splits writes off sample boundaries and dies mid-sample
 /// sees its leftover counted here, never silently dropped.
+#[allow(clippy::too_many_arguments)]
 pub fn end_json(
     stream: &str,
     frames: u64,
     rounds: u64,
     false_alarms: u64,
+    frames_ok: u64,
+    frames_failed_crc: u64,
     report: &GatewayReport,
     end_code: &str,
     trailing_bytes: usize,
@@ -354,6 +395,8 @@ pub fn end_json(
         ("frames", Json::Num(frames as f64)),
         ("rounds", Json::Num(rounds as f64)),
         ("false_alarms", Json::Num(false_alarms as f64)),
+        ("frames_ok", Json::Num(frames_ok as f64)),
+        ("frames_failed_crc", Json::Num(frames_failed_crc as f64)),
         ("samples_in", Json::Num(report.samples_in as f64)),
         ("truncated", Json::Num(report.truncated as f64)),
         ("trailing_bytes", Json::Num(trailing_bytes as f64)),
@@ -388,11 +431,15 @@ mod tests {
             payload_bits: Some(8),
             detection_floor: Some(0.05),
             channel: Some(2),
+            coding: Some(CodingScheme::Hamming),
             fault_panic_span: Some(3),
         };
         assert_eq!(StreamHeader::parse(&full.to_json_line()).unwrap(), full);
         let bare = StreamHeader::named("x");
         assert_eq!(StreamHeader::parse(&bare.to_json_line()).unwrap(), bare);
+        // An explicit "none" is the same as leaving the field out.
+        let none = StreamHeader::parse(r#"{"stream":"x","coding":"none"}"#).unwrap();
+        assert_eq!(none, bare);
     }
 
     #[test]
@@ -406,6 +453,8 @@ mod tests {
             (r#"{"stream":"x","bins":7}"#, "array"),
             (r#"{"stream":"x","bins":[-1]}"#, "non-negative"),
             (r#"{"stream":"x","payload_bits":0}"#, "payload_bits"),
+            (r#"{"stream":"x","coding":"turbo"}"#, "coding"),
+            (r#"{"stream":"x","coding":7}"#, "coding"),
             (r#"{"stream":"x","channel":-1}"#, "channel"),
             (r#"{"stream":"x","channel":"left"}"#, "channel"),
             (
@@ -457,12 +506,28 @@ mod tests {
                 }],
             },
         };
-        let line = frame_json("s0", &packet).to_string_line();
+        let line = frame_json("s0", &packet, None).to_string_line();
         assert!(!line.contains('\n'));
         let doc = Json::parse(&line).unwrap();
         assert_eq!(doc.get("type").and_then(Json::as_str), Some("frame"));
         assert_eq!(doc.get("index").and_then(Json::as_u64), Some(2));
         let devices = doc.get("devices").and_then(Json::as_array).unwrap();
         assert_eq!(devices[0].get("bits").and_then(Json::as_str), Some("101"));
+        assert!(devices[0].get("crc_ok").is_none(), "uncoded: no verdict");
+
+        // A coded stream's record carries the per-device frame verdict.
+        let outcomes = vec![FrameOutcome {
+            crc_ok: true,
+            seq: 9,
+            data: vec![false, true],
+            corrected: 1,
+        }];
+        let line = frame_json("s0", &packet, Some(&outcomes)).to_string_line();
+        let doc = Json::parse(&line).unwrap();
+        let devices = doc.get("devices").and_then(Json::as_array).unwrap();
+        assert_eq!(devices[0].get("crc_ok"), Some(&Json::Bool(true)));
+        assert_eq!(devices[0].get("seq").and_then(Json::as_u64), Some(9));
+        assert_eq!(devices[0].get("corrected").and_then(Json::as_u64), Some(1));
+        assert_eq!(devices[0].get("data").and_then(Json::as_str), Some("01"));
     }
 }

@@ -19,6 +19,8 @@ pub struct StreamStats {
     frames: AtomicU64,
     rounds: AtomicU64,
     false_alarms: AtomicU64,
+    frames_ok: AtomicU64,
+    frames_failed_crc: AtomicU64,
     truncated: AtomicU64,
     ring_dropped: AtomicU64,
     samples_per_sec: AtomicU64,
@@ -35,6 +37,8 @@ impl StreamStats {
             frames: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
             false_alarms: AtomicU64::new(0),
+            frames_ok: AtomicU64::new(0),
+            frames_failed_crc: AtomicU64::new(0),
             truncated: AtomicU64::new(0),
             ring_dropped: AtomicU64::new(0),
             samples_per_sec: AtomicU64::new(0f64.to_bits()),
@@ -80,6 +84,17 @@ impl StreamStats {
         }
     }
 
+    /// Counts one link-layer frame decode on a coded stream: a CRC-clean
+    /// frame lands in `frames_ok`, a failed one in `frames_failed_crc`.
+    /// Uncoded streams never call this, so both counters stay zero.
+    pub fn record_link_frame(&self, crc_ok: bool) {
+        if crc_ok {
+            self.frames_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.frames_failed_crc.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records packets lost to the stream ending mid-packet.
     pub fn record_truncated(&self, truncated: u64) {
         self.truncated.store(truncated, Ordering::Relaxed);
@@ -103,6 +118,8 @@ impl StreamStats {
             frames: self.frames.load(Ordering::Relaxed),
             rounds: self.rounds.load(Ordering::Relaxed),
             false_alarms: self.false_alarms.load(Ordering::Relaxed),
+            frames_ok: self.frames_ok.load(Ordering::Relaxed),
+            frames_failed_crc: self.frames_failed_crc.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
             ring_dropped: self.ring_dropped.load(Ordering::Relaxed),
             samples_per_sec: f64::from_bits(self.samples_per_sec.load(Ordering::Relaxed)),
@@ -128,6 +145,10 @@ pub struct StreamSnapshot {
     pub rounds: u64,
     /// Frames that decoded zero devices (energy-gate false alarms).
     pub false_alarms: u64,
+    /// Link-layer device frames that passed their CRC-16 (coded streams).
+    pub frames_ok: u64,
+    /// Link-layer device frames that failed their CRC-16 (coded streams).
+    pub frames_failed_crc: u64,
     /// Packets lost to the stream ending mid-packet.
     pub truncated: u64,
     /// Chunks displaced by the ring's drop-oldest backpressure.
@@ -291,6 +312,9 @@ mod tests {
         s.record_ingest(1000, 3);
         s.record_frame(2);
         s.record_frame(0);
+        s.record_link_frame(true);
+        s.record_link_frame(true);
+        s.record_link_frame(false);
         s.record_truncated(1);
         s.record_rates(2e6, 4.0);
         s.set_inactive();
@@ -305,6 +329,8 @@ mod tests {
                 frames: 2,
                 rounds: 1,
                 false_alarms: 1,
+                frames_ok: 2,
+                frames_failed_crc: 1,
                 truncated: 1,
                 ring_dropped: 3,
                 samples_per_sec: 2e6,

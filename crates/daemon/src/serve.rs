@@ -42,6 +42,7 @@ use crate::protocol::{self, code, Cf32Decoder, StreamHeader, SAMPLE_BYTES};
 use crate::registry::{DaemonHealth, StreamRegistry, StreamStats};
 use crate::{metrics, DecodedPacket};
 use netscatter::json::Json;
+use netscatter_coding::frame::FrameCodec;
 use netscatter_gateway::{EngineError, GatewayConfig, OverflowPolicy, StreamEngine};
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -519,6 +520,22 @@ fn serve_connection(
         )?;
         return Ok(());
     }
+    // A coded stream's frame geometry must fill the (merged) payload bits
+    // exactly; a mismatch is a header-validation failure, caught before
+    // any engine is spawned.
+    let codec = match header.coding {
+        None => None,
+        Some(scheme) => match FrameCodec::new(scheme, cfg.payload_symbols) {
+            Ok(codec) => Some(codec),
+            Err(msg) => {
+                write_record(
+                    &mut sock,
+                    &protocol::error_json(&header.name, code::BAD_HEADER, &msg),
+                )?;
+                return Ok(());
+            }
+        },
+    };
     let rate = header
         .sample_rate_hz
         .unwrap_or(config.default_sample_rate_hz);
@@ -530,6 +547,7 @@ fn serve_connection(
         &cfg,
         rate,
         &stats,
+        codec.as_ref(),
         shutdown,
         config.idle_deadline,
         health,
@@ -544,14 +562,20 @@ struct Tally {
     frames: u64,
     rounds: u64,
     false_alarms: u64,
+    frames_ok: u64,
+    frames_failed_crc: u64,
 }
 
-/// Publishes decoded packets as `frame` records and counts them.
+/// Publishes decoded packets as `frame` records and counts them. On a
+/// coded stream every device's bits are frame-decoded first, so each
+/// record carries the per-device CRC verdict and the link-layer counters
+/// advance.
 fn publish(
     sock: &mut TcpStream,
     name: &str,
     packets: Vec<DecodedPacket>,
     stats: &StreamStats,
+    codec: Option<&FrameCodec>,
     tally: &mut Tally,
 ) -> std::io::Result<()> {
     for packet in packets {
@@ -563,7 +587,28 @@ fn publish(
         } else {
             tally.false_alarms += 1;
         }
-        write_record(sock, &protocol::frame_json(name, &packet))?;
+        let outcomes = codec.map(|c| {
+            packet
+                .round
+                .devices
+                .iter()
+                .map(|d| c.decode_frame(&d.bits))
+                .collect::<Vec<_>>()
+        });
+        if let Some(outcomes) = &outcomes {
+            for out in outcomes {
+                stats.record_link_frame(out.crc_ok);
+                if out.crc_ok {
+                    tally.frames_ok += 1;
+                } else {
+                    tally.frames_failed_crc += 1;
+                }
+            }
+        }
+        write_record(
+            sock,
+            &protocol::frame_json(name, &packet, outcomes.as_deref()),
+        )?;
     }
     Ok(())
 }
@@ -579,6 +624,7 @@ fn serve_stream(
     cfg: &GatewayConfig,
     rate: f64,
     stats: &StreamStats,
+    codec: Option<&FrameCodec>,
     shutdown: &AtomicBool,
     idle_deadline: Option<Duration>,
     health: &DaemonHealth,
@@ -657,7 +703,7 @@ fn serve_stream(
         stats.record_ingest(engine.samples_fed(), engine.ring_dropped());
         let sps = engine.samples_processed() as f64 / started.elapsed().as_secs_f64().max(1e-9);
         stats.record_rates(sps, sps / rate);
-        publish(sock, &name, engine.drain(), stats, &mut tally)?;
+        publish(sock, &name, engine.drain(), stats, codec, &mut tally)?;
     }
 
     // Drain whatever the client had already sent when the loop broke (a
@@ -691,6 +737,7 @@ fn serve_stream(
                 &name,
                 std::mem::take(&mut report.packets),
                 stats,
+                codec,
                 &mut tally,
             )?;
             stats.record_ingest(samples_fed, report.ring_dropped);
@@ -703,6 +750,8 @@ fn serve_stream(
                     tally.frames,
                     tally.rounds,
                     tally.false_alarms,
+                    tally.frames_ok,
+                    tally.frames_failed_crc,
                     &report,
                     end_code,
                     decoder.pending_bytes(),
@@ -720,6 +769,7 @@ fn serve_stream(
                 &name,
                 std::mem::take(&mut report.packets),
                 stats,
+                codec,
                 &mut tally,
             )?;
             stats.record_ingest(samples_fed, report.ring_dropped);

@@ -20,6 +20,7 @@ fn full_header() -> StreamHeader {
         payload_bits: Some(16),
         detection_floor: Some(1e-6),
         channel: Some(1),
+        coding: Some(netscatter_coding::CodingScheme::Rs),
         fault_panic_span: Some(3),
     }
 }

@@ -3,6 +3,8 @@
 //! shutdown must be graceful mid-stream.
 
 use netscatter::json::Json;
+use netscatter_coding::frame::FrameCodec;
+use netscatter_coding::CodingScheme;
 use netscatter_daemon::client::{self, Pace};
 use netscatter_daemon::protocol::{self, StreamHeader};
 use netscatter_daemon::{Daemon, DaemonConfig};
@@ -54,7 +56,7 @@ fn batch_frames(name: &str, samples: &[Complex64]) -> Vec<String> {
     let mut frames = Vec::new();
     for chunk in samples.chunks(cfg.chunk_samples) {
         for packet in gw.feed(chunk).unwrap() {
-            frames.push(protocol::frame_json(name, &packet).to_string_line());
+            frames.push(protocol::frame_json(name, &packet, None).to_string_line());
         }
     }
     assert_eq!(gw.finish(), 0, "reference stream must not truncate");
@@ -69,6 +71,7 @@ fn header_for(name: &str) -> StreamHeader {
         payload_bits: Some(BITS.len()),
         detection_floor: None,
         channel: None,
+        coding: None,
         fault_panic_span: None,
     }
 }
@@ -271,6 +274,75 @@ fn shutdown_mid_stream_writes_an_incomplete_end_record() {
     assert_eq!(end.get("complete"), Some(&Json::Bool(false)));
     // The one fully-fed packet was decoded, not lost, on the way down.
     assert_eq!(lines_of_type(&lines, "frame").len(), 1);
+}
+
+#[test]
+fn coded_stream_reports_crc_verdicts_and_link_counters() {
+    // Hamming(7,4) at 70 on-air bits: 8 data bits per frame.
+    let codec = FrameCodec::new(CodingScheme::Hamming, 70).unwrap();
+    let data: Vec<bool> = BITS.to_vec();
+    let coded = codec.encode_frame(5, &data);
+
+    // Three clean packets from the bin-64 device, each carrying the frame.
+    let params = PhyProfile::default().modulation.chirp();
+    let mut pkt = PreambleBuilder::new(params, BINS[0]).build(0.0, 0.0, 1.0);
+    pkt.extend(OnOffModulator::new(params, BINS[0]).modulate_payload(&coded, 0.0, 0.0, 1.0));
+    let mut stream = Vec::new();
+    for i in 0..3 {
+        stream.extend(vec![Complex64::ZERO; 500 + 211 * i]);
+        stream.extend(&pkt);
+    }
+    stream.extend(vec![Complex64::ZERO; 300]);
+    let samples = protocol::quantize_cf32(&stream);
+
+    let base = GatewayConfig {
+        chunk_samples: 2048,
+        workers: 2,
+        ring_slots: 256,
+        ..GatewayConfig::new(PhyProfile::default(), BINS.to_vec(), coded.len())
+    };
+    let daemon = Daemon::start(DaemonConfig::new(base)).unwrap();
+    let mut header = header_for("coded");
+    header.payload_bits = Some(coded.len());
+    header.coding = Some(CodingScheme::Hamming);
+    let lines =
+        client::stream_samples(daemon.ingest_addr(), &header, &samples, Pace::RealTime).unwrap();
+
+    // Every frame record carries the per-device CRC verdict and the
+    // recovered data bits.
+    let frames = lines_of_type(&lines, "frame");
+    assert_eq!(frames.len(), 3, "all three packets decode: {lines:?}");
+    for line in &frames {
+        let doc = Json::parse(line).unwrap();
+        let devices = doc.get("devices").and_then(Json::as_array).unwrap();
+        assert_eq!(devices.len(), 1);
+        assert_eq!(devices[0].get("crc_ok"), Some(&Json::Bool(true)));
+        assert_eq!(devices[0].get("seq").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            devices[0].get("data").and_then(Json::as_str),
+            Some(protocol::bits_string(&data).as_str())
+        );
+    }
+
+    // The end record and metrics carry the link-layer counters.
+    let end = Json::parse(lines_of_type(&lines, "end")[0]).unwrap();
+    assert_eq!(end.get("frames_ok").and_then(Json::as_u64), Some(3));
+    assert_eq!(end.get("frames_failed_crc").and_then(Json::as_u64), Some(0));
+    let doc = client::fetch_metrics(daemon.metrics_addr().unwrap()).unwrap();
+    assert!(doc.contains("netscatterd_stream_frames_ok{stream=\"coded\"} 3"));
+    assert!(doc.contains("netscatterd_stream_frames_failed_crc{stream=\"coded\"} 0"));
+    assert!(doc.contains("netscatterd_frames_ok_total 3"));
+
+    // A coded header whose payload bits fit no frame geometry is rejected
+    // up front as a bad header.
+    let mut bad = header_for("badgeom");
+    bad.coding = Some(CodingScheme::Hamming); // payload_bits stays 8
+    let lines = client::stream_bytes(daemon.ingest_addr(), &bad, b"", Pace::Unlimited).unwrap();
+    let errors = lines_of_type(&lines, "error");
+    assert_eq!(errors.len(), 1, "geometry mismatch must error: {lines:?}");
+    let err = Json::parse(errors[0]).unwrap();
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("bad_header"));
+    daemon.shutdown();
 }
 
 #[test]

@@ -8,6 +8,8 @@
 //! preamble powers match exactly.
 
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
+use netscatter_coding::frame::FrameCodec;
+use netscatter_coding::CodingScheme;
 use netscatter_dsp::Complex64;
 use netscatter_gateway::{
     run_stream, DecodedPacket, GatewayConfig, MultiChannelEngine, ReplaySource, StreamGateway,
@@ -51,6 +53,38 @@ fn build_round(rng: &mut StdRng, devices: usize, offset: usize, payload_bits: us
         let pre = PreambleBuilder::new(params, bin).build(timing_s, freq_hz, amp);
         let bits: Vec<bool> = (0..payload_bits).map(|_| rng.gen_bool(0.5)).collect();
         let pay = OnOffModulator::new(params, bin).modulate_payload(&bits, timing_s, freq_hz, amp);
+        for (acc, s) in body.iter_mut().zip(pre.iter().chain(pay.iter())) {
+            *acc += *s;
+        }
+    }
+    let mut stream = vec![Complex64::ZERO; offset];
+    stream.extend(body);
+    stream.extend(vec![Complex64::ZERO; 1024]);
+    Round {
+        stream,
+        offset,
+        bins,
+        payload_bits,
+    }
+}
+
+/// Like [`build_round`] but every device transmits a caller-provided bit
+/// vector (a coded link-layer frame) instead of random payload bits.
+fn build_round_with_frames(rng: &mut StdRng, offset: usize, frames: &[Vec<bool>]) -> Round {
+    let profile = PhyProfile::default();
+    let params = profile.modulation.chirp();
+    let n = params.num_bins();
+    let devices = frames.len();
+    let spacing = (n / devices.max(1)).max(profile.skip);
+    let bins: Vec<usize> = (0..devices).map(|i| (i * spacing) % n).collect();
+    let payload_bits = frames[0].len();
+    let mut body = vec![Complex64::ZERO; (8 + payload_bits) * n];
+    for (&bin, bits) in bins.iter().zip(frames) {
+        let timing_s = rng.gen_range(0.0..0.3) * params.sample_period_s();
+        let freq_hz = rng.gen_range(-80.0..80.0);
+        let amp = rng.gen_range(0.5..1.5);
+        let pre = PreambleBuilder::new(params, bin).build(timing_s, freq_hz, amp);
+        let pay = OnOffModulator::new(params, bin).modulate_payload(bits, timing_s, freq_hz, amp);
         for (acc, s) in body.iter_mut().zip(pre.iter().chain(pay.iter())) {
             *acc += *s;
         }
@@ -271,6 +305,64 @@ fn multi_channel_path_is_bit_identical_to_batch_on_every_channel() {
         );
         assert!(!batch.devices.is_empty());
         assert_eq!(chan_report.samples_in, round.stream.len() as u64);
+    }
+}
+
+#[test]
+fn coded_frames_stream_bit_identically_and_decode_clean_at_any_worker_count() {
+    // Link-layer frames (RS at 104 payload symbols) through the full
+    // stack: the streaming decode must stay bit-identical to batch — and
+    // therefore deterministic at any worker count — and the recovered bits
+    // must reassemble into CRC-clean frames carrying the exact sent data.
+    let mut rng = StdRng::seed_from_u64(0xFEC);
+    let codec = FrameCodec::new(CodingScheme::Rs, 104).expect("valid frame geometry");
+    let sent: Vec<(u8, Vec<bool>)> = (0..4u8)
+        .map(|seq| {
+            let data: Vec<bool> = (0..codec.data_bits()).map(|_| rng.gen_bool(0.5)).collect();
+            (seq, data)
+        })
+        .collect();
+    let frames: Vec<Vec<bool>> = sent
+        .iter()
+        .map(|(seq, data)| codec.encode_frame(*seq, data))
+        .collect();
+    let round = build_round_with_frames(&mut rng, 641, &frames);
+
+    // Chunked synchronous path under a randomized schedule.
+    let schedule: Vec<usize> = (0..48).map(|_| rng.gen_range(1..=2048usize)).collect();
+    let packets = stream_decode(&round, &schedule);
+    assert_equivalent(&round, &packets, "coded chunked stream");
+
+    // Threaded pipeline: worker count must not perturb a single bit.
+    for workers in [1usize, 2, 4] {
+        let cfg = GatewayConfig {
+            chunk_samples: 709,
+            ring_slots: 4,
+            workers,
+            ..GatewayConfig::new(
+                PhyProfile::default(),
+                round.bins.clone(),
+                round.payload_bits,
+            )
+        };
+        let mut source = ReplaySource::from_samples(round.stream.clone(), 500e3);
+        let report = run_stream(&mut source, &cfg).expect("pipeline runs");
+        assert_equivalent(
+            &round,
+            &report.packets,
+            &format!("coded pipeline with {workers} workers"),
+        );
+    }
+
+    // The link layer rides on top of the identical bits: every device's
+    // decoded payload is a CRC-clean frame with the sent seq and data.
+    let decoded = &packets[0].round;
+    for ((seq, data), &bin) in sent.iter().zip(&round.bins) {
+        let bits = decoded.bits_for(bin).expect("device decoded");
+        let out = codec.decode_frame(bits);
+        assert!(out.crc_ok, "bin {bin}: frame CRC failed");
+        assert_eq!(out.seq, *seq, "bin {bin}: wrong frame sequence number");
+        assert_eq!(&out.data, data, "bin {bin}: frame data diverged");
     }
 }
 

@@ -1,14 +1,15 @@
 //! Performance snapshot for CI: runs the registered `perf` experiment
 //! (decode path, quick-mode sweeps, sample-level network rounds, streaming
-//! gateway), prints its report, and writes `BENCH_decode.json` +
-//! `BENCH_network.json` + `BENCH_stream.json` through the schema-versioned
-//! `ExperimentResult` JSON sink so the perf trajectory of all three
-//! pipelines is tracked from PR to PR.
+//! gateway, link-layer codecs), prints its report, and writes
+//! `BENCH_decode.json` + `BENCH_network.json` + `BENCH_stream.json` +
+//! `BENCH_coding.json` through the schema-versioned `ExperimentResult`
+//! JSON sink so the perf trajectory of all four pipelines is tracked from
+//! PR to PR.
 //!
 //! Usage: `perf_snapshot [--out <path>] [--network-out <path>]
-//! [--stream-out <path>] [--format text|json] [--seed N]`
-//! (defaults `BENCH_decode.json` / `BENCH_network.json` /
-//! `BENCH_stream.json`, text report).
+//! [--stream-out <path>] [--coding-out <path>] [--format text|json]
+//! [--seed N]` (defaults `BENCH_decode.json` / `BENCH_network.json` /
+//! `BENCH_stream.json` / `BENCH_coding.json`, text report).
 //! The other universal experiment flags are accepted; ones the `perf`
 //! experiment does not read (e.g. `--threads`) produce a stderr note.
 
@@ -25,6 +26,7 @@ FLAGS:
   --out <PATH>            BENCH_decode.json path (default: BENCH_decode.json)
   --network-out <PATH>    BENCH_network.json path (default: BENCH_network.json)
   --stream-out <PATH>     BENCH_stream.json path (default: BENCH_stream.json)
+  --coding-out <PATH>     BENCH_coding.json path (default: BENCH_coding.json)
   --seed <N>              deployment seed (default: 42)
   --format <text|json>    stdout report sink (default: text);
                           the BENCH artifacts are always JSON
@@ -36,6 +38,7 @@ fn main() {
     let mut out_path = String::from("BENCH_decode.json");
     let mut network_out_path = String::from("BENCH_network.json");
     let mut stream_out_path = String::from("BENCH_stream.json");
+    let mut coding_out_path = String::from("BENCH_coding.json");
     // Split the snapshot-specific flags off, then hand the rest to the
     // shared experiment-flag parser (which handles --help and rejects
     // unknown flags / unknown --format values with a usage error rather
@@ -55,6 +58,7 @@ fn main() {
             "--out" => out_path = take_value(&mut i),
             "--network-out" => network_out_path = take_value(&mut i),
             "--stream-out" => stream_out_path = take_value(&mut i),
+            "--coding-out" => coding_out_path = take_value(&mut i),
             other => shared.push(other.to_string()),
         }
         i += 1;
@@ -72,11 +76,12 @@ fn main() {
     let result = exp.run(&opts.scenario);
     print!("{}", render(exp, &result, opts.format));
 
-    let (decode, network, stream) = perf_bench_results(&result);
+    let (decode, network, stream, coding) = perf_bench_results(&result);
     for (artifact, path) in [
         (decode, &out_path),
         (network, &network_out_path),
         (stream, &stream_out_path),
+        (coding, &coding_out_path),
     ] {
         if let Err(e) = std::fs::write(path, artifact.to_json().to_string_pretty()) {
             eprintln!("failed to write {path}: {e}");

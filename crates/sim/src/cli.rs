@@ -76,6 +76,7 @@ FLAGS (run & sweep):
   --channel <office|outdoor|pristine>
   --scheme <{schemes}>
   --payload-bits <N>
+  --coding <{codings}>        link-layer coding scheme (default: none)
   --arrival-rate <R>          gateway round arrivals per second (default: 10)
   --stream-secs <S>           gateway stream duration (default: 1.0)
   --chunk-samples <N>         gateway producer chunk size (default: 4096)
@@ -88,8 +89,17 @@ their --set counterparts) are case-insensitive.
 Sweepable scenario fields: {fields}
 Run `netscatter list` for the experiment ids.",
         schemes = schemes.join("|"),
+        codings = coding_names().join("|"),
         fields = SCENARIO_FIELDS.join(", ")
     )
+}
+
+/// The CLI names of every link-layer coding scheme.
+fn coding_names() -> Vec<&'static str> {
+    netscatter_coding::CodingScheme::ALL
+        .iter()
+        .map(|c| c.name())
+        .collect()
 }
 
 /// Options shared by `run`, `sweep`, and the shim binaries.
@@ -142,7 +152,7 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
             // Enum-valued fields are case-insensitive inside `set_field`,
             // which also covers the `--set` sweep path.
             "--seed" | "--threads" | "--devices" | "--placement" | "--channel" | "--fidelity"
-            | "--scheme" => {
+            | "--scheme" | "--coding" => {
                 let field = arg.trim_start_matches("--").to_string();
                 let v = value(&mut i, arg)?;
                 opts.scenario
@@ -197,6 +207,14 @@ pub fn parse_flags(args: &[String], allow_grid: bool) -> Result<RunOptions, CliE
             other => return Err(CliError::usage(format!("unknown argument: {other}"))),
         }
         i += 1;
+    }
+    // Cross-field validation (coding × payload_bits frame geometry) runs
+    // once all flags are in, so flag order never matters. When a sweep axis
+    // covers either field, the base value is about to be overwritten — each
+    // expanded grid point is validated instead (in `expand_grid`).
+    let swept = |field: &str| opts.grid.iter().any(|(f, _)| f == field);
+    if !swept("coding") && !swept("payload_bits") {
+        opts.scenario.validate().map_err(CliError::usage)?;
     }
     Ok(opts)
 }
@@ -331,6 +349,18 @@ fn expand_grid(
         }
         combos = next;
     }
+    // Intermediate combos may be transiently invalid (a coding axis applied
+    // before the payload_bits axis); only the finished grid points must
+    // satisfy the cross-field frame geometry.
+    for (label, scenario) in &combos {
+        scenario.validate().map_err(|e| {
+            CliError::usage(if label.is_empty() {
+                e.clone()
+            } else {
+                format!("sweep point [{label}]: {e}")
+            })
+        })?;
+    }
     Ok(combos)
 }
 
@@ -459,7 +489,7 @@ FLAGS:
   --threads <N>               worker-thread bound (default: all cores; 0 = all cores)
   --fidelity <analytical|sample>
   --devices <N>  --placement <office|hall>  --channel <office|outdoor|pristine>
-  --scheme <name>  --payload-bits <N>
+  --scheme <name>  --payload-bits <N>  --coding <none|hamming|rs|conv|fountain>
   --arrival-rate <R>  --stream-secs <S>  --chunk-samples <N>
   --format <text|json|csv>    output sink (default: text)
   --out <PATH>                write output to PATH instead of stdout{extra_flags}
@@ -595,6 +625,57 @@ mod tests {
         );
         assert_eq!(combos[1].0, "channels=2");
         assert!(expand_grid(&opts.scenario, &[("channels".into(), vec!["0".into()])]).is_err());
+    }
+
+    #[test]
+    fn coding_flag_validates_frame_geometry_after_all_flags() {
+        // A valid scheme × payload pairing parses in either flag order.
+        for order in [
+            ["--coding", "rs", "--payload-bits", "112"],
+            ["--payload-bits", "112", "--coding", "rs"],
+        ] {
+            let opts = parse_flags(&args(&order), false).expect("valid geometry parses");
+            assert_eq!(opts.scenario.coding, netscatter_coding::CodingScheme::Rs);
+            assert_eq!(opts.scenario.payload_bits, 112);
+        }
+        // The default 40-bit payload fits no RS geometry: usage error that
+        // names the constraint instead of a silent downstream failure.
+        let err = parse_flags(&args(&["--coding", "rs"]), false).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("payload_bits"), "{}", err.message);
+        // Unknown schemes are rejected at the flag.
+        assert!(parse_flags(&args(&["--coding", "turbo"]), false).is_err());
+        // coding none (the default) never constrains payload_bits.
+        assert!(parse_flags(&args(&["--coding", "none"]), false).is_ok());
+        // A sweep may fix the geometry through its axes: the base scenario
+        // is transiently invalid, every expanded point is checked instead.
+        let opts = parse_flags(
+            &args(&["--coding", "hamming", "--set", "payload_bits=70,84"]),
+            true,
+        )
+        .expect("geometry deferred to the grid");
+        let combos = expand_grid(&opts.scenario, &opts.grid).expect("valid grid points");
+        assert_eq!(combos.len(), 2);
+        let err = expand_grid(
+            &opts.scenario,
+            &[("payload_bits".into(), vec!["70".into(), "41".into()])],
+        )
+        .unwrap_err();
+        assert!(err.message.contains("payload_bits=41"), "{}", err.message);
+        // And coding itself sweeps as a grid axis.
+        let opts = parse_flags(
+            &args(&["--payload-bits", "112", "--set", "coding=none,rs"]),
+            true,
+        )
+        .expect("coding axis parses");
+        let combos = expand_grid(&opts.scenario, &opts.grid).expect("axis expands");
+        assert_eq!(
+            combos
+                .iter()
+                .map(|(_, s)| s.coding.name())
+                .collect::<Vec<_>>(),
+            vec!["none", "rs"]
+        );
     }
 
     #[test]

@@ -254,6 +254,20 @@ pub struct RoundTruth {
     pub transmitted: Vec<bool>,
 }
 
+/// Everything [`FullRoundNetwork::simulate_round_with`] knows about one
+/// round: the protocol-level truth plus the raw bits on both ends of the
+/// channel, per device.
+#[derive(Debug, Clone)]
+pub struct RoundDetail {
+    /// The protocol-level round truth (raw-bit delivery semantics).
+    pub truth: RoundTruth,
+    /// What each device put on the air (`None` for skipped/re-associated).
+    pub sent: Vec<Option<Vec<bool>>>,
+    /// What the receiver recovered per device (`None` when the device
+    /// skipped or its bin was not detected).
+    pub received: Vec<Option<Vec<bool>>>,
+}
+
 /// The sample-level round simulator for one trial: a deployment subset with
 /// live device state, a channel realizer, and the AP receiver.
 #[derive(Debug, Clone)]
@@ -400,6 +414,20 @@ impl FullRoundNetwork {
     /// round synthesizer calls it directly to splice rounds into a
     /// continuous stream.
     pub fn synthesize_round(&mut self, payload_bits: usize) -> Vec<Option<Vec<bool>>> {
+        self.synthesize_round_with(payload_bits, None)
+    }
+
+    /// [`Self::synthesize_round`] with an optional payload provider: when
+    /// given, each transmitting device's `payload_bits` on-air bits come
+    /// from `provider(device_index)` (the coded link layer supplies FEC
+    /// frames this way) instead of the local RNG's fair-coin draws. With
+    /// `None` the RNG stream is consumed exactly as the seed behavior did,
+    /// so every uncoded golden result is untouched.
+    pub fn synthesize_round_with(
+        &mut self,
+        payload_bits: usize,
+        mut provider: Option<&mut dyn FnMut(usize) -> Vec<bool>>,
+    ) -> Vec<Option<Vec<bool>>> {
         let n = self.profile.modulation.num_bins();
         let num_devices = self.devices.len();
         let total = (PREAMBLE_SYMBOLS + payload_bits) * n;
@@ -429,7 +457,18 @@ impl FullRoundNetwork {
             let packet = self.devices[i].packet_impairments(&self.model.impairments, &mut self.rng);
             let timing_offset_s = packet.timing_offset_s + ch.excess_delay_s;
             let freq_offset_hz = packet.freq_offset_hz + ch.doppler_hz;
-            let bits: Vec<bool> = (0..payload_bits).map(|_| self.rng.gen_bool(0.5)).collect();
+            let bits: Vec<bool> = match provider.as_mut() {
+                Some(supply) => {
+                    let bits = supply(i);
+                    assert_eq!(
+                        bits.len(),
+                        payload_bits,
+                        "payload provider must fill the on-air budget exactly"
+                    );
+                    bits
+                }
+                None => (0..payload_bits).map(|_| self.rng.gen_bool(0.5)).collect(),
+            };
             // Amplitude relative to unit noise power: uplink budget, fading
             // (both legs), the device's chosen backscatter gain, and the
             // model's SNR boost. The multipath composite gain contributes
@@ -457,8 +496,21 @@ impl FullRoundNetwork {
     /// device is *delivered* when the receiver detected it and decoded all
     /// of its bits correctly.
     pub fn simulate_round(&mut self, payload_bits: usize) -> RoundTruth {
+        self.simulate_round_with(payload_bits, None).truth
+    }
+
+    /// [`Self::simulate_round`] with a payload provider (see
+    /// [`Self::synthesize_round_with`]) and the full per-device detail: what
+    /// each device put on the air and what the receiver recovered for its
+    /// bin. The coded link layer feeds FEC frames in and runs the frame
+    /// decode + CRC over what comes back.
+    pub fn simulate_round_with(
+        &mut self,
+        payload_bits: usize,
+        provider: Option<&mut dyn FnMut(usize) -> Vec<bool>>,
+    ) -> RoundDetail {
         let num_devices = self.devices.len();
-        let sent = self.synthesize_round(payload_bits);
+        let sent = self.synthesize_round_with(payload_bits, provider);
         if self.model.noise {
             AwgnChannel::with_noise_power(1.0).apply(&mut self.rng, &mut self.stream);
         }
@@ -468,6 +520,7 @@ impl FullRoundNetwork {
             .expect("stream is sized for exactly one round");
         let mut delivered = vec![false; num_devices];
         let mut transmitted = vec![false; num_devices];
+        let mut received: Vec<Option<Vec<bool>>> = vec![None; num_devices];
         let mut detected = 0usize;
         let mut correct_bits = 0usize;
         let mut transmitted_bits = 0usize;
@@ -482,21 +535,26 @@ impl FullRoundNetwork {
             let matching = decoded.iter().zip(bits).filter(|(a, b)| a == b).count();
             correct_bits += matching;
             delivered[i] = decoded.len() == bits.len() && matching == bits.len();
+            received[i] = Some(decoded.to_vec());
         }
         let decoded_clean = delivered.iter().filter(|d| **d).count();
-        RoundTruth {
-            outcome: RoundOutcome {
-                scheduled: num_devices,
-                detected,
-                decoded_clean,
-                correct_bits,
-                // Only bits that actually went on the air: devices that
-                // skipped (or re-associated) this round transmit nothing,
-                // so they must not show up as phantom bit errors.
-                transmitted_bits,
+        RoundDetail {
+            truth: RoundTruth {
+                outcome: RoundOutcome {
+                    scheduled: num_devices,
+                    detected,
+                    decoded_clean,
+                    correct_bits,
+                    // Only bits that actually went on the air: devices that
+                    // skipped (or re-associated) this round transmit nothing,
+                    // so they must not show up as phantom bit errors.
+                    transmitted_bits,
+                },
+                delivered,
+                transmitted,
             },
-            delivered,
-            transmitted,
+            sent,
+            received,
         }
     }
 
@@ -643,6 +701,29 @@ mod tests {
             transmitted * 8,
             "every transmitted bit must decode at high SNR"
         );
+    }
+
+    #[test]
+    fn payload_provider_controls_the_on_air_bits() {
+        let dep = deployment(64);
+        let mut net = FullRoundNetwork::for_trial(&dep, 8, &ChannelModel::pristine(), 7);
+        let pattern: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let mut provider = |device: usize| {
+            let mut bits = pattern.clone();
+            bits[0] = device % 2 == 0;
+            bits
+        };
+        let detail = net.simulate_round_with(16, Some(&mut provider));
+        let mut checked = 0;
+        for (i, sent) in detail.sent.iter().enumerate() {
+            let Some(sent) = sent else { continue };
+            assert_eq!(sent[0], i % 2 == 0, "provider bits reach the air");
+            assert_eq!(&sent[1..], &pattern[1..]);
+            // At pristine SNR the receiver recovers exactly what went out.
+            assert_eq!(detail.received[i].as_deref(), Some(&sent[..]));
+            checked += 1;
+        }
+        assert!(checked >= 7, "only {checked} devices transmitted");
     }
 
     #[test]

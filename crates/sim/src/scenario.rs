@@ -24,6 +24,8 @@ use crate::network::{
     SchemeMetrics,
 };
 use netscatter_baselines::tdma::LoraScheme;
+use netscatter_coding::frame::FrameCodec;
+pub use netscatter_coding::CodingScheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -182,6 +184,11 @@ pub struct Scenario {
     /// Independent 500 kHz gateway channels served by the sharded
     /// multi-channel engine (§5: more channels, more concurrent devices).
     pub channels: usize,
+    /// Link-layer coding scheme: `None` keeps the seed's raw-bit payloads;
+    /// any other scheme wraps each device's round in one CRC-16-checked
+    /// frame protected by that inner FEC. The scheme × `payload_bits`
+    /// frame geometry is cross-validated by [`Scenario::validate`].
+    pub coding: CodingScheme,
 }
 
 impl Default for Scenario {
@@ -200,6 +207,7 @@ impl Default for Scenario {
             stream_secs: 1.0,
             chunk_samples: 4096,
             channels: 1,
+            coding: CodingScheme::None,
         }
     }
 }
@@ -215,7 +223,7 @@ const MAX_ARRIVAL_RATE_HZ: f64 = 1e6;
 
 /// The names of every settable [`Scenario`] field, in canonical order —
 /// the vocabulary of `netscatter sweep` and [`Scenario::set_field`].
-pub const SCENARIO_FIELDS: [&str; 13] = [
+pub const SCENARIO_FIELDS: [&str; 14] = [
     "devices",
     "placement",
     "channel",
@@ -229,6 +237,7 @@ pub const SCENARIO_FIELDS: [&str; 13] = [
     "stream_secs",
     "chunk_samples",
     "channels",
+    "coding",
 ];
 
 impl Scenario {
@@ -262,6 +271,7 @@ impl Scenario {
             ("stream_secs", self.stream_secs.to_string()),
             ("chunk_samples", self.chunk_samples.to_string()),
             ("channels", self.channels.to_string()),
+            ("coding", self.coding.name().to_string()),
         ]
     }
 
@@ -380,6 +390,11 @@ impl Scenario {
                     _ => return Err(format!("scale expects 'quick' or 'paper', got {value:?}")),
                 }
             }
+            // Geometry against `payload_bits` is deliberately NOT checked
+            // here — field setters stay order-independent so sweeps may set
+            // `coding` before `payload_bits`. [`Scenario::validate`] checks
+            // the cross-field constraint once every field is in place.
+            "coding" => self.coding = CodingScheme::parse(&value.to_lowercase())?,
             _ => {
                 return Err(format!(
                     "unknown scenario field {name:?}; known fields: {}",
@@ -388,6 +403,28 @@ impl Scenario {
             }
         }
         Ok(())
+    }
+
+    /// Cross-field validation, called once every field is set (the CLI does
+    /// this after flag parsing and per sweep point): when a coding scheme is
+    /// selected, its frame geometry — header + data + CRC through the inner
+    /// FEC — must fill `payload_bits` exactly. Returns the frame codec's
+    /// usage-quality error otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.coding != CodingScheme::None {
+            FrameCodec::new(self.coding, self.payload_bits)?;
+        }
+        Ok(())
+    }
+
+    /// The frame codec this scenario's coding scheme implies, or `None` for
+    /// uncoded raw-bit payloads. Errors exactly when [`Scenario::validate`]
+    /// does.
+    pub fn frame_codec(&self) -> Result<Option<FrameCodec>, String> {
+        if self.coding == CodingScheme::None {
+            return Ok(None);
+        }
+        FrameCodec::new(self.coding, self.payload_bits).map(Some)
     }
 
     /// The deployment this scenario describes, generated deterministically
@@ -542,6 +579,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Link-layer coding scheme. The scheme × payload geometry is checked
+    /// by [`Scenario::validate`], not here, so setter order never matters.
+    pub fn coding(mut self, coding: CodingScheme) -> Self {
+        self.0.coding = coding;
+        self
+    }
+
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         self.0
@@ -607,6 +651,8 @@ mod tests {
             ("arrival_rate", "2.5"),
             ("stream_secs", "0.75"),
             ("chunk_samples", "512"),
+            ("channels", "2"),
+            ("coding", "rs"),
         ] {
             s.set_field(name, value).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -625,6 +671,8 @@ mod tests {
             "2.5",
             "0.75",
             "512",
+            "2",
+            "rs",
         ]) {
             assert_eq!(got, want, "field {name}");
         }
@@ -679,6 +727,10 @@ mod tests {
             .set_field("scheme", "aloha")
             .unwrap_err()
             .contains("netscatter"));
+        assert!(s
+            .set_field("coding", "turbo")
+            .unwrap_err()
+            .contains("hamming"));
         for (field, bad) in [
             ("arrival_rate", "0"),
             ("arrival_rate", "fast"),
@@ -723,6 +775,42 @@ mod tests {
         assert_eq!(ns.num_devices, 48);
         assert_eq!(lora.num_devices, 48);
         assert!(ns.link_layer_rate_bps > lora.link_layer_rate_bps);
+    }
+
+    #[test]
+    fn coding_round_trips_and_validates_against_payload_geometry() {
+        // Every scheme name parses back through the string interface.
+        for scheme in CodingScheme::ALL {
+            let mut s = Scenario::default();
+            s.set_field("coding", scheme.name()).unwrap();
+            assert_eq!(s.coding, scheme);
+        }
+        // The default scenario (coding none) always validates.
+        assert_eq!(Scenario::default().validate(), Ok(()));
+        assert!(Scenario::default().frame_codec().unwrap().is_none());
+        // Setter order never matters: coding before payload_bits is fine
+        // until validate() runs on the finished scenario.
+        let mut s = Scenario::default();
+        s.set_field("coding", "rs").unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("payload_bits"), "{err}");
+        assert!(s.frame_codec().is_err());
+        s.set_field("payload_bits", "112").unwrap();
+        assert_eq!(s.validate(), Ok(()));
+        let codec = s.frame_codec().unwrap().expect("coded scenario");
+        assert_eq!(codec.data_bits(), 16);
+        // The builder path reaches the same validation.
+        let s = Scenario::builder()
+            .coding(CodingScheme::Conv)
+            .payload_bits(108)
+            .build();
+        assert_eq!(s.validate(), Ok(()));
+        assert!(Scenario::builder()
+            .coding(CodingScheme::Conv)
+            .payload_bits(41)
+            .build()
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 use crate::deployment::Deployment;
 use crate::fullround::{ChannelModel, FullRoundNetwork};
+use netscatter_coding::frame::FrameCodec;
+use netscatter_coding::CodingScheme;
 use netscatter_dsp::Complex64;
 use netscatter_gateway::StreamSource;
 use rand::rngs::StdRng;
@@ -29,6 +31,9 @@ const ARRIVAL_STREAM_SALT: u64 = 0xA11_1FA1_57AC_AB1E;
 
 /// Salt applied to the trial seed for the stream-noise RNG.
 const STREAM_NOISE_SALT: u64 = 0x5707_CA57_0FF1_CE00;
+
+/// Salt applied to the trial seed for the coded-frame data RNG.
+const FRAME_DATA_SALT: u64 = 0x00C0_DED0_F4A3_DA7A;
 
 /// What one round put on the air, for scoring the gateway's decode.
 #[derive(Debug, Clone)]
@@ -77,6 +82,11 @@ pub struct RoundArrivalSource {
     arrivals: StdRng,
     noise: StdRng,
     add_noise: bool,
+    /// When set, every transmitting device's on-air bits are one CRC-framed,
+    /// FEC-coded frame of random data instead of raw fair-coin bits.
+    codec: Option<FrameCodec>,
+    frame_data: StdRng,
+    rounds_started: u64,
     truth: StreamTruth,
 }
 
@@ -112,6 +122,9 @@ impl RoundArrivalSource {
             arrivals,
             noise: StdRng::seed_from_u64(trial_seed ^ STREAM_NOISE_SALT),
             add_noise,
+            codec: None,
+            frame_data: StdRng::seed_from_u64(trial_seed ^ FRAME_DATA_SALT),
+            rounds_started: 0,
             truth: Arc::new(Mutex::new(Vec::new())),
         };
         source.gap_remaining = source.draw_gap();
@@ -125,6 +138,19 @@ impl RoundArrivalSource {
             source.gap_remaining = source.gap_remaining.min(latest_first_gap);
         }
         source
+    }
+
+    /// Switches the source to the coded link layer: every transmitting
+    /// device's `payload_bits` on-air bits become one `scheme` frame
+    /// (sequence number = round index, random data bits from a dedicated
+    /// RNG stream). Fails like [`FrameCodec::new`] when the scheme cannot
+    /// fill `payload_bits` exactly; `CodingScheme::None` is a no-op.
+    pub fn with_coding(mut self, scheme: CodingScheme) -> Result<Self, String> {
+        self.codec = match scheme {
+            CodingScheme::None => None,
+            scheme => Some(FrameCodec::new(scheme, self.cfg.payload_bits)?),
+        };
+        Ok(self)
     }
 
     /// The ground-truth handle; clone it before handing the source to the
@@ -166,7 +192,21 @@ impl RoundArrivalSource {
 
     /// Synthesizes the next round into `pending` and records its truth.
     fn start_round(&mut self) {
-        let sent = self.net.synthesize_round(self.cfg.payload_bits);
+        let seq = self.rounds_started as u8; // wraps with the frame header
+        self.rounds_started += 1;
+        let sent = match self.codec.as_ref() {
+            None => self.net.synthesize_round(self.cfg.payload_bits),
+            Some(codec) => {
+                let rng = &mut self.frame_data;
+                let mut provider = |_device: usize| {
+                    let data: Vec<bool> =
+                        (0..codec.data_bits()).map(|_| rng.gen_bool(0.5)).collect();
+                    codec.encode_frame(seq, &data)
+                };
+                self.net
+                    .synthesize_round_with(self.cfg.payload_bits, Some(&mut provider))
+            }
+        };
         self.pending.clear();
         self.pending.extend_from_slice(self.net.round_waveform());
         self.pending_cursor = 0;
@@ -318,6 +358,46 @@ mod tests {
         let a = drain(&mut source(4, &ChannelModel::pristine(), 0.2, 9), 64);
         let b = drain(&mut source(4, &ChannelModel::pristine(), 0.2, 9), 4097);
         assert_eq!(a, b, "pristine stream must be fill-size invariant");
+    }
+
+    #[test]
+    fn coded_source_puts_crc_clean_frames_on_the_air() {
+        let dep =
+            Deployment::generate(DeploymentConfig::office(16), &mut StdRng::seed_from_u64(17));
+        let cfg = ArrivalConfig {
+            rate_hz: 20.0,
+            stream_secs: 0.5,
+            payload_bits: 70, // Hamming(7,4): 8 data bits per frame
+        };
+        let mut src = RoundArrivalSource::new(&dep, 4, &ChannelModel::pristine(), cfg, 11)
+            .with_coding(CodingScheme::Hamming)
+            .unwrap();
+        let truth = src.truth();
+        let _ = drain(&mut src, 2048);
+        let rounds = truth.lock().unwrap();
+        assert!(!rounds.is_empty());
+        let codec = FrameCodec::new(CodingScheme::Hamming, 70).unwrap();
+        for (i, round) in rounds.iter().enumerate() {
+            for sent in round.sent.iter().flatten() {
+                let out = codec.decode_frame(sent);
+                assert!(out.crc_ok, "round {i}: on-air bits are a valid frame");
+                assert_eq!(out.seq, i as u8, "frame seq tracks the round index");
+                assert_eq!(out.data.len(), 8);
+            }
+        }
+        // A geometry the scheme cannot fill fails at construction.
+        let bad = RoundArrivalSource::new(
+            &dep,
+            4,
+            &ChannelModel::pristine(),
+            ArrivalConfig {
+                payload_bits: 8,
+                ..cfg
+            },
+            1,
+        )
+        .with_coding(CodingScheme::Conv);
+        assert!(bad.is_err());
     }
 
     #[test]

@@ -31,6 +31,8 @@ use crate::deployment::{Deployment, DeploymentConfig};
 use crate::fullround::ChannelModel;
 use crate::stream::{ArrivalConfig, RoundArrivalSource, StreamRoundTruth};
 use netscatter::json::Json;
+use netscatter_coding::frame::FrameCodec;
+use netscatter_coding::CodingScheme;
 use netscatter_daemon::client::{self, Pace};
 use netscatter_daemon::protocol::{self, StreamHeader};
 use netscatter_daemon::{Daemon, DaemonConfig};
@@ -86,6 +88,12 @@ SHARED FLAGS (the experiment parser):
   --seed <N>              base trial seed (stream i uses seed+i; default 42)
   --devices <N>           concurrent devices per round (default 8)
   --payload-bits <N>      payload bits per device (default 8)
+  --coding <S>            link-layer coding scheme (none|hamming|rs|conv|
+                          fountain; default none). Streams then carry CRC-
+                          framed FEC frames, the daemon's frame records are
+                          checked for per-device CRC verdicts, and the
+                          frames_ok/frames_failed_crc counters are scored
+                          (--payload-bits must fit the scheme's geometry)
   --arrival-rate <R>      round arrivals per second (default 10)
   --stream-secs <S>       per-stream duration in seconds (default 0.5)
   --chunk-samples <N>     ring chunk size in samples (default 4096)
@@ -126,6 +134,8 @@ pub struct StressOptions {
     pub devices: usize,
     /// Payload bits per device per round.
     pub payload_bits: usize,
+    /// Link-layer coding scheme the streams carry.
+    pub coding: CodingScheme,
     /// Round arrival rate in rounds per second.
     pub rate_hz: f64,
     /// Stream duration in seconds.
@@ -226,6 +236,7 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
                     "--seed"
                         | "--devices"
                         | "--payload-bits"
+                        | "--coding"
                         | "--arrival-rate"
                         | "--stream-secs"
                         | "--chunk-samples"
@@ -253,6 +264,7 @@ pub fn parse_stress_args(args: &[String]) -> Result<StressOptions, CliError> {
         seed: s.seed,
         devices: s.devices,
         payload_bits: s.payload_bits,
+        coding: s.coding,
         rate_hz: s.arrival_rate,
         stream_secs: s.stream_secs,
         chunk_samples: s.chunk_samples,
@@ -288,7 +300,10 @@ pub(crate) fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize
             payload_bits: opts.payload_bits,
         },
         opts.seed + i as u64,
-    );
+    )
+    .with_coding(opts.coding)
+    // The flag parser validated the scheme × payload_bits geometry.
+    .expect("coding geometry validated at parse time");
     let truth = source.truth();
     let bins = source.assigned_bins().to_vec();
     let floor = source.detection_floor_fraction();
@@ -313,6 +328,7 @@ pub(crate) fn synthesize(deployment: &Deployment, opts: &StressOptions, i: usize
             payload_bits: Some(opts.payload_bits),
             detection_floor: Some(floor),
             channel: Some(i % opts.channels.max(1)),
+            coding: (opts.coding != CodingScheme::None).then_some(opts.coding),
             fault_panic_span: None,
         },
         name,
@@ -360,9 +376,24 @@ pub(crate) fn batch_reference(
         packets.extend(gw.feed(chunk).map_err(|e| e.to_string())?);
     }
     gw.finish();
+    // On a coded fleet the reference records carry the same per-device
+    // frame verdicts the daemon's must.
+    let codec = match opts.coding {
+        CodingScheme::None => None,
+        scheme => Some(FrameCodec::new(scheme, opts.payload_bits)?),
+    };
     let frames = packets
         .iter()
-        .map(|p| protocol::frame_json(frame_name, p).to_string_line())
+        .map(|p| {
+            let outcomes = codec.as_ref().map(|c| {
+                p.round
+                    .devices
+                    .iter()
+                    .map(|d| c.decode_frame(&d.bits))
+                    .collect::<Vec<_>>()
+            });
+            protocol::frame_json(frame_name, p, outcomes.as_deref()).to_string_line()
+        })
         .collect();
     Ok((packets, frames))
 }
@@ -446,8 +477,9 @@ fn metric_value(doc: &str, prefix: &str) -> Option<f64> {
 }
 
 /// Validates the metrics document: header line, every line `name value` /
-/// `name{label="…"} value`, a positive `msamples_per_sec` and the right
-/// channel tag for every `(name, channel)` stream in `streams`, and a
+/// `name{label="…"} value`, a positive `msamples_per_sec`, the right
+/// channel tag, and the link-layer `frames_ok` / `frames_failed_crc`
+/// counters for every `(name, channel)` stream in `streams`, and a
 /// schema-complete rollup (stream count, samples total, Msamples/s) for
 /// every channel the fleet used plus the whole-daemon aggregate rate.
 /// Returns the failures.
@@ -478,6 +510,17 @@ pub(crate) fn check_metrics(doc: &str, streams: &[(String, usize)]) -> Vec<Strin
                 "stream {name}: metrics report channel {tag}, header said {channel}"
             )),
             None => failures.push(format!("metrics lack a channel tag for stream {name}")),
+        }
+        // Frame counters are part of the per-stream schema even for
+        // uncoded streams (both pinned at 0 there).
+        for metric in [
+            "netscatterd_stream_frames_ok",
+            "netscatterd_stream_frames_failed_crc",
+        ] {
+            let prefix = format!("{metric}{{stream=\"{name}\"}} ");
+            if metric_value(doc, &prefix).is_none() {
+                failures.push(format!("metrics lack {metric} for stream {name}"));
+            }
         }
     }
     let mut channels: Vec<usize> = streams.iter().map(|&(_, c)| c).collect();
@@ -519,8 +562,9 @@ pub(crate) struct HealthyScore {
 
 /// Scores one healthy stream's transcript: `frame` records bit-identical
 /// to the batch pipeline's decode of the same samples, exactly one
-/// complete `end` record, zero ring drops. Shared between the plain
-/// stress fleet and the chaos harness's healthy/ragged streams.
+/// complete `end` record carrying consistent `frames_ok` /
+/// `frames_failed_crc` counters, zero ring drops. Shared between the
+/// plain stress fleet and the chaos harness's healthy/ragged streams.
 pub(crate) fn score_healthy(
     deployment: &Deployment,
     stream: &SynthStream,
@@ -550,18 +594,46 @@ pub(crate) fn score_healthy(
     }
     let ends = records_of(lines, "end");
     let (mut dropped, mut complete) = (u64::MAX, false);
+    let (mut frames_ok, mut frames_failed) = (None, None);
     if let Some(end) = ends.first().and_then(|l| Json::parse(l).ok()) {
         dropped = end
             .get("ring_dropped")
             .and_then(Json::as_u64)
             .unwrap_or(u64::MAX);
         complete = end.get("complete") == Some(&Json::Bool(true));
+        frames_ok = end.get("frames_ok").and_then(Json::as_u64);
+        frames_failed = end.get("frames_failed_crc").and_then(Json::as_u64);
     }
     if ends.len() != 1 || !complete {
         failures.push(format!("stream {name}: missing or incomplete end record"));
     }
     if dropped != 0 {
         failures.push(format!("stream {name}: {dropped} ring chunks dropped"));
+    }
+    // Link-frame counters are schema-mandatory in every end record: on a
+    // coded stream each detected device slot gets exactly one CRC verdict;
+    // uncoded streams must report both counters pinned at 0.
+    match (frames_ok, frames_failed) {
+        (Some(ok), Some(failed)) => {
+            if opts.coding == CodingScheme::None {
+                if ok != 0 || failed != 0 {
+                    failures.push(format!(
+                        "stream {name}: uncoded stream reported link frames ({ok} ok, {failed} bad)"
+                    ));
+                }
+            } else {
+                let verdicts: u64 = packets.iter().map(|p| p.round.devices.len() as u64).sum();
+                if ok + failed != verdicts {
+                    failures.push(format!(
+                        "stream {name}: {} CRC verdicts for {verdicts} decoded device frames",
+                        ok + failed
+                    ));
+                }
+            }
+        }
+        _ => failures.push(format!(
+            "stream {name}: end record lacks frames_ok/frames_failed_crc"
+        )),
     }
     let score = score_truth(stream, &packets);
     let report_line = format!(
@@ -849,6 +921,31 @@ mod tests {
     }
 
     #[test]
+    fn coding_flag_parses_and_validates_frame_geometry() {
+        let opts =
+            parse_stress_args(&args(&["--coding", "conv", "--payload-bits", "108"])).unwrap();
+        assert_eq!(opts.coding, CodingScheme::Conv);
+        assert_eq!(opts.payload_bits, 108);
+        // The default stays uncoded ("none" spells it out explicitly).
+        assert_eq!(
+            parse_stress_args(&args(&[])).unwrap().coding,
+            CodingScheme::None
+        );
+        assert_eq!(
+            parse_stress_args(&args(&["--coding", "none"]))
+                .unwrap()
+                .coding,
+            CodingScheme::None
+        );
+        // The stress default of 8 payload bits cannot carry a Hamming
+        // frame; the shared parser's geometry validation rejects it.
+        let err = parse_stress_args(&args(&["--coding", "hamming"])).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        let err = parse_stress_args(&args(&["--coding", "turbo"])).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
     fn channels_flag_spreads_the_fleet_over_shards() {
         let opts = parse_stress_args(&args(&["--streams", "4", "--channels", "2"])).unwrap();
         assert_eq!(opts.channels, 2);
@@ -874,14 +971,27 @@ mod tests {
              netscatterd_channel_samples_total{{channel=\"0\"}} 4096\n\
              netscatterd_channel_msamples_per_sec{{channel=\"0\"}} 1.5\n\
              netscatterd_stream_msamples_per_sec{{stream=\"a\"}} 1.5\n\
-             netscatterd_stream_channel{{stream=\"a\"}} 0\n",
+             netscatterd_stream_channel{{stream=\"a\"}} 0\n\
+             netscatterd_stream_frames_ok{{stream=\"a\"}} 0\n\
+             netscatterd_stream_frames_failed_crc{{stream=\"a\"}} 0\n",
             netscatter_daemon::metrics::METRICS_HEADER
         );
         assert!(check_metrics(&doc, &[("a".to_string(), 0)]).is_empty());
         let fails = check_metrics(&doc, &[("a".to_string(), 0), ("b".to_string(), 0)]);
-        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert_eq!(fails.len(), 4, "{fails:?}");
         assert!(fails[0].contains("lack stream b"));
         assert!(fails[1].contains("channel tag for stream b"));
+        assert!(fails[2].contains("frames_ok for stream b"));
+        assert!(fails[3].contains("frames_failed_crc for stream b"));
+        // Dropping a frame-counter line for a known stream is a failure.
+        let fails = check_metrics(
+            &doc.replace("netscatterd_stream_frames_ok{stream=\"a\"} 0\n", ""),
+            &[("a".to_string(), 0)],
+        );
+        assert!(
+            fails.iter().any(|f| f.contains("frames_ok for stream a")),
+            "{fails:?}"
+        );
         // A stream tagged on a channel the document does not roll up.
         let fails = check_metrics(&doc, &[("a".to_string(), 1)]);
         assert!(fails.iter().any(|f| f.contains("channel 1")), "{fails:?}");

@@ -103,6 +103,7 @@ fn netscatter_list_enumerates_all_former_drivers() {
         "analysis_choir",
         "analysis_capacity",
         "gateway",
+        "goodput",
         "perf",
     ] {
         assert!(listing.contains(id), "list is missing {id}:\n{listing}");
@@ -131,6 +132,7 @@ fn netscatter_run_emits_schema_versioned_json_for_every_driver() {
         "analysis_choir",
         "analysis_capacity",
         "gateway",
+        "goodput",
     ] {
         let stdout = run(exe, &["run", id, "--quick", "--format", "json"]);
         let doc = Json::parse(&stdout).unwrap_or_else(|e| panic!("{id}: invalid JSON: {e}"));
@@ -215,9 +217,11 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
     let out = std::env::temp_dir().join("netscatter_perf_snapshot_test.json");
     let net_out = std::env::temp_dir().join("netscatter_perf_snapshot_net_test.json");
     let stream_out = std::env::temp_dir().join("netscatter_perf_snapshot_stream_test.json");
+    let coding_out = std::env::temp_dir().join("netscatter_perf_snapshot_coding_test.json");
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&net_out);
     let _ = std::fs::remove_file(&stream_out);
+    let _ = std::fs::remove_file(&coding_out);
     run(
         env!("CARGO_BIN_EXE_perf_snapshot"),
         &[
@@ -227,6 +231,8 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
             net_out.to_str().unwrap(),
             "--stream-out",
             stream_out.to_str().unwrap(),
+            "--coding-out",
+            coding_out.to_str().unwrap(),
         ],
     );
     for (path, experiment, table, rate_column) in [
@@ -296,6 +302,43 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
         assert!(scalar("channel_scaling_1_to_2") > 1.5);
         assert!(scalar("saturated_channel_scaling_1_to_2") > 0.0);
     }
+    // BENCH_coding carries one row per FEC scheme (hamming/rs/conv/
+    // fountain) with positive encode and decode Msymbols/s.
+    {
+        let text = std::fs::read_to_string(&coding_out).expect("coding snapshot");
+        let doc = Json::parse(&text).expect("BENCH_coding is valid JSON");
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some("bench_coding")
+        );
+        let tables = doc.get("tables").and_then(Json::as_array).expect("tables");
+        let t = &tables[0];
+        assert_eq!(t.get("name").and_then(Json::as_str), Some("coding"));
+        let columns = t.get("columns").and_then(Json::as_array).expect("columns");
+        for name in ["encode_msymbols_per_sec", "decode_msymbols_per_sec"] {
+            assert!(
+                columns
+                    .iter()
+                    .any(|c| c.get("name").and_then(Json::as_str) == Some(name)),
+                "BENCH_coding is missing the {name} column"
+            );
+        }
+        let rows = t.get("rows").and_then(Json::as_array).expect("rows");
+        assert_eq!(rows.len(), 4, "one row per FEC scheme");
+        for row in rows {
+            let row = row.as_array().expect("row array");
+            let (rate, enc, dec) = (
+                row[2].as_f64().unwrap(),
+                row[3].as_f64().unwrap(),
+                row[4].as_f64().unwrap(),
+            );
+            assert!(
+                rate > 0.0 && rate <= 1.0,
+                "code rate out of range in {row:?}"
+            );
+            assert!(enc > 0.0 && dec > 0.0, "non-positive codec rate in {row:?}");
+        }
+    }
     // Unknown --format values are rejected with a usage error, not
     // silently defaulted.
     let bad = spawn(
@@ -307,6 +350,7 @@ fn perf_snapshot_writes_schema_versioned_bench_json() {
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&net_out);
     let _ = std::fs::remove_file(&stream_out);
+    let _ = std::fs::remove_file(&coding_out);
 }
 
 #[test]
