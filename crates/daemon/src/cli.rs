@@ -3,9 +3,12 @@
 
 use crate::client;
 use crate::protocol::StreamHeader;
+use crate::registry::DEFAULT_METRICS_RETENTION;
 use crate::serve::{Daemon, DaemonConfig};
 use crate::signals;
 use netscatter_gateway::GatewayConfig;
+use netscatter_obs::log as olog;
+use netscatter_obs::{Level, LogFormat};
 use netscatter_phy::params::PhyProfile;
 use std::path::PathBuf;
 
@@ -61,6 +64,13 @@ FLAGS:
   --idle-timeout <SECS>   end streams whose ingest stalls this long, with
                           an end record coded \"idle_timeout\" — everything
                           received is still decoded (default 30; 0 = off)
+  --metrics-retention <N> finished streams kept individually visible in
+                          metrics before the oldest folds into the
+                          persistent *_total counters (default 64; 0 =
+                          never retire)
+  --log-level <LEVEL>     stderr log verbosity: error, warn, info or debug
+                          (default info)
+  --log-format <FMT>      stderr log format: text or json (default text)
   --enable-fault-injection
                           honor header-carried fault_panic_span chaos
                           hooks (tests only; off by default)
@@ -109,6 +119,13 @@ pub struct ServeOptions {
     pub idle_timeout_secs: f64,
     /// Honor header-carried fault-injection hooks (tests only).
     pub enable_fault_injection: bool,
+    /// Finished streams kept individually visible in metrics (0 = never
+    /// retire).
+    pub metrics_retention: usize,
+    /// Stderr log verbosity.
+    pub log_level: Level,
+    /// Stderr log format.
+    pub log_format: LogFormat,
     /// Replay feeders: capture path plus stream name.
     pub replays: Vec<(PathBuf, String)>,
     /// Replay upload speed as a multiple of the sample rate (0 = wire
@@ -141,6 +158,9 @@ impl Default for ServeOptions {
             header_timeout_secs: 10.0,
             idle_timeout_secs: 30.0,
             enable_fault_injection: false,
+            metrics_retention: DEFAULT_METRICS_RETENTION,
+            log_level: Level::Info,
+            log_format: LogFormat::Text,
             replays: Vec::new(),
             pace: 1.0,
             once: false,
@@ -169,6 +189,7 @@ impl ServeOptions {
             header_deadline: deadline(self.header_timeout_secs),
             idle_deadline: deadline(self.idle_timeout_secs),
             allow_fault_injection: self.enable_fault_injection,
+            metrics_retention: self.metrics_retention,
         }
     }
 }
@@ -233,6 +254,21 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliUsage> {
                 }
             }
             "--enable-fault-injection" => opts.enable_fault_injection = true,
+            "--metrics-retention" => opts.metrics_retention = num(arg, &value(&mut i, arg)?)?,
+            "--log-level" => {
+                let v = value(&mut i, arg)?;
+                opts.log_level = Level::parse(&v).ok_or_else(|| {
+                    CliUsage::usage(format!(
+                        "--log-level: expected error, warn, info or debug, got {v:?}"
+                    ))
+                })?;
+            }
+            "--log-format" => {
+                let v = value(&mut i, arg)?;
+                opts.log_format = LogFormat::parse(&v).ok_or_else(|| {
+                    CliUsage::usage(format!("--log-format: expected text or json, got {v:?}"))
+                })?;
+            }
             "--replay" => {
                 let v = value(&mut i, arg)?;
                 let (path, name) = match v.split_once('@') {
@@ -278,9 +314,20 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliUsage> {
 /// from [`serve_main`] so tests can drive it with a custom stop.
 fn run_daemon(opts: &ServeOptions) -> Result<(), String> {
     let daemon = Daemon::start(opts.daemon_config()).map_err(|e| format!("bind failed: {e}"))?;
-    println!("netscatterd ingest {}", daemon.ingest_addr());
+    // Status goes through the structured logger (stderr, level-filtered,
+    // `--log-format json` for machines); stdout stays reserved for the
+    // NDJSON records the feeders echo.
+    olog::info(
+        "netscatterd",
+        "ingest listening",
+        &[("addr", daemon.ingest_addr().to_string().as_str().into())],
+    );
     if let Some(addr) = daemon.metrics_addr() {
-        println!("netscatterd metrics {addr}");
+        olog::info(
+            "netscatterd",
+            "metrics listening",
+            &[("addr", addr.to_string().as_str().into())],
+        );
     }
 
     let ingest = daemon.ingest_addr();
@@ -323,7 +370,7 @@ fn run_daemon(opts: &ServeOptions) -> Result<(), String> {
         while !signals::signaled() {
             std::thread::sleep(std::time::Duration::from_millis(50));
         }
-        eprintln!("netscatterd: shutdown signal received");
+        olog::info("netscatterd", "shutdown signal received", &[]);
         for f in feeders {
             if let Err(e) = f.join().expect("feeder thread panicked") {
                 failures.push(e);
@@ -353,10 +400,11 @@ pub fn serve_main(args: &[String]) -> i32 {
             return e.code;
         }
     };
+    olog::init(opts.log_level, opts.log_format);
     match run_daemon(&opts) {
         Ok(()) => 0,
         Err(e) => {
-            eprintln!("{e}");
+            olog::error("netscatterd", &e, &[]);
             1
         }
     }

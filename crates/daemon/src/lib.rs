@@ -12,9 +12,13 @@
 //!   backpressure (the socket reader is never blocked; overload displaces
 //!   the oldest queued chunk and counts it), graceful shutdown that joins
 //!   every thread;
-//! * [`registry`] / [`metrics`] — lock-free per-stream counters and the
-//!   plain-text metrics endpoint (streams active, per-stream Msamples/s,
-//!   real-time factor, rounds decoded, false alarms, ring drops);
+//! * [`registry`] / [`metrics`] — lock-free per-stream counters plus
+//!   ingest→emit latency histograms, a finished-stream retention cap that
+//!   folds retired streams into persistent totals, and the plain-text
+//!   metrics-v2 endpoint (streams active, per-stream Msamples/s,
+//!   real-time factor, rounds decoded, false alarms, ring drops, and
+//!   per-stream/per-channel latency histograms with buckets and
+//!   p50/p95/p99 quantiles);
 //! * [`client`] — the ingest/metrics clients the stress harness, replay
 //!   feeders and smoke tests use;
 //! * [`signals`] — the SIGINT/SIGTERM flag the binary's run loop polls;
@@ -31,5 +35,5 @@ pub mod signals;
 
 pub use netscatter_gateway::{DecodedPacket, GatewayConfig, GatewayReport};
 pub use protocol::StreamHeader;
-pub use registry::{StreamRegistry, StreamSnapshot};
+pub use registry::{RetiredTotals, StreamRegistry, StreamSnapshot, DEFAULT_METRICS_RETENTION};
 pub use serve::{Daemon, DaemonConfig};

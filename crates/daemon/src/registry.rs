@@ -4,9 +4,26 @@
 //! All counters are atomics so the metrics endpoint never takes a lock a
 //! serving thread holds while decoding; the registry's own mutex guards
 //! only the stream list (taken on register and on snapshot).
+//!
+//! The registry is bounded: a daemon that serves short-lived connections
+//! forever would otherwise grow one stats block per connection without
+//! limit. Finished streams beyond the retention cap are *retired* — their
+//! counters and latency histograms fold into the persistent
+//! [`RetiredTotals`] the metrics endpoint adds back into every `*_total`
+//! line, so retirement never makes a monotone metric regress.
 
+use netscatter_gateway::{EngineTelemetry, PipelineTelemetry};
+use netscatter_obs::{Histogram, HistogramSnapshot};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Finished streams kept individually visible in metrics before the
+/// oldest is retired into [`RetiredTotals`] (the `--metrics-retention`
+/// default). Deep enough that the stress/chaos fleets keep every stream's
+/// per-stream block.
+pub const DEFAULT_METRICS_RETENTION: usize = 64;
 
 /// Live counters of one ingest stream. Rates are stored as `f64` bit
 /// patterns so the whole block stays lock-free.
@@ -25,6 +42,13 @@ pub struct StreamStats {
     ring_dropped: AtomicU64,
     samples_per_sec: AtomicU64,
     real_time_factor: AtomicU64,
+    /// Ingest→NDJSON-emit latency of every published frame, nanoseconds.
+    frame_latency: Histogram,
+    /// The serving thread's engine telemetry, attached once the engine is
+    /// spawned so the metrics endpoint can snapshot per-stage histograms
+    /// mid-stream. Mutex (not atomics): taken once on attach and once per
+    /// metrics render, never on the decode path.
+    engine: Mutex<Option<Arc<EngineTelemetry>>>,
 }
 
 impl StreamStats {
@@ -43,6 +67,8 @@ impl StreamStats {
             ring_dropped: AtomicU64::new(0),
             samples_per_sec: AtomicU64::new(0f64.to_bits()),
             real_time_factor: AtomicU64::new(0f64.to_bits()),
+            frame_latency: Histogram::new(),
+            engine: Mutex::new(None),
         }
     }
 
@@ -108,8 +134,29 @@ impl StreamStats {
             .store(real_time_factor.to_bits(), Ordering::Relaxed);
     }
 
+    /// Records one frame's ingest→NDJSON-emit latency.
+    pub fn record_frame_latency(&self, latency: Duration) {
+        self.frame_latency.record_duration(latency);
+    }
+
+    /// Attaches the serving engine's live telemetry so metrics snapshots
+    /// carry per-stage latency histograms while the stream is running.
+    pub fn attach_engine(&self, telemetry: Arc<EngineTelemetry>) {
+        *self
+            .engine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(telemetry);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> StreamSnapshot {
+        let stages = self
+            .engine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_ref()
+            .map(|t| t.snapshot())
+            .unwrap_or_default();
         StreamSnapshot {
             name: self.name.clone(),
             channel: self.channel,
@@ -124,12 +171,14 @@ impl StreamStats {
             ring_dropped: self.ring_dropped.load(Ordering::Relaxed),
             samples_per_sec: f64::from_bits(self.samples_per_sec.load(Ordering::Relaxed)),
             real_time_factor: f64::from_bits(self.real_time_factor.load(Ordering::Relaxed)),
+            frame_latency: self.frame_latency.snapshot(),
+            stages,
         }
     }
 }
 
 /// A point-in-time copy of one stream's counters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamSnapshot {
     /// Registry-uniquified stream name.
     pub name: String,
@@ -157,6 +206,11 @@ pub struct StreamSnapshot {
     pub samples_per_sec: f64,
     /// Throughput over the stream's sample rate (≥ 1 = keeping up).
     pub real_time_factor: f64,
+    /// Ingest→NDJSON-emit latency histogram, nanoseconds.
+    pub frame_latency: HistogramSnapshot,
+    /// Per-stage engine latency histograms (ring, detect, queue, decode);
+    /// all-zero until the serving thread attaches its engine.
+    pub stages: PipelineTelemetry,
 }
 
 /// Daemon-wide fault and admission counters, shared between the accept
@@ -214,16 +268,106 @@ pub struct HealthSnapshot {
     pub worker_panics: u64,
 }
 
-/// The daemon-wide stream table.
-#[derive(Debug, Default)]
+/// Counters and latency histograms folded out of retired streams. The
+/// metrics endpoint adds these back into every `*_total` line, so a
+/// scraper can never see a monotone metric regress because a finished
+/// stream aged out of the per-stream table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RetiredTotals {
+    /// Streams retired from the table.
+    pub streams: u64,
+    /// Samples ingested by retired streams.
+    pub samples_in: u64,
+    /// Frames published by retired streams.
+    pub frames: u64,
+    /// Rounds decoded by retired streams.
+    pub rounds: u64,
+    /// Energy-gate false alarms on retired streams.
+    pub false_alarms: u64,
+    /// CRC-clean link frames on retired streams.
+    pub frames_ok: u64,
+    /// CRC-failed link frames on retired streams.
+    pub frames_failed_crc: u64,
+    /// Truncated packets on retired streams.
+    pub truncated: u64,
+    /// Ring drops on retired streams.
+    pub ring_dropped: u64,
+    /// Merged ingest→emit latency of every retired stream's frames.
+    pub frame_latency: HistogramSnapshot,
+    /// Per-channel fold of retired streams, keyed by RF channel.
+    pub channels: BTreeMap<usize, ChannelRetired>,
+}
+
+/// One RF channel's share of [`RetiredTotals`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelRetired {
+    /// Streams retired on this channel.
+    pub streams: u64,
+    /// Samples those streams ingested.
+    pub samples_in: u64,
+    /// Merged ingest→emit frame latency.
+    pub frame_latency: HistogramSnapshot,
+    /// Merged per-stage engine latency histograms.
+    pub stages: PipelineTelemetry,
+}
+
+impl RetiredTotals {
+    fn fold(&mut self, snap: &StreamSnapshot) {
+        self.streams += 1;
+        self.samples_in += snap.samples_in;
+        self.frames += snap.frames;
+        self.rounds += snap.rounds;
+        self.false_alarms += snap.false_alarms;
+        self.frames_ok += snap.frames_ok;
+        self.frames_failed_crc += snap.frames_failed_crc;
+        self.truncated += snap.truncated;
+        self.ring_dropped += snap.ring_dropped;
+        self.frame_latency.merge(&snap.frame_latency);
+        let ch = self.channels.entry(snap.channel).or_default();
+        ch.streams += 1;
+        ch.samples_in += snap.samples_in;
+        ch.frame_latency.merge(&snap.frame_latency);
+        ch.stages.merge(&snap.stages);
+    }
+}
+
+/// The daemon-wide stream table, bounded by a finished-stream retention
+/// cap (see [`DEFAULT_METRICS_RETENTION`]).
+#[derive(Debug)]
 pub struct StreamRegistry {
     streams: Mutex<Vec<Arc<StreamStats>>>,
+    /// Finished streams kept before the oldest is retired; 0 = unbounded.
+    retention: usize,
+    /// Every name ever issued plus a per-base-name counter, so a retired
+    /// stream's name is never recycled for a new connection (metrics
+    /// labels stay unambiguous across the daemon's whole life). Names are
+    /// tiny compared to stats blocks, so this set growing with connection
+    /// churn is the cost of unambiguity, not a leak.
+    names: Mutex<(HashMap<String, usize>, HashSet<String>)>,
+    retired: Mutex<RetiredTotals>,
+}
+
+impl Default for StreamRegistry {
+    fn default() -> Self {
+        Self::with_retention(DEFAULT_METRICS_RETENTION)
+    }
 }
 
 impl StreamRegistry {
-    /// An empty registry.
+    /// An empty registry with the default retention cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry keeping at most `retention` finished streams
+    /// individually visible (0 = never retire).
+    pub fn with_retention(retention: usize) -> Self {
+        Self {
+            streams: Mutex::new(Vec::new()),
+            retention,
+            names: Mutex::new((HashMap::new(), HashSet::new())),
+            retired: Mutex::new(RetiredTotals::default()),
+        }
     }
 
     /// Registers a stream under `name` on channel 0 (the untagged
@@ -234,22 +378,56 @@ impl StreamRegistry {
 
     /// Registers a stream under `name` on `channel`, uniquifying name
     /// collisions as `name#2`, `name#3`, … so metrics lines stay
-    /// unambiguous. The channel tag groups the stream into the per-channel
-    /// metric rollups.
+    /// unambiguous — including against names whose streams have already
+    /// been retired. The channel tag groups the stream into the
+    /// per-channel metric rollups. Registering also retires finished
+    /// streams beyond the retention cap, oldest first.
     pub fn register_on(&self, name: &str, channel: usize) -> Arc<StreamStats> {
-        let mut streams = self.streams.lock().expect("registry lock");
-        let mut unique = name.to_string();
-        let mut n = 1usize;
-        while streams.iter().any(|s| s.name() == unique) {
-            n += 1;
-            unique = format!("{name}#{n}");
-        }
+        let unique = {
+            let mut names = self.names.lock().expect("registry names lock");
+            let (counters, issued) = &mut *names;
+            let n = counters.entry(name.to_string()).or_insert(0);
+            loop {
+                *n += 1;
+                let candidate = if *n == 1 {
+                    name.to_string()
+                } else {
+                    format!("{name}#{n}")
+                };
+                if issued.insert(candidate.clone()) {
+                    break candidate;
+                }
+            }
+        };
         let stats = Arc::new(StreamStats::new(unique, channel));
+        let mut streams = self.streams.lock().expect("registry lock");
         streams.push(stats.clone());
+        self.retire_excess(&mut streams);
         stats
     }
 
-    /// Snapshots every stream, in registration order.
+    /// Folds finished streams beyond the retention cap into
+    /// [`RetiredTotals`], oldest first. Called with the stream-list lock
+    /// held.
+    fn retire_excess(&self, streams: &mut Vec<Arc<StreamStats>>) {
+        if self.retention == 0 {
+            return;
+        }
+        let mut finished = streams.iter().filter(|s| !s.is_active()).count();
+        let mut retired = self.retired.lock().expect("registry retired lock");
+        let mut i = 0;
+        while finished > self.retention && i < streams.len() {
+            if streams[i].is_active() {
+                i += 1;
+            } else {
+                let gone = streams.remove(i);
+                retired.fold(&gone.snapshot());
+                finished -= 1;
+            }
+        }
+    }
+
+    /// Snapshots every stream still in the table, in registration order.
     pub fn snapshot(&self) -> Vec<StreamSnapshot> {
         self.streams
             .lock()
@@ -257,6 +435,11 @@ impl StreamRegistry {
             .iter()
             .map(|s| s.snapshot())
             .collect()
+    }
+
+    /// The persistent fold of every retired stream.
+    pub fn retired(&self) -> RetiredTotals {
+        self.retired.lock().expect("registry retired lock").clone()
     }
 
     /// Streams whose connections are currently being served.
@@ -269,9 +452,10 @@ impl StreamRegistry {
             .count()
     }
 
-    /// Streams ever registered.
+    /// Streams ever registered, including retired ones.
     pub fn total_streams(&self) -> usize {
-        self.streams.lock().expect("registry lock").len()
+        let live = self.streams.lock().expect("registry lock").len();
+        live + self.retired.lock().expect("registry retired lock").streams as usize
     }
 }
 
@@ -335,7 +519,78 @@ mod tests {
                 ring_dropped: 3,
                 samples_per_sec: 2e6,
                 real_time_factor: 4.0,
+                ..StreamSnapshot::default()
             }
         );
+    }
+
+    #[test]
+    fn frame_latency_lands_in_the_snapshot() {
+        let reg = StreamRegistry::new();
+        let s = reg.register("lat");
+        s.record_frame_latency(Duration::from_micros(10));
+        s.record_frame_latency(Duration::from_micros(20));
+        let snap = &reg.snapshot()[0];
+        assert_eq!(snap.frame_latency.count(), 2);
+        assert_eq!(snap.frame_latency.sum, 30_000);
+        // No engine attached: stage histograms stay all-zero.
+        assert_eq!(snap.stages, PipelineTelemetry::default());
+    }
+
+    #[test]
+    fn finished_streams_beyond_retention_fold_into_totals() {
+        let reg = StreamRegistry::with_retention(2);
+        for i in 0..5 {
+            let s = reg.register_on("conn", i % 2);
+            s.record_ingest(100, 1);
+            s.record_frame(1);
+            s.record_frame_latency(Duration::from_micros(5));
+            s.set_inactive();
+        }
+        // The trigger is registration: one more connection retires the
+        // oldest finished streams down to the cap.
+        let live = reg.register("fresh");
+        let snaps = reg.snapshot();
+        // 5 finished - retired = 2 kept, plus the live one.
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(reg.active_streams(), 1);
+        // Totals never regress: retired counters persist in the fold.
+        assert_eq!(reg.total_streams(), 6);
+        let retired = reg.retired();
+        assert_eq!(retired.streams, 3);
+        assert_eq!(retired.samples_in, 300);
+        assert_eq!(retired.rounds, 3);
+        assert_eq!(retired.ring_dropped, 3);
+        assert_eq!(retired.frame_latency.count(), 3);
+        // Per-channel fold follows the streams' channel tags (0, 1, 0).
+        assert_eq!(retired.channels[&0].streams, 2);
+        assert_eq!(retired.channels[&1].streams, 1);
+        // Oldest-first: the survivors are the two most recent finished.
+        assert_eq!(snaps[0].name, "conn#4");
+        assert_eq!(snaps[1].name, "conn#5");
+        live.set_inactive();
+    }
+
+    #[test]
+    fn retired_names_are_never_recycled() {
+        let reg = StreamRegistry::with_retention(1);
+        for _ in 0..4 {
+            reg.register("cap").set_inactive();
+        }
+        // "cap", "cap#2" and "cap#3" are retired by now; a new connection
+        // must not be handed any of those labels back.
+        let next = reg.register("cap");
+        assert_eq!(next.name(), "cap#5");
+    }
+
+    #[test]
+    fn zero_retention_never_retires() {
+        let reg = StreamRegistry::with_retention(0);
+        for _ in 0..10 {
+            reg.register("s").set_inactive();
+        }
+        reg.register("s");
+        assert_eq!(reg.snapshot().len(), 11);
+        assert_eq!(reg.retired().streams, 0);
     }
 }

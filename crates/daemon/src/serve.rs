@@ -39,11 +39,12 @@
 //! threads are then joined.
 
 use crate::protocol::{self, code, Cf32Decoder, StreamHeader, SAMPLE_BYTES};
-use crate::registry::{DaemonHealth, StreamRegistry, StreamStats};
+use crate::registry::{DaemonHealth, StreamRegistry, StreamStats, DEFAULT_METRICS_RETENTION};
 use crate::{metrics, DecodedPacket};
 use netscatter::json::Json;
 use netscatter_coding::frame::FrameCodec;
-use netscatter_gateway::{EngineError, GatewayConfig, OverflowPolicy, StreamEngine};
+use netscatter_gateway::{EngineError, GatewayConfig, OverflowPolicy, StreamEngine, TimedPacket};
+use netscatter_obs::log as olog;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +94,10 @@ pub struct DaemonConfig {
     /// Off in production; the chaos harness turns it on to prove the
     /// supervision path end to end.
     pub allow_fault_injection: bool,
+    /// Finished streams kept individually visible in metrics before the
+    /// oldest is retired into the registry's persistent totals
+    /// (`--metrics-retention`; 0 = never retire).
+    pub metrics_retention: usize,
 }
 
 impl DaemonConfig {
@@ -109,6 +114,7 @@ impl DaemonConfig {
             header_deadline: Some(Duration::from_secs(10)),
             idle_deadline: Some(Duration::from_secs(30)),
             allow_fault_injection: false,
+            metrics_retention: DEFAULT_METRICS_RETENTION,
         }
     }
 }
@@ -131,7 +137,7 @@ impl Daemon {
         listener.set_nonblocking(true)?;
         let ingest_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(StreamRegistry::new());
+        let registry = Arc::new(StreamRegistry::with_retention(config.metrics_retention));
         let health = Arc::new(DaemonHealth::new());
         let started = Instant::now();
 
@@ -264,6 +270,11 @@ fn accept_loop(
             Ok((sock, _)) => {
                 if config.max_conns > 0 && conns.len() >= config.max_conns {
                     DaemonHealth::bump(&health.conns_rejected);
+                    olog::warn(
+                        "netscatterd::serve",
+                        "connection rejected at --max-conns capacity",
+                        &[("max_conns", config.max_conns.into())],
+                    );
                     reject_connection(sock, config.max_conns);
                     continue;
                 }
@@ -307,6 +318,11 @@ fn serve_isolated(
     }));
     if result.is_err() {
         DaemonHealth::bump(&health.serve_panics);
+        olog::error(
+            "netscatterd::serve",
+            "serving thread panicked; connection closed, daemon continues",
+            &[],
+        );
         let name = slot
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -454,6 +470,11 @@ fn serve_connection(
         }
         HeaderRead::TimedOut => {
             DaemonHealth::bump(&health.header_timeouts);
+            olog::warn(
+                "netscatterd::serve",
+                "no header line within the deadline; closing connection",
+                &[],
+            );
             write_record(
                 &mut sock,
                 &protocol::error_json(
@@ -569,16 +590,19 @@ struct Tally {
 /// Publishes decoded packets as `frame` records and counts them. On a
 /// coded stream every device's bits are frame-decoded first, so each
 /// record carries the per-device CRC verdict and the link-layer counters
-/// advance.
+/// advance. Each packet rides with its ingest timestamp when the engine
+/// still had it (`drain_timed`); the publish write closes that frame's
+/// ingest→emit latency measurement. Packets surfacing only in the final
+/// shutdown report arrive untimed and skip the histogram.
 fn publish(
     sock: &mut TcpStream,
     name: &str,
-    packets: Vec<DecodedPacket>,
+    packets: Vec<(DecodedPacket, Option<Instant>)>,
     stats: &StreamStats,
     codec: Option<&FrameCodec>,
     tally: &mut Tally,
 ) -> std::io::Result<()> {
-    for packet in packets {
+    for (packet, ingested_at) in packets {
         let devices = packet.round.devices.len();
         stats.record_frame(devices);
         tally.frames += 1;
@@ -609,8 +633,25 @@ fn publish(
             sock,
             &protocol::frame_json(name, &packet, outcomes.as_deref()),
         )?;
+        if let Some(t0) = ingested_at {
+            stats.record_frame_latency(t0.elapsed());
+        }
     }
     Ok(())
+}
+
+/// Pairs drained packets with their ingest timestamps for [`publish`].
+fn timed(packets: Vec<TimedPacket>) -> Vec<(DecodedPacket, Option<Instant>)> {
+    packets
+        .into_iter()
+        .map(|t| (t.packet, Some(t.ingested_at)))
+        .collect()
+}
+
+/// Pairs report packets (whose timing the engine has already stripped)
+/// with no timestamp for [`publish`].
+fn untimed(packets: Vec<DecodedPacket>) -> Vec<(DecodedPacket, Option<Instant>)> {
+    packets.into_iter().map(|p| (p, None)).collect()
 }
 
 /// The sample loop: socket bytes → cf32 decode → engine feed → frame
@@ -630,9 +671,19 @@ fn serve_stream(
     health: &DaemonHealth,
 ) -> std::io::Result<()> {
     let name = stats.name().to_string();
+    let span = olog::next_span_id();
     let mut engine = match StreamEngine::spawn(cfg, rate) {
         Ok(engine) => engine,
         Err(e) => {
+            olog::error(
+                "netscatterd::serve",
+                "engine spawn failed",
+                &[
+                    ("span", span.into()),
+                    ("stream", name.as_str().into()),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
             write_record(
                 sock,
                 &protocol::error_json(&name, code::ENGINE_SPAWN, &e.to_string()),
@@ -640,6 +691,17 @@ fn serve_stream(
             return Ok(());
         }
     };
+    stats.attach_engine(engine.telemetry());
+    olog::info(
+        "netscatterd::serve",
+        "stream started",
+        &[
+            ("span", span.into()),
+            ("stream", name.as_str().into()),
+            ("channel", stats.channel().into()),
+            ("workers", cfg.workers.into()),
+        ],
+    );
     write_record(sock, &protocol::ready_json(&name))?;
 
     let started = Instant::now();
@@ -689,6 +751,11 @@ fn serve_stream(
                 // drained and ended rather than parked forever.
                 if idle_deadline.is_some_and(|d| last_data.elapsed() >= d) {
                     DaemonHealth::bump(&health.idle_timeouts);
+                    olog::warn(
+                        "netscatterd::serve",
+                        "ingest idle past deadline; draining stream",
+                        &[("span", span.into()), ("stream", name.as_str().into())],
+                    );
                     end_code = code::IDLE_TIMEOUT;
                     break;
                 }
@@ -703,7 +770,14 @@ fn serve_stream(
         stats.record_ingest(engine.samples_fed(), engine.ring_dropped());
         let sps = engine.samples_processed() as f64 / started.elapsed().as_secs_f64().max(1e-9);
         stats.record_rates(sps, sps / rate);
-        publish(sock, &name, engine.drain(), stats, codec, &mut tally)?;
+        publish(
+            sock,
+            &name,
+            timed(engine.drain_timed()),
+            stats,
+            codec,
+            &mut tally,
+        )?;
     }
 
     // Drain whatever the client had already sent when the loop broke (a
@@ -730,12 +804,22 @@ fn serve_stream(
     // explains why).
     let _ = engine.feed(&pending);
     let samples_fed = engine.samples_fed();
+    // The final in-flight packets are still timed at this point; the
+    // shutdown report strips timestamps, so drain once more first.
+    publish(
+        sock,
+        &name,
+        timed(engine.drain_timed()),
+        stats,
+        codec,
+        &mut tally,
+    )?;
     match engine.shutdown() {
         Ok(mut report) => {
             publish(
                 sock,
                 &name,
-                std::mem::take(&mut report.packets),
+                untimed(std::mem::take(&mut report.packets)),
                 stats,
                 codec,
                 &mut tally,
@@ -743,6 +827,18 @@ fn serve_stream(
             stats.record_ingest(samples_fed, report.ring_dropped);
             stats.record_truncated(report.truncated as u64);
             stats.record_rates(report.samples_per_sec, report.real_time_factor);
+            olog::info(
+                "netscatterd::serve",
+                "stream ended",
+                &[
+                    ("span", span.into()),
+                    ("stream", name.as_str().into()),
+                    ("code", end_code.into()),
+                    ("frames", tally.frames.into()),
+                    ("rounds", tally.rounds.into()),
+                    ("ring_dropped", report.ring_dropped.into()),
+                ],
+            );
             write_record(
                 sock,
                 &protocol::end_json(
@@ -764,10 +860,20 @@ fn serve_stream(
             // other streams keep running.
             DaemonHealth::bump(&health.worker_panics);
             let mut report = panic.report;
+            olog::error(
+                "netscatterd::serve",
+                "engine worker panicked",
+                &[
+                    ("span", span.into()),
+                    ("stream", name.as_str().into()),
+                    ("role", panic.role.to_string().as_str().into()),
+                    ("message", panic.message.as_str().into()),
+                ],
+            );
             publish(
                 sock,
                 &name,
-                std::mem::take(&mut report.packets),
+                untimed(std::mem::take(&mut report.packets)),
                 stats,
                 codec,
                 &mut tally,

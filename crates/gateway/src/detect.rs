@@ -81,8 +81,31 @@ use netscatter::receiver::ConcurrentReceiver;
 use netscatter_dsp::correlator::{shift_template, ChirpBank, Correlator, Template};
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::{kernels, ChirpSynthesizer, Complex64};
+use netscatter_obs::{Counter, Histogram};
 use netscatter_phy::params::PhyProfile;
 use netscatter_phy::preamble::{PREAMBLE_DOWNCHIRPS, PREAMBLE_SYMBOLS, PREAMBLE_UPCHIRPS};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Detection-stage telemetry: how long the detector takes to turn an
+/// energy-gate fire into a locked preamble anchor.
+///
+/// Attached with [`StreamDetector::set_telemetry`]; recording happens on
+/// the detection thread only, once per gate event — far off the
+/// per-sample hot path. Both clocks matter and they answer different
+/// questions: the *samples* histogram is deterministic (how much more
+/// stream the sync stage needed, dominated by the candidate range plus
+/// the 8-symbol preamble) while the *wall* histogram includes waiting for
+/// those samples to arrive and the correlation compute itself.
+#[derive(Debug, Default)]
+pub struct DetectTelemetry {
+    /// Energy-gate fires (state left `Hunting`), decoded or not.
+    pub gate_events: Counter,
+    /// Stream samples ingested between the gate fire and the anchor lock.
+    pub gate_to_anchor_samples: Histogram,
+    /// Wall nanoseconds between the gate fire and the anchor lock.
+    pub gate_to_anchor_ns: Histogram,
+}
 
 /// Sliding-window length (samples) of the energy gate. Short enough to
 /// localize the packet onset tightly (it bounds the sync search), long
@@ -257,6 +280,12 @@ pub struct StreamDetector {
     next_index: usize,
     /// Packets whose span ran past the end of the stream at `finish`.
     truncated: usize,
+    /// Optional detection-latency telemetry sink.
+    telemetry: Option<Arc<DetectTelemetry>>,
+    /// The in-flight gate event: (absolute gate-edge sample, fire time).
+    /// Present only between a gate fire and its anchor lock when
+    /// telemetry is attached.
+    gate_fired: Option<(u64, Instant)>,
 }
 
 /// EWMA coefficient of the noise-floor estimate (per gate window).
@@ -305,7 +334,15 @@ impl StreamDetector {
             state: State::Hunting,
             next_index: 0,
             truncated: 0,
+            telemetry: None,
+            gate_fired: None,
         })
+    }
+
+    /// Attaches detection-latency telemetry; subsequent gate events record
+    /// into it. Telemetry never influences any detection decision.
+    pub fn set_telemetry(&mut self, telemetry: Arc<DetectTelemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The receiver the emitted spans should be decoded with (same PHY
@@ -353,6 +390,7 @@ impl StreamDetector {
             self.truncated += 1;
             self.state = State::Hunting;
         }
+        self.gate_fired = None;
     }
 
     /// Absolute index one past the last sample currently in the window.
@@ -411,6 +449,10 @@ impl StreamDetector {
                                 .max(self.window_start);
                             let hi = edge + SYNC_SLACK as u64;
                             self.state = State::Syncing { lo, hi };
+                            if let Some(t) = &self.telemetry {
+                                t.gate_events.incr();
+                                self.gate_fired = Some((edge, Instant::now()));
+                            }
                             gated = true;
                             break;
                         }
@@ -462,6 +504,12 @@ impl StreamDetector {
                         }
                     }
                     self.state = State::Decoding { start: best };
+                    if let Some((edge, fired_at)) = self.gate_fired.take() {
+                        if let Some(t) = &self.telemetry {
+                            t.gate_to_anchor_samples.record(self.window_end() - edge);
+                            t.gate_to_anchor_ns.record_duration(fired_at.elapsed());
+                        }
+                    }
                 }
                 State::Decoding { start } => {
                     if self.window_end() < start + packet_len {

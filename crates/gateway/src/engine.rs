@@ -40,11 +40,12 @@
 //! [`GatewayReport`] — everything decoded before the failure is preserved,
 //! and no caller ever re-panics on `join`.
 
-use crate::detect::{GatewayConfig, PacketSpan, StreamDetector};
-use crate::pipeline::{decode_span, DecodedPacket, GatewayReport};
-use crate::ring::{spsc_ring, RingConsumer, RingProducer};
+use crate::detect::{DetectTelemetry, GatewayConfig, PacketSpan, StreamDetector};
+use crate::pipeline::{decode_span, DecodedPacket, GatewayReport, PipelineTelemetry};
+use crate::ring::{spsc_ring, RingConsumer, RingProducer, RingTelemetry};
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::Complex64;
+use netscatter_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -55,6 +56,32 @@ pub use crate::ring::OverflowPolicy;
 /// A chunk in flight between the feeder and the detector.
 struct Chunk {
     samples: Vec<Complex64>,
+    /// When [`StreamEngine::feed`] accepted these samples — the start of
+    /// the ingest→emit latency clock for every packet this chunk
+    /// completes.
+    ingested_at: Instant,
+}
+
+/// One located span on its way to a decode worker, with the timestamps
+/// the worker needs to price its queue.
+struct Job {
+    span: PacketSpan,
+    /// Ingest time of the chunk whose samples completed this span.
+    ingested_at: Instant,
+    /// When the detection thread dispatched the span to the worker queue.
+    enqueued_at: Instant,
+}
+
+/// A decoded packet plus its ingest timestamp, as handed out by
+/// [`StreamEngine::drain_timed`] — the serving layer subtracts
+/// `ingested_at` from its own emit time to get the end-to-end
+/// ingest→publish frame latency.
+#[derive(Debug, Clone)]
+pub struct TimedPacket {
+    /// The decoded packet.
+    pub packet: DecodedPacket,
+    /// When the feed accepted the chunk that completed this packet.
+    pub ingested_at: Instant,
 }
 
 /// Counters shared between the engine handle and its detection thread.
@@ -62,6 +89,39 @@ struct Chunk {
 struct EngineStats {
     /// Samples the detector has consumed from the ring.
     samples_processed: AtomicU64,
+}
+
+/// The live per-stage telemetry of one [`StreamEngine`]: the handles its
+/// ring, detector, and decode workers record into, shareable (via
+/// [`StreamEngine::telemetry`]) with a metrics endpoint that scrapes
+/// mid-stream. Snapshots into the plain-data
+/// [`crate::pipeline::PipelineTelemetry`] carried by every
+/// [`GatewayReport`].
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// Ring pressure (occupancy high-water mark, full events, block waits).
+    pub ring: Arc<RingTelemetry>,
+    /// Detection latency (energy gate → preamble anchor).
+    pub detect: Arc<DetectTelemetry>,
+    /// Span dispatch → decode start, per span, in nanoseconds.
+    pub queue_wait_ns: Histogram,
+    /// Decode service time per span, in nanoseconds.
+    pub decode_ns: Histogram,
+}
+
+impl EngineTelemetry {
+    /// A plain-data copy of the current distributions.
+    pub fn snapshot(&self) -> PipelineTelemetry {
+        PipelineTelemetry {
+            ring_occupancy_hwm: self.ring.occupancy_hwm.get(),
+            ring_full_events: self.ring.full_events.get(),
+            ring_block_wait_ns: self.ring.block_wait_ns.snapshot(),
+            detect_gate_to_anchor_samples: self.detect.gate_to_anchor_samples.snapshot(),
+            detect_gate_to_anchor_ns: self.detect.gate_to_anchor_ns.snapshot(),
+            queue_wait_ns: self.queue_wait_ns.snapshot(),
+            decode_ns: self.decode_ns.snapshot(),
+        }
+    }
 }
 
 /// What the detection thread hands back when it exits.
@@ -149,15 +209,16 @@ pub struct StreamEngine {
     producer: Option<RingProducer<Chunk>>,
     detector: Option<JoinHandle<DetectorExit>>,
     workers: Vec<JoinHandle<Option<String>>>,
-    results: mpsc::Receiver<Result<DecodedPacket, FftError>>,
+    results: mpsc::Receiver<Result<TimedPacket, FftError>>,
     stats: Arc<EngineStats>,
+    telemetry: Arc<EngineTelemetry>,
     policy: OverflowPolicy,
     sample_rate_hz: f64,
     started: Instant,
     /// Samples accepted by `feed` (dropped chunks included).
     samples_fed: u64,
     /// Out-of-order decoded packets waiting for their predecessors.
-    reorder: Vec<DecodedPacket>,
+    reorder: Vec<TimedPacket>,
     /// Sequence number the next in-order packet must carry.
     next_emit: usize,
     /// First decode error observed (reported at shutdown).
@@ -186,7 +247,9 @@ impl StreamEngine {
         sample_rate_hz: f64,
         hold: Option<Arc<std::sync::atomic::AtomicBool>>,
     ) -> Result<Self, FftError> {
-        let detector = StreamDetector::new(config)?;
+        let mut detector = StreamDetector::new(config)?;
+        let telemetry = Arc::new(EngineTelemetry::default());
+        detector.set_telemetry(telemetry.detect.clone());
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -194,34 +257,50 @@ impl StreamEngine {
         } else {
             config.workers
         };
-        let (ring_tx, ring_rx) = spsc_ring::<Chunk>(config.ring_slots.max(1));
-        let (result_tx, result_rx) = mpsc::channel::<Result<DecodedPacket, FftError>>();
+        let (mut ring_tx, ring_rx) = spsc_ring::<Chunk>(config.ring_slots.max(1));
+        ring_tx.set_telemetry(telemetry.ring.clone());
+        let (result_tx, result_rx) = mpsc::channel::<Result<TimedPacket, FftError>>();
         let stats = Arc::new(EngineStats::default());
 
         // Decode workers: each owns a receiver clone and drains its private
         // job queue; spans are dealt round-robin by sequence number.
-        let mut job_txs: Vec<mpsc::Sender<PacketSpan>> = Vec::with_capacity(workers);
+        let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(workers);
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (job_tx, job_rx) = mpsc::channel::<PacketSpan>();
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
             job_txs.push(job_tx);
             let result_tx = result_tx.clone();
             let receiver = detector.receiver().clone();
             let bins = config.assigned_bins.clone();
             let payload_symbols = config.payload_symbols;
             let fault_span = config.fault_panic_span;
+            let telemetry = telemetry.clone();
             // Supervised thread root: a panic in the decode path unwinds to
             // here, drops the worker's channel endpoints (disconnecting the
             // detector and the reassembly side cleanly) and is handed back
             // as a message for join-time conversion into EngineError.
             worker_handles.push(std::thread::spawn(move || -> Option<String> {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    while let Ok(span) = job_rx.recv() {
+                    while let Ok(job) = job_rx.recv() {
+                        let Job {
+                            span,
+                            ingested_at,
+                            enqueued_at,
+                        } = job;
                         if fault_span == Some(span.index) {
                             panic!("injected decode fault (chaos): span {}", span.index);
                         }
+                        let started = Instant::now();
+                        telemetry
+                            .queue_wait_ns
+                            .record_duration(started.saturating_duration_since(enqueued_at));
                         let decoded = decode_span(&receiver, &span, &bins, payload_symbols);
-                        if result_tx.send(decoded).is_err() {
+                        telemetry.decode_ns.record_duration(started.elapsed());
+                        let timed = decoded.map(|packet| TimedPacket {
+                            packet,
+                            ingested_at,
+                        });
+                        if result_tx.send(timed).is_err() {
                             break;
                         }
                     }
@@ -251,6 +330,7 @@ impl StreamEngine {
             workers: worker_handles,
             results: result_rx,
             stats,
+            telemetry,
             policy: config.overflow,
             sample_rate_hz,
             started: Instant::now(),
@@ -287,6 +367,12 @@ impl StreamEngine {
             .map_or(self.final_dropped, |p| p.dropped())
     }
 
+    /// The engine's live stage telemetry — share with a metrics endpoint
+    /// to expose per-stage histograms while the stream is still flowing.
+    pub fn telemetry(&self) -> Arc<EngineTelemetry> {
+        self.telemetry.clone()
+    }
+
     /// Copies `samples` into the ring as one chunk, applying the overflow
     /// policy. Returns how many chunks the push displaced (always 0 under
     /// [`OverflowPolicy::Block`]).
@@ -298,6 +384,7 @@ impl StreamEngine {
         self.samples_fed += samples.len() as u64;
         let chunk = Chunk {
             samples: samples.to_vec(),
+            ingested_at: Instant::now(),
         };
         match self.policy {
             OverflowPolicy::Block => producer.push(chunk).map(|()| 0).map_err(|_| EngineClosed),
@@ -309,6 +396,12 @@ impl StreamEngine {
     /// blocking. Packets whose predecessors are still in flight are held
     /// back until the gap fills.
     pub fn drain(&mut self) -> Vec<DecodedPacket> {
+        self.drain_timed().into_iter().map(|t| t.packet).collect()
+    }
+
+    /// As [`StreamEngine::drain`], keeping each packet's ingest timestamp
+    /// so a serving loop can stamp end-to-end ingest→emit frame latency.
+    pub fn drain_timed(&mut self) -> Vec<TimedPacket> {
         while let Ok(decoded) = self.results.try_recv() {
             self.stash(decoded);
         }
@@ -327,7 +420,7 @@ impl StreamEngine {
         let elapsed_s = self.started.elapsed().as_secs_f64().max(1e-12);
         let samples_in = self.samples_processed();
         let samples_per_sec = samples_in as f64 / elapsed_s;
-        let packets = self.emit_ready();
+        let packets = self.emit_ready().into_iter().map(|t| t.packet).collect();
         let report = GatewayReport {
             packets,
             samples_in,
@@ -336,6 +429,7 @@ impl StreamEngine {
             samples_per_sec,
             real_time_factor: samples_per_sec / self.sample_rate_hz,
             ring_dropped: self.final_dropped,
+            telemetry: self.telemetry.snapshot(),
         };
         if let Some((role, message)) = self.panic.take() {
             return Err(EngineError::WorkerPanic(Box::new(PanicReport {
@@ -393,7 +487,7 @@ impl StreamEngine {
     }
 
     /// Buffers one decode result, recording the first error.
-    fn stash(&mut self, decoded: Result<DecodedPacket, FftError>) {
+    fn stash(&mut self, decoded: Result<TimedPacket, FftError>) {
         match decoded {
             Ok(packet) => self.reorder.push(packet),
             Err(e) => {
@@ -406,13 +500,13 @@ impl StreamEngine {
 
     /// Moves the in-order prefix out of the reorder buffer: packets
     /// `next_emit, next_emit + 1, …` up to the first gap.
-    fn emit_ready(&mut self) -> Vec<DecodedPacket> {
-        self.reorder.sort_by_key(|p| p.index);
+    fn emit_ready(&mut self) -> Vec<TimedPacket> {
+        self.reorder.sort_by_key(|t| t.packet.index);
         let ready = self
             .reorder
             .iter()
             .enumerate()
-            .take_while(|(i, p)| p.index == self.next_emit + i)
+            .take_while(|(i, t)| t.packet.index == self.next_emit + i)
             .count();
         self.next_emit += ready;
         self.reorder.drain(..ready).collect()
@@ -430,7 +524,7 @@ impl Drop for StreamEngine {
 fn detection_loop(
     mut detector: StreamDetector,
     ring: RingConsumer<Chunk>,
-    job_txs: Vec<mpsc::Sender<PacketSpan>>,
+    job_txs: Vec<mpsc::Sender<Job>>,
     stats: Arc<EngineStats>,
     hold: Option<Arc<std::sync::atomic::AtomicBool>>,
 ) -> DetectorExit {
@@ -448,7 +542,15 @@ fn detection_loop(
         detector.push(&chunk.samples, &mut spans);
         for span in spans.drain(..) {
             let worker = span.index % workers;
-            if job_txs[worker].send(span).is_err() {
+            let job = Job {
+                span,
+                // The chunk whose samples completed this span is the one
+                // being processed right now, so its ingest time starts the
+                // packet's end-to-end latency clock.
+                ingested_at: chunk.ingested_at,
+                enqueued_at: Instant::now(),
+            };
+            if job_txs[worker].send(job).is_err() {
                 // That worker died (panicked): stop consuming — dropping
                 // the ring consumer unblocks the feeder, and teardown will
                 // surface the worker's panic as EngineError::WorkerPanic.
@@ -546,6 +648,17 @@ impl MultiChannelEngine {
     /// [`Self::channels`] when the index comes from the wire.
     pub fn channel_workers(&self, channel: usize) -> usize {
         self.engines[channel].workers.len()
+    }
+
+    /// Live telemetry handle for `channel`'s engine; see
+    /// [`StreamEngine::telemetry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range; validate against
+    /// [`Self::channels`] when the index comes from the wire.
+    pub fn channel_telemetry(&self, channel: usize) -> Arc<EngineTelemetry> {
+        self.engines[channel].telemetry()
     }
 
     /// Feeds one chunk into `channel`'s ring, applying that channel's
@@ -685,6 +798,75 @@ mod tests {
         for (i, p) in drained.iter().enumerate() {
             assert_eq!(p.index, i, "drain must preserve stream order");
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_every_pipeline_stage() {
+        let bits = vec![true, false, false, true, true];
+        let cfg = GatewayConfig {
+            workers: 2,
+            ..GatewayConfig::new(PhyProfile::default(), vec![96], bits.len())
+        };
+        let stream = stream_with_packets(96, &bits, 4);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        let live = engine.telemetry();
+        for chunk in stream.chunks(900) {
+            engine.feed(chunk).unwrap();
+        }
+        let report = engine.shutdown().unwrap();
+        assert_eq!(report.packets.len(), 4);
+
+        let t = &report.telemetry;
+        // One gate → anchor measurement per detected packet, each covering
+        // at least the sync search it took to anchor.
+        assert_eq!(t.detect_gate_to_anchor_samples.count(), 4);
+        assert_eq!(t.detect_gate_to_anchor_ns.count(), 4);
+        assert!(t.detect_gate_to_anchor_samples.min > 0);
+        // Every span passed through the decode queue exactly once.
+        assert_eq!(t.queue_wait_ns.count(), 4);
+        assert_eq!(t.decode_ns.count(), 4);
+        assert!(t.decode_ns.sum > 0, "decode work takes measurable time");
+        // The producer pushed chunks, so the ring held at least one. The
+        // feeder may outrun the detector, so full events are allowed — but
+        // under the blocking policy each one must have timed its wait.
+        assert!(t.ring_occupancy_hwm >= 1);
+        assert_eq!(t.ring_block_wait_ns.count(), t.ring_full_events);
+        // The shutdown snapshot and the live handle agree.
+        assert_eq!(live.decode_ns.snapshot().count(), 4);
+    }
+
+    #[test]
+    fn drain_timed_reports_monotone_ingest_stamps() {
+        let bits = vec![false, true, true];
+        let cfg = GatewayConfig {
+            workers: 1,
+            ..GatewayConfig::new(PhyProfile::default(), vec![32], bits.len())
+        };
+        let stream = stream_with_packets(32, &bits, 3);
+        let mut engine = StreamEngine::spawn(&cfg, 500e3).unwrap();
+        let spawned = Instant::now();
+        let mut timed = Vec::new();
+        for chunk in stream.chunks(512) {
+            engine.feed(chunk).unwrap();
+            timed.extend(engine.drain_timed());
+        }
+        loop {
+            timed.extend(engine.drain_timed());
+            if timed.len() == 3 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for (i, t) in timed.iter().enumerate() {
+            assert_eq!(t.packet.index, i);
+            assert!(t.ingested_at >= spawned);
+            assert!(t.ingested_at <= Instant::now());
+        }
+        // Later packets finish on later (or equal) chunks.
+        for pair in timed.windows(2) {
+            assert!(pair[0].ingested_at <= pair[1].ingested_at);
+        }
+        engine.shutdown().unwrap();
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! ([`detect::GATE_WINDOW`] samples) at the head of the stream to calibrate
 //! its floor before the first packet; every practical source (and the
 //! stream synthesizer) starts with an idle gap.
+//!
+//! Every stage records latency telemetry into lock-free `netscatter_obs`
+//! histograms as it runs — ring occupancy and producer block waits, energy
+//! gate → anchor detection latency, decode queue wait and service time —
+//! surfaced live via [`engine::EngineTelemetry`] and folded into each
+//! [`pipeline::GatewayReport`] as a [`pipeline::PipelineTelemetry`]
+//! snapshot. Recording never changes detection or decode decisions, so
+//! decoded output is bit-identical with telemetry on.
 
 pub mod detect;
 pub mod engine;
@@ -33,11 +41,14 @@ pub mod pipeline;
 pub mod ring;
 pub mod source;
 
-pub use detect::{GatewayConfig, PacketSpan, StreamDetector};
+pub use detect::{DetectTelemetry, GatewayConfig, PacketSpan, StreamDetector};
 pub use engine::{
-    EngineClosed, EngineError, MultiChannelEngine, OverflowPolicy, PanicReport, StreamEngine,
+    EngineClosed, EngineError, EngineTelemetry, MultiChannelEngine, OverflowPolicy, PanicReport,
+    StreamEngine, TimedPacket,
 };
 pub use pipeline::{
-    run_multi_stream, run_stream, DecodedPacket, GatewayReport, MultiChannelReport, StreamGateway,
+    run_multi_stream, run_stream, DecodedPacket, GatewayReport, MultiChannelReport,
+    PipelineTelemetry, StreamGateway,
 };
+pub use ring::RingTelemetry;
 pub use source::{Cf32FileSource, PacedSource, ReplaySource, StreamSource};

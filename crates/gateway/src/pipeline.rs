@@ -26,6 +26,7 @@ use crate::source::StreamSource;
 use netscatter::receiver::{ConcurrentReceiver, DecodedRound};
 use netscatter_dsp::fft::FftError;
 use netscatter_dsp::Complex64;
+use netscatter_obs::HistogramSnapshot;
 
 /// One decoded packet of the stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +60,52 @@ pub struct GatewayReport {
     /// under [`crate::engine::OverflowPolicy::Block`], the `run_stream`
     /// default).
     pub ring_dropped: u64,
+    /// Per-stage latency telemetry accumulated over the session (empty
+    /// for the synchronous [`StreamGateway`] facade, which has no queues
+    /// or worker pool to measure).
+    pub telemetry: PipelineTelemetry,
+}
+
+/// Per-stage latency/pressure distributions for one pipeline session,
+/// as plain mergeable data (see [`crate::engine::EngineTelemetry`] for
+/// the live atomics these are snapshotted from).
+///
+/// All histogram snapshots are log2-bucket ([`netscatter_obs::hist`]);
+/// the `_ns` ones record wall nanoseconds, the `_samples` one records
+/// sample counts at the stream's native rate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineTelemetry {
+    /// Highest ring occupancy (queued chunks) observed at any push.
+    pub ring_occupancy_hwm: u64,
+    /// Pushes that found the ring full (then blocked or displaced).
+    pub ring_full_events: u64,
+    /// Wait endured by blocking pushes, per full event, in nanoseconds.
+    pub ring_block_wait_ns: HistogramSnapshot,
+    /// Energy-gate fire → preamble anchor lock, in stream samples.
+    pub detect_gate_to_anchor_samples: HistogramSnapshot,
+    /// Energy-gate fire → preamble anchor lock, in wall nanoseconds.
+    pub detect_gate_to_anchor_ns: HistogramSnapshot,
+    /// Span dispatch → decode start (worker queue wait), nanoseconds.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Decode service time per span (worker busy time), nanoseconds.
+    pub decode_ns: HistogramSnapshot,
+}
+
+impl PipelineTelemetry {
+    /// Folds another session's telemetry into this one (the per-channel →
+    /// per-gateway rollup): histograms merge bucket-wise, the occupancy
+    /// high-water mark takes the max, event counts add.
+    pub fn merge(&mut self, other: &PipelineTelemetry) {
+        self.ring_occupancy_hwm = self.ring_occupancy_hwm.max(other.ring_occupancy_hwm);
+        self.ring_full_events += other.ring_full_events;
+        self.ring_block_wait_ns.merge(&other.ring_block_wait_ns);
+        self.detect_gate_to_anchor_samples
+            .merge(&other.detect_gate_to_anchor_samples);
+        self.detect_gate_to_anchor_ns
+            .merge(&other.detect_gate_to_anchor_ns);
+        self.queue_wait_ns.merge(&other.queue_wait_ns);
+        self.decode_ns.merge(&other.decode_ns);
+    }
 }
 
 impl GatewayReport {
@@ -136,6 +183,15 @@ impl MultiChannelReport {
             .iter()
             .map(GatewayReport::detected_rounds)
             .sum()
+    }
+
+    /// Every channel's stage telemetry merged into one distribution.
+    pub fn merged_telemetry(&self) -> PipelineTelemetry {
+        let mut merged = PipelineTelemetry::default();
+        for channel in &self.channels {
+            merged.merge(&channel.telemetry);
+        }
+        merged
     }
 }
 

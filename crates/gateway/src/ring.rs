@@ -34,6 +34,29 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use netscatter_obs::{Counter, Gauge, Histogram};
+
+/// Producer-side pressure telemetry for one ring.
+///
+/// Attached with [`RingProducer::set_telemetry`]; recording happens only
+/// on the producer (the single thread that feels backpressure), so every
+/// write is an uncontended relaxed atomic. The occupancy high-water mark
+/// answers "how close did this stream come to dropping?", and the wait
+/// histogram prices what the [`OverflowPolicy::Block`] policy actually
+/// cost the feeder.
+#[derive(Debug, Default)]
+pub struct RingTelemetry {
+    /// Highest queue depth observed immediately after a push.
+    pub occupancy_hwm: Gauge,
+    /// Pushes that found every slot taken (then either waited — Block —
+    /// or displaced the oldest item — DropOldest).
+    pub full_events: Counter,
+    /// Nanoseconds a blocking [`RingProducer::push`] spent waiting for a
+    /// free slot, one observation per full event.
+    pub block_wait_ns: Histogram,
+}
 
 /// What the producer does when the ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +100,14 @@ unsafe impl<T: Send> Sync for RingInner<T> {}
 unsafe impl<T: Send> Send for RingInner<T> {}
 
 impl<T> RingInner<T> {
+    /// Occupied slots right now (approximate under concurrency: the two
+    /// counters are loaded independently — good enough for telemetry).
+    fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
     /// Claims a push ticket and stores `item`; gives `item` back when the
     /// ring is full at the moment of the attempt.
     fn try_enqueue(&self, item: T) -> Result<(), T> {
@@ -150,6 +181,7 @@ impl<T> RingInner<T> {
 /// The producing half of a ring created by [`spsc_ring`].
 pub struct RingProducer<T> {
     ring: Arc<RingInner<T>>,
+    telemetry: Option<Arc<RingTelemetry>>,
 }
 
 /// The consuming half of a ring created by [`spsc_ring`].
@@ -178,18 +210,54 @@ pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>)
         closed: AtomicBool::new(false),
         dropped: AtomicU64::new(0),
     });
-    (RingProducer { ring: ring.clone() }, RingConsumer { ring })
+    (
+        RingProducer {
+            ring: ring.clone(),
+            telemetry: None,
+        },
+        RingConsumer { ring },
+    )
 }
 
 impl<T: Send> RingProducer<T> {
+    /// Attaches pressure telemetry; subsequent pushes record into it.
+    /// Recording stays producer-thread-only, so attach before handing the
+    /// producer to the feeder.
+    pub fn set_telemetry(&mut self, telemetry: Arc<RingTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Records a successful push (and the preceding wait, if any).
+    #[inline]
+    fn note_pushed(&self, wait_started: Option<Instant>) {
+        if let Some(t) = &self.telemetry {
+            t.occupancy_hwm.record_max(self.ring.len() as u64);
+            if let Some(started) = wait_started {
+                t.block_wait_ns.record_duration(started.elapsed());
+            }
+        }
+    }
+
     /// Pushes `item`, spinning while the ring is full. Returns the item back
     /// if the consumer handle has been dropped (nobody will ever drain us).
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut item = item;
+        let mut wait_started = None;
         loop {
             match self.ring.try_enqueue(item) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.note_pushed(wait_started);
+                    return Ok(());
+                }
                 Err(back) => item = back,
+            }
+            // First full attempt on an instrumented ring: count the event
+            // and start the wait clock (off the hot path — we are blocked).
+            if wait_started.is_none() {
+                if let Some(t) = &self.telemetry {
+                    t.full_events.incr();
+                    wait_started = Some(Instant::now());
+                }
             }
             if Arc::strong_count(&self.ring) == 1 {
                 return Err(item);
@@ -201,7 +269,13 @@ impl<T: Send> RingProducer<T> {
     /// Pushes without blocking; gives the item back inside [`RingFull`] when
     /// no slot is free.
     pub fn try_push(&self, item: T) -> Result<(), RingFull<T>> {
-        self.ring.try_enqueue(item).map_err(RingFull)
+        match self.ring.try_enqueue(item) {
+            Ok(()) => {
+                self.note_pushed(None);
+                Ok(())
+            }
+            Err(back) => Err(RingFull(back)),
+        }
     }
 
     /// Pushes `item`, displacing (and dropping) the oldest queued items as
@@ -216,7 +290,11 @@ impl<T: Send> RingProducer<T> {
                 Ok(()) => {
                     if displaced > 0 {
                         self.ring.dropped.fetch_add(displaced, Ordering::Relaxed);
+                        if let Some(t) = &self.telemetry {
+                            t.full_events.incr();
+                        }
                     }
+                    self.note_pushed(None);
                     return displaced;
                 }
                 Err(back) => {
@@ -421,6 +499,31 @@ mod tests {
             "pops + drops must cover every push"
         );
         assert_eq!(rx.dropped(), displaced);
+    }
+
+    #[test]
+    fn telemetry_records_high_water_and_full_events() {
+        let (mut tx, rx) = spsc_ring::<usize>(3);
+        let t = Arc::new(RingTelemetry::default());
+        tx.set_telemetry(t.clone());
+        tx.push(0).unwrap();
+        tx.push(1).unwrap();
+        assert_eq!(t.occupancy_hwm.get(), 2);
+        assert_eq!(tx.force_push(2), 0, "room left");
+        assert_eq!(t.occupancy_hwm.get(), 3);
+        assert_eq!(t.full_events.get(), 0);
+        assert_eq!(tx.force_push(3), 1, "full ring displaces");
+        assert_eq!(t.full_events.get(), 1);
+        // Consumer gone + full ring: the blocking push counts the full
+        // event before giving up.
+        drop(rx);
+        assert_eq!(tx.push(9), Err(9));
+        assert_eq!(t.full_events.get(), 2);
+        assert_eq!(
+            t.block_wait_ns.snapshot().count(),
+            0,
+            "no successful waited push"
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! netscatter_obs — the dependency-free, lock-free telemetry core under
+//! the NetScatter serving stack.
+//!
+//! The gateway's claim is real-time decode of hundreds of concurrent
+//! backscatter devices; proving (and keeping) that claim needs more than
+//! end-of-run averages. This crate is the shared substrate every layer
+//! instruments itself with:
+//!
+//! * [`metric`] — [`metric::Counter`] and [`metric::Gauge`]: plain
+//!   relaxed-ordering atomics for monotone event counts and
+//!   high-water-mark style gauges;
+//! * [`hist`] — [`hist::Histogram`]: a fixed log2-bucket latency
+//!   histogram (65 buckets, one per value bit-length) whose `record` is
+//!   a single relaxed `fetch_add`, with mergeable plain-data
+//!   [`hist::HistogramSnapshot`]s and p50/p95/p99 quantile extraction;
+//! * [`log`] — a leveled structured logger (text or NDJSON) with
+//!   key=value fields for span/stream/round correlation ids, so daemon
+//!   output is machine-parseable end to end under `--log-format json`.
+//!
+//! Design constraints, in order: **no dependencies** (this crate sits
+//! under the SPSC ring and the decode workers — it must never pull a
+//! tree, an allocator surprise, or a lock into the hot path), **no
+//! locks** on the record path (histogram/counter writes are relaxed
+//! atomics; only the logger's final stderr write takes the stream lock),
+//! and **mergeable snapshots** (per-channel histograms roll up into
+//! per-gateway and per-daemon views by bucket-wise addition).
+
+pub mod hist;
+pub mod log;
+pub mod metric;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use log::{LogFormat, Logger, Value};
+pub use metric::{Counter, Gauge};
+
+/// Log level re-export at the crate root (the daemon CLI parses one).
+pub use log::Level;

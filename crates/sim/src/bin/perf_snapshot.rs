@@ -1,23 +1,28 @@
 //! Performance snapshot for CI: runs the registered `perf` experiment
 //! (decode path, quick-mode sweeps, sample-level network rounds, streaming
-//! gateway, link-layer codecs), prints its report, and writes
-//! `BENCH_decode.json` + `BENCH_network.json` + `BENCH_stream.json` +
-//! `BENCH_coding.json` through the schema-versioned `ExperimentResult`
-//! JSON sink so the perf trajectory of all four pipelines is tracked from
+//! gateway, link-layer codecs) plus the registered `latency` experiment
+//! (per-stage and ingest→emit latency quantiles under paced replay),
+//! prints their reports, and writes `BENCH_decode.json` +
+//! `BENCH_network.json` + `BENCH_stream.json` + `BENCH_coding.json` +
+//! `BENCH_latency.json` through the schema-versioned `ExperimentResult`
+//! JSON sink so the perf trajectory of all five pipelines is tracked from
 //! PR to PR.
 //!
 //! Usage: `perf_snapshot [--out <path>] [--network-out <path>]
-//! [--stream-out <path>] [--coding-out <path>] [--format text|json]
-//! [--seed N]` (defaults `BENCH_decode.json` / `BENCH_network.json` /
-//! `BENCH_stream.json` / `BENCH_coding.json`, text report).
+//! [--stream-out <path>] [--coding-out <path>] [--latency-out <path>]
+//! [--format text|json] [--seed N]` (defaults `BENCH_decode.json` /
+//! `BENCH_network.json` / `BENCH_stream.json` / `BENCH_coding.json` /
+//! `BENCH_latency.json`, text report).
 //! The other universal experiment flags are accepted; ones the `perf`
 //! experiment does not read (e.g. `--threads`) produce a stderr note.
 
 use netscatter_sim::cli::{parse_flags_or_exit, warn_unused_fields};
 use netscatter_sim::experiment::{render, OutputFormat};
-use netscatter_sim::experiments::{find, perf_bench_results};
+use netscatter_sim::experiments::{find, latency_bench_result, perf_bench_results};
+use netscatter_sim::Scenario;
 
-const USAGE: &str = "perf_snapshot — CI perf snapshot (the registered `perf` experiment)
+const USAGE: &str =
+    "perf_snapshot — CI perf snapshot (the registered `perf` + `latency` experiments)
 
 USAGE:
   perf_snapshot [flags]
@@ -27,6 +32,7 @@ FLAGS:
   --network-out <PATH>    BENCH_network.json path (default: BENCH_network.json)
   --stream-out <PATH>     BENCH_stream.json path (default: BENCH_stream.json)
   --coding-out <PATH>     BENCH_coding.json path (default: BENCH_coding.json)
+  --latency-out <PATH>    BENCH_latency.json path (default: BENCH_latency.json)
   --seed <N>              deployment seed (default: 42)
   --format <text|json>    stdout report sink (default: text);
                           the BENCH artifacts are always JSON
@@ -39,6 +45,7 @@ fn main() {
     let mut network_out_path = String::from("BENCH_network.json");
     let mut stream_out_path = String::from("BENCH_stream.json");
     let mut coding_out_path = String::from("BENCH_coding.json");
+    let mut latency_out_path = String::from("BENCH_latency.json");
     // Split the snapshot-specific flags off, then hand the rest to the
     // shared experiment-flag parser (which handles --help and rejects
     // unknown flags / unknown --format values with a usage error rather
@@ -59,6 +66,7 @@ fn main() {
             "--network-out" => network_out_path = take_value(&mut i),
             "--stream-out" => stream_out_path = take_value(&mut i),
             "--coding-out" => coding_out_path = take_value(&mut i),
+            "--latency-out" => latency_out_path = take_value(&mut i),
             other => shared.push(other.to_string()),
         }
         i += 1;
@@ -76,12 +84,28 @@ fn main() {
     let result = exp.run(&opts.scenario);
     print!("{}", render(exp, &result, opts.format));
 
+    // The latency snapshot runs the registered `latency` experiment at the
+    // same operating point as the perf stream section (10 rounds/s
+    // arrivals, 0.5 s streams, 8192-sample chunks) — paced replay, so the
+    // quantiles answer the deployment question, not the saturated one.
+    let latency_exp = find("latency").expect("latency experiment is registered");
+    let latency_scenario = Scenario::builder()
+        .seed(opts.scenario.seed)
+        .arrival_rate(10.0)
+        .stream_secs(0.5)
+        .chunk_samples(8192)
+        .build();
+    let latency_result = latency_exp.run(&latency_scenario);
+    print!("{}", render(latency_exp, &latency_result, opts.format));
+
     let (decode, network, stream, coding) = perf_bench_results(&result);
+    let latency = latency_bench_result(&latency_result);
     for (artifact, path) in [
         (decode, &out_path),
         (network, &network_out_path),
         (stream, &stream_out_path),
         (coding, &coding_out_path),
+        (latency, &latency_out_path),
     ] {
         if let Err(e) = std::fs::write(path, artifact.to_json().to_string_pretty()) {
             eprintln!("failed to write {path}: {e}");

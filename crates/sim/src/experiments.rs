@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 pub use crate::scenario::Scale;
 
 /// The registered experiments, in the order `netscatter list` prints them.
-static REGISTRY: [&dyn Experiment; 16] = [
+static REGISTRY: [&dyn Experiment; 17] = [
     &Table1,
     &Fig04,
     &Fig08,
@@ -55,6 +55,7 @@ static REGISTRY: [&dyn Experiment; 16] = [
     &AnalysisCapacity,
     &Gateway,
     &Goodput,
+    &Latency,
     &Perf,
 ];
 
@@ -1561,6 +1562,258 @@ impl Experiment for Gateway {
 }
 
 // ---------------------------------------------------------------------------
+// Pipeline latency
+
+/// The stage names the `latency` experiment reports, indexing the
+/// `stage` column of its table: end-to-end ingest→emit first, then the
+/// per-stage breakdown in pipeline order.
+pub const LATENCY_STAGES: [&str; 5] = [
+    "ingest_to_emit",
+    "ring_block_wait",
+    "gate_to_anchor",
+    "queue_wait",
+    "decode",
+];
+
+/// One size point of the latency experiment: the in-process ingest→emit
+/// distribution measured at the drain side, plus the engine's own
+/// per-stage telemetry snapshot.
+struct LatencyOutcome {
+    e2e: netscatter_obs::HistogramSnapshot,
+    stages: netscatter_gateway::PipelineTelemetry,
+}
+
+/// Replays one pre-synthesized channel through a [`StreamEngine`] at
+/// radio rate (chunks fed on the stream clock, like an SDR front-end
+/// would) and measures ingest→emit latency per emitted packet via
+/// [`StreamEngine::drain_timed`], draining on a fine poll so the
+/// measurement reflects the pipeline, not the drain cadence.
+fn run_latency_session(
+    chan: &ChannelStream,
+    scenario: &Scenario,
+    dep_profile: netscatter_phy::params::PhyProfile,
+) -> LatencyOutcome {
+    use netscatter_gateway::{GatewayConfig, StreamEngine};
+    use std::time::{Duration, Instant};
+
+    let config = GatewayConfig {
+        chunk_samples: scenario.chunk_samples,
+        workers: scenario.threads,
+        detection_floor_fraction: Some(chan.detection_floor_fraction),
+        ..GatewayConfig::new(
+            dep_profile,
+            chan.assigned_bins.clone(),
+            scenario.payload_bits,
+        )
+    };
+    let mut engine =
+        StreamEngine::spawn(&config, chan.sample_rate_hz).expect("latency engine spawns");
+    let e2e = netscatter_obs::Histogram::new();
+    let chunk = scenario.chunk_samples.max(1);
+    let chunk_period = Duration::from_secs_f64(chunk as f64 / chan.sample_rate_hz);
+    let start = Instant::now();
+    for (i, samples) in chan.samples.chunks(chunk).enumerate() {
+        // Pace each chunk onto the stream clock, draining while waiting so
+        // emit timestamps are captured promptly.
+        let due = start + chunk_period * i as u32;
+        loop {
+            for t in engine.drain_timed() {
+                e2e.record_duration(t.ingested_at.elapsed());
+            }
+            let Some(wait) = due.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            std::thread::sleep(wait.min(Duration::from_micros(500)));
+        }
+        engine
+            .feed(samples)
+            .expect("latency engine accepts samples");
+    }
+    // Let in-flight spans finish decoding: a 256-device decode runs tens
+    // of milliseconds, so keep draining until a full quiet window passes
+    // with nothing emitted (bounded, so a stuck engine cannot hang the
+    // bench).
+    let quiet_window = Duration::from_millis(200);
+    let flush_deadline = Instant::now() + Duration::from_secs(2);
+    let mut last_emit = Instant::now();
+    while last_emit.elapsed() < quiet_window && Instant::now() < flush_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        let drained = engine.drain_timed();
+        if !drained.is_empty() {
+            last_emit = Instant::now();
+            for t in drained {
+                e2e.record_duration(t.ingested_at.elapsed());
+            }
+        }
+    }
+    let report = engine.shutdown().expect("latency engine shuts down");
+    LatencyOutcome {
+        e2e: e2e.snapshot(),
+        stages: report.telemetry,
+    }
+}
+
+/// Pipeline latency: per-stage p50/p95/p99 through the streaming gateway
+/// under real-time paced replay, plus the in-process ingest→emit
+/// end-to-end distribution.
+pub struct Latency;
+
+impl Experiment for Latency {
+    fn id(&self) -> &'static str {
+        "latency"
+    }
+
+    fn title(&self) -> &'static str {
+        "Pipeline latency: per-stage and ingest→emit p50/p95/p99 under paced replay"
+    }
+
+    fn scenario_fields(&self) -> &'static [&'static str] {
+        &[
+            "devices",
+            "placement",
+            "channel",
+            "fidelity",
+            "scale",
+            "seed",
+            "threads",
+            "payload_bits",
+            "arrival_rate",
+            "stream_secs",
+            "chunk_samples",
+        ]
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        /// Stream-length cap under quick scale (each size point burns its
+        /// stream length in wall time — the replay is radio-rate paced).
+        const QUICK_STREAM_SECS_CAP: f64 = 0.25;
+        let dep = scenario.deployment();
+        let model = gateway_channel_model(scenario);
+        let stream_secs = if scenario.scale == Scale::Quick {
+            scenario.stream_secs.min(QUICK_STREAM_SECS_CAP)
+        } else {
+            scenario.stream_secs
+        };
+        let mut sizes: Vec<usize> = GATEWAY_SIZES
+            .into_iter()
+            .filter(|&n| n <= scenario.devices)
+            .collect();
+        if sizes.last() != Some(&scenario.devices) {
+            sizes.push(scenario.devices);
+        }
+        let mc = scenario.monte_carlo();
+        let mut result = ExperimentResult::new(self.id(), self.title(), scenario);
+        result.scenario.stream_secs = stream_secs;
+        let mut t = Table::new(
+            "latency",
+            &[
+                ("devices", ""),
+                ("stage", ""),
+                ("count", ""),
+                ("p50_ms", "ms"),
+                ("p95_ms", "ms"),
+                ("p99_ms", "ms"),
+            ],
+        );
+        let mut detect = Table::new(
+            "detect_samples",
+            &[
+                ("devices", ""),
+                ("count", ""),
+                ("p50_samples", ""),
+                ("p95_samples", ""),
+                ("p99_samples", ""),
+            ],
+        );
+        let mut last: Option<LatencyOutcome> = None;
+        for &n in &sizes {
+            let chan = synthesize_gateway_channel(
+                &dep,
+                n,
+                &model,
+                scenario,
+                stream_secs,
+                mc.derive(n as u64).seed ^ 0x1A7E,
+            );
+            let outcome = run_latency_session(&chan, scenario, dep.config.profile);
+            let ns_stages = [
+                &outcome.e2e,
+                &outcome.stages.ring_block_wait_ns,
+                &outcome.stages.detect_gate_to_anchor_ns,
+                &outcome.stages.queue_wait_ns,
+                &outcome.stages.decode_ns,
+            ];
+            for (stage, h) in ns_stages.into_iter().enumerate() {
+                t.push_row(vec![
+                    n as f64,
+                    stage as f64,
+                    h.count() as f64,
+                    h.quantile(0.5) / 1e6,
+                    h.quantile(0.95) / 1e6,
+                    h.quantile(0.99) / 1e6,
+                ]);
+            }
+            let ds = &outcome.stages.detect_gate_to_anchor_samples;
+            detect.push_row(vec![
+                n as f64,
+                ds.count() as f64,
+                ds.quantile(0.5),
+                ds.quantile(0.95),
+                ds.quantile(0.99),
+            ]);
+            last = Some(outcome);
+        }
+        result.tables.push(t);
+        result.tables.push(detect);
+        let last = last.expect("at least one network size");
+        result.scalars.push(("stream_secs".into(), stream_secs));
+        result
+            .scalars
+            .push(("p50_ingest_to_emit_ms".into(), last.e2e.quantile(0.5) / 1e6));
+        result.scalars.push((
+            "p99_ingest_to_emit_ms".into(),
+            last.e2e.quantile(0.99) / 1e6,
+        ));
+        result
+    }
+
+    fn render_text(&self, result: &ExperimentResult) -> String {
+        let mut out = format!(
+            "Pipeline latency ({} synthesis, {:.2} s paced stream, {} rounds/s arrivals)\n  N     stage            count   p50[ms]   p95[ms]   p99[ms]\n",
+            fidelity_tag(result.scenario.fidelity),
+            result.scalar("stream_secs").unwrap_or(f64::NAN),
+            result.scenario.arrival_rate,
+        );
+        let t = result.table("latency").expect("latency table");
+        for row in &t.rows {
+            let stage = LATENCY_STAGES.get(row[1] as usize).copied().unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "  {:4.0}  {:15}  {:5.0}  {:8.3}  {:8.3}  {:8.3}",
+                row[0], stage, row[2], row[3], row[4], row[5]
+            );
+        }
+        let d = result.table("detect_samples").expect("detect table");
+        for row in &d.rows {
+            let _ = writeln!(
+                out,
+                "  detect lock at {:.0} devices: p50 {:.0} / p95 {:.0} / p99 {:.0} samples ({:.0} spans)",
+                row[0], row[2], row[3], row[4], row[1]
+            );
+        }
+        let last_n = t.rows.last().map(|r| r[0]).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "ingest->emit at {:.0} devices: p50 {:.3} ms, p99 {:.3} ms",
+            last_n,
+            result.scalar("p50_ingest_to_emit_ms").expect("scalar"),
+            result.scalar("p99_ingest_to_emit_ms").expect("scalar")
+        );
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Goodput (coded link layer)
 
 /// On-air bits per device per round for the all-schemes goodput sweep: the
@@ -2508,6 +2761,39 @@ pub fn perf_bench_results(
     (decode, network, stream, coding)
 }
 
+/// Wraps a [`Latency`] result as the fifth CI artifact — `BENCH_latency`
+/// (per-stage and ingest→emit latency quantiles under paced replay at
+/// {16, 64, 256} devices), a self-contained schema-versioned
+/// [`ExperimentResult`] for the JSON sink. CI gates on its
+/// `p99_ingest_to_emit_ms` scalar against the committed baseline.
+pub fn latency_bench_result(latency: &ExperimentResult) -> ExperimentResult {
+    let mut bench = ExperimentResult::new(
+        "bench_latency",
+        "Pipeline-latency perf snapshot (BENCH_latency)",
+        &latency.scenario,
+    );
+    bench.source.clone_from(&latency.source);
+    bench
+        .tables
+        .push(latency.table("latency").expect("latency table").clone());
+    bench.tables.push(
+        latency
+            .table("detect_samples")
+            .expect("detect table")
+            .clone(),
+    );
+    for name in [
+        "stream_secs",
+        "p50_ingest_to_emit_ms",
+        "p99_ingest_to_emit_ms",
+    ] {
+        bench
+            .scalars
+            .push((name.into(), latency.scalar(name).expect("latency scalar")));
+    }
+    bench
+}
+
 // ---------------------------------------------------------------------------
 // String-returning compatibility wrappers (benches, examples, tests)
 
@@ -2679,6 +2965,7 @@ mod tests {
                 "analysis_capacity",
                 "gateway",
                 "goodput",
+                "latency",
                 "perf",
             ]
         );

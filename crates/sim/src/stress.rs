@@ -476,17 +476,21 @@ fn metric_value(doc: &str, prefix: &str) -> Option<f64> {
         .and_then(|v| v.parse().ok())
 }
 
-/// Validates the metrics document: header line, every line `name value` /
-/// `name{label="…"} value`, a positive `msamples_per_sec`, the right
-/// channel tag, and the link-layer `frames_ok` / `frames_failed_crc`
-/// counters for every `(name, channel)` stream in `streams`, and a
-/// schema-complete rollup (stream count, samples total, Msamples/s) for
-/// every channel the fleet used plus the whole-daemon aggregate rate.
-/// Returns the failures.
+/// Validates the metrics document: header line, the v2 `build_info`
+/// line, every line `name value` / `name{label="…"} value`, a positive
+/// `msamples_per_sec`, the right channel tag, the link-layer
+/// `frames_ok` / `frames_failed_crc` counters and the ingest→emit
+/// frame-latency histogram for every `(name, channel)` stream in
+/// `streams`, and a schema-complete rollup (stream count, samples total,
+/// Msamples/s) for every channel the fleet used plus the whole-daemon
+/// aggregate rate. Returns the failures.
 pub(crate) fn check_metrics(doc: &str, streams: &[(String, usize)]) -> Vec<String> {
     let mut failures = Vec::new();
     if !doc.starts_with(netscatter_daemon::metrics::METRICS_HEADER) {
         failures.push("metrics document lacks the schema header".to_string());
+    }
+    if metric_value(doc, "netscatterd_build_info{").is_none() {
+        failures.push("metrics lack the build_info line".to_string());
     }
     for line in doc.lines().skip(1) {
         let Some(value) = line.rsplit(' ').next() else {
@@ -521,6 +525,15 @@ pub(crate) fn check_metrics(doc: &str, streams: &[(String, usize)]) -> Vec<Strin
             if metric_value(doc, &prefix).is_none() {
                 failures.push(format!("metrics lack {metric} for stream {name}"));
             }
+        }
+        // The v2 schema adds an ingest→emit latency histogram per stream;
+        // its `_count` line must exist even before any frame was emitted.
+        let prefix =
+            format!("netscatterd_stream_frame_latency_seconds_count{{stream=\"{name}\"}} ");
+        if metric_value(doc, &prefix).is_none() {
+            failures.push(format!(
+                "metrics lack the frame latency histogram for stream {name}"
+            ));
         }
     }
     let mut channels: Vec<usize> = streams.iter().map(|&(_, c)| c).collect();
@@ -965,7 +978,8 @@ mod tests {
     #[test]
     fn metrics_checker_flags_missing_streams_and_garbage_lines() {
         let doc = format!(
-            "{}\nnetscatterd_streams_total 1\n\
+            "{}\nnetscatterd_build_info{{version=\"0.0.0\"}} 1\n\
+             netscatterd_streams_total 1\n\
              netscatterd_aggregate_msamples_per_sec 1.5\n\
              netscatterd_channel_streams{{channel=\"0\"}} 1\n\
              netscatterd_channel_samples_total{{channel=\"0\"}} 4096\n\
@@ -973,16 +987,24 @@ mod tests {
              netscatterd_stream_msamples_per_sec{{stream=\"a\"}} 1.5\n\
              netscatterd_stream_channel{{stream=\"a\"}} 0\n\
              netscatterd_stream_frames_ok{{stream=\"a\"}} 0\n\
-             netscatterd_stream_frames_failed_crc{{stream=\"a\"}} 0\n",
+             netscatterd_stream_frames_failed_crc{{stream=\"a\"}} 0\n\
+             netscatterd_stream_frame_latency_seconds_count{{stream=\"a\"}} 0\n",
             netscatter_daemon::metrics::METRICS_HEADER
         );
         assert!(check_metrics(&doc, &[("a".to_string(), 0)]).is_empty());
         let fails = check_metrics(&doc, &[("a".to_string(), 0), ("b".to_string(), 0)]);
-        assert_eq!(fails.len(), 4, "{fails:?}");
+        assert_eq!(fails.len(), 5, "{fails:?}");
         assert!(fails[0].contains("lack stream b"));
         assert!(fails[1].contains("channel tag for stream b"));
         assert!(fails[2].contains("frames_ok for stream b"));
         assert!(fails[3].contains("frames_failed_crc for stream b"));
+        assert!(fails[4].contains("frame latency histogram for stream b"));
+        // The v2 build_info line is part of the schema.
+        let fails = check_metrics(
+            &doc.replace("netscatterd_build_info{version=\"0.0.0\"} 1\n", ""),
+            &[("a".to_string(), 0)],
+        );
+        assert!(fails.iter().any(|f| f.contains("build_info")), "{fails:?}");
         // Dropping a frame-counter line for a known stream is a failure.
         let fails = check_metrics(
             &doc.replace("netscatterd_stream_frames_ok{stream=\"a\"} 0\n", ""),
